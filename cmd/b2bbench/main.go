@@ -1,0 +1,578 @@
+// b2bbench regenerates the paper's evaluation artefacts (DESIGN.md §4,
+// EXPERIMENTS.md): figure transcripts, the message-complexity table, the
+// safety attack matrix and the liveness-under-failure table.
+//
+// Usage:
+//
+//	b2bbench -exp all        # run everything
+//	b2bbench -exp E8         # one experiment
+//	b2bbench -list           # list experiments
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"b2b/internal/coord"
+	"b2b/internal/faults"
+	"b2b/internal/lab"
+	"b2b/internal/transport"
+	"b2b/internal/ttp"
+	"b2b/internal/tuple"
+	"b2b/internal/wire"
+)
+
+type experiment struct {
+	id   string
+	desc string
+	run  func() error
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (E1, E2, E5, E7, E8, E9, E10, E11, E13, E14) or 'all'")
+	list := flag.Bool("list", false, "list experiments")
+	flag.Parse()
+
+	experiments := []experiment{
+		{id: "E1", desc: "Fig 1a/1b — direct vs trusted-agent interaction", run: expE1},
+		{id: "E2", desc: "Fig 2 — replica consistency over random runs", run: expE2},
+		{id: "E5", desc: "Fig 5 — Tic-Tac-Toe with cheating attempt", run: expE5},
+		{id: "E7", desc: "Fig 7 — order processing with rejected update", run: expE7},
+		{id: "E8", desc: "§7 — message complexity 3(n-1), O(n)", run: expE8},
+		{id: "E9", desc: "§4.4 — safety under misbehaviour and intrusion", run: expE9},
+		{id: "E10", desc: "§4.1 — liveness under bounded temporary failures", run: expE10},
+		{id: "E11", desc: "§5 — communication modes", run: expE11},
+		{id: "E13", desc: "§4.5 — membership protocol costs", run: expE13},
+		{id: "E14", desc: "§7 — unanimous vs majority termination", run: expE14},
+	}
+
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-4s %s\n", e.id, e.desc)
+		}
+		return
+	}
+
+	failed := 0
+	for _, e := range experiments {
+		if *exp != "all" && *exp != e.id {
+			continue
+		}
+		fmt.Printf("==== %s: %s ====\n", e.id, e.desc)
+		if err := e.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s FAILED: %v\n", e.id, err)
+			failed++
+		}
+		fmt.Println()
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// acceptWorld builds an n-party world on one accept-all object.
+func acceptWorld(n int, opts lab.Options) (*lab.World, []string, error) {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("org%02d", i)
+	}
+	w, err := lab.NewWorld(opts, ids...)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := w.Bind("obj", func(string) coord.Validator { return lab.AcceptAllValidator() }, nil); err != nil {
+		w.Close()
+		return nil, nil, err
+	}
+	if err := w.Bootstrap("obj", []byte("v0"), ids); err != nil {
+		w.Close()
+		return nil, nil, err
+	}
+	return w, ids, nil
+}
+
+// expE1: direct (Fig 1a) vs trusted-agent (Fig 1b) interaction.
+func expE1() error {
+	const rounds = 50
+
+	// Direct: 2 parties.
+	w, _, err := acceptWorld(2, lab.Options{Seed: 1})
+	if err != nil {
+		return err
+	}
+	en := w.Party("org00").Engine("obj")
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		if _, err := en.Propose(context.Background(), []byte(fmt.Sprintf("s%d", i))); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	directLat := time.Since(start) / rounds
+	st := en.Stats()
+	directMsgs := float64(st.ProposesSent+st.CommitsSent+w.Party("org01").Engine("obj").Stats().RespondsSent) / rounds
+	w.Close()
+
+	// Via agent: left -> agent -> right, two 2-party groups.
+	wa, err := lab.NewWorld(lab.Options{Seed: 1}, "left", "agent", "right")
+	if err != nil {
+		return err
+	}
+	defer wa.Close()
+	relay := ttp.NewRelay(nil)
+	if _, _, err := wa.Party("left").Part.Bind("side-l", lab.AcceptAllValidator(), nil); err != nil {
+		return err
+	}
+	enL, _, err := wa.Party("agent").Part.Bind("side-l", relay.ValidatorFor(0), nil)
+	if err != nil {
+		return err
+	}
+	enR, _, err := wa.Party("agent").Part.Bind("side-r", relay.ValidatorFor(1), nil)
+	if err != nil {
+		return err
+	}
+	if _, _, err := wa.Party("right").Part.Bind("side-r", lab.AcceptAllValidator(), nil); err != nil {
+		return err
+	}
+	relay.Bind(0, enL)
+	relay.Bind(1, enR)
+	for _, e := range []*coord.Engine{wa.Party("left").Engine("side-l"), enL} {
+		if err := e.Bootstrap([]byte("v0"), []string{"left", "agent"}); err != nil {
+			return err
+		}
+	}
+	for _, e := range []*coord.Engine{enR, wa.Party("right").Engine("side-r")} {
+		if err := e.Bootstrap([]byte("v0"), []string{"agent", "right"}); err != nil {
+			return err
+		}
+	}
+	left := wa.Party("left").Engine("side-l")
+	start = time.Now()
+	for i := 0; i < rounds; i++ {
+		if _, err := left.Propose(context.Background(), []byte(fmt.Sprintf("s%d", i))); err != nil {
+			return err
+		}
+		relay.Wait()
+	}
+	agentLat := time.Since(start) / rounds
+
+	fmt.Printf("%-22s %14s %10s\n", "style", "latency/run", "msgs/run")
+	fmt.Printf("%-22s %14v %10.1f\n", "direct (Fig 1a)", directLat.Round(time.Microsecond), directMsgs)
+	fmt.Printf("%-22s %14v %10.1f\n", "via agent (Fig 1b)", agentLat.Round(time.Microsecond), directMsgs*2)
+	fmt.Printf("expected shape: agent path ~2x direct (two sequential 2-party runs)\n")
+	return nil
+}
+
+// expE2: replica consistency over randomised valid/vetoed runs.
+func expE2() error {
+	const rounds = 60
+	w, ids, err := acceptWorld(4, lab.Options{Seed: 2})
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+
+	divergence := 0
+	vetoed := 0
+	for i := 0; i < rounds; i++ {
+		proposer := ids[i%len(ids)]
+		state := []byte(fmt.Sprintf("state-%03d", i))
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		_, err := w.Party(proposer).Engine("obj").Propose(ctx, state)
+		cancel()
+		if err != nil {
+			vetoed++
+		}
+		// After settling, all replicas must agree byte-for-byte.
+		var ref []byte
+		settled := true
+		for _, id := range ids {
+			if err := w.Party(id).Engine("obj").WaitQuiescent(context.Background()); err != nil {
+				settled = false
+			}
+		}
+		for j, id := range ids {
+			_, s := w.Party(id).Engine("obj").Agreed()
+			if j == 0 {
+				ref = s
+				continue
+			}
+			if !bytes.Equal(ref, s) {
+				divergence++
+			}
+		}
+		_ = settled
+	}
+	fmt.Printf("runs: %d (vetoed/raced: %d), replica divergences observed: %d\n", rounds, vetoed, divergence)
+	fmt.Printf("expected: 0 divergences (paper Fig 2: one logical object)\n")
+	if divergence > 0 {
+		return fmt.Errorf("replicas diverged %d times", divergence)
+	}
+	return nil
+}
+
+// expE5: the Fig 5 transcript.
+func expE5() error { return lab.RunFig5(os.Stdout) }
+
+// expE7: the Fig 7 transcript.
+func expE7() error { return lab.RunFig7(os.Stdout) }
+
+// expE8: measured protocol messages per run for n = 2..16 against the
+// paper's 3(n-1) claim.
+func expE8() error {
+	fmt.Printf("%4s %12s %12s %8s\n", "n", "msgs/run", "3(n-1)", "match")
+	for _, n := range []int{2, 3, 4, 6, 8, 12, 16} {
+		w, ids, err := acceptWorld(n, lab.Options{Seed: 8})
+		if err != nil {
+			return err
+		}
+		const rounds = 10
+		en := w.Party("org00").Engine("obj")
+		for i := 0; i < rounds; i++ {
+			if _, err := en.Propose(context.Background(), []byte(fmt.Sprintf("s%d", i))); err != nil {
+				w.Close()
+				return err
+			}
+		}
+		st := en.Stats()
+		var responds uint64
+		for _, id := range ids[1:] {
+			responds += w.Party(id).Engine("obj").Stats().RespondsSent
+		}
+		got := float64(st.ProposesSent+st.CommitsSent+responds) / rounds
+		want := float64(3 * (n - 1))
+		fmt.Printf("%4d %12.1f %12.1f %8t\n", n, got, want, got == want)
+		w.Close()
+	}
+	fmt.Printf("expected: exact match — the protocol is O(n) (§7)\n")
+	return nil
+}
+
+// expE9: the attack matrix — every §4.4 misbehaviour and Dolev-Yao
+// intrusion versus {honest installs (must be 0), evidence kept (must be
+// yes)}.
+func expE9() error {
+	type attack struct {
+		name string
+		run  func(w *lab.World, adv *faults.Adversary) error
+	}
+	mkSpec := func(w *lab.World) faults.ProposalSpec {
+		en := w.Party("mallory").Engine("obj")
+		g, _ := en.Group()
+		agreed, _ := en.Agreed()
+		return faults.ProposalSpec{Group: g, Agreed: agreed, Seq: agreed.Seq + 1}
+	}
+	attacks := []attack{
+		{name: "null transition", run: func(w *lab.World, adv *faults.Adversary) error {
+			_, err := adv.NullTransition(context.Background(), mkSpec(w), []byte("v0"), []string{"alice", "bob"})
+			return err
+		}},
+		{name: "selective send", run: func(w *lab.World, adv *faults.Adversary) error {
+			_, err := adv.SelectiveSend(context.Background(), mkSpec(w),
+				[][]byte{[]byte("for-alice"), []byte("for-bob")}, []string{"alice", "bob"})
+			return err
+		}},
+		{name: "omitted commit", run: func(w *lab.World, adv *faults.Adversary) error {
+			_, err := adv.OmittedCommit(context.Background(), mkSpec(w), []byte("x"), []string{"alice", "bob"})
+			return err
+		}},
+		{name: "forged commit", run: func(w *lab.World, adv *faults.Adversary) error {
+			_, err := adv.ForgedCommit(context.Background(), mkSpec(w), []byte("x"), "alice", []string{"bob"})
+			return err
+		}},
+		{name: "stale sequence", run: func(w *lab.World, adv *faults.Adversary) error {
+			_, err := adv.StaleSequence(context.Background(), mkSpec(w), []byte("x"), []string{"alice", "bob"})
+			return err
+		}},
+		{name: "wrong group id", run: func(w *lab.World, adv *faults.Adversary) error {
+			_, err := adv.WrongGroup(context.Background(), mkSpec(w), []byte("x"), []string{"alice", "bob"})
+			return err
+		}},
+		{name: "state/tuple mismatch", run: func(w *lab.World, adv *faults.Adversary) error {
+			_, err := adv.MismatchedState(context.Background(), mkSpec(w), []string{"alice", "bob"})
+			return err
+		}},
+		{name: "dolev-yao tamper", run: func(w *lab.World, adv *faults.Adversary) error {
+			w.Party("mallory").Interceptor.SetOnSend(func(to string, p []byte) (faults.Action, []byte) {
+				return faults.Tamper, faults.TamperSignedBody(p)
+			})
+			adv.Conn = w.Party("mallory").Interceptor
+			_, err := adv.OmittedCommit(context.Background(), mkSpec(w), []byte("x"), []string{"alice", "bob"})
+			return err
+		}},
+	}
+
+	fmt.Printf("%-22s %16s %14s %14s\n", "attack", "honest installs", "state intact", "evidence kept")
+	for _, a := range attacks {
+		w, err := lab.NewWorld(lab.Options{Seed: 9}, "alice", "bob", "mallory")
+		if err != nil {
+			return err
+		}
+		if err := w.Bind("obj", func(string) coord.Validator { return lab.AcceptAllValidator() }, nil); err != nil {
+			w.Close()
+			return err
+		}
+		if err := w.Bootstrap("obj", []byte("v0"), []string{"alice", "bob", "mallory"}); err != nil {
+			w.Close()
+			return err
+		}
+		adv := w.Adversary("mallory", "obj")
+		if err := a.run(w, adv); err != nil {
+			w.Close()
+			return fmt.Errorf("%s: %w", a.name, err)
+		}
+		time.Sleep(80 * time.Millisecond)
+
+		installs := 0
+		intact := true
+		evidence := false
+		for _, id := range []string{"alice", "bob"} {
+			_, s := w.Party(id).Engine("obj").Agreed()
+			if !bytes.Equal(s, []byte("v0")) {
+				installs++
+				intact = false
+			}
+			// Evidence: at least one attacked party recorded the attempt and
+			// every chain verifies.
+			if w.Party(id).Log.Len() > 0 && w.Party(id).Log.Verify() == nil {
+				evidence = true
+			}
+		}
+		fmt.Printf("%-22s %16d %14t %14t\n", a.name, installs, intact, evidence)
+		w.Close()
+	}
+	fmt.Printf("expected: 0 installs, state intact, evidence kept for every attack (§4.1 safety)\n")
+	return nil
+}
+
+// expE10: liveness under bounded temporary failures — message loss rates and
+// a crash/heal partition cycle.
+func expE10() error {
+	fmt.Printf("%-28s %10s %10s %14s\n", "failure model", "runs", "completed", "mean latency")
+	for _, drop := range []float64{0, 0.1, 0.3, 0.5} {
+		w, _, err := acceptWorld(3, lab.Options{Seed: 10})
+		if err != nil {
+			return err
+		}
+		w.Net.SetDefaultFaults(transport.Faults{DropProb: drop, DupProb: drop / 3})
+		const rounds = 15
+		completed := 0
+		var total time.Duration
+		en := w.Party("org00").Engine("obj")
+		for i := 0; i < rounds; i++ {
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			start := time.Now()
+			_, err := en.Propose(ctx, []byte(fmt.Sprintf("s%d", i)))
+			cancel()
+			if err == nil {
+				completed++
+				total += time.Since(start)
+			}
+		}
+		mean := time.Duration(0)
+		if completed > 0 {
+			mean = (total / time.Duration(completed)).Round(time.Microsecond)
+		}
+		fmt.Printf("%-28s %10d %10d %14v\n", fmt.Sprintf("%.0f%% loss, %.0f%% dup", drop*100, drop*100/3), rounds, completed, mean)
+		w.Close()
+	}
+
+	// Partition then heal: the blocked run completes after healing.
+	w, _, err := acceptWorld(2, lab.Options{Seed: 10})
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	w.Net.Partition([]string{"org00"}, []string{"org01"})
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		_, err := w.Party("org00").Engine("obj").Propose(ctx, []byte("after-partition"))
+		done <- err
+	}()
+	time.Sleep(100 * time.Millisecond)
+	w.Net.Heal()
+	err = <-done
+	status := "completed"
+	if err != nil {
+		status = "FAILED: " + err.Error()
+	}
+	fmt.Printf("%-28s %10d %10s %14v\n", "100ms partition + heal", 1, status, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("expected: all runs complete — liveness despite bounded temporary failures (§4.1)\n")
+	return err
+}
+
+// expE11: the three communication modes' client-observed behaviour.
+func expE11() error {
+	const rounds = 30
+	w, _, err := acceptWorld(2, lab.Options{Seed: 11})
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	en := w.Party("org00").Engine("obj")
+
+	// Synchronous: full protocol latency inline.
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		if _, err := en.Propose(context.Background(), []byte(fmt.Sprintf("sync%d", i))); err != nil {
+			return err
+		}
+	}
+	syncLat := (time.Since(start) / rounds).Round(time.Microsecond)
+
+	// Deferred/async: initiation returns immediately; completion collected.
+	var initTotal, completeTotal time.Duration
+	for i := 0; i < rounds; i++ {
+		state := []byte(fmt.Sprintf("async%d", i))
+		start := time.Now()
+		done := make(chan error, 1)
+		go func() {
+			_, err := en.Propose(context.Background(), state)
+			done <- err
+		}()
+		initTotal += time.Since(start)
+		if err := <-done; err != nil {
+			return err
+		}
+		completeTotal += time.Since(start)
+	}
+
+	fmt.Printf("%-24s %16s\n", "mode", "caller latency")
+	fmt.Printf("%-24s %16v\n", "synchronous leave", syncLat)
+	fmt.Printf("%-24s %16v\n", "deferred/async initiate", (initTotal / rounds).Round(time.Microsecond))
+	fmt.Printf("%-24s %16v\n", "deferred collect", (completeTotal / rounds).Round(time.Microsecond))
+	fmt.Printf("expected: initiation ~free; completion equals synchronous latency (§5 modes)\n")
+	return nil
+}
+
+// expE13: membership protocol costs and the sponsor-rotation transcript.
+func expE13() error {
+	w, err := lab.NewWorld(lab.Options{Seed: 13}, "alice", "bob", "carol", "dave")
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	if err := w.Bind("obj", func(string) coord.Validator { return lab.AcceptAllValidator() }, nil); err != nil {
+		return err
+	}
+	if err := w.Bootstrap("obj", []byte("v0"), []string{"alice", "bob"}); err != nil {
+		return err
+	}
+
+	ctx := context.Background()
+	start := time.Now()
+	if err := w.Party("carol").Manager("obj").Join(ctx, "alice"); err != nil {
+		return fmt.Errorf("carol join: %w", err)
+	}
+	joinLat := time.Since(start)
+	fmt.Printf("carol joined via redirect to sponsor bob: %v\n", joinLat.Round(time.Microsecond))
+
+	start = time.Now()
+	if err := w.Party("dave").Manager("obj").Join(ctx, "alice"); err != nil {
+		return fmt.Errorf("dave join: %w", err)
+	}
+	fmt.Printf("dave joined via rotated sponsor carol: %v\n", time.Since(start).Round(time.Microsecond))
+
+	_, members := w.Party("alice").Engine("obj").Group()
+	fmt.Printf("membership (join order): %v\n", members)
+
+	start = time.Now()
+	if err := w.Party("alice").Manager("obj").Evict(ctx, "bob"); err != nil {
+		return fmt.Errorf("evict: %w", err)
+	}
+	fmt.Printf("bob evicted (sponsor dave): %v\n", time.Since(start).Round(time.Microsecond))
+
+	start = time.Now()
+	if err := w.Party("carol").Manager("obj").Leave(ctx); err != nil {
+		return fmt.Errorf("leave: %w", err)
+	}
+	fmt.Printf("carol left voluntarily: %v\n", time.Since(start).Round(time.Microsecond))
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		_, members = w.Party("alice").Engine("obj").Group()
+		if len(members) == 2 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	sort.Strings(members)
+	fmt.Printf("final membership: %v (expected [alice dave])\n", members)
+	return nil
+}
+
+// expE14: a vetoing minority under unanimous (paper) vs majority (§7) rules.
+func expE14() error {
+	fmt.Printf("%-12s %18s %18s\n", "policy", "1 veto of 3", "outcome")
+	for _, tc := range []struct {
+		name string
+		term coord.Termination
+		want string
+	}{
+		{name: "unanimous", term: coord.Unanimous, want: "invalid (vetoed)"},
+		{name: "majority", term: coord.Majority, want: "valid (2/3)"},
+	} {
+		ids := []string{"a", "b", "c"}
+		w, err := lab.NewWorld(lab.Options{Seed: 14, Termination: tc.term}, ids...)
+		if err != nil {
+			return err
+		}
+		veto := func(id string) coord.Validator {
+			if id == "c" {
+				return vetoValidator{}
+			}
+			return lab.AcceptAllValidator()
+		}
+		if err := w.Bind("obj", veto, nil); err != nil {
+			w.Close()
+			return err
+		}
+		if err := w.Bootstrap("obj", []byte("v0"), ids); err != nil {
+			w.Close()
+			return err
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		out, err := w.Party("a").Engine("obj").Propose(ctx, []byte("v1"))
+		cancel()
+		result := "valid"
+		if err != nil || !out.Valid {
+			result = "invalid (vetoed)"
+		} else {
+			result = "valid (2/3)"
+		}
+		fmt.Printf("%-12s %18s %18s\n", tc.name, "c rejects", result)
+		if result != tc.want {
+			w.Close()
+			return fmt.Errorf("%s: got %q want %q", tc.name, result, tc.want)
+		}
+		w.Close()
+	}
+	fmt.Printf("expected: unanimity vetoes, majority proceeds (§7 extension)\n")
+	return nil
+}
+
+// vetoValidator rejects everything.
+type vetoValidator struct{}
+
+func (vetoValidator) ValidateState(string, []byte, []byte) wire.Decision {
+	return wire.Rejected("policy veto")
+}
+
+func (vetoValidator) ValidateUpdate(string, []byte, []byte) wire.Decision {
+	return wire.Rejected("policy veto")
+}
+
+func (vetoValidator) ApplyUpdate(current, update []byte) ([]byte, error) {
+	return append(append([]byte(nil), current...), update...), nil
+}
+
+func (vetoValidator) Installed([]byte, tuple.State)  {}
+func (vetoValidator) RolledBack([]byte, tuple.State) {}

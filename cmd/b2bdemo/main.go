@@ -1,0 +1,44 @@
+// b2bdemo runs the paper's proof-of-concept application scenarios as
+// scripted transcripts (paper §5, Figs 5 and 7).
+//
+// Usage:
+//
+//	b2bdemo -scenario tictactoe   # Fig 5, including the cheating attempt
+//	b2bdemo -scenario order       # Fig 7, including the rejected update
+//	b2bdemo -scenario all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"b2b/internal/lab"
+)
+
+func main() {
+	scenario := flag.String("scenario", "all", "tictactoe | order | all")
+	flag.Parse()
+
+	run := func(name string, f func() error) {
+		fmt.Printf("==== %s ====\n", name)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	switch *scenario {
+	case "tictactoe":
+		run("Tic-Tac-Toe (Fig 5)", func() error { return lab.RunFig5(os.Stdout) })
+	case "order":
+		run("Order processing (Fig 7)", func() error { return lab.RunFig7(os.Stdout) })
+	case "all":
+		run("Tic-Tac-Toe (Fig 5)", func() error { return lab.RunFig5(os.Stdout) })
+		run("Order processing (Fig 7)", func() error { return lab.RunFig7(os.Stdout) })
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scenario %q (want tictactoe, order or all)\n", *scenario)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,131 @@
+package b2b
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Composite groups several application objects under one coordination
+// identity, so a single protocol run validates and installs changes to all
+// of them atomically. The paper notes (§4) that the coordination protocol
+// "applies just as well to the use of a composite object to coordinate the
+// states of multiple objects"; this type realises that pattern.
+//
+// Component validation is conjunctive: every component must accept its own
+// part, and a component missing from a proposal is rejected.
+type Composite struct {
+	mu    sync.Mutex
+	parts map[string]Object
+	order []string
+}
+
+// NewComposite creates an empty composite.
+func NewComposite() *Composite {
+	return &Composite{parts: make(map[string]Object)}
+}
+
+// Add attaches a named component. Names must be unique.
+func (c *Composite) Add(name string, obj Object) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.parts[name]; dup {
+		return fmt.Errorf("b2b: composite already has component %q", name)
+	}
+	c.parts[name] = obj
+	c.order = append(c.order, name)
+	sort.Strings(c.order)
+	return nil
+}
+
+// Component returns a named component.
+func (c *Composite) Component(name string) (Object, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	obj, ok := c.parts[name]
+	return obj, ok
+}
+
+// GetState implements Object: a canonical JSON map of component states.
+func (c *Composite) GetState() ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	states := make(map[string]json.RawMessage, len(c.parts))
+	for name, obj := range c.parts {
+		s, err := obj.GetState()
+		if err != nil {
+			return nil, fmt.Errorf("b2b: composite component %q: %w", name, err)
+		}
+		states[name] = s
+	}
+	return json.Marshal(states)
+}
+
+// ApplyState implements Object: installs each component's part.
+func (c *Composite) ApplyState(state []byte) error {
+	var states map[string]json.RawMessage
+	if err := json.Unmarshal(state, &states); err != nil {
+		return fmt.Errorf("b2b: composite state: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for name, obj := range c.parts {
+		part, ok := states[name]
+		if !ok {
+			return fmt.Errorf("b2b: composite state missing component %q", name)
+		}
+		if err := obj.ApplyState(part); err != nil {
+			return fmt.Errorf("b2b: composite component %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// ValidateState implements Object: all components must accept their parts,
+// and the proposal must cover exactly the known components.
+func (c *Composite) ValidateState(proposer string, state []byte) error {
+	var states map[string]json.RawMessage
+	if err := json.Unmarshal(state, &states); err != nil {
+		return fmt.Errorf("unparseable composite state: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(states) != len(c.parts) {
+		return fmt.Errorf("composite proposal has %d components, want %d", len(states), len(c.parts))
+	}
+	for name, obj := range c.parts {
+		part, ok := states[name]
+		if !ok {
+			return fmt.Errorf("composite proposal missing component %q", name)
+		}
+		if err := obj.ValidateState(proposer, part); err != nil {
+			return fmt.Errorf("component %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// ValidateConnect implements Object: all components must accept.
+func (c *Composite) ValidateConnect(subject string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for name, obj := range c.parts {
+		if err := obj.ValidateConnect(subject); err != nil {
+			return fmt.Errorf("component %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// ValidateDisconnect implements Object: all components must accept.
+func (c *Composite) ValidateDisconnect(subject string, voluntary bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for name, obj := range c.parts {
+		if err := obj.ValidateDisconnect(subject, voluntary); err != nil {
+			return fmt.Errorf("component %q: %w", name, err)
+		}
+	}
+	return nil
+}

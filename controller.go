@@ -1,0 +1,287 @@
+package b2b
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"time"
+
+	"b2b/internal/coord"
+	"b2b/internal/group"
+	"b2b/internal/tuple"
+	"b2b/internal/wire"
+)
+
+// accessKind tracks the strongest access indicated in the current scope.
+type accessKind int
+
+const (
+	accessNone accessKind = iota
+	accessExamine
+	accessOverwrite
+	accessUpdate
+)
+
+// Controller is the paper's B2BObjectController: the local interface to
+// configuration, initiation and control of information sharing for one
+// bound object. Enter/Leave demarcate state access scopes; Examine,
+// Overwrite and Update indicate the access type (and are the hooks where
+// concurrency-control or transactional mechanisms would attach, §5);
+// coordination runs at the outermost Leave.
+//
+// A Controller is safe for use by one application goroutine at a time
+// (matching the paper's single client per object replica); concurrent
+// scopes on one controller are a programming error.
+type Controller struct {
+	object    string
+	obj       Object
+	engine    *coord.Engine
+	manager   *group.Manager
+	mode      Mode
+	cb        Callback
+	opTimeout time.Duration
+
+	mu      sync.Mutex
+	depth   int
+	access  accessKind
+	pending chan pendingResult
+}
+
+type pendingResult struct {
+	out coord.Outcome
+	err error
+}
+
+// Bootstrap establishes this party as a founding member of the sharing
+// group with the object's current state. Every founding member must call
+// Bootstrap with the same join-ordered member list.
+func (c *Controller) Bootstrap(members []string) error {
+	state, err := c.obj.GetState()
+	if err != nil {
+		return fmt.Errorf("b2b: reading object state: %w", err)
+	}
+	return c.engine.Bootstrap(state, members)
+}
+
+// Restore recovers membership and agreed state from the participant's
+// persistent store after a crash, then re-installs the agreed state into
+// the application object.
+func (c *Controller) Restore() error {
+	if err := c.engine.Restore(); err != nil {
+		return err
+	}
+	_, state := c.engine.Agreed()
+	return c.obj.ApplyState(state)
+}
+
+// Connect requests admission to the sharing group via any known member
+// (the paper's connect operation; the member redirects to the sponsor if
+// necessary). On success the agreed state is installed into the object.
+func (c *Controller) Connect(ctx context.Context, contact string) error {
+	if err := c.manager.Join(ctx, contact); err != nil {
+		return err
+	}
+	_, state := c.engine.Agreed()
+	return c.obj.ApplyState(state)
+}
+
+// Disconnect leaves the sharing group voluntarily (§4.5.4).
+func (c *Controller) Disconnect(ctx context.Context) error {
+	return c.manager.Leave(ctx)
+}
+
+// Evict proposes eviction of one or more members (§4.5.4).
+func (c *Controller) Evict(ctx context.Context, evictees ...string) error {
+	return c.manager.Evict(ctx, evictees...)
+}
+
+// Members returns the join-ordered membership of the sharing group.
+func (c *Controller) Members() []string {
+	_, members := c.engine.Group()
+	return members
+}
+
+// AgreedState returns the currently agreed (validated) object state.
+func (c *Controller) AgreedState() []byte {
+	_, state := c.engine.Agreed()
+	return state
+}
+
+// AgreedSeq returns the sequence number of the agreed state tuple.
+func (c *Controller) AgreedSeq() uint64 {
+	t, _ := c.engine.Agreed()
+	return t.Seq
+}
+
+// ActiveRuns lists coordination runs answered but not yet committed —
+// evidence of blocked protocol runs (§4.4).
+func (c *Controller) ActiveRuns() []string { return c.engine.ActiveRuns() }
+
+// Enter opens a state access scope. Scopes nest; coordination triggers at
+// the Leave matching the outermost Enter.
+func (c *Controller) Enter() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.depth++
+}
+
+// Examine indicates the current scope only reads object state.
+func (c *Controller) Examine() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.access < accessExamine {
+		c.access = accessExamine
+	}
+}
+
+// Overwrite indicates the current scope replaces object state; the full
+// state will be coordinated at the outermost Leave.
+func (c *Controller) Overwrite() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.access < accessOverwrite {
+		c.access = accessOverwrite
+	}
+}
+
+// Update indicates the current scope updates object state incrementally;
+// the update (from UpdatableObject.GetUpdate) will be coordinated at the
+// outermost Leave (§4.3.1).
+func (c *Controller) Update() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.access = accessUpdate
+}
+
+// Leave closes the current scope. At the outermost Leave with Overwrite or
+// Update access, the state change is coordinated with all sharing parties.
+// In Synchronous mode Leave blocks and returns the outcome; in the other
+// modes it returns immediately (collect via CoordCommit or the callback).
+func (c *Controller) Leave() error {
+	return c.LeaveContext(context.Background())
+}
+
+// LeaveContext is Leave with caller-controlled cancellation of the
+// synchronous wait.
+func (c *Controller) LeaveContext(ctx context.Context) error {
+	c.mu.Lock()
+	if c.depth == 0 {
+		c.mu.Unlock()
+		return ErrNoScope
+	}
+	c.depth--
+	if c.depth > 0 {
+		c.mu.Unlock()
+		return nil // inner scope: roll up into the outer one
+	}
+	access := c.access
+	c.access = accessNone
+	mode := c.mode
+	if access == accessNone || access == accessExamine {
+		c.mu.Unlock()
+		return nil // read-only scope: nothing to coordinate
+	}
+	if c.pending != nil && mode == DeferredSynchronous {
+		c.mu.Unlock()
+		return ErrBusyPending
+	}
+	ch := make(chan pendingResult, 1)
+	if mode != Synchronous {
+		c.pending = ch
+	}
+	c.mu.Unlock()
+
+	run := func(ctx context.Context) (coord.Outcome, error) {
+		if access == accessUpdate {
+			uo, ok := c.obj.(UpdatableObject)
+			if !ok {
+				return coord.Outcome{}, ErrNotUpdatable
+			}
+			update, err := uo.GetUpdate()
+			if err != nil {
+				return coord.Outcome{}, fmt.Errorf("b2b: reading update: %w", err)
+			}
+			return c.engine.ProposeUpdate(ctx, update)
+		}
+		state, err := c.obj.GetState()
+		if err != nil {
+			return coord.Outcome{}, fmt.Errorf("b2b: reading object state: %w", err)
+		}
+		return c.engine.Propose(ctx, state)
+	}
+
+	switch mode {
+	case Synchronous:
+		tctx, cancel := context.WithTimeout(ctx, c.opTimeout)
+		defer cancel()
+		_, err := run(tctx)
+		return err
+	default:
+		go func() {
+			tctx, cancel := context.WithTimeout(context.Background(), c.opTimeout)
+			defer cancel()
+			out, err := run(tctx)
+			ch <- pendingResult{out: out, err: err}
+			if c.cb != nil {
+				c.cb(Event{
+					Type:   EventCoordComplete,
+					Object: c.object,
+					RunID:  out.RunID,
+					Valid:  out.Valid,
+					Err:    err,
+				})
+			}
+		}()
+		return nil
+	}
+}
+
+// CoordCommit blocks until the deferred-synchronous coordination started by
+// the last Leave completes (paper §5).
+func (c *Controller) CoordCommit(ctx context.Context) error {
+	c.mu.Lock()
+	ch := c.pending
+	c.pending = nil
+	c.mu.Unlock()
+	if ch == nil {
+		return ErrNoPending
+	}
+	select {
+	case res := <-ch:
+		return res.err
+	case <-ctx.Done():
+		// Put the channel back so a later CoordCommit can still collect.
+		c.mu.Lock()
+		if c.pending == nil {
+			c.pending = ch
+		}
+		c.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// SyncCoord coordinates the object's current state immediately, outside any
+// Enter/Leave scope (the paper's syncCoord operation).
+func (c *Controller) SyncCoord(ctx context.Context) error {
+	state, err := c.obj.GetState()
+	if err != nil {
+		return fmt.Errorf("b2b: reading object state: %w", err)
+	}
+	_, err = c.engine.Propose(ctx, state)
+	return err
+}
+
+// Decision re-exports wire.Decision for applications inspecting outcomes.
+type Decision = wire.Decision
+
+// StateTuple re-exports the state identifier tuple type.
+type StateTuple = tuple.State
+
+// Settle blocks until every coordination run this party has validated is
+// committed and installed — i.e. the local replica reflects all decided
+// changes. Call it before reading or modifying the object when another
+// party may have just coordinated a change.
+func (c *Controller) Settle(ctx context.Context) error {
+	return c.engine.WaitQuiescent(ctx)
+}

@@ -1,0 +1,38 @@
+// Package b2b is B2BObjects: distributed object middleware for dependable
+// information sharing between organisations, after Cook, Shrivastava and
+// Wheater (DSN 2002).
+//
+// Organisations share the state of application objects by holding replicas
+// and coordinating every change through a non-repudiable multi-party
+// validation protocol: a proposed new state is valid only if every sharing
+// party's locally evaluated, application-specific validation accepts it, and
+// every protocol step generates signed, time-stamped evidence stored in each
+// party's non-repudiation log. The middleware guarantees safety — invalid
+// state is never installed at a correctly behaving party, and no party can
+// misrepresent the validity of state or the actions of others — and, when
+// all parties behave, liveness despite a bounded number of temporary network
+// and node failures.
+//
+// # Programming model (paper §5, Fig 4)
+//
+// The application implements Object (the paper's B2BObject interface): state
+// access plus validation upcalls. Binding an Object to a Participant yields
+// a Controller (the paper's B2BObjectController), which demarcates state
+// access:
+//
+//	ctrl.Enter()
+//	ctrl.Overwrite()          // this scope writes object state
+//	obj.Set(...)              // arbitrary application logic
+//	err := ctrl.Leave()       // coordinates the change with all parties
+//
+// Enter/Leave nest; coordination happens at the outermost Leave when
+// Overwrite or Update was indicated. Examine marks read-only scopes.
+// Controllers operate in three communication modes: Synchronous (Leave
+// blocks for the outcome), DeferredSynchronous (Leave returns immediately,
+// CoordCommit blocks) and Asynchronous (completion via the callback).
+//
+// Membership of the sharing group is managed by the connection and
+// disconnection protocols (§4.5) through Controller.Connect and
+// Controller.Disconnect, with sponsor-coordinated admission, state transfer
+// and eviction.
+package b2b

@@ -1,0 +1,133 @@
+// Tic-Tac-Toe (paper §5.1, Fig 5): two players' servers share the game
+// object and coordinate every move; the object encodes the rules and each
+// server validates the opponent's moves. The scripted game reproduces the
+// Fig 5 sequence, including Cross's attempt to cheat by pre-empting
+// Nought's move — the invalid state change is vetoed, is not reflected at
+// Nought's server, and Nought holds evidence of the attempt.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+
+	b2b "b2b"
+	"b2b/internal/apps"
+	"b2b/internal/crypto"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.Fatalf("tictactoe: %v", err)
+	}
+}
+
+func run() error {
+	td, err := b2b.NewTrustDomain(nil)
+	if err != nil {
+		return err
+	}
+	cross, err := td.Issue("cross")
+	if err != nil {
+		return err
+	}
+	nought, err := td.Issue("nought")
+	if err != nil {
+		return err
+	}
+	certs := []crypto.Certificate{cross.Certificate(), nought.Certificate()}
+
+	net := b2b.NewMemoryNetwork(1)
+	defer net.Close()
+
+	players := map[string]byte{"cross": apps.X, "nought": apps.O}
+	games := map[string]*apps.TicTacToe{}
+	ctrls := map[string]*b2b.Controller{}
+	for _, ident := range []*crypto.Identity{cross, nought} {
+		conn, err := net.Endpoint(ident.ID())
+		if err != nil {
+			return err
+		}
+		p, err := b2b.NewParticipant(ident, td, conn, b2b.WithPeerCertificates(certs...))
+		if err != nil {
+			return err
+		}
+		defer func() { _ = p.Close() }()
+		g := apps.NewTicTacToe(players)
+		ctrl, err := p.Bind("game", g, nil)
+		if err != nil {
+			return err
+		}
+		games[ident.ID()] = g
+		ctrls[ident.ID()] = ctrl
+	}
+	members := []string{"cross", "nought"}
+	for _, id := range members {
+		if err := ctrls[id].Bootstrap(members); err != nil {
+			return err
+		}
+	}
+
+	// move plays one coordinated move ("Save" in the paper's client). The
+	// player first settles so its board reflects the opponent's last move.
+	move := func(player string, pos int, mark byte) error {
+		g, ctrl := games[player], ctrls[player]
+		if err := ctrl.Settle(context.Background()); err != nil {
+			return err
+		}
+		ctrl.Enter()
+		ctrl.Overwrite()
+		if err := g.Move(pos, mark); err != nil {
+			// Local rules already refuse; close the scope without a write.
+			_ = ctrl.Leave()
+			return err
+		}
+		return ctrl.Leave()
+	}
+
+	// The Fig 5 sequence.
+	fmt.Println("Cross claims middle row, centre square:")
+	if err := move("cross", 4, apps.X); err != nil {
+		return err
+	}
+	fmt.Println(games["nought"].Board())
+
+	fmt.Println("\nNought claims top row, left square:")
+	if err := move("nought", 0, apps.O); err != nil {
+		return err
+	}
+	fmt.Println(games["cross"].Board())
+
+	fmt.Println("\nCross claims middle row, right square:")
+	if err := move("cross", 5, apps.X); err != nil {
+		return err
+	}
+	fmt.Println(games["nought"].Board())
+
+	// The cheat: Cross attempts to mark bottom row, centre square with a
+	// zero, pre-empting Nought's next move.
+	fmt.Println("\nCross attempts to mark bottom row, centre square with a zero...")
+	gX, ctrlX := games["cross"], ctrls["cross"]
+	if err := ctrlX.Settle(context.Background()); err != nil {
+		return err
+	}
+	ctrlX.Enter()
+	ctrlX.Overwrite()
+	gX.ForceMove(7, apps.O)
+	err = ctrlX.Leave()
+	if !errors.Is(err, b2b.ErrVetoed) {
+		return fmt.Errorf("expected the cheat to be vetoed, got: %v", err)
+	}
+	fmt.Printf("REJECTED: %v\n", err)
+
+	fmt.Println("\nNought's board is unaffected (agreed state unchanged):")
+	fmt.Println(games["nought"].Board())
+	fmt.Println("\nCross's replica was rolled back to the agreed state:")
+	fmt.Println(games["cross"].Board())
+
+	// Nought holds non-repudiable evidence of the attempt. Cross forfeits.
+	fmt.Println("\nNought holds evidence of the attempt to cheat; Cross forfeits the game.")
+	return nil
+}

@@ -1,0 +1,331 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustState(t *testing.T, g interface{ GetState() ([]byte, error) }) []byte {
+	t.Helper()
+	s, err := g.GetState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestTicTacToeLegalGame(t *testing.T) {
+	g := NewTicTacToe(map[string]byte{"cross": X, "nought": O})
+	moves := []struct {
+		pos  int
+		mark byte
+	}{
+		{4, X}, {0, O}, {5, X}, {1, O}, {3, X}, // X wins middle row
+	}
+	for i, m := range moves {
+		if err := g.Move(m.pos, m.mark); err != nil {
+			t.Fatalf("move %d: %v", i, err)
+		}
+	}
+	if g.Winner() != "X" {
+		t.Fatalf("winner = %q", g.Winner())
+	}
+	if err := g.Move(7, O); err == nil {
+		t.Fatal("move after game over accepted")
+	}
+}
+
+func TestTicTacToeIllegalMoves(t *testing.T) {
+	g := NewTicTacToe(map[string]byte{"cross": X, "nought": O})
+	if err := g.Move(4, O); err == nil {
+		t.Fatal("out-of-turn move accepted")
+	}
+	if err := g.Move(4, X); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Move(4, O); err == nil {
+		t.Fatal("overwrite accepted")
+	}
+	if err := g.Move(99, O); err == nil {
+		t.Fatal("out-of-range move accepted")
+	}
+	if err := g.Move(3, 'Z'); err == nil {
+		t.Fatal("bogus mark accepted")
+	}
+}
+
+func TestTicTacToeValidateTransition(t *testing.T) {
+	// Replica-side validation: nought's replica validates cross's proposal.
+	gX := NewTicTacToe(map[string]byte{"cross": X, "nought": O})
+	gO := NewTicTacToe(map[string]byte{"cross": X, "nought": O})
+
+	if err := gX.Move(4, X); err != nil {
+		t.Fatal(err)
+	}
+	if err := gO.ValidateState("cross", mustState(t, gX)); err != nil {
+		t.Fatalf("legal move rejected: %v", err)
+	}
+	// Unknown proposer.
+	if err := gO.ValidateState("eve", mustState(t, gX)); err == nil {
+		t.Fatal("move by non-player accepted")
+	}
+}
+
+func TestTicTacToeFig5CheatRejected(t *testing.T) {
+	// The exact Fig 5 sequence: X centre; O top-left; X mid-right; then
+	// Cross attempts to mark bottom-centre with a ZERO (pre-empting
+	// Nought's move). Nought's validation must reject it.
+	gX := NewTicTacToe(map[string]byte{"cross": X, "nought": O})
+	gO := NewTicTacToe(map[string]byte{"cross": X, "nought": O})
+	sync := func() {
+		if err := gO.ApplyState(mustState(t, gX)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := gX.Move(4, X); err != nil {
+		t.Fatal(err)
+	}
+	sync()
+	if err := gX.Move(0, O); err != nil {
+		t.Fatal(err)
+	}
+	sync()
+	if err := gX.Move(5, X); err != nil {
+		t.Fatal(err)
+	}
+	sync()
+
+	// The cheat: Cross marks square 7 with 'O' (a zero), pre-empting
+	// Nought's move. Rejected: it is Nought's turn.
+	gX.ForceMove(7, O)
+	err := gO.ValidateState("cross", mustState(t, gX))
+	if err == nil {
+		t.Fatal("cheating move validated")
+	}
+	if !strings.Contains(err.Error(), "it is O's turn") {
+		t.Fatalf("unexpected diagnostic: %v", err)
+	}
+}
+
+func TestTicTacToeMarkForgeryRejected(t *testing.T) {
+	// On Cross's own turn, marking a square with a zero is caught as a
+	// mark forgery (Nought cannot mark any square with a cross and vice
+	// versa, §5.1).
+	gX := NewTicTacToe(map[string]byte{"cross": X, "nought": O})
+	gO := NewTicTacToe(map[string]byte{"cross": X, "nought": O})
+	gX.ForceMove(4, O) // X's turn, but an 'O' appears
+	err := gO.ValidateState("cross", mustState(t, gX))
+	if err == nil {
+		t.Fatal("mark forgery validated")
+	}
+	if !strings.Contains(err.Error(), "not the proposer's mark") {
+		t.Fatalf("unexpected diagnostic: %v", err)
+	}
+}
+
+func TestTicTacToeDraw(t *testing.T) {
+	g := NewTicTacToe(map[string]byte{"cross": X, "nought": O})
+	// X O X / X O O / O X X is a draw; play in an order alternating turns:
+	seq := []struct {
+		pos  int
+		mark byte
+	}{
+		{0, X}, {1, O}, {2, X}, {4, O}, {3, X}, {5, O}, {7, X}, {6, O}, {8, X},
+	}
+	for i, m := range seq {
+		if err := g.Move(m.pos, m.mark); err != nil {
+			t.Fatalf("move %d: %v", i, err)
+		}
+	}
+	if g.Winner() != "draw" {
+		t.Fatalf("winner = %q, want draw\n%s", g.Winner(), g.Board())
+	}
+}
+
+func TestOrderCustomerRules(t *testing.T) {
+	roles := map[string]Role{"cust": Customer, "supp": Supplier}
+	cur := NewOrder(roles)
+
+	// Customer adds an item: valid.
+	prop := NewOrder(roles)
+	prop.AddItem("widget1", 2)
+	if err := cur.ValidateState("cust", mustState(t, prop)); err != nil {
+		t.Fatalf("customer add rejected: %v", err)
+	}
+	// Customer pricing an item: invalid.
+	prop2 := NewOrder(roles)
+	prop2.AddItem("widget1", 2)
+	_ = prop2.SetPrice("widget1", 10)
+	if err := cur.ValidateState("cust", mustState(t, prop2)); err == nil {
+		t.Fatal("customer pricing accepted")
+	}
+	// Supplier adding an item: invalid.
+	if err := cur.ValidateState("supp", mustState(t, prop)); err == nil {
+		t.Fatal("supplier adding item accepted")
+	}
+}
+
+func TestOrderSupplierRules(t *testing.T) {
+	roles := map[string]Role{"cust": Customer, "supp": Supplier}
+	cur := NewOrder(roles)
+	cur.AddItem("widget1", 2)
+
+	// Supplier prices the item: valid.
+	prop := NewOrder(roles)
+	prop.AddItem("widget1", 2)
+	_ = prop.SetPrice("widget1", 10)
+	if err := cur.ValidateState("supp", mustState(t, prop)); err != nil {
+		t.Fatalf("supplier pricing rejected: %v", err)
+	}
+
+	// Fig 7 cheat: supplier prices AND changes quantity: invalid.
+	prop2 := NewOrder(roles)
+	prop2.AddItem("widget1", 99)
+	_ = prop2.SetPrice("widget1", 10)
+	if err := cur.ValidateState("supp", mustState(t, prop2)); err == nil {
+		t.Fatal("supplier quantity change accepted")
+	}
+}
+
+func TestOrderLineRemovalRejected(t *testing.T) {
+	roles := map[string]Role{"cust": Customer}
+	cur := NewOrder(roles)
+	cur.AddItem("widget1", 2)
+	prop := NewOrder(roles) // empty: line removed
+	if err := cur.ValidateState("cust", mustState(t, prop)); err == nil {
+		t.Fatal("line removal accepted")
+	}
+}
+
+func TestOrderFourPartyRoles(t *testing.T) {
+	roles := map[string]Role{
+		"cust": Customer, "supp": Supplier, "appr": Approver, "disp": Dispatcher,
+	}
+	cur := NewOrder(roles)
+	cur.AddItem("widget1", 2)
+	_ = cur.SetPrice("widget1", 10)
+
+	// Approver approves: valid.
+	prop := NewOrder(roles)
+	prop.AddItem("widget1", 2)
+	_ = prop.SetPrice("widget1", 10)
+	prop.Approve()
+	if err := cur.ValidateState("appr", mustState(t, prop)); err != nil {
+		t.Fatalf("approval rejected: %v", err)
+	}
+	// Customer approving: invalid.
+	if err := cur.ValidateState("cust", mustState(t, prop)); err == nil {
+		t.Fatal("customer approval accepted")
+	}
+
+	// Dispatcher sets delivery before approval: invalid.
+	prop2 := NewOrder(roles)
+	prop2.AddItem("widget1", 2)
+	_ = prop2.SetPrice("widget1", 10)
+	prop2.SetDelivery("48h courier")
+	if err := cur.ValidateState("disp", mustState(t, prop2)); err == nil {
+		t.Fatal("delivery before approval accepted")
+	}
+
+	// After approval, dispatcher may set delivery.
+	if err := cur.ApplyState(mustState(t, prop)); err != nil {
+		t.Fatal(err)
+	}
+	prop3 := NewOrder(roles)
+	prop3.AddItem("widget1", 2)
+	_ = prop3.SetPrice("widget1", 10)
+	prop3.Approve()
+	prop3.SetDelivery("48h courier")
+	if err := cur.ValidateState("disp", mustState(t, prop3)); err != nil {
+		t.Fatalf("delivery on approved order rejected: %v", err)
+	}
+}
+
+func TestOrderRender(t *testing.T) {
+	o := NewOrder(map[string]Role{"c": Customer})
+	o.AddItem("widget1", 2)
+	_ = o.SetPrice("widget1", 10)
+	out := o.Render()
+	if !strings.Contains(out, "widget1") || !strings.Contains(out, "10") {
+		t.Fatalf("render output:\n%s", out)
+	}
+}
+
+func TestAuctionBidding(t *testing.T) {
+	houses := []string{"h1", "h2", "h3"}
+	cur := NewAuction("lot-42", 100, houses)
+
+	// A valid opening bid via h1.
+	prop := NewAuction("lot-42", 100, houses)
+	if err := prop.PlaceBid("h1", "client-a", 120); err != nil {
+		t.Fatal(err)
+	}
+	if err := cur.ValidateState("h1", mustState(t, prop)); err != nil {
+		t.Fatalf("valid bid rejected: %v", err)
+	}
+	// The same bid claimed via a different house: invalid attribution.
+	if err := cur.ValidateState("h2", mustState(t, prop)); err == nil {
+		t.Fatal("misattributed bid accepted")
+	}
+
+	// Install, then a lower counter-bid must fail validation.
+	if err := cur.ApplyState(mustState(t, prop)); err != nil {
+		t.Fatal(err)
+	}
+	low := NewAuction("lot-42", 100, houses)
+	if err := low.ApplyState(mustState(t, prop)); err != nil {
+		t.Fatal(err)
+	}
+	// Forge state with a lower bid directly.
+	lowState := []byte(`{"item":"lot-42","reserve":100,"high_bid":110,"bidder":"client-b","via":"h2","bids":2}`)
+	if err := cur.ValidateState("h2", lowState); err == nil {
+		t.Fatal("lower bid accepted")
+	}
+}
+
+func TestAuctionLocalBidRules(t *testing.T) {
+	a := NewAuction("lot-1", 50, []string{"h1"})
+	if err := a.PlaceBid("h1", "c1", 40); err == nil {
+		t.Fatal("bid below reserve accepted locally")
+	}
+	if err := a.PlaceBid("h1", "c1", 60); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.PlaceBid("h1", "c2", 55); err == nil {
+		t.Fatal("lower bid accepted locally")
+	}
+	a.Close()
+	if err := a.PlaceBid("h1", "c3", 100); err == nil {
+		t.Fatal("bid on closed auction accepted")
+	}
+}
+
+func TestAuctionCloseRules(t *testing.T) {
+	houses := []string{"h1", "h2"}
+	cur := NewAuction("lot-1", 50, houses)
+	_ = cur.PlaceBid("h1", "c1", 60)
+
+	// Closing preserving the bid: valid.
+	prop := NewAuction("lot-1", 50, houses)
+	if err := prop.ApplyState(mustState(t, cur)); err != nil {
+		t.Fatal(err)
+	}
+	prop.Close()
+	if err := cur.ValidateState("h2", mustState(t, prop)); err != nil {
+		t.Fatalf("valid close rejected: %v", err)
+	}
+
+	// Closing that erases the winner: invalid.
+	bad := []byte(`{"item":"lot-1","reserve":50,"high_bid":0,"bids":1,"closed":true}`)
+	if err := cur.ValidateState("h2", bad); err == nil {
+		t.Fatal("winner-erasing close accepted")
+	}
+}
+
+func TestAuctionTermsImmutable(t *testing.T) {
+	cur := NewAuction("lot-1", 50, []string{"h1"})
+	forged := []byte(`{"item":"lot-1","reserve":1,"high_bid":2,"bidder":"c","via":"h1","bids":1}`)
+	if err := cur.ValidateState("h1", forged); err == nil {
+		t.Fatal("reserve change accepted")
+	}
+}

@@ -1,0 +1,151 @@
+package apps
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// Auction is the distributed auction object of §2 scenario 3: autonomous
+// auction houses share auction state and act on it for their clients; the
+// middleware guarantees every bid is validated by all houses, so a client
+// has the same chance of success whichever house it uses.
+type Auction struct {
+	mu     sync.Mutex
+	s      auctionState
+	houses map[string]bool
+}
+
+type auctionState struct {
+	Item    string `json:"item"`
+	Reserve int    `json:"reserve"`
+	HighBid int    `json:"high_bid"`
+	Bidder  string `json:"bidder,omitempty"` // client name
+	Via     string `json:"via,omitempty"`    // the house that placed it
+	Bids    int    `json:"bids"`
+	Closed  bool   `json:"closed,omitempty"`
+}
+
+// NewAuction opens an auction for item with a reserve price, run jointly by
+// the named houses.
+func NewAuction(item string, reserve int, houses []string) *Auction {
+	hs := make(map[string]bool, len(houses))
+	for _, h := range houses {
+		hs[h] = true
+	}
+	return &Auction{
+		s:      auctionState{Item: item, Reserve: reserve},
+		houses: hs,
+	}
+}
+
+// PlaceBid records a client's bid at this house (local operation; sharing
+// it is the coordination step).
+func (a *Auction) PlaceBid(house, client string, amount int) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.s.Closed {
+		return fmt.Errorf("auction closed")
+	}
+	if amount <= a.s.HighBid || amount < a.s.Reserve {
+		return fmt.Errorf("bid %d does not beat %d (reserve %d)", amount, a.s.HighBid, a.s.Reserve)
+	}
+	a.s.HighBid = amount
+	a.s.Bidder = client
+	a.s.Via = house
+	a.s.Bids++
+	return nil
+}
+
+// Close marks the auction closed (local operation).
+func (a *Auction) Close() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.s.Closed = true
+}
+
+// Standing reports the current high bid and bidder.
+func (a *Auction) Standing() (int, string, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.s.HighBid, a.s.Bidder, a.s.Closed
+}
+
+// GetState implements b2b.Object.
+func (a *Auction) GetState() ([]byte, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return json.Marshal(a.s)
+}
+
+// ApplyState implements b2b.Object.
+func (a *Auction) ApplyState(state []byte) error {
+	var s auctionState
+	if err := json.Unmarshal(state, &s); err != nil {
+		return fmt.Errorf("auction: bad state: %w", err)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.s = s
+	return nil
+}
+
+// ValidateState implements b2b.Object: a change must be either a strictly
+// higher bid placed through the proposing house on an open auction, or the
+// closing of the auction.
+func (a *Auction) ValidateState(proposer string, state []byte) error {
+	var next auctionState
+	if err := json.Unmarshal(state, &next); err != nil {
+		return fmt.Errorf("unparseable auction: %w", err)
+	}
+	a.mu.Lock()
+	cur := a.s
+	isHouse := a.houses[proposer]
+	a.mu.Unlock()
+	if !isHouse {
+		return fmt.Errorf("%s is not a participating auction house", proposer)
+	}
+	if cur.Closed {
+		return fmt.Errorf("auction already closed")
+	}
+	if next.Item != cur.Item || next.Reserve != cur.Reserve {
+		return fmt.Errorf("auction terms may not change")
+	}
+	if next.Closed {
+		// Closing must preserve the standing bid.
+		if next.HighBid != cur.HighBid || next.Bidder != cur.Bidder || next.Bids != cur.Bids {
+			return fmt.Errorf("closing may not alter the standing bid")
+		}
+		return nil
+	}
+	// Otherwise it must be a strictly better bid via the proposer.
+	if next.Bids != cur.Bids+1 {
+		return fmt.Errorf("bid counter inconsistent")
+	}
+	if next.HighBid <= cur.HighBid {
+		return fmt.Errorf("bid %d does not beat standing bid %d", next.HighBid, cur.HighBid)
+	}
+	if next.HighBid < cur.Reserve {
+		return fmt.Errorf("bid %d below reserve %d", next.HighBid, cur.Reserve)
+	}
+	if next.Via != proposer {
+		return fmt.Errorf("bid attributed to %s but proposed by %s", next.Via, proposer)
+	}
+	if next.Bidder == "" {
+		return fmt.Errorf("bid has no bidder")
+	}
+	return nil
+}
+
+// ValidateConnect implements b2b.Object: only registered houses join.
+func (a *Auction) ValidateConnect(subject string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.houses[subject] {
+		return nil
+	}
+	return fmt.Errorf("%s is not a participating auction house", subject)
+}
+
+// ValidateDisconnect implements b2b.Object.
+func (a *Auction) ValidateDisconnect(string, bool) error { return nil }

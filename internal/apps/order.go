@@ -1,0 +1,281 @@
+package apps
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Role describes what a party may do to a shared order (§5.2: asymmetric
+// validation rules; and the four-party variant with approver/dispatcher).
+type Role string
+
+// Order-processing roles.
+const (
+	// Customer may add items and quantities but not price them.
+	Customer Role = "customer"
+	// Supplier may price items but not amend the order in any other way.
+	Supplier Role = "supplier"
+	// Approver may set the approved flag but change nothing else.
+	Approver Role = "approver"
+	// Dispatcher may commit to delivery terms on approved orders only.
+	Dispatcher Role = "dispatcher"
+)
+
+// OrderLine is one entry of a shared order.
+type OrderLine struct {
+	Item     string `json:"item"`
+	Quantity int    `json:"quantity"`
+	Price    int    `json:"price,omitempty"` // pence per unit; 0 = unpriced
+}
+
+type orderState struct {
+	Lines    []OrderLine `json:"lines"`
+	Approved bool        `json:"approved,omitempty"`
+	Delivery string      `json:"delivery,omitempty"`
+}
+
+// Order is the shared order object of §5.2. Each replica knows the roles of
+// all parties and validates every proposed change against the proposer's
+// role.
+type Order struct {
+	mu    sync.Mutex
+	s     orderState
+	roles map[string]Role
+}
+
+// NewOrder creates an empty order with the given party-role assignment.
+func NewOrder(roles map[string]Role) *Order {
+	rs := make(map[string]Role, len(roles))
+	for k, v := range roles {
+		rs[k] = v
+	}
+	return &Order{roles: rs}
+}
+
+// AddItem is the customer-side local operation.
+func (o *Order) AddItem(item string, qty int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for i := range o.s.Lines {
+		if o.s.Lines[i].Item == item {
+			o.s.Lines[i].Quantity = qty
+			return
+		}
+	}
+	o.s.Lines = append(o.s.Lines, OrderLine{Item: item, Quantity: qty})
+}
+
+// SetPrice is the supplier-side local operation.
+func (o *Order) SetPrice(item string, price int) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for i := range o.s.Lines {
+		if o.s.Lines[i].Item == item {
+			o.s.Lines[i].Price = price
+			return nil
+		}
+	}
+	return fmt.Errorf("order has no item %q", item)
+}
+
+// SetQuantity changes the quantity of an existing line (legitimate for the
+// customer; the Fig 7 cheat has the supplier do it).
+func (o *Order) SetQuantity(item string, qty int) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for i := range o.s.Lines {
+		if o.s.Lines[i].Item == item {
+			o.s.Lines[i].Quantity = qty
+			return nil
+		}
+	}
+	return fmt.Errorf("order has no item %q", item)
+}
+
+// Approve is the approver-side local operation (four-party variant).
+func (o *Order) Approve() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.s.Approved = true
+}
+
+// SetDelivery is the dispatcher-side local operation.
+func (o *Order) SetDelivery(terms string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.s.Delivery = terms
+}
+
+// Lines returns a copy of the current order lines.
+func (o *Order) Lines() []OrderLine {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]OrderLine, len(o.s.Lines))
+	copy(out, o.s.Lines)
+	return out
+}
+
+// Approved reports the approval flag.
+func (o *Order) Approved() bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.s.Approved
+}
+
+// Delivery reports the delivery terms.
+func (o *Order) Delivery() string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.s.Delivery
+}
+
+// Render prints the order as a transcript table.
+func (o *Order) Render() string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %8s %8s\n", "ITEM", "QTY", "PRICE")
+	for _, l := range o.s.Lines {
+		price := "-"
+		if l.Price > 0 {
+			price = fmt.Sprintf("%d", l.Price)
+		}
+		fmt.Fprintf(&b, "%-12s %8d %8s\n", l.Item, l.Quantity, price)
+	}
+	if o.s.Approved {
+		b.WriteString("approved: yes\n")
+	}
+	if o.s.Delivery != "" {
+		fmt.Fprintf(&b, "delivery: %s\n", o.s.Delivery)
+	}
+	return b.String()
+}
+
+// GetState implements b2b.Object.
+func (o *Order) GetState() ([]byte, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return json.Marshal(o.s)
+}
+
+// ApplyState implements b2b.Object.
+func (o *Order) ApplyState(state []byte) error {
+	var s orderState
+	if err := json.Unmarshal(state, &s); err != nil {
+		return fmt.Errorf("order: bad state: %w", err)
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.s = s
+	return nil
+}
+
+// ValidateState implements b2b.Object: the difference between the current
+// and proposed order must be within the proposer's role.
+func (o *Order) ValidateState(proposer string, state []byte) error {
+	var next orderState
+	if err := json.Unmarshal(state, &next); err != nil {
+		return fmt.Errorf("unparseable order: %w", err)
+	}
+	o.mu.Lock()
+	cur := o.s
+	role, known := o.roles[proposer]
+	o.mu.Unlock()
+	if !known {
+		return fmt.Errorf("%s has no role in this order", proposer)
+	}
+	return validateOrderChange(cur, next, role)
+}
+
+// ValidateConnect implements b2b.Object: only parties with assigned roles
+// may join.
+func (o *Order) ValidateConnect(subject string) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, ok := o.roles[subject]; ok {
+		return nil
+	}
+	return fmt.Errorf("%s has no role in this order", subject)
+}
+
+// ValidateDisconnect implements b2b.Object.
+func (o *Order) ValidateDisconnect(string, bool) error { return nil }
+
+// validateOrderChange enforces the §5.2 rules for one transition.
+func validateOrderChange(cur, next orderState, role Role) error {
+	curLines := make(map[string]OrderLine, len(cur.Lines))
+	for _, l := range cur.Lines {
+		curLines[l.Item] = l
+	}
+	nextLines := make(map[string]OrderLine, len(next.Lines))
+	for _, l := range next.Lines {
+		nextLines[l.Item] = l
+	}
+
+	// Deletions are never permitted (orders are amended, not erased).
+	for item := range curLines {
+		if _, ok := nextLines[item]; !ok {
+			return fmt.Errorf("line %q removed", item)
+		}
+	}
+
+	for item, nl := range nextLines {
+		cl, existed := curLines[item]
+		switch {
+		case !existed:
+			if role != Customer {
+				return fmt.Errorf("%s may not add items", role)
+			}
+			if nl.Price != 0 {
+				return fmt.Errorf("%s may not price items", role)
+			}
+			if nl.Quantity <= 0 {
+				return fmt.Errorf("quantity for %q must be positive", item)
+			}
+		case nl != cl:
+			qtyChanged := nl.Quantity != cl.Quantity
+			priceChanged := nl.Price != cl.Price
+			switch role {
+			case Customer:
+				if priceChanged {
+					return fmt.Errorf("%s may not price items", role)
+				}
+				if qtyChanged && nl.Quantity <= 0 {
+					return fmt.Errorf("quantity for %q must be positive", item)
+				}
+			case Supplier:
+				if qtyChanged {
+					return fmt.Errorf("%s may not change quantities", role)
+				}
+				if !priceChanged {
+					return fmt.Errorf("no permitted change on line %q", item)
+				}
+				if nl.Price <= 0 {
+					return fmt.Errorf("price for %q must be positive", item)
+				}
+			default:
+				return fmt.Errorf("%s may not amend order lines", role)
+			}
+		}
+	}
+
+	if next.Approved != cur.Approved {
+		if role != Approver {
+			return fmt.Errorf("%s may not change approval", role)
+		}
+		if !next.Approved {
+			return fmt.Errorf("approval may not be withdrawn")
+		}
+	}
+	if next.Delivery != cur.Delivery {
+		if role != Dispatcher {
+			return fmt.Errorf("%s may not set delivery terms", role)
+		}
+		if !cur.Approved && !next.Approved {
+			return fmt.Errorf("delivery terms require an approved order")
+		}
+	}
+	return nil
+}

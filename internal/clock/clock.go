@@ -1,0 +1,52 @@
+// Package clock abstracts time so that protocol components and the
+// time-stamping service can run against real wall-clock time in deployment
+// and against a deterministic simulated clock in tests and experiments.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock supplies the current instant.
+type Clock interface {
+	Now() time.Time
+}
+
+// Wall is the real system clock.
+type Wall struct{}
+
+// Now returns the current wall-clock time.
+func (Wall) Now() time.Time { return time.Now() }
+
+// Sim is a manually advanced clock for deterministic tests. The zero value
+// starts at the Unix epoch; use NewSim to pick a starting instant.
+type Sim struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewSim returns a simulated clock starting at t.
+func NewSim(t time.Time) *Sim { return &Sim{now: t} }
+
+// Now returns the simulated instant.
+func (s *Sim) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Advance moves the simulated clock forward by d and returns the new instant.
+func (s *Sim) Advance(d time.Duration) time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.now = s.now.Add(d)
+	return s.now
+}
+
+// Set jumps the simulated clock to t.
+func (s *Sim) Set(t time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.now = t
+}

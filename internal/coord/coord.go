@@ -1,0 +1,428 @@
+// Package coord implements the B2BObjects state coordination protocol
+// (paper §4.3): non-repudiable two-phase commit over object replicas held by
+// mutually distrusting parties.
+//
+//  1. p   ==> R_p : propose   (signed; commits p to the transition and to h(A_p))
+//  2. R_p ==> p   : respond   (signed receipt + decision, per recipient)
+//  3. p   ==> R_p : commit    (authenticator preimage A_p + all signed evidence)
+//
+// A proposed state is valid iff every recipient accepts and every
+// cross-message consistency check passes; any veto or inconsistency yields
+// the consistent outcome "invalid" and the proposer rolls back to the agreed
+// state. All steps generate signed, time-stamped evidence appended to the
+// party's non-repudiation log. The engine enforces the four invariants of
+// §4.2 and implements the update variant of §4.3.1 and the majority-vote and
+// TTP-certified-abort termination extensions sketched in §7.
+package coord
+
+import (
+	"context"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"b2b/internal/clock"
+	"b2b/internal/crypto"
+	"b2b/internal/nrlog"
+	"b2b/internal/store"
+	"b2b/internal/tuple"
+	"b2b/internal/wire"
+)
+
+// Errors returned by the engine.
+var (
+	ErrRunInFlight   = errors.New("coord: a proposal is already in flight")
+	ErrBlocked       = errors.New("coord: protocol run blocked awaiting responses")
+	ErrVetoed        = errors.New("coord: proposed state transition vetoed")
+	ErrAborted       = errors.New("coord: run aborted by TTP certificate")
+	ErrFrozen        = errors.New("coord: coordination frozen during membership change")
+	ErrNotMember     = errors.New("coord: sender is not a group member")
+	ErrUnknownRun    = errors.New("coord: unknown run")
+	ErrInconsistent  = errors.New("coord: inconsistent protocol message")
+	ErrSoleMember    = errors.New("coord: no other members to coordinate with")
+	ErrAlreadySetup  = errors.New("coord: engine already bootstrapped")
+	ErrNotBootstrapd = errors.New("coord: engine not bootstrapped")
+)
+
+// Termination selects how a complete response set is turned into a verdict.
+type Termination uint8
+
+// Termination policies.
+const (
+	// Unanimous is the paper's rule: valid iff every recipient accepts.
+	Unanimous Termination = iota
+	// Majority is the §7 extension: valid iff a strict majority of all
+	// parties (proposer counts as accepting) accepts. Consistency failures
+	// still invalidate unconditionally.
+	Majority
+)
+
+// Validator is the application-side validation upcall interface (the
+// B2BObject validateState/validateUpdate operations of §5).
+type Validator interface {
+	// ValidateState judges a full-state overwrite proposed by proposer.
+	// Asymmetric sharing rules (e.g. the paper's order processing, §5.2)
+	// depend on who proposed the change.
+	ValidateState(proposer string, current, proposed []byte) wire.Decision
+	// ValidateUpdate judges an update (delta) proposed by proposer.
+	ValidateUpdate(proposer string, current, update []byte) wire.Decision
+	// ApplyUpdate computes the state resulting from applying update.
+	ApplyUpdate(current, update []byte) ([]byte, error)
+	// Installed notifies that a newly validated state has been installed.
+	Installed(state []byte, t tuple.State)
+	// RolledBack notifies the proposer that its proposal was invalidated and
+	// the replica reverted to the agreed state.
+	RolledBack(state []byte, t tuple.State)
+}
+
+// Conn is the outbound message channel (satisfied by transport.Reliable and
+// by the in-memory fault injectors).
+type Conn interface {
+	ID() string
+	Send(ctx context.Context, to string, payload []byte) error
+}
+
+// Config assembles an engine's dependencies.
+type Config struct {
+	Ident       *crypto.Identity
+	Object      string
+	Verifier    *crypto.Verifier
+	TSA         wire.Stamper
+	Conn        Conn
+	Log         nrlog.Log
+	Store       store.Store
+	Clock       clock.Clock
+	Validator   Validator
+	Termination Termination
+	// RetryInterval is the protocol-level re-broadcast period for proposals
+	// and commits of in-flight runs (defence against receiver crash between
+	// transport ack and processing). Zero disables re-broadcast.
+	RetryInterval time.Duration
+	// TTP, when set, names the trusted third party whose signed abort
+	// certificates the engine honours (§7 deadline extension). The TTP's
+	// certificate must be registered in Verifier.
+	TTP string
+}
+
+// Outcome is the result of a coordination run as established by the
+// authenticated decision of the group.
+type Outcome struct {
+	RunID     string
+	Valid     bool
+	Decisions map[string]wire.Decision
+	// Diagnostic summarises why an invalid outcome was reached.
+	Diagnostic string
+}
+
+// Stats counts protocol messages for the message-complexity experiment.
+type Stats struct {
+	ProposesSent  uint64
+	RespondsSent  uint64
+	CommitsSent   uint64
+	RunsProposed  uint64
+	RunsValid     uint64
+	RunsInvalid   uint64
+	RunsCommitted uint64 // runs committed as recipient
+}
+
+// proposerRun tracks one in-flight proposal at the proposer.
+type proposerRun struct {
+	runID     string
+	propose   wire.Propose
+	signed    wire.Signed
+	auth      []byte
+	newState  []byte
+	responses map[string]wire.Signed
+	parsed    map[string]wire.Respond
+	recips    []string
+	done      chan struct{} // closed when all responses are in
+	aborted   bool          // TTP-certified abort
+}
+
+// respondedRun tracks a run this party answered as a recipient, pending
+// commit. Keeping the signed response allows idempotent re-send when the
+// proposer re-broadcasts (crash recovery / lost ack).
+type respondedRun struct {
+	runID    string
+	proposer string
+	propose  wire.Signed // exact signed propose we responded to
+	respond  wire.Signed
+	decision wire.Decision
+	newState []byte // state that a valid commit will install
+	proposed tuple.State
+	started  time.Time
+}
+
+// Engine coordinates one object replica for one party.
+type Engine struct {
+	cfg Config
+
+	mu           sync.Mutex
+	bootstrapped bool
+	members      []string // join-ordered, including self
+	group        tuple.Group
+	agreed       tuple.State
+	agreedState  []byte
+	current      tuple.State
+	currentState []byte
+	seen         *tuple.Seen
+	frozen       bool
+
+	runs      map[string]*proposerRun // in-flight, this party proposing
+	responded map[string]*respondedRun
+	completed map[string]Outcome // finished runs, idempotent commit handling
+	deferred  map[string]bool    // proposals deferred awaiting a commit in flight
+	stats     Stats
+}
+
+// New creates an engine. Call Bootstrap (fresh group) or Restore (recover
+// from the store) before coordinating.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Ident == nil || cfg.Conn == nil || cfg.Log == nil || cfg.Store == nil ||
+		cfg.Clock == nil || cfg.Validator == nil || cfg.Verifier == nil {
+		return nil, errors.New("coord: incomplete config")
+	}
+	if cfg.Object == "" {
+		return nil, errors.New("coord: object name required")
+	}
+	return &Engine{
+		cfg:       cfg,
+		seen:      tuple.NewSeen(),
+		runs:      make(map[string]*proposerRun),
+		responded: make(map[string]*respondedRun),
+		completed: make(map[string]Outcome),
+		deferred:  make(map[string]bool),
+	}, nil
+}
+
+// Bootstrap initialises a founding member with the initial object state and
+// the join-ordered founding membership. Every founding party must bootstrap
+// with identical arguments; the deterministic initial tuples then agree.
+func (en *Engine) Bootstrap(initialState []byte, members []string) error {
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	if en.bootstrapped {
+		return ErrAlreadySetup
+	}
+	if !contains(members, en.cfg.Ident.ID()) {
+		return fmt.Errorf("coord: self %q not in member list", en.cfg.Ident.ID())
+	}
+	en.members = append([]string(nil), members...)
+	en.group = tuple.InitialGroup(members)
+	en.agreed = tuple.Initial(initialState)
+	en.agreedState = append([]byte(nil), initialState...)
+	en.current = en.agreed
+	en.currentState = en.agreedState
+	en.bootstrapped = true
+	return en.checkpointLocked()
+}
+
+// Restore recovers engine state from the latest checkpoint in the store
+// (crash recovery, §4.2: nodes eventually recover and resume).
+func (en *Engine) Restore() error {
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	if en.bootstrapped {
+		return ErrAlreadySetup
+	}
+	cp, err := en.cfg.Store.Latest(en.cfg.Object)
+	if err != nil {
+		return fmt.Errorf("coord: restoring: %w", err)
+	}
+	en.members = append([]string(nil), cp.Members...)
+	en.group = cp.Group
+	en.agreed = cp.Tuple
+	en.agreedState = append([]byte(nil), cp.State...)
+	en.current = en.agreed
+	en.currentState = en.agreedState
+	en.seen.ObserveRecovered(cp.Tuple)
+	en.bootstrapped = true
+	return nil
+}
+
+// AdoptMembership installs membership and agreed state received through a
+// successful connection protocol (the Welcome message): used by the group
+// manager when this party is the admitted subject.
+func (en *Engine) AdoptMembership(g tuple.Group, members []string, agreed tuple.State, state []byte) error {
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	if en.bootstrapped {
+		return ErrAlreadySetup
+	}
+	if !agreed.Matches(state) {
+		return fmt.Errorf("coord: welcome state does not match agreed tuple")
+	}
+	en.members = append([]string(nil), members...)
+	en.group = g
+	en.agreed = agreed
+	en.agreedState = append([]byte(nil), state...)
+	en.current = agreed
+	en.currentState = en.agreedState
+	en.seen.ObserveRecovered(agreed)
+	en.bootstrapped = true
+	return en.checkpointLocked()
+}
+
+// ApplyMembership installs a new agreed membership (connection or
+// disconnection outcome) on an existing member, and unfreezes coordination.
+func (en *Engine) ApplyMembership(g tuple.Group, members []string) error {
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	if !en.bootstrapped {
+		return ErrNotBootstrapd
+	}
+	en.members = append([]string(nil), members...)
+	en.group = g
+	en.frozen = false
+	return en.checkpointLocked()
+}
+
+// Freeze blocks new state coordination while a membership change is decided
+// (the sponsor's concurrency-control duty, §4.5.1).
+func (en *Engine) Freeze() {
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	en.frozen = true
+}
+
+// Unfreeze re-enables coordination (membership change rejected/abandoned).
+func (en *Engine) Unfreeze() {
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	en.frozen = false
+}
+
+// Agreed returns the agreed state tuple and a copy of the agreed state.
+func (en *Engine) Agreed() (tuple.State, []byte) {
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	return en.agreed, append([]byte(nil), en.agreedState...)
+}
+
+// Current returns the current state tuple and a copy of the current state
+// (differs from Agreed only at a proposer mid-run).
+func (en *Engine) Current() (tuple.State, []byte) {
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	return en.current, append([]byte(nil), en.currentState...)
+}
+
+// Group returns the group tuple and join-ordered membership.
+func (en *Engine) Group() (tuple.Group, []string) {
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	return en.group, append([]string(nil), en.members...)
+}
+
+// Stats returns a snapshot of the engine's message counters.
+func (en *Engine) Stats() Stats {
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	return en.stats
+}
+
+// ActiveRuns reports runs this party answered as recipient that have not yet
+// committed — the evidence that a protocol run is active/blocked (§4.4).
+func (en *Engine) ActiveRuns() []string {
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	out := make([]string, 0, len(en.responded))
+	for id := range en.responded {
+		out = append(out, id)
+	}
+	return out
+}
+
+// ID returns this party's identity name.
+func (en *Engine) ID() string { return en.cfg.Ident.ID() }
+
+// Object returns the coordinated object's name.
+func (en *Engine) Object() string { return en.cfg.Object }
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func (en *Engine) recipientsLocked() []string {
+	out := make([]string, 0, len(en.members)-1)
+	for _, m := range en.members {
+		if m != en.cfg.Ident.ID() {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// checkpointLocked persists the agreed state; en.mu must be held.
+func (en *Engine) checkpointLocked() error {
+	return en.cfg.Store.SaveCheckpoint(store.Checkpoint{
+		Object:  en.cfg.Object,
+		Tuple:   en.agreed,
+		State:   append([]byte(nil), en.agreedState...),
+		Group:   en.group,
+		Members: append([]string(nil), en.members...),
+		Time:    en.cfg.Clock.Now(),
+	})
+}
+
+// logEvidence appends to the non-repudiation log, panicking never: logging
+// failures surface as errors on the protocol operation in progress.
+func (en *Engine) logEvidence(runID, kind string, dir nrlog.Direction, payload []byte) error {
+	_, err := en.cfg.Log.Append(runID, en.cfg.Object, kind, en.cfg.Ident.ID(), dir, payload)
+	if err != nil {
+		return fmt.Errorf("coord: recording evidence: %w", err)
+	}
+	return nil
+}
+
+// newRunID labels a protocol run uniquely and attributably.
+func (en *Engine) newRunID() (string, error) {
+	n, err := crypto.Nonce()
+	if err != nil {
+		return "", err
+	}
+	return en.cfg.Ident.ID() + "-" + hex.EncodeToString(n[:8]), nil
+}
+
+// send wraps payload in an envelope and transmits it.
+func (en *Engine) send(ctx context.Context, to string, kind wire.Kind, payload []byte) error {
+	n, err := crypto.Nonce()
+	if err != nil {
+		return err
+	}
+	env := wire.Envelope{
+		MsgID:   hex.EncodeToString(n[:12]),
+		From:    en.cfg.Ident.ID(),
+		To:      to,
+		Object:  en.cfg.Object,
+		Kind:    kind,
+		Payload: payload,
+	}
+	return en.cfg.Conn.Send(ctx, to, env.Marshal())
+}
+
+// Reset returns a departed member's engine to the unbootstrapped state so
+// the party can later reconnect (via the connection protocol) or found a new
+// group. Evidence in the non-repudiation log and replay-protection state are
+// retained; only membership and replica state are cleared.
+func (en *Engine) Reset() {
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	en.bootstrapped = false
+	en.members = nil
+	en.group = tuple.Group{}
+	en.agreed = tuple.State{}
+	en.agreedState = nil
+	en.current = tuple.State{}
+	en.currentState = nil
+	en.frozen = false
+	en.runs = make(map[string]*proposerRun)
+	en.responded = make(map[string]*respondedRun)
+}

@@ -1,0 +1,993 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"b2b/internal/crypto"
+	"b2b/internal/nrlog"
+	"b2b/internal/store"
+	"b2b/internal/tuple"
+	"b2b/internal/wire"
+)
+
+// Propose runs the state coordination protocol for a full-state overwrite
+// and blocks until the group's decision is established or ctx expires. On a
+// valid outcome the new state is installed and checkpointed at this party
+// (recipients install on receiving commit); on veto the proposer rolls back
+// to the agreed state. A ctx expiry leaves the run active (blocked) with
+// evidence in the log, as the paper specifies: termination is not guaranteed
+// when parties misbehave.
+func (en *Engine) Propose(ctx context.Context, newState []byte) (Outcome, error) {
+	return en.propose(ctx, wire.ModeOverwrite, newState, nil)
+}
+
+// ProposeUpdate runs the §4.3.1 variant: the update (delta) travels instead
+// of the full state; recipients apply it to their agreed state and verify
+// the result against the proposed tuple's state hash.
+func (en *Engine) ProposeUpdate(ctx context.Context, update []byte) (Outcome, error) {
+	return en.propose(ctx, wire.ModeUpdate, nil, update)
+}
+
+func (en *Engine) propose(ctx context.Context, mode wire.Mode, newState, update []byte) (Outcome, error) {
+	// A recipient that has answered a run whose commit has not yet arrived
+	// knows its agreed state may be about to change: proposing now would be
+	// rejected under invariant 1 at the other parties. Wait briefly for the
+	// pending commit(s) to resolve — the honest-path race between a commit
+	// broadcast and the next proposal. The wait is bounded: a run blocked by
+	// a misbehaving proposer (§4.4) must not stop honest parties from
+	// further coordination, so after the grace period we proceed — a stale
+	// proposal is merely vetoed and retried.
+	graceCtx, cancel := context.WithTimeout(ctx, en.pendingGrace())
+	_ = en.waitNoPending(graceCtx)
+	cancel()
+
+	en.mu.Lock()
+	if !en.bootstrapped {
+		en.mu.Unlock()
+		return Outcome{}, ErrNotBootstrapd
+	}
+	if en.frozen {
+		en.mu.Unlock()
+		return Outcome{}, ErrFrozen
+	}
+	if len(en.runs) > 0 {
+		en.mu.Unlock()
+		return Outcome{}, ErrRunInFlight
+	}
+	if tuple.CheckProposerView(en.current, en.agreed) != nil {
+		// current != agreed would mean an unresolved previous run.
+		en.mu.Unlock()
+		return Outcome{}, ErrRunInFlight
+	}
+
+	if mode == wire.ModeUpdate {
+		s, err := en.cfg.Validator.ApplyUpdate(en.currentState, update)
+		if err != nil {
+			en.mu.Unlock()
+			return Outcome{}, fmt.Errorf("coord: applying own update: %w", err)
+		}
+		newState = s
+	}
+
+	recips := en.recipientsLocked()
+	if len(recips) == 0 {
+		en.mu.Unlock()
+		return Outcome{}, ErrSoleMember
+	}
+
+	runID, err := en.newRunID()
+	if err != nil {
+		en.mu.Unlock()
+		return Outcome{}, err
+	}
+	rnd, err := crypto.Nonce()
+	if err != nil {
+		en.mu.Unlock()
+		return Outcome{}, err
+	}
+	auth, err := crypto.Nonce()
+	if err != nil {
+		en.mu.Unlock()
+		return Outcome{}, err
+	}
+
+	seq := en.agreed.Seq
+	if m := en.seen.MaxSeq(); m > seq {
+		seq = m
+	}
+	seq++
+
+	proposed := tuple.NewState(seq, rnd, newState)
+	prop := wire.Propose{
+		RunID:      runID,
+		Proposer:   en.cfg.Ident.ID(),
+		Object:     en.cfg.Object,
+		Group:      en.group,
+		Agreed:     en.agreed,
+		Proposed:   proposed,
+		AuthCommit: crypto.Hash(auth),
+		Mode:       mode,
+	}
+	if mode == wire.ModeUpdate {
+		prop.Update = update
+		prop.UpdateHash = crypto.Hash(update)
+	} else {
+		prop.NewState = newState
+	}
+	signed := wire.Sign(wire.KindPropose, prop.Marshal(), en.cfg.Ident, en.cfg.TSA)
+
+	// The proposer is committed at initiation: current becomes the proposed
+	// state and cannot be unilaterally withdrawn (§4.3).
+	en.current = proposed
+	en.currentState = append([]byte(nil), newState...)
+	if err := en.seen.Observe(proposed); err != nil {
+		// Fresh randomness makes this unreachable; treat as internal error.
+		en.rollbackLocked()
+		en.mu.Unlock()
+		return Outcome{}, err
+	}
+
+	run := &proposerRun{
+		runID:     runID,
+		propose:   prop,
+		signed:    signed,
+		auth:      auth,
+		newState:  append([]byte(nil), newState...),
+		responses: make(map[string]wire.Signed, len(recips)),
+		parsed:    make(map[string]wire.Respond, len(recips)),
+		recips:    recips,
+		done:      make(chan struct{}),
+	}
+	en.runs[runID] = run
+	en.stats.RunsProposed++
+	en.mu.Unlock()
+
+	if err := en.logEvidence(runID, wire.KindPropose.String(), nrlog.DirSent, signed.Marshal()); err != nil {
+		return Outcome{}, err
+	}
+	if err := en.cfg.Store.SaveRun(store.RunRecord{
+		RunID:    runID,
+		Object:   en.cfg.Object,
+		Role:     "proposer",
+		Proposed: proposed,
+		State:    newState,
+		Auth:     auth,
+		Raw:      signed.Marshal(),
+		Time:     en.cfg.Clock.Now(),
+	}); err != nil {
+		return Outcome{}, err
+	}
+
+	payload := signed.Marshal()
+	for _, r := range recips {
+		en.mu.Lock()
+		en.stats.ProposesSent++
+		en.mu.Unlock()
+		if err := en.send(ctx, r, wire.KindPropose, payload); err != nil {
+			return Outcome{}, fmt.Errorf("coord: sending propose to %s: %w", r, err)
+		}
+	}
+	return en.awaitRun(ctx, run)
+}
+
+// awaitRun blocks until every response arrives (or ctx expires), then
+// finalises the run: computes the authenticated group decision, broadcasts
+// commit, installs or rolls back.
+func (en *Engine) awaitRun(ctx context.Context, run *proposerRun) (Outcome, error) {
+	var retryC <-chan time.Time
+	if en.cfg.RetryInterval > 0 {
+		ticker := time.NewTicker(en.cfg.RetryInterval)
+		defer ticker.Stop()
+		retryC = ticker.C
+	}
+	for {
+		select {
+		case <-run.done:
+			return en.finishRun(ctx, run)
+		case <-retryC:
+			// Protocol-level re-broadcast to recipients that have not yet
+			// responded: masks a receiver crash between transport ack and
+			// processing (its dedup state survived, our message did not).
+			en.mu.Lock()
+			var missing []string
+			for _, r := range run.recips {
+				if _, ok := run.responses[r]; !ok {
+					missing = append(missing, r)
+				}
+			}
+			aborted := run.aborted
+			en.mu.Unlock()
+			if aborted {
+				return en.finishRun(ctx, run)
+			}
+			payload := run.signed.Marshal()
+			for _, r := range missing {
+				_ = en.send(context.Background(), r, wire.KindPropose, payload)
+			}
+		case <-ctx.Done():
+			// The run stays registered: evidence that it is active/blocked.
+			return Outcome{RunID: run.runID}, fmt.Errorf("%w: run %s: %v", ErrBlocked, run.runID, ctx.Err())
+		}
+	}
+}
+
+// finishRun computes the outcome from a complete (or TTP-aborted) response
+// set, broadcasts commit, and installs/rolls back locally.
+func (en *Engine) finishRun(ctx context.Context, run *proposerRun) (Outcome, error) {
+	en.mu.Lock()
+	out := Outcome{RunID: run.runID, Decisions: make(map[string]wire.Decision, len(run.parsed))}
+	if run.aborted {
+		out.Valid = false
+		out.Diagnostic = "TTP-certified abort"
+	} else {
+		accepts := 1 // proposer is committed to acceptance by definition
+		consistent := true
+		var diag string
+		wantHash := run.propose.Proposed.HashState
+		if run.propose.Mode == wire.ModeUpdate {
+			wantHash = run.propose.UpdateHash
+		}
+		for responder, resp := range run.parsed {
+			out.Decisions[responder] = resp.Decision
+			if resp.Decision.Accept {
+				accepts++
+			} else if diag == "" {
+				diag = fmt.Sprintf("vetoed by %s: %s", responder, resp.Decision.Diagnostic)
+			}
+			if resp.ReceivedStateHash != wantHash {
+				consistent = false
+				diag = fmt.Sprintf("%s asserts state integrity failure", responder)
+			}
+			if resp.Group != run.propose.Group {
+				consistent = false
+				diag = fmt.Sprintf("%s holds inconsistent group identifier", responder)
+			}
+		}
+		switch en.cfg.Termination {
+		case Majority:
+			out.Valid = consistent && accepts*2 > len(en.members)
+		default:
+			out.Valid = consistent && accepts == len(en.members)
+		}
+		out.Diagnostic = diag
+	}
+
+	commit := wire.Commit{
+		RunID:    run.runID,
+		Proposer: en.cfg.Ident.ID(),
+		Object:   en.cfg.Object,
+		Auth:     run.auth,
+		Propose:  run.signed,
+	}
+	for _, r := range run.recips {
+		if s, ok := run.responses[r]; ok {
+			commit.Responds = append(commit.Responds, s)
+		}
+	}
+	payload := commit.Marshal()
+	recips := run.recips
+	if run.aborted {
+		// Recipients resolve through their own copy of the TTP certificate;
+		// an incomplete commit would be rejected anyway.
+		recips = nil
+	}
+
+	if out.Valid {
+		en.agreed = run.propose.Proposed
+		en.agreedState = append([]byte(nil), run.newState...)
+		en.current = en.agreed
+		en.currentState = en.agreedState
+		en.stats.RunsValid++
+	} else {
+		en.rollbackLocked()
+		en.stats.RunsInvalid++
+	}
+	delete(en.runs, run.runID)
+	en.completed[run.runID] = out
+	en.stats.CommitsSent += uint64(len(recips))
+	valid := out.Valid
+	installedState := append([]byte(nil), en.currentState...)
+	installedTuple := en.current
+	en.mu.Unlock()
+
+	if err := en.logEvidence(run.runID, wire.KindCommit.String(), nrlog.DirSent, payload); err != nil {
+		return out, err
+	}
+	for _, r := range recips {
+		if err := en.send(ctx, r, wire.KindCommit, payload); err != nil {
+			return out, fmt.Errorf("coord: sending commit to %s: %w", r, err)
+		}
+	}
+
+	if valid {
+		if err := en.withLock(func() error { return en.checkpointLocked() }); err != nil {
+			return out, err
+		}
+		en.cfg.Validator.Installed(installedState, installedTuple)
+	} else {
+		en.cfg.Validator.RolledBack(installedState, installedTuple)
+	}
+	if err := en.cfg.Store.DeleteRun(run.runID); err != nil {
+		return out, err
+	}
+	if err := en.logEvidence(run.runID, "verdict", nrlog.DirLocal,
+		[]byte(fmt.Sprintf("valid=%t %s", out.Valid, out.Diagnostic))); err != nil {
+		return out, err
+	}
+	if !valid {
+		if run.aborted {
+			return out, ErrAborted
+		}
+		return out, fmt.Errorf("%w: %s", ErrVetoed, out.Diagnostic)
+	}
+	return out, nil
+}
+
+func (en *Engine) withLock(f func() error) error {
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	return f()
+}
+
+// rollbackLocked reverts the proposer's replica to the agreed state.
+func (en *Engine) rollbackLocked() {
+	en.current = en.agreed
+	en.currentState = append([]byte(nil), en.agreedState...)
+}
+
+// HandleEnvelope dispatches an inbound protocol message. Unknown or
+// malformed traffic is logged as evidence and otherwise ignored — the
+// protocol is fail-safe, never fail-deadly.
+func (en *Engine) HandleEnvelope(from string, env wire.Envelope) {
+	switch env.Kind {
+	case wire.KindPropose:
+		en.handlePropose(from, env.Payload)
+	case wire.KindRespond:
+		en.handleRespond(from, env.Payload)
+	case wire.KindCommit:
+		en.handleCommit(from, env.Payload)
+	case wire.KindAbortCert:
+		en.handleAbortCert(from, env.Payload)
+	default:
+		_ = en.logEvidence("", "unknown-kind", nrlog.DirReceived, env.Marshal())
+	}
+}
+
+// handlePropose is the recipient side of step 1: verify, check invariants,
+// validate via the application upcall, and answer with a signed respond.
+func (en *Engine) handlePropose(from string, payload []byte) {
+	signed, err := wire.UnmarshalSigned(payload)
+	if err != nil {
+		_ = en.logEvidence("", "malformed-propose", nrlog.DirReceived, payload)
+		return
+	}
+	prop, err := wire.UnmarshalPropose(signed.Body)
+	if err != nil {
+		_ = en.logEvidence("", "malformed-propose", nrlog.DirReceived, payload)
+		return
+	}
+
+	en.mu.Lock()
+	if !en.bootstrapped {
+		en.mu.Unlock()
+		return
+	}
+	// Duplicate propose (protocol-level retry): re-send our response or,
+	// if already committed, re-send nothing — the proposer has it.
+	if rr, ok := en.responded[prop.RunID]; ok {
+		if bytes.Equal(rr.propose.Body, signed.Body) {
+			resp := rr.respond.Marshal()
+			en.mu.Unlock()
+			_ = en.send(context.Background(), from, wire.KindRespond, resp)
+			return
+		}
+		// A different proposal under the same run id: evidence of
+		// misbehaviour; the original response stands.
+		en.mu.Unlock()
+		_ = en.logEvidence(prop.RunID, "conflicting-propose", nrlog.DirReceived, payload)
+		return
+	}
+	if _, done := en.completed[prop.RunID]; done {
+		en.mu.Unlock()
+		return
+	}
+	// If this proposal references an agreed state ahead of ours while we
+	// hold an answered-but-uncommitted run, the missing commit is still in
+	// flight: defer evaluation until it lands rather than wrongly vetoing
+	// under invariant 1. Evaluation proceeds regardless after the wait, so
+	// a genuinely missing commit still yields the invariant-1 evidence.
+	if prop.Agreed.Seq > en.agreed.Seq && len(en.responded) > 0 && !en.deferred[prop.RunID] {
+		en.deferred[prop.RunID] = true
+		en.mu.Unlock()
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = en.waitNoPending(ctx)
+			en.handlePropose(from, payload)
+		}()
+		return
+	}
+	en.mu.Unlock()
+
+	if err := en.logEvidence(prop.RunID, wire.KindPropose.String(), nrlog.DirReceived, payload); err != nil {
+		return
+	}
+
+	decision, newState := en.evaluatePropose(from, signed, prop)
+
+	en.mu.Lock()
+	resp := wire.Respond{
+		RunID:             prop.RunID,
+		Responder:         en.cfg.Ident.ID(),
+		Object:            en.cfg.Object,
+		Group:             en.group,
+		Proposed:          prop.Proposed,
+		Current:           en.current,
+		ReceivedStateHash: receivedHash(prop),
+		Decision:          decision,
+	}
+	signedResp := wire.Sign(wire.KindRespond, resp.Marshal(), en.cfg.Ident, en.cfg.TSA)
+	en.responded[prop.RunID] = &respondedRun{
+		runID:    prop.RunID,
+		proposer: prop.Proposer,
+		propose:  signed,
+		respond:  signedResp,
+		decision: decision,
+		newState: newState,
+		proposed: prop.Proposed,
+		started:  en.cfg.Clock.Now(),
+	}
+	en.stats.RespondsSent++
+	en.mu.Unlock()
+
+	if err := en.cfg.Store.SaveRun(store.RunRecord{
+		RunID:    prop.RunID,
+		Object:   en.cfg.Object,
+		Role:     "recipient",
+		Proposed: prop.Proposed,
+		Time:     en.cfg.Clock.Now(),
+	}); err != nil {
+		return
+	}
+	if err := en.logEvidence(prop.RunID, wire.KindRespond.String(), nrlog.DirSent, signedResp.Marshal()); err != nil {
+		return
+	}
+	_ = en.send(context.Background(), from, wire.KindRespond, signedResp.Marshal())
+}
+
+// receivedHash computes the recipient's integrity assertion over the state
+// content actually received (§4.3: h(s') in the respond message).
+func receivedHash(prop wire.Propose) [32]byte {
+	if prop.Mode == wire.ModeUpdate {
+		return crypto.Hash(prop.Update)
+	}
+	return crypto.Hash(prop.NewState)
+}
+
+// evaluatePropose performs all §4.2/§4.4 consistency checks plus the
+// application-specific validation, returning the decision and, for
+// acceptable proposals, the state a commit would install.
+func (en *Engine) evaluatePropose(from string, signed wire.Signed, prop wire.Propose) (wire.Decision, []byte) {
+	if err := signed.Verify(en.cfg.Verifier); err != nil {
+		return wire.Rejected(fmt.Sprintf("signature verification failed: %v", err)), nil
+	}
+	if signed.Signer() != prop.Proposer || from != prop.Proposer {
+		return wire.Rejected("proposer identity mismatch between envelope, signature and proposal"), nil
+	}
+	if prop.Object != en.cfg.Object {
+		return wire.Rejected("proposal for foreign object"), nil
+	}
+
+	en.mu.Lock()
+	defer en.mu.Unlock()
+
+	if !contains(en.members, prop.Proposer) {
+		return wire.Rejected("proposer is not a group member"), nil
+	}
+	if en.frozen {
+		return wire.Rejected("membership change in progress"), nil
+	}
+	if prop.Group != en.group {
+		// Inconsistent group identifiers lead to invalidation (§4.2).
+		return wire.Rejected("inconsistent group identifier"), nil
+	}
+	if err := tuple.CheckRecipientView(en.current, en.agreed, prop.Agreed); err != nil {
+		return wire.Rejected(err.Error()), nil
+	}
+	if err := tuple.CheckOrdering(prop.Proposed, en.agreed, en.seen.MaxSeq()); err != nil {
+		return wire.Rejected(err.Error()), nil
+	}
+	if err := en.seen.Observe(prop.Proposed); err != nil {
+		// Invariant 4: replayed tuple.
+		return wire.Rejected(err.Error()), nil
+	}
+	// Null state transition is detectable and rejected (§4.4).
+	if prop.Proposed.HashState == prop.Agreed.HashState {
+		return wire.Rejected("null state transition"), nil
+	}
+
+	var newState []byte
+	switch prop.Mode {
+	case wire.ModeOverwrite:
+		if !prop.Proposed.Matches(prop.NewState) {
+			return wire.Rejected("proposed state does not match its tuple hash"), nil
+		}
+		newState = append([]byte(nil), prop.NewState...)
+	case wire.ModeUpdate:
+		if crypto.Hash(prop.Update) != prop.UpdateHash {
+			return wire.Rejected("update does not match its hash"), nil
+		}
+		applied, err := en.cfg.Validator.ApplyUpdate(en.currentState, prop.Update)
+		if err != nil {
+			return wire.Rejected(fmt.Sprintf("update not applicable: %v", err)), nil
+		}
+		if !prop.Proposed.Matches(applied) {
+			// §4.3.1: recipients verify that applying the agreed update
+			// yields a consistent new state.
+			return wire.Rejected("applied update does not yield the proposed state"), nil
+		}
+		newState = applied
+	default:
+		return wire.Rejected("unknown coordination mode"), nil
+	}
+
+	var decision wire.Decision
+	if prop.Mode == wire.ModeUpdate {
+		decision = en.cfg.Validator.ValidateUpdate(prop.Proposer, en.currentState, prop.Update)
+	} else {
+		decision = en.cfg.Validator.ValidateState(prop.Proposer, en.currentState, prop.NewState)
+	}
+	// The candidate state is retained even on an application-level veto:
+	// under majority termination (§7) a vetoing minority member still
+	// installs the state the group agreed on. Structural failures above
+	// return nil — they invalidate the run globally.
+	return decision, newState
+}
+
+// handleRespond is the proposer side of step 2.
+func (en *Engine) handleRespond(from string, payload []byte) {
+	signed, err := wire.UnmarshalSigned(payload)
+	if err != nil {
+		_ = en.logEvidence("", "malformed-respond", nrlog.DirReceived, payload)
+		return
+	}
+	resp, err := wire.UnmarshalRespond(signed.Body)
+	if err != nil {
+		_ = en.logEvidence("", "malformed-respond", nrlog.DirReceived, payload)
+		return
+	}
+
+	en.mu.Lock()
+	run, ok := en.runs[resp.RunID]
+	if !ok {
+		en.mu.Unlock()
+		// Late or duplicate response after completion: benign.
+		return
+	}
+	if _, dup := run.responses[resp.Responder]; dup {
+		en.mu.Unlock()
+		return
+	}
+	en.mu.Unlock()
+
+	if err := en.logEvidence(resp.RunID, wire.KindRespond.String(), nrlog.DirReceived, payload); err != nil {
+		return
+	}
+	if err := signed.Verify(en.cfg.Verifier); err != nil {
+		// Unverifiable responses cannot contribute to a decision; keep the
+		// evidence and wait for a genuine response (retransmission).
+		_ = en.logEvidence(resp.RunID, "unverifiable-respond", nrlog.DirLocal, []byte(err.Error()))
+		return
+	}
+	if signed.Signer() != resp.Responder || from != resp.Responder {
+		_ = en.logEvidence(resp.RunID, "respond-identity-mismatch", nrlog.DirLocal, []byte(from))
+		return
+	}
+
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	run, ok = en.runs[resp.RunID]
+	if !ok {
+		return
+	}
+	if !contains(run.recips, resp.Responder) {
+		return
+	}
+	if resp.Proposed != run.propose.Proposed {
+		// Response to something we did not propose: inconsistent, keep as
+		// evidence; it does not fill the responder's slot.
+		_ = appendEvidenceLocked(en, resp.RunID, "respond-tuple-mismatch", payload)
+		return
+	}
+	if _, dup := run.responses[resp.Responder]; dup {
+		return
+	}
+	run.responses[resp.Responder] = signed
+	run.parsed[resp.Responder] = resp
+	if len(run.responses) == len(run.recips) {
+		close(run.done)
+	}
+}
+
+func appendEvidenceLocked(en *Engine, runID, kind string, payload []byte) error {
+	_, err := en.cfg.Log.Append(runID, en.cfg.Object, kind, en.cfg.Ident.ID(), nrlog.DirLocal, payload)
+	return err
+}
+
+// handleCommit is the recipient side of step 3: verify the authenticator and
+// the aggregated evidence, compute the group's decision independently, and
+// install or discard.
+func (en *Engine) handleCommit(from string, payload []byte) {
+	commit, err := wire.UnmarshalCommit(payload)
+	if err != nil {
+		_ = en.logEvidence("", "malformed-commit", nrlog.DirReceived, payload)
+		return
+	}
+
+	en.mu.Lock()
+	if _, done := en.completed[commit.RunID]; done {
+		en.mu.Unlock()
+		return // idempotent
+	}
+	rr, responded := en.responded[commit.RunID]
+	en.mu.Unlock()
+
+	if err := en.logEvidence(commit.RunID, wire.KindCommit.String(), nrlog.DirReceived, payload); err != nil {
+		return
+	}
+
+	verdict, diag := en.verifyCommit(from, commit, rr, responded)
+	if verdict == commitValid && rr.newState == nil {
+		// We judged the proposal structurally inconsistent, so a valid
+		// outcome cannot be genuine; never install a state we cannot check.
+		verdict, diag = commitInvalidSilent, "valid commit for structurally rejected proposal"
+	}
+	if verdict == commitInvalidSilent {
+		// Forged or inconsistent commit: evidence kept, no state change, and
+		// the run stays active — a correct proposer's genuine commit can
+		// still arrive.
+		_ = en.logEvidence(commit.RunID, "commit-rejected", nrlog.DirLocal, []byte(diag))
+		return
+	}
+
+	en.mu.Lock()
+	out := Outcome{RunID: commit.RunID, Valid: verdict == commitValid, Diagnostic: diag,
+		Decisions: decisionsOf(commit)}
+	if verdict == commitValid {
+		prop, _ := wire.UnmarshalPropose(commit.Propose.Body)
+		en.agreed = prop.Proposed
+		en.agreedState = append([]byte(nil), rr.newState...)
+		en.current = en.agreed
+		en.currentState = en.agreedState
+		en.stats.RunsCommitted++
+	}
+	delete(en.responded, commit.RunID)
+	en.completed[commit.RunID] = out
+	installedState := append([]byte(nil), en.currentState...)
+	installedTuple := en.current
+	en.mu.Unlock()
+
+	_ = en.cfg.Store.DeleteRun(commit.RunID)
+	if verdict == commitValid {
+		if err := en.withLock(func() error { return en.checkpointLocked() }); err != nil {
+			return
+		}
+		en.cfg.Validator.Installed(installedState, installedTuple)
+	}
+	_ = en.logEvidence(commit.RunID, "verdict", nrlog.DirLocal,
+		[]byte(fmt.Sprintf("valid=%t %s", out.Valid, out.Diagnostic)))
+}
+
+type commitVerdict uint8
+
+const (
+	commitValid commitVerdict = iota
+	commitInvalid
+	commitInvalidSilent // forged/inconsistent: ignore, keep evidence
+)
+
+// verifyCommit re-derives the group decision from the commit's evidence.
+// Any party can compute the decision over the authenticator and the
+// concatenated signed responses (§4.3).
+func (en *Engine) verifyCommit(from string, commit wire.Commit, rr *respondedRun, responded bool) (commitVerdict, string) {
+	if !responded {
+		// A complete commit must contain our own signed response; if we
+		// never responded it cannot be genuine (§4.4).
+		return commitInvalidSilent, "commit for a run this party never answered"
+	}
+	if from != rr.proposer || commit.Proposer != rr.proposer {
+		return commitInvalidSilent, "commit not from the run's proposer"
+	}
+	if !bytes.Equal(commit.Propose.Body, rr.propose.Body) {
+		// Selective sending of different proposals is revealed here (§4.4).
+		return commitInvalidSilent, "commit embeds a different proposal than was answered"
+	}
+	prop, err := wire.UnmarshalPropose(commit.Propose.Body)
+	if err != nil {
+		return commitInvalidSilent, "embedded proposal malformed"
+	}
+	if crypto.Hash(commit.Auth) != prop.AuthCommit {
+		// Only the proposer can produce the authenticator preimage.
+		return commitInvalidSilent, "authenticator does not match commitment"
+	}
+
+	en.mu.Lock()
+	members := append([]string(nil), en.members...)
+	termination := en.cfg.Termination
+	en.mu.Unlock()
+
+	seen := make(map[string]wire.Respond)
+	accepts := 1 // proposer
+	consistent := true
+	var diag string
+	wantHash := prop.Proposed.HashState
+	if prop.Mode == wire.ModeUpdate {
+		wantHash = prop.UpdateHash
+	}
+	for _, s := range commit.Responds {
+		if err := s.Verify(en.cfg.Verifier); err != nil {
+			return commitInvalidSilent, fmt.Sprintf("embedded response fails verification: %v", err)
+		}
+		resp, err := wire.UnmarshalRespond(s.Body)
+		if err != nil {
+			return commitInvalidSilent, "embedded response malformed"
+		}
+		if resp.Responder != s.Signer() {
+			return commitInvalidSilent, "embedded response signer mismatch"
+		}
+		if resp.RunID != commit.RunID || resp.Proposed != prop.Proposed {
+			return commitInvalidSilent, "embedded response belongs to another run"
+		}
+		if _, dup := seen[resp.Responder]; dup {
+			return commitInvalidSilent, "duplicate responder in commit"
+		}
+		if !contains(members, resp.Responder) || resp.Responder == prop.Proposer {
+			return commitInvalidSilent, "response from non-recipient"
+		}
+		seen[resp.Responder] = resp
+		if resp.Decision.Accept {
+			accepts++
+		} else if diag == "" {
+			diag = fmt.Sprintf("vetoed by %s: %s", resp.Responder, resp.Decision.Diagnostic)
+		}
+		if resp.ReceivedStateHash != wantHash {
+			consistent = false
+			diag = fmt.Sprintf("%s asserts state integrity failure", resp.Responder)
+		}
+	}
+	// Completeness: one response per recipient.
+	for _, m := range members {
+		if m == prop.Proposer {
+			continue
+		}
+		if _, ok := seen[m]; !ok {
+			return commitInvalidSilent, fmt.Sprintf("commit missing response from %s", m)
+		}
+	}
+	// Our own response must appear unmodified.
+	own, ok := commitContains(commit.Responds, rr.respond)
+	if !ok {
+		return commitInvalidSilent, "commit misrepresents this party's response"
+	}
+	_ = own
+
+	var valid bool
+	switch termination {
+	case Majority:
+		valid = consistent && accepts*2 > len(members)
+	default:
+		valid = consistent && accepts == len(members)
+	}
+	if valid {
+		return commitValid, diag
+	}
+	return commitInvalid, diag
+}
+
+func commitContains(responds []wire.Signed, want wire.Signed) (wire.Signed, bool) {
+	for _, s := range responds {
+		if bytes.Equal(s.Body, want.Body) && bytes.Equal(s.Sig.Sig, want.Sig.Sig) {
+			return s, true
+		}
+	}
+	return wire.Signed{}, false
+}
+
+func decisionsOf(commit wire.Commit) map[string]wire.Decision {
+	out := make(map[string]wire.Decision, len(commit.Responds))
+	for _, s := range commit.Responds {
+		if resp, err := wire.UnmarshalRespond(s.Body); err == nil {
+			out[resp.Responder] = resp.Decision
+		}
+	}
+	return out
+}
+
+// handleAbortCert applies a TTP-certified abort (§7 extension): if a trusted
+// TTP certifies that a run is aborted, both proposer and recipients resolve
+// the blocked run as invalid.
+func (en *Engine) handleAbortCert(from string, payload []byte) {
+	signed, err := wire.UnmarshalSigned(payload)
+	if err != nil {
+		_ = en.logEvidence("", "malformed-abort-cert", nrlog.DirReceived, payload)
+		return
+	}
+	cert, err := wire.UnmarshalAbortCert(signed.Body)
+	if err != nil {
+		_ = en.logEvidence("", "malformed-abort-cert", nrlog.DirReceived, payload)
+		return
+	}
+	if en.cfg.TTP == "" || signed.Signer() != en.cfg.TTP || cert.TTP != en.cfg.TTP {
+		_ = en.logEvidence(cert.RunID, "abort-cert-untrusted", nrlog.DirReceived, payload)
+		return
+	}
+	if err := signed.Verify(en.cfg.Verifier); err != nil {
+		_ = en.logEvidence(cert.RunID, "abort-cert-unverifiable", nrlog.DirReceived, payload)
+		return
+	}
+	if !cert.Aborted {
+		return // certified decisions are delivered as ordinary commits
+	}
+	_ = en.logEvidence(cert.RunID, wire.KindAbortCert.String(), nrlog.DirReceived, payload)
+
+	en.mu.Lock()
+	if run, ok := en.runs[cert.RunID]; ok {
+		// Proposer side: resolve the blocked run as aborted.
+		run.aborted = true
+		select {
+		case <-run.done:
+		default:
+			close(run.done)
+		}
+		en.mu.Unlock()
+		return
+	}
+	if _, ok := en.responded[cert.RunID]; ok {
+		// Recipient side: clear the active run; replica stays at agreed.
+		delete(en.responded, cert.RunID)
+		en.completed[cert.RunID] = Outcome{RunID: cert.RunID, Valid: false, Diagnostic: "TTP-certified abort"}
+		en.mu.Unlock()
+		_ = en.cfg.Store.DeleteRun(cert.RunID)
+		return
+	}
+	en.mu.Unlock()
+}
+
+// BlockedEvidence returns, for a run this party holds open as a recipient,
+// the signed propose/respond pair demonstrating that the run is active —
+// the material a party would take to extra-protocol dispute resolution.
+func (en *Engine) BlockedEvidence(runID string) ([]wire.Signed, error) {
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	rr, ok := en.responded[runID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownRun, runID)
+	}
+	return []wire.Signed{rr.propose, rr.respond}, nil
+}
+
+// Outcome returns the recorded outcome of a completed run.
+func (en *Engine) Outcome(runID string) (Outcome, bool) {
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	out, ok := en.completed[runID]
+	return out, ok
+}
+
+// pendingGrace bounds how long a proposer waits for in-flight commits of
+// runs it has answered before proposing anyway.
+func (en *Engine) pendingGrace() time.Duration {
+	if en.cfg.RetryInterval > 0 {
+		return 8 * en.cfg.RetryInterval
+	}
+	return time.Second
+}
+
+// waitNoPending blocks until this party holds no answered-but-uncommitted
+// runs, or ctx expires.
+func (en *Engine) waitNoPending(ctx context.Context) error {
+	for {
+		en.mu.Lock()
+		n := len(en.responded)
+		en.mu.Unlock()
+		if n == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("%w: %d uncommitted runs pending: %v", ErrBlocked, n, ctx.Err())
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// WaitQuiescent blocks until this party holds no answered-but-uncommitted
+// runs (all validated changes have been installed or discarded), or ctx
+// expires. Applications call this (via the controller's Settle) before
+// acting on the replica when another party has just coordinated a change.
+func (en *Engine) WaitQuiescent(ctx context.Context) error {
+	return en.waitNoPending(ctx)
+}
+
+// RecoverPendingRuns resumes coordination runs interrupted by a crash
+// (§4.2: nodes eventually recover and resume participation in a protocol
+// run). Proposer-side runs are re-entered with their original signed
+// proposal and authenticator and re-broadcast; recipient-side records are
+// dropped — the proposer's protocol-level retries re-deliver the proposal
+// and the recipient re-validates. Call after Restore, before new proposals.
+func (en *Engine) RecoverPendingRuns(ctx context.Context) ([]Outcome, error) {
+	records, err := en.cfg.Store.PendingRuns()
+	if err != nil {
+		return nil, err
+	}
+	var outs []Outcome
+	for _, rec := range records {
+		if rec.Object != en.cfg.Object {
+			continue
+		}
+		if rec.Role != "proposer" {
+			_ = en.cfg.Store.DeleteRun(rec.RunID)
+			continue
+		}
+		signed, err := wire.UnmarshalSigned(rec.Raw)
+		if err != nil {
+			_ = en.cfg.Store.DeleteRun(rec.RunID)
+			continue
+		}
+		prop, err := wire.UnmarshalPropose(signed.Body)
+		if err != nil {
+			_ = en.cfg.Store.DeleteRun(rec.RunID)
+			continue
+		}
+
+		en.mu.Lock()
+		if !en.bootstrapped {
+			en.mu.Unlock()
+			return outs, ErrNotBootstrapd
+		}
+		if prop.Agreed != en.agreed {
+			// The run's base state is no longer the agreed state (it was
+			// decided without us); nothing to resume.
+			en.mu.Unlock()
+			_ = en.cfg.Store.DeleteRun(rec.RunID)
+			continue
+		}
+		// Re-enter the proposer's commitment.
+		en.current = prop.Proposed
+		en.currentState = append([]byte(nil), rec.State...)
+		en.seen.ObserveRecovered(prop.Proposed)
+		run := &proposerRun{
+			runID:     rec.RunID,
+			propose:   prop,
+			signed:    signed,
+			auth:      append([]byte(nil), rec.Auth...),
+			newState:  append([]byte(nil), rec.State...),
+			responses: make(map[string]wire.Signed),
+			parsed:    make(map[string]wire.Respond),
+			recips:    en.recipientsLocked(),
+			done:      make(chan struct{}),
+		}
+		if len(run.recips) == 0 {
+			en.mu.Unlock()
+			_ = en.cfg.Store.DeleteRun(rec.RunID)
+			continue
+		}
+		en.runs[rec.RunID] = run
+		en.mu.Unlock()
+
+		payload := signed.Marshal()
+		for _, r := range run.recips {
+			_ = en.send(ctx, r, wire.KindPropose, payload)
+		}
+		out, err := en.awaitRun(ctx, run)
+		outs = append(outs, out)
+		if err != nil && !errors.Is(err, ErrVetoed) && !errors.Is(err, ErrAborted) {
+			return outs, err
+		}
+	}
+	return outs, nil
+}

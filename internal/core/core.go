@@ -1,0 +1,230 @@
+// Package core provides the participant runtime: one organisation's
+// B2BObjects process. A Participant owns the party's identity, verifier,
+// non-repudiation log, checkpoint store and transport connection, binds any
+// number of coordinated objects, and routes inbound protocol traffic to the
+// right engine (state coordination, package coord) or membership manager
+// (package group). The public root package b2b wraps this runtime in the
+// paper's API (Fig 4).
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"b2b/internal/clock"
+	"b2b/internal/coord"
+	"b2b/internal/crypto"
+	"b2b/internal/group"
+	"b2b/internal/nrlog"
+	"b2b/internal/store"
+	"b2b/internal/transport"
+	"b2b/internal/wire"
+)
+
+// Conn is the transport surface a participant needs (satisfied by
+// transport.Reliable over in-memory and TCP endpoints).
+type Conn interface {
+	ID() string
+	Send(ctx context.Context, to string, payload []byte) error
+	SetHandler(h transport.Handler)
+	Close() error
+}
+
+// Errors returned by the participant.
+var (
+	ErrObjectBound   = errors.New("core: object already bound")
+	ErrObjectUnknown = errors.New("core: object not bound")
+)
+
+// Config assembles a participant's dependencies.
+type Config struct {
+	Ident    *crypto.Identity
+	Verifier *crypto.Verifier
+	TSA      wire.Stamper
+	Conn     Conn
+	Log      nrlog.Log
+	Store    store.Store
+	Clock    clock.Clock
+	// Termination applies to all objects bound by this participant.
+	Termination coord.Termination
+	// TTP names the trusted third party for certified aborts (optional).
+	TTP string
+	// RetryInterval is the protocol-level retry period (default 50ms).
+	RetryInterval time.Duration
+	// ResponseTimeout bounds membership decision waits (default 10s).
+	ResponseTimeout time.Duration
+}
+
+// binding is one coordinated object's machinery.
+type binding struct {
+	engine  *coord.Engine
+	manager *group.Manager
+}
+
+// Participant is one organisation's middleware runtime.
+type Participant struct {
+	cfg Config
+
+	mu      sync.Mutex
+	objects map[string]*binding
+	closed  bool
+}
+
+// New creates a participant and installs its dispatcher on the connection.
+func New(cfg Config) (*Participant, error) {
+	if cfg.Ident == nil || cfg.Conn == nil || cfg.Log == nil || cfg.Store == nil ||
+		cfg.Clock == nil || cfg.Verifier == nil {
+		return nil, errors.New("core: incomplete config")
+	}
+	if cfg.RetryInterval == 0 {
+		cfg.RetryInterval = 50 * time.Millisecond
+	}
+	if cfg.ResponseTimeout == 0 {
+		cfg.ResponseTimeout = 10 * time.Second
+	}
+	p := &Participant{
+		cfg:     cfg,
+		objects: make(map[string]*binding),
+	}
+	cfg.Conn.SetHandler(p.dispatch)
+	return p, nil
+}
+
+// ID returns the participant's identity name.
+func (p *Participant) ID() string { return p.cfg.Ident.ID() }
+
+// Identity returns the participant's identity.
+func (p *Participant) Identity() *crypto.Identity { return p.cfg.Ident }
+
+// Verifier returns the participant's certificate verifier.
+func (p *Participant) Verifier() *crypto.Verifier { return p.cfg.Verifier }
+
+// Log returns the participant's non-repudiation log.
+func (p *Participant) Log() nrlog.Log { return p.cfg.Log }
+
+// Store returns the participant's checkpoint store.
+func (p *Participant) Store() store.Store { return p.cfg.Store }
+
+// Bind attaches a coordinated object: the application's state validator and
+// membership validator produce an engine/manager pair. The object starts
+// unbootstrapped; call Engine().Bootstrap, Engine().Restore, or
+// Manager().Join to establish membership and state.
+func (p *Participant) Bind(object string, v coord.Validator, mv group.Validator) (*coord.Engine, *group.Manager, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.objects[object]; dup {
+		return nil, nil, fmt.Errorf("%w: %s", ErrObjectBound, object)
+	}
+	en, err := coord.New(coord.Config{
+		Ident:         p.cfg.Ident,
+		Object:        object,
+		Verifier:      p.cfg.Verifier,
+		TSA:           p.cfg.TSA,
+		Conn:          p.cfg.Conn,
+		Log:           p.cfg.Log,
+		Store:         p.cfg.Store,
+		Clock:         p.cfg.Clock,
+		Validator:     v,
+		Termination:   p.cfg.Termination,
+		RetryInterval: p.cfg.RetryInterval,
+		TTP:           p.cfg.TTP,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if mv == nil {
+		mv = group.AcceptAll{}
+	}
+	mgr, err := group.New(group.Config{
+		Ident:           p.cfg.Ident,
+		Object:          object,
+		Verifier:        p.cfg.Verifier,
+		TSA:             p.cfg.TSA,
+		Conn:            p.cfg.Conn,
+		Log:             p.cfg.Log,
+		Clock:           p.cfg.Clock,
+		Engine:          en,
+		Validator:       mv,
+		ResponseTimeout: p.cfg.ResponseTimeout,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	p.objects[object] = &binding{engine: en, manager: mgr}
+	return en, mgr, nil
+}
+
+// Engine returns the coordination engine for a bound object.
+func (p *Participant) Engine(object string) (*coord.Engine, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	b, ok := p.objects[object]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrObjectUnknown, object)
+	}
+	return b.engine, nil
+}
+
+// Manager returns the membership manager for a bound object.
+func (p *Participant) Manager(object string) (*group.Manager, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	b, ok := p.objects[object]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrObjectUnknown, object)
+	}
+	return b.manager, nil
+}
+
+// Objects lists bound object names.
+func (p *Participant) Objects() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.objects))
+	for o := range p.objects {
+		out = append(out, o)
+	}
+	return out
+}
+
+// dispatch routes an inbound payload by object and kind.
+func (p *Participant) dispatch(from string, payload []byte) {
+	env, err := wire.UnmarshalEnvelope(payload)
+	if err != nil {
+		_, _ = p.cfg.Log.Append("", "", "malformed-envelope", p.cfg.Ident.ID(), nrlog.DirReceived, payload)
+		return
+	}
+	p.mu.Lock()
+	b, ok := p.objects[env.Object]
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return
+	}
+	if !ok {
+		_, _ = p.cfg.Log.Append("", env.Object, "unbound-object", p.cfg.Ident.ID(), nrlog.DirReceived, payload)
+		return
+	}
+	switch env.Kind {
+	case wire.KindPropose, wire.KindRespond, wire.KindCommit, wire.KindAbortCert:
+		b.engine.HandleEnvelope(from, env)
+	default:
+		b.manager.HandleEnvelope(from, env)
+	}
+}
+
+// Close shuts the participant down (the connection is closed; engines keep
+// their persisted state for recovery).
+func (p *Participant) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	return p.cfg.Conn.Close()
+}

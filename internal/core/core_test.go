@@ -1,0 +1,232 @@
+package core_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"b2b/internal/clock"
+	"b2b/internal/coord"
+	"b2b/internal/core"
+	"b2b/internal/crypto"
+	"b2b/internal/lab"
+	"b2b/internal/nrlog"
+	"b2b/internal/store"
+	"b2b/internal/transport"
+	"b2b/internal/tuple"
+	"b2b/internal/wire"
+)
+
+type acceptAll struct{}
+
+func (acceptAll) ValidateState(string, []byte, []byte) wire.Decision  { return wire.Accepted }
+func (acceptAll) ValidateUpdate(string, []byte, []byte) wire.Decision { return wire.Accepted }
+func (acceptAll) ApplyUpdate(current, update []byte) ([]byte, error) {
+	return append(append([]byte(nil), current...), update...), nil
+}
+func (acceptAll) Installed([]byte, tuple.State)  {}
+func (acceptAll) RolledBack([]byte, tuple.State) {}
+
+func newParticipant(t *testing.T, nw *transport.Network, clk *clock.Sim,
+	ca *crypto.CA, tsa *crypto.TSA, id string, certs []crypto.Certificate) *core.Participant {
+	t.Helper()
+	ident, err := crypto.NewIdentity(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca.Issue(ident)
+	v := crypto.NewVerifier(ca, tsa)
+	if err := v.AddCertificate(ident.Certificate()); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range certs {
+		if err := v.AddCertificate(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rel, err := transport.NewReliable(nw.Endpoint(id), transport.WithRetryInterval(5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.New(core.Config{
+		Ident:    ident,
+		Verifier: v,
+		TSA:      tsa,
+		Conn:     rel,
+		Log:      nrlog.NewMemory(clk),
+		Store:    store.NewMemory(),
+		Clock:    clk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = p.Close() })
+	return p
+}
+
+func TestParticipantBindErrors(t *testing.T) {
+	clk := clock.NewSim(time.Unix(0, 0))
+	ca, err := crypto.NewCA("ca", clk, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsa, err := crypto.NewTSA("tsa", clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := transport.NewNetwork(1)
+	t.Cleanup(nw.Close)
+
+	p := newParticipant(t, nw, clk, ca, tsa, "solo", nil)
+	if _, _, err := p.Bind("obj", acceptAll{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Bind("obj", acceptAll{}, nil); !errors.Is(err, core.ErrObjectBound) {
+		t.Fatalf("double bind: %v", err)
+	}
+	if _, err := p.Engine("ghost"); !errors.Is(err, core.ErrObjectUnknown) {
+		t.Fatalf("unknown engine: %v", err)
+	}
+	if _, err := p.Manager("ghost"); !errors.Is(err, core.ErrObjectUnknown) {
+		t.Fatalf("unknown manager: %v", err)
+	}
+	if got := p.Objects(); len(got) != 1 || got[0] != "obj" {
+		t.Fatalf("objects = %v", got)
+	}
+}
+
+func TestParticipantMultiObjectRouting(t *testing.T) {
+	// Two independent objects between the same pair of participants: runs
+	// must not interfere.
+	w, err := lab.NewWorld(lab.Options{Seed: 6}, "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	for _, object := range []string{"orders", "contracts"} {
+		if err := w.Bind(object, func(string) coord.Validator { return lab.AcceptAllValidator() }, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Bootstrap(object, []byte(object+"-v0"), []string{"a", "b"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := w.Party("a").Engine("orders").Propose(ctx, []byte("orders-v1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Party("b").Engine("contracts").Propose(ctx, []byte("contracts-v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WaitAgreed("orders", []string{"a", "b"}, []byte("orders-v1"), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WaitAgreed("contracts", []string{"a", "b"}, []byte("contracts-v1"), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParticipantLogsUnboundObjectTraffic(t *testing.T) {
+	w, err := lab.NewWorld(lab.Options{Seed: 6}, "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	if err := w.Bind("known", func(string) coord.Validator { return lab.AcceptAllValidator() }, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Bootstrap("known", []byte("v0"), []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Craft a message for an object b has not bound.
+	env := wire.Envelope{
+		MsgID:   "m1",
+		From:    "a",
+		To:      "b",
+		Object:  "unbound-object",
+		Kind:    wire.KindPropose,
+		Payload: []byte("whatever"),
+	}
+	if err := w.Party("a").Rel.Send(context.Background(), "b", env.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		entries, err := w.Party("b").Log.Entries()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if e.Kind == "unbound-object" {
+				return
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("traffic for unbound object left no evidence")
+}
+
+func TestParticipantMalformedTrafficEvidence(t *testing.T) {
+	w, err := lab.NewWorld(lab.Options{Seed: 6}, "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	if err := w.Bind("obj", func(string) coord.Validator { return lab.AcceptAllValidator() }, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Bootstrap("obj", []byte("v0"), []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := w.Party("a").Rel.Send(context.Background(), "b", []byte("not an envelope")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		entries, err := w.Party("b").Log.Entries()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if e.Kind == "malformed-envelope" && bytes.Equal(e.Payload, []byte("not an envelope")) {
+				return
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("malformed traffic left no evidence")
+}
+
+func TestParticipantClosedIgnoresTraffic(t *testing.T) {
+	w, err := lab.NewWorld(lab.Options{Seed: 6}, "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	if err := w.Bind("obj", func(string) coord.Validator { return lab.AcceptAllValidator() }, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Bootstrap("obj", []byte("v0"), []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Party("b").Part.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	if _, err := w.Party("a").Engine("obj").Propose(ctx, []byte("v1")); err == nil {
+		t.Fatal("proposal succeeded against a closed participant")
+	}
+}
+
+func TestIncompleteConfigRejected(t *testing.T) {
+	if _, err := core.New(core.Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}

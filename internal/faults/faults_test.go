@@ -1,0 +1,341 @@
+package faults_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"b2b/internal/coord"
+	"b2b/internal/faults"
+	"b2b/internal/lab"
+	"b2b/internal/wire"
+)
+
+// safetyWorld builds a 3-party group where "mallory" is compromised and
+// "alice"/"bob" are honest. Returns the world and mallory's adversary.
+func safetyWorld(t *testing.T) (*lab.World, *faults.Adversary) {
+	t.Helper()
+	w, err := lab.NewWorld(lab.Options{Seed: 11}, "alice", "bob", "mallory")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	if err := w.Bind("obj", func(string) coord.Validator { return lab.AcceptAllValidator() }, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Bootstrap("obj", []byte("v0"), []string{"alice", "bob", "mallory"}); err != nil {
+		t.Fatal(err)
+	}
+	return w, w.Adversary("mallory", "obj")
+}
+
+// spec extracts the adversary's view of the group (a compromised member
+// knows the real group context).
+func spec(w *lab.World, object string) faults.ProposalSpec {
+	en := w.Party("mallory").Engine(object)
+	g, _ := en.Group()
+	agreed, _ := en.Agreed()
+	return faults.ProposalSpec{Group: g, Agreed: agreed, Seq: agreed.Seq + 1}
+}
+
+// assertHonestUnchanged verifies the core safety property: the honest
+// parties' agreed state is still v0 and their evidence chains verify.
+func assertHonestUnchanged(t *testing.T, w *lab.World) {
+	t.Helper()
+	time.Sleep(100 * time.Millisecond) // allow any (incorrect) installs to surface
+	for _, id := range []string{"alice", "bob"} {
+		_, s := w.Party(id).Engine("obj").Agreed()
+		if !bytes.Equal(s, []byte("v0")) {
+			t.Fatalf("SAFETY VIOLATION: %s installed %q", id, s)
+		}
+		if err := w.Party(id).Log.Verify(); err != nil {
+			t.Fatalf("%s evidence chain: %v", id, err)
+		}
+	}
+}
+
+// evidenceOf reports whether party holds any evidence mentioning runID.
+func evidenceOf(t *testing.T, w *lab.World, party, runID string) bool {
+	t.Helper()
+	entries, err := w.Party(party).Log.ByRun(runID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(entries) > 0
+}
+
+func TestNullTransitionRejected(t *testing.T) {
+	w, adv := safetyWorld(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	runID, err := adv.NullTransition(ctx, spec(w, "obj"), []byte("v0"), []string{"alice", "bob"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertHonestUnchanged(t, w)
+	if !evidenceOf(t, w, "alice", runID) {
+		t.Fatal("no evidence of the null-transition attempt at alice")
+	}
+}
+
+func TestSelectiveSendNeverInstalls(t *testing.T) {
+	// Mallory sends state A to alice and state B to bob under one run id
+	// (§4.4 selective sending). Neither honest party may install either.
+	w, adv := safetyWorld(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	runID, err := adv.SelectiveSend(ctx, spec(w, "obj"),
+		[][]byte{[]byte("state-for-alice"), []byte("state-for-bob")},
+		[]string{"alice", "bob"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertHonestUnchanged(t, w)
+	if !evidenceOf(t, w, "alice", runID) || !evidenceOf(t, w, "bob", runID) {
+		t.Fatal("selective send left no evidence")
+	}
+}
+
+func TestOmittedCommitLeavesActiveRunEvidence(t *testing.T) {
+	// Mallory proposes but never commits (§4.4: omitting a message). The
+	// honest parties hold evidence that the run is active and never install.
+	w, adv := safetyWorld(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	runID, err := adv.OmittedCommit(ctx, spec(w, "obj"), []byte("never-committed"), []string{"alice", "bob"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	assertHonestUnchanged(t, w)
+
+	for _, id := range []string{"alice", "bob"} {
+		active := w.Party(id).Engine("obj").ActiveRuns()
+		if len(active) != 1 || active[0] != runID {
+			t.Fatalf("%s active runs = %v, want [%s]", id, active, runID)
+		}
+		ev, err := w.Party(id).Engine("obj").BlockedEvidence(runID)
+		if err != nil || len(ev) != 2 {
+			t.Fatalf("%s blocked evidence: %v (%d items)", id, err, len(ev))
+		}
+	}
+}
+
+func TestForgedCommitRejected(t *testing.T) {
+	// Mallory fabricates responses and a bad authenticator. Alice must not
+	// install and must hold evidence of the rejected commit.
+	w, adv := safetyWorld(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	runID, err := adv.ForgedCommit(ctx, spec(w, "obj"), []byte("forged-state"), "alice", []string{"bob"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertHonestUnchanged(t, w)
+	if !evidenceOf(t, w, "alice", runID) {
+		t.Fatal("no evidence of forged commit at alice")
+	}
+}
+
+func TestReplayRejected(t *testing.T) {
+	// A legitimate run completes; mallory replays its signed proposal.
+	// Invariant 4 (tuple uniqueness) must reject the replay.
+	w, adv := safetyWorld(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	out, err := w.Party("mallory").Engine("obj").Propose(ctx, []byte("v1"))
+	if err != nil || !out.Valid {
+		t.Fatalf("setup run: %v", err)
+	}
+	if err := w.WaitAgreed("obj", []string{"alice", "bob"}, []byte("v1"), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Extract the signed propose from mallory's own evidence log.
+	entries, err := w.Party("mallory").Log.ByRun(out.RunID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var signedPropose wire.Signed
+	found := false
+	for _, e := range entries {
+		if e.Kind == wire.KindPropose.String() {
+			sp, err := wire.UnmarshalSigned(e.Payload)
+			if err == nil {
+				signedPropose = sp
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no signed propose in mallory's log")
+	}
+
+	if err := adv.ReplayRun(ctx, signedPropose, []string{"alice", "bob"}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	// State stays at v1 (replay does not re-install or advance).
+	for _, id := range []string{"alice", "bob"} {
+		_, s := w.Party(id).Engine("obj").Agreed()
+		if !bytes.Equal(s, []byte("v1")) {
+			t.Fatalf("%s state after replay = %q", id, s)
+		}
+	}
+}
+
+func TestStaleSequenceRejected(t *testing.T) {
+	w, adv := safetyWorld(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := adv.StaleSequence(ctx, spec(w, "obj"), []byte("stale"), []string{"alice", "bob"}); err != nil {
+		t.Fatal(err)
+	}
+	assertHonestUnchanged(t, w)
+}
+
+func TestWrongGroupRejected(t *testing.T) {
+	w, adv := safetyWorld(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := adv.WrongGroup(ctx, spec(w, "obj"), []byte("wrong-group"), []string{"alice", "bob"}); err != nil {
+		t.Fatal(err)
+	}
+	assertHonestUnchanged(t, w)
+}
+
+func TestMismatchedStateRejected(t *testing.T) {
+	// Internal inconsistency: carried state does not match the signed tuple.
+	w, adv := safetyWorld(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := adv.MismatchedState(ctx, spec(w, "obj"), []string{"alice", "bob"}); err != nil {
+		t.Fatal(err)
+	}
+	assertHonestUnchanged(t, w)
+}
+
+func TestDolevYaoTamperedBodyRejected(t *testing.T) {
+	// The intruder flips a bit inside the signed body of every outbound
+	// message from alice. Bob must reject them all; nothing installs.
+	w, _ := safetyWorld(t)
+	w.Party("alice").Interceptor.SetOnSend(func(to string, payload []byte) (faults.Action, []byte) {
+		return faults.Tamper, faults.TamperSignedBody(payload)
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 400*time.Millisecond)
+	defer cancel()
+	_, err := w.Party("alice").Engine("obj").Propose(ctx, []byte("v1"))
+	if err == nil {
+		t.Fatal("tampered run succeeded")
+	}
+	w.Party("alice").Interceptor.SetOnSend(nil)
+	assertHonestUnchanged(t, w)
+}
+
+func TestDolevYaoEnvelopeForgeryRejected(t *testing.T) {
+	// The intruder rewrites the unsigned envelope sender so mallory's
+	// proposal claims to come from alice. Signature/identity cross-checks
+	// must reject it.
+	w, adv := safetyWorld(t)
+	w.Party("mallory").Interceptor.SetOnSend(func(to string, payload []byte) (faults.Action, []byte) {
+		return faults.Tamper, faults.TamperEnvelopeFrom(payload, "alice")
+	})
+	// Route mallory's adversary through the interceptor too.
+	adv.Conn = w.Party("mallory").Interceptor
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, err := adv.OmittedCommit(ctx, spec(w, "obj"), []byte("spoofed"), []string{"alice", "bob"}); err != nil {
+		t.Fatal(err)
+	}
+	assertHonestUnchanged(t, w)
+}
+
+func TestDolevYaoDropDoesNotViolateSafety(t *testing.T) {
+	// The intruder silently drops all of alice's outbound traffic: the run
+	// blocks (liveness lost) but nobody installs anything (safety held).
+	w, _ := safetyWorld(t)
+	w.Party("alice").Interceptor.SetOnSend(func(string, []byte) (faults.Action, []byte) {
+		return faults.Drop, nil
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	_, err := w.Party("alice").Engine("obj").Propose(ctx, []byte("v1"))
+	if err == nil {
+		t.Fatal("run with fully dropped traffic succeeded")
+	}
+	w.Party("alice").Interceptor.SetOnSend(nil)
+	assertHonestUnchanged(t, w)
+}
+
+func TestInterceptorReplayOfWholeEnvelopeSuppressed(t *testing.T) {
+	// Replaying a captured envelope verbatim is absorbed by either the
+	// transport dedup (same message id) or invariant 4 at protocol level.
+	w, _ := safetyWorld(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	out, err := w.Party("mallory").Engine("obj").Propose(ctx, []byte("v1"))
+	if err != nil || !out.Valid {
+		t.Fatalf("setup run: %v", err)
+	}
+	if err := w.WaitAgreed("obj", []string{"alice", "bob"}, []byte("v1"), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	ic := w.Party("mallory").Interceptor
+	caught := ic.Captured()
+	if len(caught) == 0 {
+		t.Fatal("interceptor captured nothing")
+	}
+	for i := range caught {
+		_ = ic.Replay(ctx, i)
+	}
+	time.Sleep(100 * time.Millisecond)
+	for _, id := range []string{"alice", "bob"} {
+		_, s := w.Party(id).Engine("obj").Agreed()
+		if !bytes.Equal(s, []byte("v1")) {
+			t.Fatalf("%s diverged after replay: %q", id, s)
+		}
+		agreed, _ := w.Party(id).Engine("obj").Agreed()
+		if agreed.Seq != 1 {
+			t.Fatalf("%s sequence advanced by replay: %d", id, agreed.Seq)
+		}
+	}
+}
+
+func TestHonestPartiesProceedAfterAttacks(t *testing.T) {
+	// After a barrage of attacks, honest coordination still works: the
+	// attacks consumed sequence numbers at recipients, but fresh proposals
+	// use higher sequence numbers and succeed.
+	w, adv := safetyWorld(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	sp := spec(w, "obj")
+	if _, err := adv.OmittedCommit(ctx, sp, []byte("attack1"), []string{"alice", "bob"}); err != nil {
+		t.Fatal(err)
+	}
+	sp2 := sp
+	sp2.Seq = sp.Seq + 5
+	if _, err := adv.MismatchedState(ctx, sp2, []string{"alice", "bob"}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+
+	out, err := w.Party("alice").Engine("obj").Propose(ctx, []byte("honest-v1"))
+	if err != nil || !out.Valid {
+		t.Fatalf("honest run after attacks: %v", err)
+	}
+	if err := w.WaitAgreed("obj", []string{"alice", "bob"}, []byte("honest-v1"), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}

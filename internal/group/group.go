@@ -1,0 +1,493 @@
+// Package group implements the connection and disconnection protocols that
+// manage membership of the participant set for object coordination (paper
+// §4.5). The protocols ensure that at membership changes all parties hold a
+// consistent, non-repudiable view of both the membership and the agreed
+// object state.
+//
+// Roles (§4.5.1): the subject is the joining/leaving party; the sponsor
+// coordinates the group's decision. The sponsor of a connection request is
+// the most recently joined member; the sponsor of a disconnection is the
+// most recently joined member that is not being disconnected. The sponsor
+// also blocks new coordination requests while a membership change is being
+// decided.
+package group
+
+import (
+	"context"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"b2b/internal/clock"
+	"b2b/internal/coord"
+	"b2b/internal/crypto"
+	"b2b/internal/nrlog"
+	"b2b/internal/tuple"
+	"b2b/internal/wire"
+)
+
+// Errors returned by the manager.
+var (
+	ErrRejected     = errors.New("group: request rejected")
+	ErrNotSponsor   = errors.New("group: this member is not the sponsor")
+	ErrBusy         = errors.New("group: a membership change is already in progress")
+	ErrNotMember    = errors.New("group: not a member")
+	ErrBadSubject   = errors.New("group: invalid subject")
+	ErrBadEvidence  = errors.New("group: membership evidence failed verification")
+	ErrAlreadyAdded = errors.New("group: subject is already a member")
+)
+
+// redirectPrefix marks a Reject that names the legitimate sponsor, so a
+// subject that contacted the wrong member can retry (§4.5.1: any member can
+// identify the sponsor and provide this information to the subject).
+const redirectPrefix = "redirect:"
+
+// Validator is the application upcall for membership decisions (the
+// B2BObject validateConnect/validateDisconnect operations of §5).
+type Validator interface {
+	ValidateConnect(subject string) wire.Decision
+	ValidateDisconnect(subject string, voluntary bool) wire.Decision
+}
+
+// AcceptAll is a Validator admitting every request.
+type AcceptAll struct{}
+
+// ValidateConnect accepts.
+func (AcceptAll) ValidateConnect(string) wire.Decision { return wire.Accepted }
+
+// ValidateDisconnect accepts.
+func (AcceptAll) ValidateDisconnect(string, bool) wire.Decision { return wire.Accepted }
+
+// Config assembles a manager's dependencies.
+type Config struct {
+	Ident     *crypto.Identity
+	Object    string
+	Verifier  *crypto.Verifier
+	TSA       wire.Stamper
+	Conn      coord.Conn
+	Log       nrlog.Log
+	Clock     clock.Clock
+	Engine    *coord.Engine
+	Validator Validator
+	// ResponseTimeout bounds the sponsor's wait for member responses in a
+	// single membership run (default 10s).
+	ResponseTimeout time.Duration
+}
+
+// sponsorRun tracks an in-flight membership change at the sponsor.
+type sponsorRun struct {
+	runID     string
+	proposeS  wire.Signed
+	auth      []byte
+	recips    []string
+	responses map[string]wire.Signed
+	parsed    map[string]wire.GroupRespond
+	done      chan struct{}
+}
+
+// memberRun tracks a membership change this member answered, pending commit.
+type memberRun struct {
+	runID      string
+	sponsor    string
+	proposeS   wire.Signed
+	respond    wire.Signed
+	newGroup   tuple.Group
+	newMembers []string
+	subject    string
+	isConnect  bool
+}
+
+// joinWait is the subject side of a pending connection request.
+type joinWait struct {
+	reqID string
+	ch    chan joinResult
+}
+
+type joinResult struct {
+	welcome  *wire.Welcome
+	rejectBy string
+	reason   string
+	err      error
+}
+
+// Manager runs the membership protocols for one object's coordination group.
+type Manager struct {
+	cfg Config
+
+	mu        sync.Mutex
+	runs      map[string]*sponsorRun
+	answered  map[string]*memberRun
+	completed map[string]bool
+	joins     map[string]*joinWait // by reqID
+	leaves    map[string]chan wire.DiscNotice
+	seenReqs  map[string]bool
+}
+
+// New creates a membership manager bound to a coordination engine.
+func New(cfg Config) (*Manager, error) {
+	if cfg.Ident == nil || cfg.Conn == nil || cfg.Log == nil || cfg.Clock == nil ||
+		cfg.Engine == nil || cfg.Validator == nil || cfg.Verifier == nil {
+		return nil, errors.New("group: incomplete config")
+	}
+	if cfg.ResponseTimeout == 0 {
+		cfg.ResponseTimeout = 10 * time.Second
+	}
+	return &Manager{
+		cfg:       cfg,
+		runs:      make(map[string]*sponsorRun),
+		answered:  make(map[string]*memberRun),
+		completed: make(map[string]bool),
+		joins:     make(map[string]*joinWait),
+		leaves:    make(map[string]chan wire.DiscNotice),
+		seenReqs:  make(map[string]bool),
+	}, nil
+}
+
+// SponsorOf returns the sponsor for a request excluding the given subjects
+// (empty for connection requests): the most recently joined member not being
+// disconnected (§4.5.1).
+func SponsorOf(joinOrdered []string, excluding ...string) (string, error) {
+	excluded := make(map[string]bool, len(excluding))
+	for _, e := range excluding {
+		excluded[e] = true
+	}
+	for i := len(joinOrdered) - 1; i >= 0; i-- {
+		if !excluded[joinOrdered[i]] {
+			return joinOrdered[i], nil
+		}
+	}
+	return "", errors.New("group: no eligible sponsor")
+}
+
+// Join runs the subject side of the connection protocol (§4.5.3): request
+// admission via contact (retrying on redirect), wait for the Welcome (or
+// rejection), verify the evidence, and adopt membership and agreed state
+// into the engine.
+func (m *Manager) Join(ctx context.Context, contact string) error {
+	for {
+		res, err := m.joinOnce(ctx, contact)
+		if err != nil {
+			return err
+		}
+		if res.welcome != nil {
+			return m.adoptWelcome(res.welcome)
+		}
+		if strings.HasPrefix(res.reason, redirectPrefix) {
+			contact = strings.TrimPrefix(res.reason, redirectPrefix)
+			continue
+		}
+		return fmt.Errorf("%w by %s: %s", ErrRejected, res.rejectBy, res.reason)
+	}
+}
+
+func (m *Manager) joinOnce(ctx context.Context, contact string) (joinResult, error) {
+	nonce, err := crypto.Nonce()
+	if err != nil {
+		return joinResult{}, err
+	}
+	reqID := m.cfg.Ident.ID() + "-join-" + hex.EncodeToString(nonce[:8])
+	req := wire.ConnRequest{
+		ReqID:       reqID,
+		Object:      m.cfg.Object,
+		Subject:     m.cfg.Ident.ID(),
+		SubjectCert: m.cfg.Ident.Certificate(),
+		Nonce:       nonce,
+	}
+	signed := wire.Sign(wire.KindConnRequest, req.Marshal(), m.cfg.Ident, m.cfg.TSA)
+
+	wait := &joinWait{reqID: reqID, ch: make(chan joinResult, 1)}
+	m.mu.Lock()
+	m.joins[reqID] = wait
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		delete(m.joins, reqID)
+		m.mu.Unlock()
+	}()
+
+	if err := m.logEvidence(reqID, wire.KindConnRequest.String(), nrlog.DirSent, signed.Marshal()); err != nil {
+		return joinResult{}, err
+	}
+	if err := m.send(ctx, contact, wire.KindConnRequest, signed.Marshal()); err != nil {
+		return joinResult{}, err
+	}
+	select {
+	case res := <-wait.ch:
+		return res, res.err
+	case <-ctx.Done():
+		return joinResult{}, fmt.Errorf("group: join request %s: %w", reqID, ctx.Err())
+	}
+}
+
+// adoptWelcome verifies the welcome evidence and installs membership+state.
+func (m *Manager) adoptWelcome(w *wire.Welcome) error {
+	// Register the members' certificates first so signatures verify.
+	for _, cert := range w.MemberCerts {
+		if err := m.cfg.Verifier.AddCertificate(cert); err != nil {
+			return fmt.Errorf("%w: member certificate %s: %v", ErrBadEvidence, cert.Subject, err)
+		}
+	}
+	// The commit must verify exactly as members verified it.
+	prop, err := verifyGroupCommitEvidence(m.cfg.Verifier, w.Commit, true)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadEvidence, err)
+	}
+	if prop.Subject != m.cfg.Ident.ID() {
+		return fmt.Errorf("%w: welcome for foreign subject %s", ErrBadEvidence, prop.Subject)
+	}
+	if prop.NewGroup != w.Group {
+		return fmt.Errorf("%w: group tuple mismatch", ErrBadEvidence)
+	}
+	if !w.Group.MatchesMembers(w.Members) {
+		return fmt.Errorf("%w: membership does not match group tuple", ErrBadEvidence)
+	}
+	if !w.AgreedTuple.Matches(w.AgreedState) {
+		return fmt.Errorf("%w: agreed state does not match its tuple", ErrBadEvidence)
+	}
+	// Every member's signed response asserts its agreed-state tuple: all
+	// must match the state we were handed (§4.5.3).
+	for _, s := range w.Commit.Responds {
+		resp, err := wire.UnmarshalConnRespond(s.Body)
+		if err != nil {
+			return fmt.Errorf("%w: embedded response malformed", ErrBadEvidence)
+		}
+		if resp.Agreed != w.AgreedTuple {
+			return fmt.Errorf("%w: member %s holds different agreed state", ErrBadEvidence, resp.Responder)
+		}
+	}
+	if err := m.logEvidence(w.RunID, wire.KindWelcome.String(), nrlog.DirReceived, w.Marshal()); err != nil {
+		return err
+	}
+	return m.cfg.Engine.AdoptMembership(w.Group, w.Members, w.AgreedTuple, w.AgreedState)
+}
+
+// Leave runs the subject side of voluntary disconnection (§4.5.4).
+func (m *Manager) Leave(ctx context.Context) error {
+	_, members := m.cfg.Engine.Group()
+	if !contains(members, m.cfg.Ident.ID()) {
+		return ErrNotMember
+	}
+	sponsor, err := SponsorOf(members, m.cfg.Ident.ID())
+	if err != nil {
+		return err
+	}
+	nonce, err := crypto.Nonce()
+	if err != nil {
+		return err
+	}
+	reqID := m.cfg.Ident.ID() + "-leave-" + hex.EncodeToString(nonce[:8])
+	req := wire.DiscRequest{
+		ReqID:     reqID,
+		Object:    m.cfg.Object,
+		Proposer:  m.cfg.Ident.ID(),
+		Voluntary: true,
+		Evictees:  []string{m.cfg.Ident.ID()},
+		Nonce:     nonce,
+	}
+	signed := wire.Sign(wire.KindDiscRequest, req.Marshal(), m.cfg.Ident, m.cfg.TSA)
+
+	ch := make(chan wire.DiscNotice, 1)
+	m.mu.Lock()
+	m.leaves[reqID] = ch
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		delete(m.leaves, reqID)
+		m.mu.Unlock()
+	}()
+
+	if err := m.logEvidence(reqID, wire.KindDiscRequest.String(), nrlog.DirSent, signed.Marshal()); err != nil {
+		return err
+	}
+	if err := m.send(ctx, sponsor, wire.KindDiscRequest, signed.Marshal()); err != nil {
+		return err
+	}
+	// Re-send periodically: the sponsor may have been busy with another
+	// membership change when the request first arrived.
+	retry := time.NewTicker(m.cfg.ResponseTimeout / 20)
+	defer retry.Stop()
+	for {
+		select {
+		case notice := <-ch:
+			// Evidence of the membership and agreed state at departure.
+			if err := m.logEvidence(notice.RunID, wire.KindDiscNotice.String(), nrlog.DirReceived, notice.Marshal()); err != nil {
+				return err
+			}
+			// The departed member leaves the coordination group; its engine
+			// resets so it can reconnect later (evidence is retained).
+			m.cfg.Engine.Reset()
+			return nil
+		case <-retry.C:
+			_ = m.send(ctx, sponsor, wire.KindDiscRequest, signed.Marshal())
+		case <-ctx.Done():
+			return fmt.Errorf("group: leave request %s: %w", reqID, ctx.Err())
+		}
+	}
+}
+
+// Evict proposes the eviction of one or more members (§4.5.4, including the
+// evictee-subset extension). The proposer forwards the request to the
+// sponsor; if the proposer is the sponsor the request step is elided.
+func (m *Manager) Evict(ctx context.Context, evictees ...string) error {
+	if len(evictees) == 0 {
+		return ErrBadSubject
+	}
+	_, members := m.cfg.Engine.Group()
+	self := m.cfg.Ident.ID()
+	if !contains(members, self) {
+		return ErrNotMember
+	}
+	for _, e := range evictees {
+		if !contains(members, e) {
+			return fmt.Errorf("%w: %s is not a member", ErrBadSubject, e)
+		}
+		if e == self {
+			return fmt.Errorf("%w: use Leave for voluntary disconnection", ErrBadSubject)
+		}
+	}
+	sponsor, err := SponsorOf(members, evictees...)
+	if err != nil {
+		return err
+	}
+	nonce, err := crypto.Nonce()
+	if err != nil {
+		return err
+	}
+	reqID := self + "-evict-" + hex.EncodeToString(nonce[:8])
+	req := wire.DiscRequest{
+		ReqID:    reqID,
+		Object:   m.cfg.Object,
+		Proposer: self,
+		Evictees: append([]string(nil), evictees...),
+		Nonce:    nonce,
+	}
+	signed := wire.Sign(wire.KindDiscRequest, req.Marshal(), m.cfg.Ident, m.cfg.TSA)
+	if err := m.logEvidence(reqID, wire.KindDiscRequest.String(), nrlog.DirSent, signed.Marshal()); err != nil {
+		return err
+	}
+
+	if sponsor == self {
+		// Sponsor proposes directly (§4.5.4: request step omitted).
+		return m.sponsorDisconnection(ctx, signed, req)
+	}
+	return m.send(ctx, sponsor, wire.KindDiscRequest, signed.Marshal())
+}
+
+// contains reports membership of s in ss.
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Manager) logEvidence(runID, kind string, dir nrlog.Direction, payload []byte) error {
+	_, err := m.cfg.Log.Append(runID, m.cfg.Object, kind, m.cfg.Ident.ID(), dir, payload)
+	if err != nil {
+		return fmt.Errorf("group: recording evidence: %w", err)
+	}
+	return nil
+}
+
+func (m *Manager) send(ctx context.Context, to string, kind wire.Kind, payload []byte) error {
+	n, err := crypto.Nonce()
+	if err != nil {
+		return err
+	}
+	env := wire.Envelope{
+		MsgID:   hex.EncodeToString(n[:12]),
+		From:    m.cfg.Ident.ID(),
+		To:      to,
+		Object:  m.cfg.Object,
+		Kind:    kind,
+		Payload: payload,
+	}
+	return m.cfg.Conn.Send(ctx, to, env.Marshal())
+}
+
+// verifyGroupCommitEvidence validates a membership commit bundle: the
+// authenticator preimage against the sponsor's commitment, every signature,
+// and the internal consistency of all responses. Returns the embedded
+// proposal. isConnect selects conn- vs disc- message framing.
+func verifyGroupCommitEvidence(v *crypto.Verifier, c wire.GroupCommit, isConnect bool) (connOrDisc, error) {
+	if err := c.Propose.Verify(v); err != nil {
+		return connOrDisc{}, fmt.Errorf("embedded proposal: %w", err)
+	}
+	var prop connOrDisc
+	if isConnect {
+		p, err := wire.UnmarshalConnPropose(c.Propose.Body)
+		if err != nil {
+			return connOrDisc{}, err
+		}
+		prop = connOrDisc{
+			RunID: p.RunID, Sponsor: p.Sponsor, Subject: p.Subject,
+			CurGroup: p.CurGroup, NewGroup: p.NewGroup, NewMembers: p.NewMembers,
+			AuthCommit: p.AuthCommit,
+		}
+	} else {
+		p, err := wire.UnmarshalDiscPropose(c.Propose.Body)
+		if err != nil {
+			return connOrDisc{}, err
+		}
+		prop = connOrDisc{
+			RunID: p.RunID, Sponsor: p.Sponsor, Subject: strings.Join(p.Evictees, ","),
+			CurGroup: p.CurGroup, NewGroup: p.NewGroup, NewMembers: p.NewMembers,
+			AuthCommit: p.AuthCommit, Evictees: p.Evictees, Voluntary: p.Voluntary,
+		}
+	}
+	if prop.RunID != c.RunID || prop.Sponsor != c.Sponsor {
+		return connOrDisc{}, errors.New("commit does not match embedded proposal")
+	}
+	if crypto.Hash(c.Auth) != prop.AuthCommit {
+		return connOrDisc{}, errors.New("authenticator does not match commitment")
+	}
+	seen := make(map[string]bool)
+	for _, s := range c.Responds {
+		if err := s.Verify(v); err != nil {
+			return connOrDisc{}, fmt.Errorf("embedded response: %w", err)
+		}
+		var resp wire.GroupRespond
+		var err error
+		if isConnect {
+			resp, err = wire.UnmarshalConnRespond(s.Body)
+		} else {
+			resp, err = wire.UnmarshalDiscRespond(s.Body)
+		}
+		if err != nil {
+			return connOrDisc{}, err
+		}
+		if resp.Responder != s.Signer() {
+			return connOrDisc{}, errors.New("response signer mismatch")
+		}
+		if resp.RunID != c.RunID || resp.NewGroup != prop.NewGroup {
+			return connOrDisc{}, errors.New("response belongs to another run")
+		}
+		if !resp.Decision.Accept {
+			return connOrDisc{}, fmt.Errorf("response from %s is a veto", resp.Responder)
+		}
+		if seen[resp.Responder] {
+			return connOrDisc{}, errors.New("duplicate responder")
+		}
+		seen[resp.Responder] = true
+	}
+	return prop, nil
+}
+
+// connOrDisc is the common shape of membership proposals used during
+// evidence verification.
+type connOrDisc struct {
+	RunID      string
+	Sponsor    string
+	Subject    string
+	CurGroup   tuple.Group
+	NewGroup   tuple.Group
+	NewMembers []string
+	AuthCommit [32]byte
+	Evictees   []string
+	Voluntary  bool
+}

@@ -1,0 +1,257 @@
+// Package lab assembles complete B2BObjects deployments for tests,
+// experiments and examples: a set of participants (full middleware stacks)
+// over an in-memory fault-injecting network, with a shared CA and
+// time-stamping service. The experiment harness (cmd/b2bbench), the safety
+// and liveness suites and the benchmark file all build on it.
+package lab
+
+import (
+	"fmt"
+	"time"
+
+	"b2b/internal/clock"
+	"b2b/internal/coord"
+	"b2b/internal/core"
+	"b2b/internal/crypto"
+	"b2b/internal/faults"
+	"b2b/internal/group"
+	"b2b/internal/nrlog"
+	"b2b/internal/store"
+	"b2b/internal/transport"
+	"b2b/internal/tuple"
+	"b2b/internal/wire"
+)
+
+// Party is one organisation's full stack in the lab world.
+type Party struct {
+	ID          string
+	Ident       *crypto.Identity
+	Verifier    *crypto.Verifier
+	Rel         *transport.Reliable
+	Interceptor *faults.Interceptor
+	Log         *nrlog.Memory
+	Store       *store.Memory
+	Part        *core.Participant
+}
+
+// Engine returns the coordination engine for object (panics if unbound:
+// lab worlds are test fixtures, misuse is a programming error).
+func (p *Party) Engine(object string) *coord.Engine {
+	en, err := p.Part.Engine(object)
+	if err != nil {
+		panic(err)
+	}
+	return en
+}
+
+// Manager returns the membership manager for object.
+func (p *Party) Manager(object string) *group.Manager {
+	m, err := p.Part.Manager(object)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Options configures world construction.
+type Options struct {
+	Seed          uint64
+	Termination   coord.Termination
+	TTP           string
+	RetryInterval time.Duration
+	// NoTSA disables time-stamping (crypto ablation experiments). Signed
+	// messages then fail verification, so it only makes sense together with
+	// measuring raw signing cost, not protocol runs.
+	Start time.Time
+}
+
+// World is a lab deployment.
+type World struct {
+	Net     *transport.Network
+	Clk     *clock.Sim
+	CA      *crypto.CA
+	TSA     *crypto.TSA
+	Parties map[string]*Party
+	order   []string
+}
+
+// NewWorld creates parties with the given ids; every party trusts the shared
+// CA/TSA and holds every other party's certificate (certificates are
+// exchanged out of band between contracting organisations).
+func NewWorld(opts Options, ids ...string) (*World, error) {
+	start := opts.Start
+	if start.IsZero() {
+		start = time.Date(2002, 6, 23, 0, 0, 0, 0, time.UTC)
+	}
+	if opts.RetryInterval == 0 {
+		opts.RetryInterval = 25 * time.Millisecond
+	}
+	clk := clock.NewSim(start)
+	ca, err := crypto.NewCA("lab-ca", clk, 10*365*24*time.Hour)
+	if err != nil {
+		return nil, err
+	}
+	tsa, err := crypto.NewTSA("lab-tsa", clk)
+	if err != nil {
+		return nil, err
+	}
+	w := &World{
+		Net:     transport.NewNetwork(opts.Seed),
+		Clk:     clk,
+		CA:      ca,
+		TSA:     tsa,
+		Parties: make(map[string]*Party),
+		order:   append([]string(nil), ids...),
+	}
+
+	idents := make(map[string]*crypto.Identity, len(ids))
+	for _, id := range ids {
+		ident, err := crypto.NewIdentity(id)
+		if err != nil {
+			return nil, err
+		}
+		ca.Issue(ident)
+		idents[id] = ident
+	}
+	for _, id := range ids {
+		v := crypto.NewVerifier(ca, tsa)
+		for _, other := range ids {
+			if err := v.AddCertificate(idents[other].Certificate()); err != nil {
+				return nil, err
+			}
+		}
+		rel, err := transport.NewReliable(w.Net.Endpoint(id),
+			transport.WithRetryInterval(5*time.Millisecond))
+		if err != nil {
+			return nil, err
+		}
+		ic := faults.NewInterceptor(rel)
+		p := &Party{
+			ID:          id,
+			Ident:       idents[id],
+			Verifier:    v,
+			Rel:         rel,
+			Interceptor: ic,
+			Log:         nrlog.NewMemory(clk),
+			Store:       store.NewMemory(),
+		}
+		part, err := core.New(core.Config{
+			Ident:         idents[id],
+			Verifier:      v,
+			TSA:           tsa,
+			Conn:          &interceptedConn{Interceptor: ic, rel: rel},
+			Log:           p.Log,
+			Store:         p.Store,
+			Clock:         clk,
+			Termination:   opts.Termination,
+			TTP:           opts.TTP,
+			RetryInterval: opts.RetryInterval,
+		})
+		if err != nil {
+			return nil, err
+		}
+		p.Part = part
+		w.Parties[id] = p
+	}
+	return w, nil
+}
+
+// interceptedConn routes outbound traffic through the party's interceptor
+// (Dolev-Yao hook) while inbound handling stays on the reliable layer.
+type interceptedConn struct {
+	*faults.Interceptor
+	rel *transport.Reliable
+}
+
+func (c *interceptedConn) SetHandler(h transport.Handler) {
+	c.rel.SetHandler(h)
+}
+
+func (c *interceptedConn) Close() error { return c.rel.Close() }
+
+// Party returns the named party.
+func (w *World) Party(id string) *Party { return w.Parties[id] }
+
+// IDs returns party ids in creation order.
+func (w *World) IDs() []string { return append([]string(nil), w.order...) }
+
+// Close shuts the world down.
+func (w *World) Close() {
+	for _, p := range w.Parties {
+		_ = p.Part.Close()
+	}
+	w.Net.Close()
+}
+
+// Bind binds object at every party using per-party validators.
+func (w *World) Bind(object string, mkV func(id string) coord.Validator, mkMV func(id string) group.Validator) error {
+	for _, id := range w.order {
+		var mv group.Validator
+		if mkMV != nil {
+			mv = mkMV(id)
+		}
+		if _, _, err := w.Parties[id].Part.Bind(object, mkV(id), mv); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Bootstrap initialises the founding members of object with the initial
+// state. Members not in founding are left unbootstrapped (they may Join).
+func (w *World) Bootstrap(object string, initial []byte, founding []string) error {
+	for _, id := range founding {
+		if err := w.Parties[id].Engine(object).Bootstrap(initial, founding); err != nil {
+			return fmt.Errorf("lab: bootstrapping %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// WaitAgreed blocks until every listed party's agreed state for object
+// equals want, or the deadline passes.
+func (w *World) WaitAgreed(object string, parties []string, want []byte, d time.Duration) error {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		all := true
+		for _, id := range parties {
+			_, s := w.Parties[id].Engine(object).Agreed()
+			if string(s) != string(want) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return fmt.Errorf("lab: replicas did not converge to %q", want)
+}
+
+// Adversary compromises a party: returns a message-crafting adversary bound
+// to its identity and connection. The party's honest engines keep running;
+// the adversary speaks alongside them (a corrupted process).
+func (w *World) Adversary(id, object string) *faults.Adversary {
+	p := w.Parties[id]
+	return &faults.Adversary{
+		Ident:  p.Ident,
+		TSA:    w.TSA,
+		Conn:   p.Rel,
+		Object: object,
+	}
+}
+
+// AcceptAllValidator returns a coord.Validator accepting every change, with
+// update-append semantics.
+func AcceptAllValidator() coord.Validator { return acceptAll{} }
+
+type acceptAll struct{}
+
+func (acceptAll) ValidateState(_ string, _, _ []byte) wire.Decision  { return wire.Accepted }
+func (acceptAll) ValidateUpdate(_ string, _, _ []byte) wire.Decision { return wire.Accepted }
+func (acceptAll) ApplyUpdate(current, update []byte) ([]byte, error) {
+	return append(append([]byte(nil), current...), update...), nil
+}
+func (acceptAll) Installed([]byte, tuple.State)  {}
+func (acceptAll) RolledBack([]byte, tuple.State) {}

@@ -1,0 +1,352 @@
+// Package nrlog implements the non-repudiation evidence log: every protocol
+// message a party generates or receives is stored systematically in a local,
+// persistent, tamper-evident log (paper §3, §4.2). Entries are hash-chained
+// so that truncation or in-place modification of the record is detectable,
+// and indexed by protocol run so the evidence for a disputed run can be
+// handed to extra-protocol arbitration.
+package nrlog
+
+import (
+	"bufio"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"b2b/internal/crypto"
+)
+
+// Direction records whether the evidence was generated locally or received.
+type Direction string
+
+// Entry directions.
+const (
+	DirSent     Direction = "sent"
+	DirReceived Direction = "received"
+	DirLocal    Direction = "local" // local decisions, checkpoints, verdicts
+)
+
+// Entry is one evidence record. Hash covers (Seq, PrevHash, Time, RunID,
+// Object, Kind, Party, Direction, Payload); PrevHash chains entries.
+type Entry struct {
+	Seq       uint64
+	PrevHash  [32]byte
+	Hash      [32]byte
+	Time      time.Time
+	RunID     string
+	Object    string
+	Kind      string
+	Party     string
+	Direction Direction
+	Payload   []byte
+}
+
+func entryHash(e *Entry) [32]byte {
+	meta := fmt.Sprintf("%d|%s|%s|%s|%s|%s|%d",
+		e.Seq, e.RunID, e.Object, e.Kind, e.Party, e.Direction, e.Time.UTC().UnixNano())
+	return crypto.Hash(e.PrevHash[:], []byte(meta), e.Payload)
+}
+
+// Errors reported by logs.
+var (
+	ErrChainBroken = errors.New("nrlog: hash chain broken")
+	ErrBadEntry    = errors.New("nrlog: entry hash mismatch")
+)
+
+// Log is an append-only evidence store.
+type Log interface {
+	// Append records evidence and returns the stored entry.
+	Append(runID, object, kind, party string, dir Direction, payload []byte) (Entry, error)
+	// Entries returns all entries in order.
+	Entries() ([]Entry, error)
+	// ByRun returns the entries belonging to one protocol run.
+	ByRun(runID string) ([]Entry, error)
+	// Verify re-checks the hash chain over the whole log.
+	Verify() error
+	// Len reports the number of entries.
+	Len() int
+}
+
+// Clock supplies entry times (decoupled for deterministic tests).
+type Clock interface {
+	Now() time.Time
+}
+
+// Memory is an in-memory Log.
+type Memory struct {
+	mu      sync.Mutex
+	clk     Clock
+	entries []Entry
+}
+
+// NewMemory creates an empty in-memory log.
+func NewMemory(clk Clock) *Memory {
+	return &Memory{clk: clk}
+}
+
+// Append implements Log.
+func (l *Memory) Append(runID, object, kind, party string, dir Direction, payload []byte) (Entry, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := Entry{
+		Seq:       uint64(len(l.entries)),
+		Time:      l.clk.Now(),
+		RunID:     runID,
+		Object:    object,
+		Kind:      kind,
+		Party:     party,
+		Direction: dir,
+		Payload:   append([]byte(nil), payload...),
+	}
+	if len(l.entries) > 0 {
+		e.PrevHash = l.entries[len(l.entries)-1].Hash
+	}
+	e.Hash = entryHash(&e)
+	l.entries = append(l.entries, e)
+	return e, nil
+}
+
+// Entries implements Log.
+func (l *Memory) Entries() ([]Entry, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Entry, len(l.entries))
+	copy(out, l.entries)
+	return out, nil
+}
+
+// ByRun implements Log.
+func (l *Memory) ByRun(runID string) ([]Entry, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Entry
+	for _, e := range l.entries {
+		if e.RunID == runID {
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}
+
+// Verify implements Log.
+func (l *Memory) Verify() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return verifyChain(l.entries)
+}
+
+// Len implements Log.
+func (l *Memory) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+func verifyChain(entries []Entry) error {
+	var prev [32]byte
+	for i := range entries {
+		e := &entries[i]
+		if e.PrevHash != prev {
+			return fmt.Errorf("%w: entry %d", ErrChainBroken, i)
+		}
+		if entryHash(e) != e.Hash {
+			return fmt.Errorf("%w: entry %d", ErrBadEntry, i)
+		}
+		prev = e.Hash
+	}
+	return nil
+}
+
+// fileEntry is the JSON-lines on-disk form.
+type fileEntry struct {
+	Seq       uint64    `json:"seq"`
+	PrevHash  string    `json:"prev"`
+	Hash      string    `json:"hash"`
+	Time      time.Time `json:"time"`
+	RunID     string    `json:"run"`
+	Object    string    `json:"object"`
+	Kind      string    `json:"kind"`
+	Party     string    `json:"party"`
+	Direction Direction `json:"dir"`
+	Payload   string    `json:"payload"`
+}
+
+func toFileEntry(e Entry) fileEntry {
+	return fileEntry{
+		Seq:       e.Seq,
+		PrevHash:  base64.StdEncoding.EncodeToString(e.PrevHash[:]),
+		Hash:      base64.StdEncoding.EncodeToString(e.Hash[:]),
+		Time:      e.Time,
+		RunID:     e.RunID,
+		Object:    e.Object,
+		Kind:      e.Kind,
+		Party:     e.Party,
+		Direction: e.Direction,
+		Payload:   base64.StdEncoding.EncodeToString(e.Payload),
+	}
+}
+
+func fromFileEntry(fe fileEntry) (Entry, error) {
+	e := Entry{
+		Seq:       fe.Seq,
+		Time:      fe.Time,
+		RunID:     fe.RunID,
+		Object:    fe.Object,
+		Kind:      fe.Kind,
+		Party:     fe.Party,
+		Direction: fe.Direction,
+	}
+	prev, err := base64.StdEncoding.DecodeString(fe.PrevHash)
+	if err != nil || len(prev) != 32 {
+		return Entry{}, fmt.Errorf("nrlog: bad prev hash: %w", err)
+	}
+	copy(e.PrevHash[:], prev)
+	h, err := base64.StdEncoding.DecodeString(fe.Hash)
+	if err != nil || len(h) != 32 {
+		return Entry{}, fmt.Errorf("nrlog: bad hash: %w", err)
+	}
+	copy(e.Hash[:], h)
+	if fe.Payload != "" {
+		p, err := base64.StdEncoding.DecodeString(fe.Payload)
+		if err != nil {
+			return Entry{}, fmt.Errorf("nrlog: bad payload: %w", err)
+		}
+		e.Payload = p
+	}
+	return e, nil
+}
+
+// File is a persistent Log stored as JSON lines, one entry per line, synced
+// on every append. On open it loads and verifies the existing chain, so a
+// party recovering from a crash resumes with intact evidence.
+type File struct {
+	mu      sync.Mutex
+	clk     Clock
+	path    string
+	f       *os.File
+	entries []Entry
+}
+
+// OpenFile opens (or creates) the log at path.
+func OpenFile(path string, clk Clock) (*File, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("nrlog: creating log directory: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("nrlog: opening %s: %w", path, err)
+	}
+	l := &File{clk: clk, path: path, f: f}
+	scanner := bufio.NewScanner(f)
+	scanner.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	for scanner.Scan() {
+		line := scanner.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var fe fileEntry
+		if err := json.Unmarshal(line, &fe); err != nil {
+			_ = f.Close()
+			return nil, fmt.Errorf("nrlog: corrupt entry in %s: %w", path, err)
+		}
+		e, err := fromFileEntry(fe)
+		if err != nil {
+			_ = f.Close()
+			return nil, err
+		}
+		l.entries = append(l.entries, e)
+	}
+	if err := scanner.Err(); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("nrlog: reading %s: %w", path, err)
+	}
+	if err := verifyChain(l.entries); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("nrlog: %s failed verification on open: %w", path, err)
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("nrlog: seeking %s: %w", path, err)
+	}
+	return l, nil
+}
+
+// Append implements Log.
+func (l *File) Append(runID, object, kind, party string, dir Direction, payload []byte) (Entry, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := Entry{
+		Seq:       uint64(len(l.entries)),
+		Time:      l.clk.Now(),
+		RunID:     runID,
+		Object:    object,
+		Kind:      kind,
+		Party:     party,
+		Direction: dir,
+		Payload:   append([]byte(nil), payload...),
+	}
+	if len(l.entries) > 0 {
+		e.PrevHash = l.entries[len(l.entries)-1].Hash
+	}
+	e.Hash = entryHash(&e)
+
+	line, err := json.Marshal(toFileEntry(e))
+	if err != nil {
+		return Entry{}, fmt.Errorf("nrlog: encoding entry: %w", err)
+	}
+	if _, err := l.f.Write(append(line, '\n')); err != nil {
+		return Entry{}, fmt.Errorf("nrlog: writing entry: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return Entry{}, fmt.Errorf("nrlog: syncing: %w", err)
+	}
+	l.entries = append(l.entries, e)
+	return e, nil
+}
+
+// Entries implements Log.
+func (l *File) Entries() ([]Entry, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Entry, len(l.entries))
+	copy(out, l.entries)
+	return out, nil
+}
+
+// ByRun implements Log.
+func (l *File) ByRun(runID string) ([]Entry, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Entry
+	for _, e := range l.entries {
+		if e.RunID == runID {
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}
+
+// Verify implements Log.
+func (l *File) Verify() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return verifyChain(l.entries)
+}
+
+// Len implements Log.
+func (l *File) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// Close closes the underlying file.
+func (l *File) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Close()
+}

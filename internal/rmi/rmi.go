@@ -1,0 +1,206 @@
+// Package rmi is a minimal remote-method-invocation substrate: the paper's
+// prototype used Java RMI for the B2BCoordinatorRemote interface; lacking a
+// CORBA/RMI stack, this package rebuilds the ORB semantics the middleware
+// needs — named remote objects, synchronous request/response invocation with
+// correlation, and error propagation — on top of any transport Conn.
+//
+// It is used by the node daemon (cmd/b2bnode) for its control interface and
+// is available to applications that want conventional remote calls next to
+// the coordination protocols.
+package rmi
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"b2b/internal/canon"
+	"b2b/internal/transport"
+)
+
+// Conn is the transport surface required by the registry.
+type Conn interface {
+	ID() string
+	Send(ctx context.Context, to string, payload []byte) error
+	SetHandler(h transport.Handler)
+}
+
+// Handler services calls on a registered remote object.
+type Handler func(method string, args []byte) ([]byte, error)
+
+// Errors returned by the registry.
+var (
+	ErrNoObject = errors.New("rmi: no such remote object")
+	ErrClosed   = errors.New("rmi: registry closed")
+)
+
+// RemoteError is an error raised by the remote handler and propagated back
+// to the caller.
+type RemoteError struct {
+	Object string
+	Method string
+	Msg    string
+}
+
+// Error implements the error interface.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("rmi: remote %s.%s: %s", e.Object, e.Method, e.Msg)
+}
+
+const (
+	frameCall  = 1
+	frameReply = 2
+)
+
+// Registry exports local objects and invokes remote ones over one Conn.
+type Registry struct {
+	conn Conn
+
+	mu      sync.Mutex
+	objects map[string]Handler
+	pending map[uint64]chan reply
+	closed  bool
+	ctr     atomic.Uint64
+}
+
+type reply struct {
+	result []byte
+	errMsg string
+	hasErr bool
+}
+
+// New creates a registry and takes over the connection's inbound handler.
+func New(conn Conn) *Registry {
+	r := &Registry{
+		conn:    conn,
+		objects: make(map[string]Handler),
+		pending: make(map[uint64]chan reply),
+	}
+	conn.SetHandler(r.onMessage)
+	return r
+}
+
+// Register exports a local object under a name. Re-registering replaces the
+// handler.
+func (r *Registry) Register(object string, h Handler) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.objects[object] = h
+}
+
+// Unregister removes an exported object.
+func (r *Registry) Unregister(object string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.objects, object)
+}
+
+// Call synchronously invokes object.method(args) at peer and returns the
+// result. Remote handler errors surface as *RemoteError.
+func (r *Registry) Call(ctx context.Context, peer, object, method string, args []byte) ([]byte, error) {
+	id := r.ctr.Add(1)
+	ch := make(chan reply, 1)
+
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, ErrClosed
+	}
+	r.pending[id] = ch
+	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		delete(r.pending, id)
+		r.mu.Unlock()
+	}()
+
+	e := canon.NewEncoder()
+	e.Struct("rmi")
+	e.Uint64(frameCall)
+	e.Uint64(id)
+	e.String(object)
+	e.String(method)
+	e.Bytes(args)
+	if err := r.conn.Send(ctx, peer, e.Out()); err != nil {
+		return nil, fmt.Errorf("rmi: calling %s.%s at %s: %w", object, method, peer, err)
+	}
+
+	select {
+	case rep := <-ch:
+		if rep.hasErr {
+			return nil, &RemoteError{Object: object, Method: method, Msg: rep.errMsg}
+		}
+		return rep.result, nil
+	case <-ctx.Done():
+		return nil, fmt.Errorf("rmi: call %s.%s at %s: %w", object, method, peer, ctx.Err())
+	}
+}
+
+// Close rejects future calls. In-flight calls fail on their contexts.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.closed = true
+}
+
+func (r *Registry) onMessage(from string, payload []byte) {
+	d := canon.NewDecoder(payload)
+	d.Struct("rmi")
+	kind := d.Uint64()
+	id := d.Uint64()
+	switch kind {
+	case frameCall:
+		object := d.String()
+		method := d.String()
+		args := d.Bytes()
+		if d.Finish() != nil {
+			return
+		}
+		r.serve(from, id, object, method, args)
+	case frameReply:
+		hasErr := d.Bool()
+		errMsg := d.String()
+		result := d.Bytes()
+		if d.Finish() != nil {
+			return
+		}
+		r.mu.Lock()
+		ch, ok := r.pending[id]
+		r.mu.Unlock()
+		if ok {
+			ch <- reply{result: result, errMsg: errMsg, hasErr: hasErr}
+		}
+	}
+}
+
+func (r *Registry) serve(from string, id uint64, object, method string, args []byte) {
+	r.mu.Lock()
+	h, ok := r.objects[object]
+	r.mu.Unlock()
+
+	var result []byte
+	var errMsg string
+	hasErr := false
+	if !ok {
+		hasErr = true
+		errMsg = ErrNoObject.Error()
+	} else {
+		var err error
+		result, err = h(method, args)
+		if err != nil {
+			hasErr = true
+			errMsg = err.Error()
+		}
+	}
+
+	e := canon.NewEncoder()
+	e.Struct("rmi")
+	e.Uint64(frameReply)
+	e.Uint64(id)
+	e.Bool(hasErr)
+	e.String(errMsg)
+	e.Bytes(result)
+	_ = r.conn.Send(context.Background(), from, e.Out())
+}

@@ -1,0 +1,230 @@
+package rmi
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"b2b/internal/transport"
+)
+
+func pair(t *testing.T) (*Registry, *Registry, func()) {
+	t.Helper()
+	nw := transport.NewNetwork(1)
+	a := New(nw.Endpoint("a"))
+	b := New(nw.Endpoint("b"))
+	return a, b, nw.Close
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	a, b, done := pair(t)
+	defer done()
+
+	b.Register("calc", func(method string, args []byte) ([]byte, error) {
+		if method != "double" {
+			return nil, fmt.Errorf("unknown method %q", method)
+		}
+		return append(args, args...), nil
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	got, err := a.Call(ctx, "b", "calc", "double", []byte("xy"))
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if string(got) != "xyxy" {
+		t.Fatalf("result = %q", got)
+	}
+}
+
+func TestRemoteErrorPropagates(t *testing.T) {
+	a, b, done := pair(t)
+	defer done()
+	b.Register("svc", func(method string, args []byte) ([]byte, error) {
+		return nil, errors.New("validation failed: quantity may not change")
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_, err := a.Call(ctx, "b", "svc", "update", nil)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want *RemoteError", err)
+	}
+	if !strings.Contains(re.Msg, "quantity may not change") {
+		t.Fatalf("remote message lost: %q", re.Msg)
+	}
+}
+
+func TestNoSuchObject(t *testing.T) {
+	a, _, done := pair(t)
+	defer done()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_, err := a.Call(ctx, "b", "ghost", "m", nil)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCallTimeout(t *testing.T) {
+	a, b, done := pair(t)
+	defer done()
+	release := make(chan struct{})
+	b.Register("slow", func(string, []byte) ([]byte, error) {
+		<-release
+		return nil, nil
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := a.Call(ctx, "b", "slow", "wait", nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	close(release)
+}
+
+func TestConcurrentCallsCorrelate(t *testing.T) {
+	a, b, done := pair(t)
+	defer done()
+	b.Register("echo", func(_ string, args []byte) ([]byte, error) {
+		return args, nil
+	})
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			want := fmt.Sprintf("payload-%02d", i)
+			got, err := a.Call(ctx, "b", "echo", "m", []byte(want))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if string(got) != want {
+				errs <- fmt.Errorf("cross-talk: got %q want %q", got, want)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestBidirectionalRegistries(t *testing.T) {
+	a, b, done := pair(t)
+	defer done()
+	a.Register("ping", func(string, []byte) ([]byte, error) { return []byte("pong-from-a"), nil })
+	b.Register("ping", func(string, []byte) ([]byte, error) { return []byte("pong-from-b"), nil })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	ra, err := b.Call(ctx, "a", "ping", "m", nil)
+	if err != nil || string(ra) != "pong-from-a" {
+		t.Fatalf("b->a: %q %v", ra, err)
+	}
+	rb, err := a.Call(ctx, "b", "ping", "m", nil)
+	if err != nil || string(rb) != "pong-from-b" {
+		t.Fatalf("a->b: %q %v", rb, err)
+	}
+}
+
+func TestClosedRegistryRejectsCalls(t *testing.T) {
+	a, _, done := pair(t)
+	defer done()
+	a.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if _, err := a.Call(ctx, "b", "x", "m", nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	a, b, done := pair(t)
+	defer done()
+	b.Register("svc", func(string, []byte) ([]byte, error) { return []byte("ok"), nil })
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, err := a.Call(ctx, "b", "svc", "m", nil); err != nil {
+		t.Fatal(err)
+	}
+	b.Unregister("svc")
+	if _, err := a.Call(ctx, "b", "svc", "m", nil); err == nil {
+		t.Fatal("call to unregistered object succeeded")
+	}
+}
+
+func TestOverTCP(t *testing.T) {
+	ta, err := transport.ListenTCP("a", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ta.Close() }()
+	tb, err := transport.ListenTCP("b", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = tb.Close() }()
+	ta.AddPeer("b", tb.Addr())
+	tb.AddPeer("a", ta.Addr())
+
+	a := New(ta)
+	b := New(tb)
+	b.Register("remote", func(_ string, args []byte) ([]byte, error) {
+		return append([]byte("tcp:"), args...), nil
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	got, err := a.Call(ctx, "b", "remote", "m", []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "tcp:hello" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestOverTCPEphemeralClient(t *testing.T) {
+	// The b2bnode CLI pattern: the server knows no address for the client;
+	// the reply must travel back over the client's own connection.
+	server, err := transport.ListenTCP("node.control", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = server.Close() }()
+	sreg := New(server)
+	sreg.Register("node", func(method string, args []byte) ([]byte, error) {
+		return append([]byte("reply:"), args...), nil
+	})
+
+	client, err := transport.ListenTCP("cli", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = client.Close() }()
+	client.AddPeer("node", server.Addr()) // server has NO AddPeer("cli")
+	creg := New(client)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	got, err := creg.Call(ctx, "node", "node", "get", []byte("x"))
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if string(got) != "reply:x" {
+		t.Fatalf("got %q", got)
+	}
+}

@@ -1,0 +1,417 @@
+// Package store implements state management and check-pointing (paper §3,
+// Fig 3): systematic persistence of each newly validated object state so a
+// party can recover after a crash and roll back to the last agreed state
+// when a proposal is invalidated. It also persists in-flight run metadata so
+// a recovering proposer can resume or resolve interrupted runs.
+package store
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"b2b/internal/tuple"
+)
+
+// Checkpoint is one validated (agreed) state of an object.
+type Checkpoint struct {
+	Object string
+	Tuple  tuple.State
+	State  []byte
+	Group  tuple.Group
+	// Members is the join-ordered membership at checkpoint time.
+	Members []string
+	Time    time.Time
+}
+
+// RunRecord captures an in-flight coordination run for crash recovery.
+type RunRecord struct {
+	RunID    string
+	Object   string
+	Role     string // "proposer" | "recipient"
+	Proposed tuple.State
+	State    []byte
+	Auth     []byte // proposer's authenticator preimage
+	Raw      []byte // proposer's signed propose message, for re-broadcast
+	Time     time.Time
+}
+
+// ErrNoCheckpoint is returned when an object has no checkpoint yet.
+var ErrNoCheckpoint = errors.New("store: no checkpoint")
+
+// Store persists checkpoints and run records.
+type Store interface {
+	// SaveCheckpoint records a newly agreed state (becomes Latest).
+	SaveCheckpoint(cp Checkpoint) error
+	// Latest returns the most recent checkpoint for the object.
+	Latest(object string) (Checkpoint, error)
+	// History returns all checkpoints for the object, oldest first.
+	History(object string) ([]Checkpoint, error)
+	// SaveRun records an in-flight run; DeleteRun removes it on completion.
+	SaveRun(r RunRecord) error
+	DeleteRun(runID string) error
+	// PendingRuns returns in-flight runs (crash recovery).
+	PendingRuns() ([]RunRecord, error)
+}
+
+// Memory is an in-memory Store.
+type Memory struct {
+	mu   sync.Mutex
+	cps  map[string][]Checkpoint
+	runs map[string]RunRecord
+}
+
+// NewMemory creates an empty in-memory store.
+func NewMemory() *Memory {
+	return &Memory{
+		cps:  make(map[string][]Checkpoint),
+		runs: make(map[string]RunRecord),
+	}
+}
+
+// SaveCheckpoint implements Store.
+func (s *Memory) SaveCheckpoint(cp Checkpoint) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp.State = append([]byte(nil), cp.State...)
+	cp.Members = append([]string(nil), cp.Members...)
+	s.cps[cp.Object] = append(s.cps[cp.Object], cp)
+	return nil
+}
+
+// Latest implements Store.
+func (s *Memory) Latest(object string) (Checkpoint, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cps := s.cps[object]
+	if len(cps) == 0 {
+		return Checkpoint{}, fmt.Errorf("%w: %s", ErrNoCheckpoint, object)
+	}
+	return cps[len(cps)-1], nil
+}
+
+// History implements Store.
+func (s *Memory) History(object string) ([]Checkpoint, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Checkpoint, len(s.cps[object]))
+	copy(out, s.cps[object])
+	return out, nil
+}
+
+// SaveRun implements Store.
+func (s *Memory) SaveRun(r RunRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.runs[r.RunID] = r
+	return nil
+}
+
+// DeleteRun implements Store.
+func (s *Memory) DeleteRun(runID string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.runs, runID)
+	return nil
+}
+
+// PendingRuns implements Store.
+func (s *Memory) PendingRuns() ([]RunRecord, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]RunRecord, 0, len(s.runs))
+	for _, r := range s.runs {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].RunID < out[j].RunID })
+	return out, nil
+}
+
+// fileCheckpoint / fileRun are the on-disk JSON forms.
+type fileCheckpoint struct {
+	Object    string    `json:"object"`
+	Seq       uint64    `json:"seq"`
+	HashRand  string    `json:"hash_rand"`
+	HashState string    `json:"hash_state"`
+	State     string    `json:"state"`
+	GroupSeq  uint64    `json:"group_seq"`
+	GroupRand string    `json:"group_rand"`
+	GroupMem  string    `json:"group_members_hash"`
+	Members   []string  `json:"members"`
+	Time      time.Time `json:"time"`
+}
+
+type fileRun struct {
+	RunID    string    `json:"run_id"`
+	Object   string    `json:"object"`
+	Role     string    `json:"role"`
+	Seq      uint64    `json:"seq"`
+	HashRand string    `json:"hash_rand"`
+	HashSt   string    `json:"hash_state"`
+	State    string    `json:"state"`
+	Auth     string    `json:"auth"`
+	Raw      string    `json:"raw,omitempty"`
+	Time     time.Time `json:"time"`
+}
+
+func b64(b []byte) string { return base64.StdEncoding.EncodeToString(b) }
+
+func unb64(s string) ([]byte, error) { return base64.StdEncoding.DecodeString(s) }
+
+func unb64h(s string) ([32]byte, error) {
+	var out [32]byte
+	b, err := unb64(s)
+	if err != nil {
+		return out, err
+	}
+	if len(b) != 32 {
+		return out, fmt.Errorf("store: hash length %d", len(b))
+	}
+	copy(out[:], b)
+	return out, nil
+}
+
+// File is a durable Store rooted at a directory:
+//
+//	<dir>/checkpoints/<object>.jsonl   (append-only history; last line is Latest)
+//	<dir>/runs/<runID>.json            (one file per pending run)
+//
+// Appends are synced before returning, so an acknowledged checkpoint
+// survives a crash.
+type File struct {
+	mu  sync.Mutex
+	dir string
+}
+
+// OpenFile creates/opens a file store rooted at dir.
+func OpenFile(dir string) (*File, error) {
+	for _, sub := range []string{"checkpoints", "runs"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("store: creating %s: %w", sub, err)
+		}
+	}
+	return &File{dir: dir}, nil
+}
+
+func (s *File) cpPath(object string) string {
+	return filepath.Join(s.dir, "checkpoints", sanitize(object)+".jsonl")
+}
+
+func (s *File) runPath(runID string) string {
+	return filepath.Join(s.dir, "runs", sanitize(runID)+".json")
+}
+
+// sanitize keeps object/run names filesystem-safe.
+func sanitize(name string) string {
+	out := make([]rune, 0, len(name))
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// SaveCheckpoint implements Store.
+func (s *File) SaveCheckpoint(cp Checkpoint) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fc := fileCheckpoint{
+		Object:    cp.Object,
+		Seq:       cp.Tuple.Seq,
+		HashRand:  b64(cp.Tuple.HashRand[:]),
+		HashState: b64(cp.Tuple.HashState[:]),
+		State:     b64(cp.State),
+		GroupSeq:  cp.Group.Seq,
+		GroupRand: b64(cp.Group.HashRand[:]),
+		GroupMem:  b64(cp.Group.HashMembers[:]),
+		Members:   cp.Members,
+		Time:      cp.Time,
+	}
+	line, err := json.Marshal(fc)
+	if err != nil {
+		return fmt.Errorf("store: encoding checkpoint: %w", err)
+	}
+	f, err := os.OpenFile(s.cpPath(cp.Object), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: opening checkpoint file: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("store: writing checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("store: syncing checkpoint: %w", err)
+	}
+	return nil
+}
+
+func (s *File) loadCheckpoints(object string) ([]Checkpoint, error) {
+	raw, err := os.ReadFile(s.cpPath(object))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: reading checkpoints: %w", err)
+	}
+	var out []Checkpoint
+	for _, line := range splitLines(raw) {
+		var fc fileCheckpoint
+		if err := json.Unmarshal(line, &fc); err != nil {
+			return nil, fmt.Errorf("store: corrupt checkpoint: %w", err)
+		}
+		cp := Checkpoint{Object: fc.Object, Members: fc.Members, Time: fc.Time}
+		if cp.Tuple.HashRand, err = unb64h(fc.HashRand); err != nil {
+			return nil, err
+		}
+		if cp.Tuple.HashState, err = unb64h(fc.HashState); err != nil {
+			return nil, err
+		}
+		cp.Tuple.Seq = fc.Seq
+		if cp.State, err = unb64(fc.State); err != nil {
+			return nil, err
+		}
+		if cp.Group.HashRand, err = unb64h(fc.GroupRand); err != nil {
+			return nil, err
+		}
+		if cp.Group.HashMembers, err = unb64h(fc.GroupMem); err != nil {
+			return nil, err
+		}
+		cp.Group.Seq = fc.GroupSeq
+		out = append(out, cp)
+	}
+	return out, nil
+}
+
+func splitLines(raw []byte) [][]byte {
+	var out [][]byte
+	start := 0
+	for i, b := range raw {
+		if b == '\n' {
+			if i > start {
+				out = append(out, raw[start:i])
+			}
+			start = i + 1
+		}
+	}
+	if start < len(raw) {
+		out = append(out, raw[start:])
+	}
+	return out
+}
+
+// Latest implements Store.
+func (s *File) Latest(object string) (Checkpoint, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cps, err := s.loadCheckpoints(object)
+	if err != nil {
+		return Checkpoint{}, err
+	}
+	if len(cps) == 0 {
+		return Checkpoint{}, fmt.Errorf("%w: %s", ErrNoCheckpoint, object)
+	}
+	return cps[len(cps)-1], nil
+}
+
+// History implements Store.
+func (s *File) History(object string) ([]Checkpoint, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.loadCheckpoints(object)
+}
+
+// SaveRun implements Store.
+func (s *File) SaveRun(r RunRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fr := fileRun{
+		RunID:    r.RunID,
+		Object:   r.Object,
+		Role:     r.Role,
+		Seq:      r.Proposed.Seq,
+		HashRand: b64(r.Proposed.HashRand[:]),
+		HashSt:   b64(r.Proposed.HashState[:]),
+		State:    b64(r.State),
+		Auth:     b64(r.Auth),
+		Raw:      b64(r.Raw),
+		Time:     r.Time,
+	}
+	data, err := json.Marshal(fr)
+	if err != nil {
+		return fmt.Errorf("store: encoding run: %w", err)
+	}
+	tmp := s.runPath(r.RunID) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("store: writing run: %w", err)
+	}
+	if err := os.Rename(tmp, s.runPath(r.RunID)); err != nil {
+		return fmt.Errorf("store: installing run: %w", err)
+	}
+	return nil
+}
+
+// DeleteRun implements Store.
+func (s *File) DeleteRun(runID string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := os.Remove(s.runPath(runID))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// PendingRuns implements Store.
+func (s *File) PendingRuns() ([]RunRecord, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dir := filepath.Join(s.dir, "runs")
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: listing runs: %w", err)
+	}
+	var out []RunRecord
+	for _, de := range names {
+		if de.IsDir() || filepath.Ext(de.Name()) != ".json" {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, de.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("store: reading run %s: %w", de.Name(), err)
+		}
+		var fr fileRun
+		if err := json.Unmarshal(raw, &fr); err != nil {
+			return nil, fmt.Errorf("store: corrupt run %s: %w", de.Name(), err)
+		}
+		r := RunRecord{RunID: fr.RunID, Object: fr.Object, Role: fr.Role, Time: fr.Time}
+		if r.Proposed.HashRand, err = unb64h(fr.HashRand); err != nil {
+			return nil, err
+		}
+		if r.Proposed.HashState, err = unb64h(fr.HashSt); err != nil {
+			return nil, err
+		}
+		r.Proposed.Seq = fr.Seq
+		if r.State, err = unb64(fr.State); err != nil {
+			return nil, err
+		}
+		if r.Auth, err = unb64(fr.Auth); err != nil {
+			return nil, err
+		}
+		if r.Raw, err = unb64(fr.Raw); err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].RunID < out[j].RunID })
+	return out, nil
+}

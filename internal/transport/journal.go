@@ -1,0 +1,213 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// FileJournal is a durable Journal: an append-only JSON-lines file replayed
+// on open. Records are tombstoned rather than rewritten, so appends stay
+// cheap; Compact rewrites the live set.
+type FileJournal struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+	out  map[string]JournalRecord
+	seen map[string]struct{}
+}
+
+type journalLine struct {
+	Op      string `json:"op"` // "out" | "del" | "seen"
+	MsgID   string `json:"msg_id,omitempty"`
+	To      string `json:"to,omitempty"`
+	Payload string `json:"payload,omitempty"`
+	Key     string `json:"key,omitempty"`
+}
+
+// OpenFileJournal opens (or creates) the journal at path and replays it.
+func OpenFileJournal(path string) (*FileJournal, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("transport: journal directory: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("transport: opening journal: %w", err)
+	}
+	j := &FileJournal{
+		path: path,
+		f:    f,
+		out:  make(map[string]JournalRecord),
+		seen: make(map[string]struct{}),
+	}
+	scanner := bufio.NewScanner(f)
+	scanner.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	for scanner.Scan() {
+		line := scanner.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var jl journalLine
+		if err := json.Unmarshal(line, &jl); err != nil {
+			_ = f.Close()
+			return nil, fmt.Errorf("transport: corrupt journal line: %w", err)
+		}
+		switch jl.Op {
+		case "out":
+			payload, err := base64.StdEncoding.DecodeString(jl.Payload)
+			if err != nil {
+				_ = f.Close()
+				return nil, fmt.Errorf("transport: corrupt journal payload: %w", err)
+			}
+			j.out[jl.MsgID] = JournalRecord{MsgID: jl.MsgID, To: jl.To, Payload: payload}
+		case "del":
+			delete(j.out, jl.MsgID)
+		case "seen":
+			j.seen[jl.Key] = struct{}{}
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("transport: reading journal: %w", err)
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("transport: seeking journal: %w", err)
+	}
+	return j, nil
+}
+
+func (j *FileJournal) append(jl journalLine) error {
+	line, err := json.Marshal(jl)
+	if err != nil {
+		return fmt.Errorf("transport: encoding journal line: %w", err)
+	}
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("transport: writing journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("transport: syncing journal: %w", err)
+	}
+	return nil
+}
+
+// SaveOutgoing implements Journal.
+func (j *FileJournal) SaveOutgoing(msgID, to string, payload []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.append(journalLine{
+		Op:      "out",
+		MsgID:   msgID,
+		To:      to,
+		Payload: base64.StdEncoding.EncodeToString(payload),
+	}); err != nil {
+		return err
+	}
+	j.out[msgID] = JournalRecord{MsgID: msgID, To: to, Payload: append([]byte(nil), payload...)}
+	return nil
+}
+
+// DeleteOutgoing implements Journal.
+func (j *FileJournal) DeleteOutgoing(msgID string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.append(journalLine{Op: "del", MsgID: msgID}); err != nil {
+		return err
+	}
+	delete(j.out, msgID)
+	return nil
+}
+
+// SaveSeen implements Journal.
+func (j *FileJournal) SaveSeen(key string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.append(journalLine{Op: "seen", Key: key}); err != nil {
+		return err
+	}
+	j.seen[key] = struct{}{}
+	return nil
+}
+
+// Load implements Journal.
+func (j *FileJournal) Load() ([]JournalRecord, []string, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]JournalRecord, 0, len(j.out))
+	for _, r := range j.out {
+		out = append(out, r)
+	}
+	seen := make([]string, 0, len(j.seen))
+	for k := range j.seen {
+		seen = append(seen, k)
+	}
+	return out, seen, nil
+}
+
+// Compact rewrites the journal keeping only live records, bounding file
+// growth for long-running nodes.
+func (j *FileJournal) Compact() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	tmp := j.path + ".tmp"
+	nf, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("transport: compacting journal: %w", err)
+	}
+	w := bufio.NewWriter(nf)
+	writeLine := func(jl journalLine) error {
+		line, err := json.Marshal(jl)
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(append(line, '\n'))
+		return err
+	}
+	for _, r := range j.out {
+		if err := writeLine(journalLine{
+			Op: "out", MsgID: r.MsgID, To: r.To,
+			Payload: base64.StdEncoding.EncodeToString(r.Payload),
+		}); err != nil {
+			_ = nf.Close()
+			return err
+		}
+	}
+	for k := range j.seen {
+		if err := writeLine(journalLine{Op: "seen", Key: k}); err != nil {
+			_ = nf.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		_ = nf.Close()
+		return err
+	}
+	if err := nf.Sync(); err != nil {
+		_ = nf.Close()
+		return err
+	}
+	if err := nf.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		return fmt.Errorf("transport: installing compacted journal: %w", err)
+	}
+	_ = j.f.Close()
+	f, err := os.OpenFile(j.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("transport: reopening journal: %w", err)
+	}
+	j.f = f
+	return nil
+}
+
+// Close closes the journal file.
+func (j *FileJournal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

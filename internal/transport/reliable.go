@@ -1,0 +1,323 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"b2b/internal/canon"
+)
+
+// frame kinds inside the reliable layer.
+const (
+	relData byte = 1
+	relAck  byte = 2
+)
+
+// Journal persists the reliable layer's outbox and dedup set so that a node
+// that crashes and recovers resumes retransmission and still suppresses
+// duplicates — the paper assumes nodes eventually recover and resume
+// participation (§4.2).
+type Journal interface {
+	SaveOutgoing(msgID, to string, payload []byte) error
+	DeleteOutgoing(msgID string) error
+	SaveSeen(key string) error
+	Load() (outgoing []JournalRecord, seen []string, err error)
+}
+
+// JournalRecord is one persisted outgoing message.
+type JournalRecord struct {
+	MsgID   string
+	To      string
+	Payload []byte
+}
+
+// MemJournal is an in-memory Journal (no crash durability; useful for tests
+// and as a reference implementation).
+type MemJournal struct {
+	mu   sync.Mutex
+	out  map[string]JournalRecord
+	seen map[string]struct{}
+}
+
+// NewMemJournal returns an empty in-memory journal.
+func NewMemJournal() *MemJournal {
+	return &MemJournal{out: make(map[string]JournalRecord), seen: make(map[string]struct{})}
+}
+
+// SaveOutgoing records an un-acknowledged outgoing message.
+func (j *MemJournal) SaveOutgoing(msgID, to string, payload []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.out[msgID] = JournalRecord{MsgID: msgID, To: to, Payload: payload}
+	return nil
+}
+
+// DeleteOutgoing removes an acknowledged message.
+func (j *MemJournal) DeleteOutgoing(msgID string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	delete(j.out, msgID)
+	return nil
+}
+
+// SaveSeen records an inbound dedup key.
+func (j *MemJournal) SaveSeen(key string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.seen[key] = struct{}{}
+	return nil
+}
+
+// Load returns the journal contents.
+func (j *MemJournal) Load() ([]JournalRecord, []string, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]JournalRecord, 0, len(j.out))
+	for _, r := range j.out {
+		out = append(out, r)
+	}
+	seen := make([]string, 0, len(j.seen))
+	for k := range j.seen {
+		seen = append(seen, k)
+	}
+	return out, seen, nil
+}
+
+// ReliableOption configures a Reliable endpoint.
+type ReliableOption func(*Reliable)
+
+// WithRetryInterval sets the retransmission period (default 50ms).
+func WithRetryInterval(d time.Duration) ReliableOption {
+	return func(r *Reliable) { r.retry = d }
+}
+
+// WithJournal attaches a persistence journal; on construction the outbox and
+// dedup set are restored from it.
+func WithJournal(j Journal) ReliableOption {
+	return func(r *Reliable) { r.journal = j }
+}
+
+// Reliable wraps an Endpoint with acknowledgement, retransmission and
+// deduplication: every accepted Send is eventually delivered exactly once to
+// a live receiver, provided loss/partition is temporary (the paper's
+// "eventual, once-only delivery"). Ordering is NOT guaranteed — the protocol
+// does not require it.
+type Reliable struct {
+	ep      Endpoint
+	retry   time.Duration
+	journal Journal
+
+	mu      sync.Mutex
+	outbox  map[string]JournalRecord
+	seen    map[string]struct{}
+	handler Handler
+	acked   map[string]chan struct{} // per-message ack notification
+	closed  bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+	ctr  atomic.Uint64
+}
+
+// NewReliable wraps ep. The wrapper takes over ep's handler.
+func NewReliable(ep Endpoint, opts ...ReliableOption) (*Reliable, error) {
+	r := &Reliable{
+		ep:     ep,
+		retry:  50 * time.Millisecond,
+		outbox: make(map[string]JournalRecord),
+		seen:   make(map[string]struct{}),
+		acked:  make(map[string]chan struct{}),
+		stop:   make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	if r.journal != nil {
+		out, seen, err := r.journal.Load()
+		if err != nil {
+			return nil, fmt.Errorf("transport: restoring journal: %w", err)
+		}
+		for _, rec := range out {
+			r.outbox[rec.MsgID] = rec
+		}
+		for _, k := range seen {
+			r.seen[k] = struct{}{}
+		}
+	}
+	ep.SetHandler(r.onRaw)
+	r.wg.Add(1)
+	go r.retransmitLoop()
+	return r, nil
+}
+
+// ID returns the underlying endpoint identity.
+func (r *Reliable) ID() string { return r.ep.ID() }
+
+// SetHandler installs the application handler for deduplicated messages.
+func (r *Reliable) SetHandler(h Handler) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.handler = h
+}
+
+// Send queues payload for delivery to peer `to` and transmits the first
+// copy. It returns once the message is durably queued; retransmission
+// continues in the background until the peer acknowledges.
+func (r *Reliable) Send(ctx context.Context, to string, payload []byte) error {
+	msgID := fmt.Sprintf("%s-%d", r.ep.ID(), r.ctr.Add(1))
+	rec := JournalRecord{MsgID: msgID, To: to, Payload: payload}
+
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	r.outbox[msgID] = rec
+	r.mu.Unlock()
+
+	if r.journal != nil {
+		if err := r.journal.SaveOutgoing(msgID, to, payload); err != nil {
+			return fmt.Errorf("transport: journaling outgoing: %w", err)
+		}
+	}
+	// First transmission. Errors are ignored deliberately: the retransmit
+	// loop will retry, and an unreachable peer is indistinguishable from a
+	// lossy link at this layer.
+	_ = r.ep.Send(ctx, to, encodeRel(relData, msgID, payload))
+	return nil
+}
+
+// SendAndWait sends and blocks until the peer acknowledges receipt or ctx
+// expires. The queued message keeps retransmitting after ctx expiry; only
+// the wait is abandoned.
+func (r *Reliable) SendAndWait(ctx context.Context, to string, payload []byte) error {
+	msgID := fmt.Sprintf("%s-%d", r.ep.ID(), r.ctr.Add(1))
+	ch := make(chan struct{})
+
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	r.outbox[msgID] = JournalRecord{MsgID: msgID, To: to, Payload: payload}
+	r.acked[msgID] = ch
+	r.mu.Unlock()
+
+	if r.journal != nil {
+		if err := r.journal.SaveOutgoing(msgID, to, payload); err != nil {
+			return fmt.Errorf("transport: journaling outgoing: %w", err)
+		}
+	}
+	_ = r.ep.Send(ctx, to, encodeRel(relData, msgID, payload))
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Pending reports the number of unacknowledged outgoing messages.
+func (r *Reliable) Pending() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.outbox)
+}
+
+// Close stops retransmission and closes the underlying endpoint.
+func (r *Reliable) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	r.mu.Unlock()
+	close(r.stop)
+	r.wg.Wait()
+	return r.ep.Close()
+}
+
+func (r *Reliable) retransmitLoop() {
+	defer r.wg.Done()
+	ticker := time.NewTicker(r.retry)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-ticker.C:
+			r.mu.Lock()
+			pending := make([]JournalRecord, 0, len(r.outbox))
+			for _, rec := range r.outbox {
+				pending = append(pending, rec)
+			}
+			r.mu.Unlock()
+			for _, rec := range pending {
+				_ = r.ep.Send(context.Background(), rec.To, encodeRel(relData, rec.MsgID, rec.Payload))
+			}
+		}
+	}
+}
+
+func (r *Reliable) onRaw(from string, raw []byte) {
+	kind, msgID, body, err := decodeRel(raw)
+	if err != nil {
+		return // garbage at this layer is dropped; signed layers above detect tampering
+	}
+	switch kind {
+	case relAck:
+		r.mu.Lock()
+		delete(r.outbox, msgID)
+		if ch, ok := r.acked[msgID]; ok {
+			close(ch)
+			delete(r.acked, msgID)
+		}
+		r.mu.Unlock()
+		if r.journal != nil {
+			_ = r.journal.DeleteOutgoing(msgID)
+		}
+	case relData:
+		// Always acknowledge, even duplicates: the ack may have been lost.
+		_ = r.ep.Send(context.Background(), from, encodeRel(relAck, msgID, nil))
+		key := from + "/" + msgID
+		r.mu.Lock()
+		if _, dup := r.seen[key]; dup {
+			r.mu.Unlock()
+			return
+		}
+		r.seen[key] = struct{}{}
+		h := r.handler
+		r.mu.Unlock()
+		if r.journal != nil {
+			_ = r.journal.SaveSeen(key)
+		}
+		if h != nil {
+			h(from, body)
+		}
+	}
+}
+
+func encodeRel(kind byte, msgID string, body []byte) []byte {
+	e := canon.NewEncoder()
+	e.Struct("rel")
+	e.Uint64(uint64(kind))
+	e.String(msgID)
+	e.Bytes(body)
+	return e.Out()
+}
+
+func decodeRel(raw []byte) (kind byte, msgID string, body []byte, err error) {
+	d := canon.NewDecoder(raw)
+	d.Struct("rel")
+	k := d.Uint8()
+	msgID = d.String()
+	body = d.Bytes()
+	if err := d.Finish(); err != nil {
+		return 0, "", nil, err
+	}
+	return byte(k), msgID, body, nil
+}

@@ -1,0 +1,223 @@
+package tuple
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"b2b/internal/canon"
+	"b2b/internal/crypto"
+)
+
+func TestNewStateBinding(t *testing.T) {
+	r := []byte("random-1")
+	s := []byte("state-content")
+	tp := NewState(3, r, s)
+	if tp.Seq != 3 {
+		t.Fatalf("Seq = %d", tp.Seq)
+	}
+	if !tp.Matches(s) {
+		t.Fatal("tuple does not match its own state")
+	}
+	if tp.Matches([]byte("other")) {
+		t.Fatal("tuple matches foreign state")
+	}
+}
+
+func TestConcurrentProposalsDisambiguated(t *testing.T) {
+	// Same sequence number, same state content, different randoms: the
+	// tuples must differ (paper: Seq+HashRand disambiguates concurrency).
+	s := []byte("identical state")
+	a := NewState(5, crypto.MustNonce(), s)
+	b := NewState(5, crypto.MustNonce(), s)
+	if a == b {
+		t.Fatal("concurrent proposals produced identical tuples")
+	}
+}
+
+func TestReproposalOfEarlierStateIsFresh(t *testing.T) {
+	// Re-installing an earlier state is legitimate: the tuple changes even
+	// though HashState repeats.
+	s := []byte("v1")
+	first := NewState(1, crypto.MustNonce(), s)
+	again := NewState(7, crypto.MustNonce(), s)
+	if first == again {
+		t.Fatal("re-proposal not distinguished")
+	}
+	if first.HashState != again.HashState {
+		t.Fatal("same state content must share HashState")
+	}
+}
+
+func TestStateEncodeDecode(t *testing.T) {
+	tp := NewState(42, []byte("r"), []byte("s"))
+	e := canon.NewEncoder()
+	tp.Encode(e)
+	d := canon.NewDecoder(e.Out())
+	got := DecodeState(d)
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if got != tp {
+		t.Fatalf("round-trip: got %v want %v", got, tp)
+	}
+}
+
+func TestGroupEncodeDecode(t *testing.T) {
+	g := NewGroup(2, []byte("r"), []string{"org1", "org2", "org3"})
+	e := canon.NewEncoder()
+	g.Encode(e)
+	d := canon.NewDecoder(e.Out())
+	got := DecodeGroup(d)
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if got != g {
+		t.Fatalf("round-trip: got %v want %v", got, g)
+	}
+}
+
+func TestGroupJoinOrderSignificant(t *testing.T) {
+	a := HashMembers([]string{"org1", "org2"})
+	b := HashMembers([]string{"org2", "org1"})
+	if a == b {
+		t.Fatal("join order must affect the membership hash (sponsor selection)")
+	}
+}
+
+func TestGroupMatchesMembers(t *testing.T) {
+	members := []string{"a", "b", "c"}
+	g := InitialGroup(members)
+	if !g.MatchesMembers(members) {
+		t.Fatal("group does not match its own membership")
+	}
+	if g.MatchesMembers([]string{"a", "b"}) {
+		t.Fatal("group matches wrong membership")
+	}
+}
+
+func TestInitialDeterministic(t *testing.T) {
+	if Initial([]byte("x")) != Initial([]byte("x")) {
+		t.Fatal("Initial must be deterministic so replicas bootstrap identically")
+	}
+	if Initial([]byte("x")) == Initial([]byte("y")) {
+		t.Fatal("Initial must bind to content")
+	}
+}
+
+func TestCheckRecipientView(t *testing.T) {
+	agreed := NewState(1, []byte("r"), []byte("s"))
+	other := NewState(2, []byte("q"), []byte("s2"))
+
+	if err := CheckRecipientView(agreed, agreed, agreed); err != nil {
+		t.Fatalf("consistent view rejected: %v", err)
+	}
+	if err := CheckRecipientView(other, agreed, agreed); err == nil {
+		t.Fatal("current != agreed not detected")
+	}
+	if err := CheckRecipientView(agreed, agreed, other); err == nil {
+		t.Fatal("divergent proposer view not detected")
+	}
+	var ie *InvariantError
+	err := CheckRecipientView(other, agreed, agreed)
+	if !errors.As(err, &ie) || ie.Invariant != 1 {
+		t.Fatalf("want invariant-1 error, got %v", err)
+	}
+}
+
+func TestCheckProposerView(t *testing.T) {
+	proposed := NewState(2, []byte("r"), []byte("new"))
+	if err := CheckProposerView(proposed, proposed); err != nil {
+		t.Fatal(err)
+	}
+	agreed := NewState(1, []byte("q"), []byte("old"))
+	var ie *InvariantError
+	err := CheckProposerView(agreed, proposed)
+	if !errors.As(err, &ie) || ie.Invariant != 2 {
+		t.Fatalf("want invariant-2 error, got %v", err)
+	}
+}
+
+func TestCheckOrdering(t *testing.T) {
+	agreed := NewState(4, []byte("r"), []byte("s"))
+	tests := []struct {
+		name        string
+		proposedSeq uint64
+		maxSeen     uint64
+		wantErr     bool
+	}{
+		{name: "fresh", proposedSeq: 5, maxSeen: 4, wantErr: false},
+		{name: "skips ahead", proposedSeq: 9, maxSeen: 4, wantErr: false},
+		{name: "equal to agreed", proposedSeq: 4, maxSeen: 4, wantErr: true},
+		{name: "behind agreed", proposedSeq: 3, maxSeen: 4, wantErr: true},
+		{name: "behind seen request", proposedSeq: 5, maxSeen: 6, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			proposed := NewState(tt.proposedSeq, []byte("p"), []byte("new"))
+			err := CheckOrdering(proposed, agreed, tt.maxSeen)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("CheckOrdering err=%v, wantErr=%v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestSeenReplayDetection(t *testing.T) {
+	seen := NewSeen()
+	tp := NewState(1, []byte("r"), []byte("s"))
+	if err := seen.Observe(tp); err != nil {
+		t.Fatal(err)
+	}
+	err := seen.Observe(tp)
+	var ie *InvariantError
+	if !errors.As(err, &ie) || ie.Invariant != 4 {
+		t.Fatalf("replay not detected as invariant-4: %v", err)
+	}
+	if seen.MaxSeq() != 1 {
+		t.Fatalf("MaxSeq = %d", seen.MaxSeq())
+	}
+}
+
+func TestSeenMaxSeqMonotone(t *testing.T) {
+	seen := NewSeen()
+	seqs := []uint64{3, 1, 7, 2}
+	for _, q := range seqs {
+		if err := seen.Observe(NewState(q, crypto.MustNonce(), []byte("s"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if seen.MaxSeq() != 7 {
+		t.Fatalf("MaxSeq = %d, want 7", seen.MaxSeq())
+	}
+	if seen.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", seen.Len())
+	}
+}
+
+// Property: distinct randoms imply distinct tuples regardless of seq/state.
+func TestTupleUniquenessProperty(t *testing.T) {
+	f := func(seq uint64, state []byte) bool {
+		a := NewState(seq, crypto.MustNonce(), state)
+		b := NewState(seq, crypto.MustNonce(), state)
+		return a != b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: encode/decode is the identity on random tuples.
+func TestTupleRoundTripProperty(t *testing.T) {
+	f := func(seq uint64, r, s []byte) bool {
+		tp := NewState(seq, r, s)
+		e := canon.NewEncoder()
+		tp.Encode(e)
+		d := canon.NewDecoder(e.Out())
+		got := DecodeState(d)
+		return d.Finish() == nil && got == tp
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

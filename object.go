@@ -1,0 +1,153 @@
+package b2b
+
+import (
+	"b2b/internal/coord"
+	"b2b/internal/tuple"
+	"b2b/internal/wire"
+)
+
+// Object is the paper's B2BObject interface, implemented by the application
+// (by a new object, by extension of an existing one, or by a wrapper —
+// paper §5). State travels as opaque bytes; the application chooses its own
+// serialization.
+type Object interface {
+	// GetState returns the object's current serialized state.
+	GetState() ([]byte, error)
+	// ApplyState installs a newly validated (or rolled-back) state.
+	ApplyState(state []byte) error
+	// ValidateState judges a state proposed by another party against this
+	// party's local policy. nil accepts; an error's message becomes the
+	// signed diagnostic accompanying the veto. proposer identifies the
+	// party making the change (asymmetric rules, §5.2).
+	ValidateState(proposer string, state []byte) error
+	// ValidateConnect judges the admission of a new party.
+	ValidateConnect(subject string) error
+	// ValidateDisconnect judges a disconnection (voluntary disconnections
+	// are receipts only — a veto is ignored, per §4.5.4).
+	ValidateDisconnect(subject string, voluntary bool) error
+}
+
+// UpdatableObject extends Object with delta coordination (§4.3.1): the
+// update, rather than the whole state, travels on the wire.
+type UpdatableObject interface {
+	Object
+	// GetUpdate returns the pending local update to coordinate (called at
+	// the outermost Leave after Update was indicated).
+	GetUpdate() ([]byte, error)
+	// ApplyUpdate computes, WITHOUT mutating the object, the state that
+	// results from applying update to current.
+	ApplyUpdate(current, update []byte) ([]byte, error)
+	// ValidateUpdate judges an update proposed by another party.
+	ValidateUpdate(proposer string, current, update []byte) error
+}
+
+// EventType classifies coordCallback events (paper §5).
+type EventType int
+
+// Event types delivered through the Callback.
+const (
+	// EventInstalled: a newly validated state was installed at this replica.
+	EventInstalled EventType = iota + 1
+	// EventRolledBack: this party's proposal was invalidated; the replica
+	// reverted to the agreed state.
+	EventRolledBack
+	// EventCoordComplete: an asynchronous/deferred coordination finished
+	// (Err nil on success, ErrVetoed/ErrBlocked otherwise).
+	EventCoordComplete
+)
+
+// String names the event type.
+func (t EventType) String() string {
+	switch t {
+	case EventInstalled:
+		return "installed"
+	case EventRolledBack:
+		return "rolled-back"
+	case EventCoordComplete:
+		return "coord-complete"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is a coordCallback notification.
+type Event struct {
+	Type   EventType
+	Object string
+	RunID  string
+	Valid  bool
+	Err    error
+}
+
+// Callback receives protocol progress events (the paper's coordCallback).
+// Callbacks run on middleware goroutines and must not block.
+type Callback func(Event)
+
+// objectAdapter adapts an application Object to the internal coordination
+// engine's validator interface.
+type objectAdapter struct {
+	object string
+	obj    Object
+	cb     Callback
+}
+
+var _ coord.Validator = (*objectAdapter)(nil)
+
+func (a *objectAdapter) ValidateState(proposer string, _, proposed []byte) wire.Decision {
+	if err := a.obj.ValidateState(proposer, proposed); err != nil {
+		return wire.Rejected(err.Error())
+	}
+	return wire.Accepted
+}
+
+func (a *objectAdapter) ValidateUpdate(proposer string, current, update []byte) wire.Decision {
+	uo, ok := a.obj.(UpdatableObject)
+	if !ok {
+		return wire.Rejected("object does not support update coordination")
+	}
+	if err := uo.ValidateUpdate(proposer, current, update); err != nil {
+		return wire.Rejected(err.Error())
+	}
+	return wire.Accepted
+}
+
+func (a *objectAdapter) ApplyUpdate(current, update []byte) ([]byte, error) {
+	uo, ok := a.obj.(UpdatableObject)
+	if !ok {
+		return nil, ErrNotUpdatable
+	}
+	return uo.ApplyUpdate(current, update)
+}
+
+func (a *objectAdapter) Installed(state []byte, _ tuple.State) {
+	_ = a.obj.ApplyState(state)
+	if a.cb != nil {
+		a.cb(Event{Type: EventInstalled, Object: a.object, Valid: true})
+	}
+}
+
+func (a *objectAdapter) RolledBack(state []byte, _ tuple.State) {
+	_ = a.obj.ApplyState(state)
+	if a.cb != nil {
+		a.cb(Event{Type: EventRolledBack, Object: a.object})
+	}
+}
+
+// membershipAdapter adapts an Object to the group manager's validator.
+type membershipAdapter struct {
+	obj Object
+}
+
+func (a *membershipAdapter) ValidateConnect(subject string) wire.Decision {
+	if err := a.obj.ValidateConnect(subject); err != nil {
+		return wire.Rejected(err.Error())
+	}
+	return wire.Accepted
+}
+
+func (a *membershipAdapter) ValidateDisconnect(subject string, voluntary bool) wire.Decision {
+	if err := a.obj.ValidateDisconnect(subject, voluntary); err != nil {
+		return wire.Rejected(err.Error())
+	}
+	return wire.Accepted
+}

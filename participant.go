@@ -1,0 +1,297 @@
+package b2b
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"b2b/internal/clock"
+	"b2b/internal/coord"
+	"b2b/internal/core"
+	"b2b/internal/crypto"
+	"b2b/internal/group"
+	"b2b/internal/nrlog"
+	"b2b/internal/store"
+	"b2b/internal/transport"
+	"b2b/internal/wire"
+)
+
+// Errors returned by the public API.
+var (
+	ErrNotUpdatable = errors.New("b2b: object does not implement UpdatableObject")
+	ErrVetoed       = coord.ErrVetoed
+	ErrBlocked      = coord.ErrBlocked
+	ErrRejected     = group.ErrRejected
+	ErrNoScope      = errors.New("b2b: Leave without matching Enter")
+	ErrNoPending    = errors.New("b2b: no deferred coordination pending")
+	ErrBusyPending  = errors.New("b2b: previous deferred coordination not yet collected")
+)
+
+// Mode selects the communication mode of a Controller (paper §5).
+type Mode int
+
+// Communication modes.
+const (
+	// Synchronous: Leave/Connect/Disconnect block until coordination
+	// completes; validation failure surfaces as an error.
+	Synchronous Mode = iota + 1
+	// DeferredSynchronous: Leave returns immediately; CoordCommit blocks
+	// until completion.
+	DeferredSynchronous
+	// Asynchronous: Leave returns immediately; completion is signalled via
+	// the Callback (EventCoordComplete).
+	Asynchronous
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Synchronous:
+		return "synchronous"
+	case DeferredSynchronous:
+		return "deferred-synchronous"
+	case Asynchronous:
+		return "asynchronous"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// TrustDomain holds the certification authority and time-stamping service
+// that all contracting organisations accept (§4.2). In production these are
+// independent trusted services; here they are constructed once and their
+// material distributed to participants.
+type TrustDomain struct {
+	CA  *crypto.CA
+	TSA *crypto.TSA
+	clk clock.Clock
+}
+
+// NewTrustDomain creates a trust domain with fresh CA and TSA keys.
+func NewTrustDomain(clk clock.Clock) (*TrustDomain, error) {
+	if clk == nil {
+		clk = clock.Wall{}
+	}
+	ca, err := crypto.NewCA("b2b-ca", clk, 10*365*24*time.Hour)
+	if err != nil {
+		return nil, err
+	}
+	tsa, err := crypto.NewTSA("b2b-tsa", clk)
+	if err != nil {
+		return nil, err
+	}
+	return &TrustDomain{CA: ca, TSA: tsa, clk: clk}, nil
+}
+
+// Issue creates an identity for a party and certifies it.
+func (td *TrustDomain) Issue(id string) (*crypto.Identity, error) {
+	ident, err := crypto.NewIdentity(id)
+	if err != nil {
+		return nil, err
+	}
+	td.CA.Issue(ident)
+	return ident, nil
+}
+
+// Option configures a Participant.
+type Option func(*participantOpts)
+
+type participantOpts struct {
+	clk             clock.Clock
+	mode            Mode
+	termination     coord.Termination
+	ttp             string
+	storageDir      string
+	retryInterval   time.Duration
+	responseTimeout time.Duration
+	opTimeout       time.Duration
+	peerCerts       []crypto.Certificate
+}
+
+// WithClock substitutes the time source (tests use a simulated clock).
+func WithClock(clk clock.Clock) Option {
+	return func(o *participantOpts) { o.clk = clk }
+}
+
+// WithMode sets the default communication mode for controllers (default
+// Synchronous).
+func WithMode(m Mode) Option {
+	return func(o *participantOpts) { o.mode = m }
+}
+
+// WithMajorityTermination enables the §7 majority-vote termination extension
+// instead of the paper's unanimous rule.
+func WithMajorityTermination() Option {
+	return func(o *participantOpts) { o.termination = coord.Majority }
+}
+
+// WithTTP names the trusted third party whose certified aborts this
+// participant honours (§7 deadline extension).
+func WithTTP(name string) Option {
+	return func(o *participantOpts) { o.ttp = name }
+}
+
+// WithFileStorage persists the non-repudiation log and checkpoint store
+// under dir (default: in-memory, no crash durability).
+func WithFileStorage(dir string) Option {
+	return func(o *participantOpts) { o.storageDir = dir }
+}
+
+// WithRetryInterval tunes the protocol-level retry period.
+func WithRetryInterval(d time.Duration) Option {
+	return func(o *participantOpts) { o.retryInterval = d }
+}
+
+// WithOperationTimeout bounds synchronous operations that take no context
+// (Controller.Leave). Default 30s.
+func WithOperationTimeout(d time.Duration) Option {
+	return func(o *participantOpts) { o.opTimeout = d }
+}
+
+// WithPeerCertificates registers the certificates of known peer
+// organisations (exchanged out of band when the contract is set up).
+func WithPeerCertificates(certs ...crypto.Certificate) Option {
+	return func(o *participantOpts) { o.peerCerts = append(o.peerCerts, certs...) }
+}
+
+// Participant is one organisation's middleware runtime (the deployment of
+// B2BObjects middleware inside an organisation, Fig 1).
+type Participant struct {
+	ident *crypto.Identity
+	part  *core.Participant
+	opts  participantOpts
+	tsa   wire.Stamper
+	vfr   *crypto.Verifier
+	conn  core.Conn
+}
+
+// NewParticipant assembles a participant from an identity issued by the
+// trust domain and a transport connection. The connection is typically
+// transport.NewReliable over a TCP or in-memory endpoint.
+func NewParticipant(ident *crypto.Identity, td *TrustDomain, conn core.Conn, opts ...Option) (*Participant, error) {
+	o := participantOpts{
+		clk:             clock.Clock(clock.Wall{}),
+		mode:            Synchronous,
+		retryInterval:   50 * time.Millisecond,
+		responseTimeout: 10 * time.Second,
+		opTimeout:       30 * time.Second,
+	}
+	if td != nil && td.clk != nil {
+		o.clk = td.clk
+	}
+	for _, opt := range opts {
+		opt(&o)
+	}
+
+	vfr := crypto.NewVerifier(td.CA, td.TSA)
+	if err := vfr.AddCertificate(ident.Certificate()); err != nil {
+		return nil, fmt.Errorf("b2b: own certificate: %w", err)
+	}
+	for _, cert := range o.peerCerts {
+		if err := vfr.AddCertificate(cert); err != nil {
+			return nil, fmt.Errorf("b2b: peer certificate %s: %w", cert.Subject, err)
+		}
+	}
+
+	var log nrlog.Log
+	var st store.Store
+	if o.storageDir != "" {
+		fl, err := nrlog.OpenFile(filepath.Join(o.storageDir, ident.ID()+".nrlog"), o.clk)
+		if err != nil {
+			return nil, err
+		}
+		fs, err := store.OpenFile(filepath.Join(o.storageDir, ident.ID()+".store"))
+		if err != nil {
+			return nil, err
+		}
+		log, st = fl, fs
+	} else {
+		log, st = nrlog.NewMemory(o.clk), store.NewMemory()
+	}
+
+	part, err := core.New(core.Config{
+		Ident:           ident,
+		Verifier:        vfr,
+		TSA:             td.TSA,
+		Conn:            conn,
+		Log:             log,
+		Store:           st,
+		Clock:           o.clk,
+		Termination:     o.termination,
+		TTP:             o.ttp,
+		RetryInterval:   o.retryInterval,
+		ResponseTimeout: o.responseTimeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Participant{
+		ident: ident,
+		part:  part,
+		opts:  o,
+		tsa:   td.TSA,
+		vfr:   vfr,
+		conn:  conn,
+	}, nil
+}
+
+// ID returns the participant's identity name.
+func (p *Participant) ID() string { return p.ident.ID() }
+
+// Log returns the participant's non-repudiation log for evidence inspection.
+func (p *Participant) Log() nrlog.Log { return p.part.Log() }
+
+// Bind attaches an application Object under the given name and returns its
+// Controller. The callback (optional, may be nil) receives coordCallback
+// events.
+func (p *Participant) Bind(object string, obj Object, cb Callback) (*Controller, error) {
+	adapter := &objectAdapter{object: object, obj: obj, cb: cb}
+	engine, manager, err := p.part.Bind(object, adapter, &membershipAdapter{obj: obj})
+	if err != nil {
+		return nil, err
+	}
+	return &Controller{
+		object:    object,
+		obj:       obj,
+		engine:    engine,
+		manager:   manager,
+		mode:      p.opts.mode,
+		cb:        cb,
+		opTimeout: p.opts.opTimeout,
+	}, nil
+}
+
+// Close shuts the participant down.
+func (p *Participant) Close() error { return p.part.Close() }
+
+// Clock returns the participant's clock.
+func (p *Participant) Clock() clock.Clock { return p.opts.clk }
+
+// MemoryPair is a convenience for examples and tests: a fresh in-memory
+// network whose endpoints are wrapped in the reliable delivery layer.
+type MemoryNetwork struct {
+	net *transport.Network
+}
+
+// NewMemoryNetwork creates an in-memory network (seed fixes fault
+// randomness; irrelevant when no faults are configured).
+func NewMemoryNetwork(seed uint64) *MemoryNetwork {
+	return &MemoryNetwork{net: transport.NewNetwork(seed)}
+}
+
+// Endpoint returns a reliable connection for a party id.
+func (m *MemoryNetwork) Endpoint(id string) (core.Conn, error) {
+	rel, err := transport.NewReliable(m.net.Endpoint(id),
+		transport.WithRetryInterval(5*time.Millisecond))
+	if err != nil {
+		return nil, err
+	}
+	return rel, nil
+}
+
+// Underlying exposes the raw network (fault injection in tests).
+func (m *MemoryNetwork) Underlying() *transport.Network { return m.net }
+
+// Close shuts the network down.
+func (m *MemoryNetwork) Close() { m.net.Close() }

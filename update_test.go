@@ -1,0 +1,195 @@
+package b2b_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	b2b "b2b"
+	"b2b/internal/clock"
+	"b2b/internal/crypto"
+)
+
+// ledger is an UpdatableObject: an append-only list of postings where the
+// update (one posting) travels instead of the whole ledger (§4.3.1).
+type ledger struct {
+	mu       sync.Mutex
+	Postings []string `json:"postings"`
+	pending  string
+}
+
+func (l *ledger) Post(entry string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.Postings = append(l.Postings, entry)
+	l.pending = entry
+}
+
+func (l *ledger) GetState() ([]byte, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return json.Marshal(struct {
+		Postings []string `json:"postings"`
+	}{l.Postings})
+}
+
+func (l *ledger) ApplyState(state []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var s struct {
+		Postings []string `json:"postings"`
+	}
+	if err := json.Unmarshal(state, &s); err != nil {
+		return err
+	}
+	l.Postings = s.Postings
+	return nil
+}
+
+func (l *ledger) ValidateState(string, []byte) error { return nil }
+
+func (l *ledger) ValidateConnect(string) error { return nil }
+
+func (l *ledger) ValidateDisconnect(string, bool) error { return nil }
+
+func (l *ledger) GetUpdate() ([]byte, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.pending == "" {
+		return nil, errors.New("no pending posting")
+	}
+	u := l.pending
+	l.pending = ""
+	return []byte(u), nil
+}
+
+func (l *ledger) ApplyUpdate(current, update []byte) ([]byte, error) {
+	var s struct {
+		Postings []string `json:"postings"`
+	}
+	if err := json.Unmarshal(current, &s); err != nil {
+		return nil, err
+	}
+	s.Postings = append(s.Postings, string(update))
+	return json.Marshal(s)
+}
+
+func (l *ledger) ValidateUpdate(_ string, _ []byte, update []byte) error {
+	if strings.Contains(string(update), "forbidden") {
+		return fmt.Errorf("posting not allowed: %s", update)
+	}
+	return nil
+}
+
+func TestPublicAPIUpdateMode(t *testing.T) {
+	clk, td, net, idents, certs := updateFixture(t, []string{"a", "b"})
+	ledgers := make(map[string]*ledger)
+	ctrls := make(map[string]*b2b.Controller)
+	for _, id := range []string{"a", "b"} {
+		conn, err := net.Endpoint(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := b2b.NewParticipant(idents[id], td, conn,
+			b2b.WithClock(clk),
+			b2b.WithPeerCertificates(certs...),
+			b2b.WithOperationTimeout(10*time.Second))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = p.Close() })
+		led := &ledger{}
+		ctrl, err := p.Bind("ledger", led, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ledgers[id] = led
+		ctrls[id] = ctrl
+	}
+	for _, id := range []string{"a", "b"} {
+		if err := ctrls[id].Bootstrap([]string{"a", "b"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A posts an entry via update coordination.
+	ctrls["a"].Enter()
+	ctrls["a"].Update()
+	ledgers["a"].Post("debit 100")
+	if err := ctrls["a"].Leave(); err != nil {
+		t.Fatalf("update Leave: %v", err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		ledgers["b"].mu.Lock()
+		n := len(ledgers["b"].Postings)
+		ledgers["b"].mu.Unlock()
+		if n == 1 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	ledgers["b"].mu.Lock()
+	got := append([]string(nil), ledgers["b"].Postings...)
+	ledgers["b"].mu.Unlock()
+	if len(got) != 1 || got[0] != "debit 100" {
+		t.Fatalf("b's ledger = %v", got)
+	}
+
+	// A forbidden posting is vetoed and rolled back.
+	if err := ctrls["a"].Settle(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctrls["a"].Enter()
+	ctrls["a"].Update()
+	ledgers["a"].Post("forbidden transfer")
+	err := ctrls["a"].Leave()
+	if !errors.Is(err, b2b.ErrVetoed) {
+		t.Fatalf("err = %v", err)
+	}
+	ledgers["a"].mu.Lock()
+	n := len(ledgers["a"].Postings)
+	ledgers["a"].mu.Unlock()
+	if n != 1 {
+		t.Fatalf("a's ledger after rollback has %d postings", n)
+	}
+}
+
+func TestPublicAPIUpdateOnNonUpdatable(t *testing.T) {
+	d := newDeployment(t, []string{"a", "b"})
+	ctrl := d.ctrls["a"]
+	ctrl.Enter()
+	ctrl.Update()
+	d.docs["a"].Set("k", "v")
+	if err := ctrl.Leave(); !errors.Is(err, b2b.ErrNotUpdatable) {
+		t.Fatalf("err = %v, want ErrNotUpdatable", err)
+	}
+}
+
+func updateFixture(t *testing.T, ids []string) (*clock.Sim, *b2b.TrustDomain, *b2b.MemoryNetwork, map[string]*crypto.Identity, []crypto.Certificate) {
+	t.Helper()
+	clk := clock.NewSim(time.Date(2002, 6, 23, 0, 0, 0, 0, time.UTC))
+	td, err := b2b.NewTrustDomain(clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := b2b.NewMemoryNetwork(9)
+	t.Cleanup(net.Close)
+	idents := make(map[string]*crypto.Identity)
+	var certs []crypto.Certificate
+	for _, id := range ids {
+		ident, err := td.Issue(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idents[id] = ident
+		certs = append(certs, ident.Certificate())
+	}
+	return clk, td, net, idents, certs
+}
