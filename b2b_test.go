@@ -496,3 +496,137 @@ func TestPublicAPIEvidenceAvailable(t *testing.T) {
 		t.Fatalf("evidence chain: %v", err)
 	}
 }
+
+// failingApplyDoc wraps document with an ApplyState that can be made to
+// fail, simulating an application object that cannot install agreed state.
+type failingApplyDoc struct {
+	*document
+	mu   sync.Mutex
+	fail bool
+}
+
+func (f *failingApplyDoc) setFail(v bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.fail = v
+}
+
+func (f *failingApplyDoc) ApplyState(state []byte) error {
+	f.mu.Lock()
+	failing := f.fail
+	f.mu.Unlock()
+	if failing {
+		return errors.New("disk full")
+	}
+	return f.document.ApplyState(state)
+}
+
+// TestApplyStateFailureSurfaces: a replica whose ApplyState fails must not
+// be silently accepted — the failure reaches the callback, ReplicaErr
+// reports ErrDivergent, new proposals are refused, and Restore clears the
+// condition once installation succeeds again.
+func TestApplyStateFailureSurfaces(t *testing.T) {
+	clk := clock.NewSim(time.Date(2002, 6, 23, 0, 0, 0, 0, time.UTC))
+	td, err := b2b.NewTrustDomain(clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := b2b.NewMemoryNetwork(17)
+	t.Cleanup(net.Close)
+
+	ids := []string{"alice", "bob"}
+	idents := make(map[string]*crypto.Identity)
+	var certs []crypto.Certificate
+	for _, id := range ids {
+		ident, err := td.Issue(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idents[id] = ident
+		certs = append(certs, ident.Certificate())
+	}
+
+	docs := map[string]*failingApplyDoc{}
+	ctrls := map[string]*b2b.Controller{}
+	events := make(chan b2b.Event, 64)
+	for _, id := range ids {
+		conn, err := net.Endpoint(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		part, err := b2b.NewParticipant(idents[id], td, conn,
+			b2b.WithClock(clk), b2b.WithPeerCertificates(certs...),
+			b2b.WithOperationTimeout(10*time.Second))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = part.Close() })
+		doc := &failingApplyDoc{document: newDocument()}
+		var cb b2b.Callback
+		if id == "bob" {
+			cb = func(ev b2b.Event) { events <- ev }
+		}
+		ctrl, err := part.Bind("document", doc, cb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs[id] = doc
+		ctrls[id] = ctrl
+	}
+	for _, id := range ids {
+		if err := ctrls[id].Bootstrap(ids); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Bob's replica starts failing installs; alice coordinates a change.
+	docs["bob"].setFail(true)
+	ctrls["alice"].Enter()
+	ctrls["alice"].Overwrite()
+	docs["alice"].Set("k", "v1")
+	if err := ctrls["alice"].Leave(); err != nil {
+		t.Fatalf("alice leave: %v", err)
+	}
+
+	// The failure must surface through bob's callback...
+	deadline := time.After(10 * time.Second)
+	for {
+		var ev b2b.Event
+		select {
+		case ev = <-events:
+		case <-deadline:
+			t.Fatal("no install event with error reached bob's callback")
+		}
+		if ev.Type == b2b.EventInstalled && ev.Err != nil {
+			if !errors.Is(ev.Err, b2b.ErrDivergent) {
+				t.Fatalf("event error = %v, want ErrDivergent", ev.Err)
+			}
+			break
+		}
+	}
+	// ...and through the controller's error path.
+	if err := ctrls["bob"].ReplicaErr(); !errors.Is(err, b2b.ErrDivergent) {
+		t.Fatalf("ReplicaErr = %v, want ErrDivergent", err)
+	}
+	ctrls["bob"].Enter()
+	ctrls["bob"].Overwrite()
+	if err := ctrls["bob"].Leave(); !errors.Is(err, b2b.ErrDivergent) {
+		t.Fatalf("Leave on divergent replica = %v, want ErrDivergent", err)
+	}
+	if err := ctrls["bob"].SyncCoord(context.Background()); !errors.Is(err, b2b.ErrDivergent) {
+		t.Fatalf("SyncCoord on divergent replica = %v, want ErrDivergent", err)
+	}
+
+	// Recovery: installs succeed again; Resync re-installs the agreed state
+	// and clears the divergence.
+	docs["bob"].setFail(false)
+	if err := ctrls["bob"].Resync(); err != nil {
+		t.Fatalf("resync: %v", err)
+	}
+	if err := ctrls["bob"].ReplicaErr(); err != nil {
+		t.Fatalf("ReplicaErr after resync = %v, want nil", err)
+	}
+	if got := docs["bob"].Get("k"); got != "v1" {
+		t.Fatalf("bob's replica after resync = %q, want v1", got)
+	}
+}

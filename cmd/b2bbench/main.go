@@ -34,7 +34,7 @@ type experiment struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (E1, E2, E5, E7, E8, E9, E10, E11, E13, E14) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (E1, E2, E5, E7, E8, E9, E10, E11, E13, E14, E15) or 'all'")
 	list := flag.Bool("list", false, "list experiments")
 	flag.Parse()
 
@@ -49,6 +49,7 @@ func main() {
 		{id: "E11", desc: "§5 — communication modes", run: expE11},
 		{id: "E13", desc: "§4.5 — membership protocol costs", run: expE13},
 		{id: "E14", desc: "§7 — unanimous vs majority termination", run: expE14},
+		{id: "E15", desc: "transport batching and multi-object throughput", run: expE15},
 	}
 
 	if *list {
@@ -58,17 +59,22 @@ func main() {
 		return
 	}
 
-	failed := 0
+	failed, ran := 0, 0
 	for _, e := range experiments {
 		if *exp != "all" && *exp != e.id {
 			continue
 		}
+		ran++
 		fmt.Printf("==== %s: %s ====\n", e.id, e.desc)
 		if err := e.run(); err != nil {
 			fmt.Fprintf(os.Stderr, "%s FAILED: %v\n", e.id, err)
 			failed++
 		}
 		fmt.Println()
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *exp)
+		os.Exit(2)
 	}
 	if failed > 0 {
 		os.Exit(1)
@@ -556,6 +562,114 @@ func expE14() error {
 		w.Close()
 	}
 	fmt.Printf("expected: unanimity vetoes, majority proceeds (§7 extension)\n")
+	return nil
+}
+
+// expE15: the throughput path — transport batching (coalesced frames and
+// cumulative acks) versus plain datagrams, and N independent objects driven
+// concurrently over one shared endpoint versus serially.
+func expE15() error {
+	const rounds = 30
+
+	// Part 1: datagrams per committed run, batching off vs on.
+	fmt.Printf("%-14s %14s %12s %12s\n", "transport", "latency/run", "msgs/run", "dgrams/run")
+	for _, batching := range []bool{false, true} {
+		w, ids, err := acceptWorld(2, lab.Options{Seed: 15, Batching: batching})
+		if err != nil {
+			return err
+		}
+		en := w.Party("org00").Engine("obj")
+		w.Net.ResetStats()
+		start := time.Now()
+		for i := 0; i < rounds; i++ {
+			if _, err := en.Propose(context.Background(), []byte(fmt.Sprintf("s%d", i))); err != nil {
+				w.Close()
+				return err
+			}
+		}
+		lat := (time.Since(start) / rounds).Round(time.Microsecond)
+		st := en.Stats()
+		msgs := float64(st.ProposesSent+st.CommitsSent+w.Party(ids[1]).Engine("obj").Stats().RespondsSent) / rounds
+		dgrams := float64(w.Net.Stats().Sent) / rounds
+		name := "plain"
+		if batching {
+			name = "batched"
+		}
+		fmt.Printf("%-14s %14v %12.1f %12.1f\n", name, lat, msgs, dgrams)
+		w.Close()
+	}
+	fmt.Printf("expected: identical msgs/run (protocol untouched), fewer dgrams/run batched\n\n")
+
+	// Part 2: multi-object throughput, serial vs concurrent drivers, on
+	// links with a small simulated delivery delay.
+	const objects = 8
+	ids := []string{"org00", "org01"}
+	mkWorld := func() (*lab.World, []*coord.Engine, error) {
+		w, err := lab.NewWorld(lab.Options{Seed: 15, Batching: true}, ids...)
+		if err != nil {
+			return nil, nil, err
+		}
+		engines := make([]*coord.Engine, objects)
+		for k := 0; k < objects; k++ {
+			name := fmt.Sprintf("obj%02d", k)
+			if err := w.Bind(name, func(string) coord.Validator { return lab.AcceptAllValidator() }, nil); err != nil {
+				w.Close()
+				return nil, nil, err
+			}
+			if err := w.Bootstrap(name, []byte("v0"), ids); err != nil {
+				w.Close()
+				return nil, nil, err
+			}
+			engines[k] = w.Party("org00").Engine(name)
+		}
+		w.Net.SetDefaultFaults(transport.Faults{MinDelay: 100 * time.Microsecond, MaxDelay: 300 * time.Microsecond})
+		return w, engines, nil
+	}
+
+	w, engines, err := mkWorld()
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	for i := 0; i < rounds*objects; i++ {
+		if _, err := engines[i%objects].Propose(context.Background(), []byte(fmt.Sprintf("s-%d", i))); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	serial := time.Since(start)
+	w.Close()
+
+	w, engines, err = mkWorld()
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	start = time.Now()
+	errCh := make(chan error, objects)
+	for k := 0; k < objects; k++ {
+		go func(k int) {
+			for i := 0; i < rounds; i++ {
+				if _, err := engines[k].Propose(context.Background(), []byte(fmt.Sprintf("s-%d-%d", k, i))); err != nil {
+					errCh <- err
+					return
+				}
+			}
+			errCh <- nil
+		}(k)
+	}
+	for k := 0; k < objects; k++ {
+		if err := <-errCh; err != nil {
+			return err
+		}
+	}
+	concurrent := time.Since(start)
+
+	total := rounds * objects
+	fmt.Printf("%-14s %14s %16s\n", "driver", "wall clock", "runs/second")
+	fmt.Printf("%-14s %14v %16.0f\n", "serial", serial.Round(time.Millisecond), float64(total)/serial.Seconds())
+	fmt.Printf("%-14s %14v %16.0f\n", "concurrent", concurrent.Round(time.Millisecond), float64(total)/concurrent.Seconds())
+	fmt.Printf("expected: concurrent driver completes the same %d runs faster (sharded dispatch)\n", total)
 	return nil
 }
 

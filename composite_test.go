@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -15,21 +16,56 @@ import (
 )
 
 // kvComponent is a trivial component: a single value writable only by its
-// owner.
+// owner. Access is locked: the middleware installs state from its own
+// goroutines while tests read and write concurrently.
 type kvComponent struct {
+	mu    sync.Mutex
 	Owner string `json:"owner"`
 	Value string `json:"value"`
 }
 
-func (c *kvComponent) GetState() ([]byte, error) { return json.Marshal(c) }
+func (c *kvComponent) setValue(v string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.Value = v
+}
 
-func (c *kvComponent) ApplyState(state []byte) error { return json.Unmarshal(state, c) }
+func (c *kvComponent) getValue() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.Value
+}
+
+func (c *kvComponent) GetState() ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return json.Marshal(struct {
+		Owner string `json:"owner"`
+		Value string `json:"value"`
+	}{c.Owner, c.Value})
+}
+
+func (c *kvComponent) ApplyState(state []byte) error {
+	var next struct {
+		Owner string `json:"owner"`
+		Value string `json:"value"`
+	}
+	if err := json.Unmarshal(state, &next); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.Owner, c.Value = next.Owner, next.Value
+	return nil
+}
 
 func (c *kvComponent) ValidateState(proposer string, state []byte) error {
 	var next kvComponent
 	if err := json.Unmarshal(state, &next); err != nil {
 		return err
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if next.Value != c.Value && proposer != c.Owner {
 		return fmt.Errorf("only %s may write", c.Owner)
 	}
@@ -173,19 +209,19 @@ func TestCompositeCoordinatedAtomically(t *testing.T) {
 	alice := sides["alice"]
 	alice.ctrl.Enter()
 	alice.ctrl.Overwrite()
-	alice.mine.Value = "alice-v1"
+	alice.mine.setValue("alice-v1")
 	if err := alice.ctrl.Leave(); err != nil {
 		t.Fatalf("own-component change: %v", err)
 	}
 
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
-		if sides["bob"].your.Value == "alice-v1" {
+		if sides["bob"].your.getValue() == "alice-v1" {
 			break
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
-	if got := sides["bob"].your.Value; got != "alice-v1" {
+	if got := sides["bob"].your.getValue(); got != "alice-v1" {
 		t.Fatalf("bob's view of alice's component = %q", got)
 	}
 
@@ -195,13 +231,13 @@ func TestCompositeCoordinatedAtomically(t *testing.T) {
 	}
 	alice.ctrl.Enter()
 	alice.ctrl.Overwrite()
-	alice.your.Value = "intrusion"
+	alice.your.setValue("intrusion")
 	err = alice.ctrl.Leave()
 	if !errors.Is(err, b2b.ErrVetoed) {
 		t.Fatalf("foreign-component change: %v", err)
 	}
 	// Rolled back locally.
-	if alice.your.Value != "" {
-		t.Fatalf("alice's copy of bob's component after rollback = %q", alice.your.Value)
+	if alice.your.getValue() != "" {
+		t.Fatalf("alice's copy of bob's component after rollback = %q", alice.your.getValue())
 	}
 }

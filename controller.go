@@ -36,6 +36,7 @@ const (
 type Controller struct {
 	object    string
 	obj       Object
+	adapter   *objectAdapter
 	engine    *coord.Engine
 	manager   *group.Manager
 	mode      Mode
@@ -66,13 +67,14 @@ func (c *Controller) Bootstrap(members []string) error {
 
 // Restore recovers membership and agreed state from the participant's
 // persistent store after a crash, then re-installs the agreed state into
-// the application object.
+// the application object. A successful install clears any recorded replica
+// divergence.
 func (c *Controller) Restore() error {
 	if err := c.engine.Restore(); err != nil {
 		return err
 	}
 	_, state := c.engine.Agreed()
-	return c.obj.ApplyState(state)
+	return c.adapter.apply(state)
 }
 
 // Connect requests admission to the sharing group via any known member
@@ -83,7 +85,7 @@ func (c *Controller) Connect(ctx context.Context, contact string) error {
 		return err
 	}
 	_, state := c.engine.Agreed()
-	return c.obj.ApplyState(state)
+	return c.adapter.apply(state)
 }
 
 // Disconnect leaves the sharing group voluntarily (§4.5.4).
@@ -192,6 +194,17 @@ func (c *Controller) LeaveContext(ctx context.Context) error {
 	}
 	c.mu.Unlock()
 
+	if err := c.adapter.divergence(); err != nil {
+		// A replica that failed to install the agreed state must not propose
+		// on top of it; Restore (or a later successful install) clears this.
+		c.mu.Lock()
+		if c.pending == ch {
+			c.pending = nil
+		}
+		c.mu.Unlock()
+		return err
+	}
+
 	run := func(ctx context.Context) (coord.Outcome, error) {
 		if access == accessUpdate {
 			uo, ok := c.obj.(UpdatableObject)
@@ -261,9 +274,32 @@ func (c *Controller) CoordCommit(ctx context.Context) error {
 	}
 }
 
+// ReplicaErr reports whether the local replica diverged from the agreed
+// state: the most recent coordinated install whose ApplyState failed, wrapped
+// in ErrDivergent. Nil means the replica reflects the agreed state. Leave and
+// SyncCoord refuse to propose while divergent; Resync (live) or Restore
+// (after a crash) clears the condition by re-installing the agreed state.
+func (c *Controller) ReplicaErr() error {
+	return c.adapter.divergence()
+}
+
+// Resync re-installs the currently agreed state into the application object,
+// clearing a replica divergence once the object can install again (e.g.
+// after a transient storage failure). Unlike Restore it leaves the engine's
+// in-memory and persistent state untouched.
+func (c *Controller) Resync() error {
+	return c.adapter.applyLatest(func() []byte {
+		_, state := c.engine.Agreed()
+		return state
+	})
+}
+
 // SyncCoord coordinates the object's current state immediately, outside any
 // Enter/Leave scope (the paper's syncCoord operation).
 func (c *Controller) SyncCoord(ctx context.Context) error {
+	if err := c.adapter.divergence(); err != nil {
+		return err
+	}
 	state, err := c.obj.GetState()
 	if err != nil {
 		return fmt.Errorf("b2b: reading object state: %w", err)

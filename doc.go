@@ -35,4 +35,42 @@
 // disconnection protocols (§4.5) through Controller.Connect and
 // Controller.Disconnect, with sponsor-coordinated admission, state transfer
 // and eviction.
+//
+// # Module layout
+//
+// The public API lives in this root package (Participant, Controller,
+// Object, TrustDomain). The machinery is under internal/:
+//
+//   - internal/transport — the communication substrate: an in-memory
+//     fault-injecting network, a TCP transport, and the Reliable wrapper
+//     providing the paper's eventual once-only delivery. Reliable optionally
+//     batches: per-peer frame coalescing into multi-frame datagrams plus
+//     cumulative acks (transport.WithBatching), with batch-aware journaling
+//     (transport.FileJournal) so crash recovery retransmits exactly the
+//     unacked set.
+//   - internal/wire — canonical protocol message encodings, the signed
+//     evidence envelope, and the multi-frame batch container.
+//   - internal/coord — the propose/respond/commit coordination engine (§4.3).
+//   - internal/group — connection/disconnection membership protocols (§4.5).
+//   - internal/core — the participant runtime; inbound traffic is dispatched
+//     through per-object shards, so independent objects coordinate
+//     concurrently over one shared connection.
+//   - internal/crypto, internal/nrlog, internal/store, internal/clock,
+//     internal/tuple, internal/canon — identities and signing, the
+//     non-repudiation log, checkpoint store, time, state tuples, encoding.
+//   - internal/lab, internal/faults — test worlds and adversarial fault
+//     injection; internal/ttp, internal/rmi, internal/apps — §7 extensions,
+//     remote invocation, example applications.
+//
+// Commands: cmd/b2bnode (a networked node), cmd/b2bdemo (a scripted demo),
+// and cmd/b2bbench, which regenerates the paper's evaluation artefacts:
+//
+//	go run ./cmd/b2bbench -list     # enumerate experiments
+//	go run ./cmd/b2bbench -exp all  # run everything
+//	go run ./cmd/b2bbench -exp E15  # transport batching + multi-object throughput
+//
+// Benchmarks (message complexity, state size, communication modes, batching
+// and multi-object throughput) run with:
+//
+//	go test -bench . -benchtime 100x .
 package b2b

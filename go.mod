@@ -1,0 +1,3 @@
+module b2b
+
+go 1.22

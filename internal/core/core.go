@@ -58,10 +58,25 @@ type Config struct {
 	ResponseTimeout time.Duration
 }
 
-// binding is one coordinated object's machinery.
+// shardDepth bounds each object's inbound queue; a full queue exerts
+// backpressure on the transport's delivery goroutine rather than dropping
+// (loss is the Reliable layer's business, not ours).
+const shardDepth = 1024
+
+// inboundEnv is one routed protocol message awaiting its object's worker.
+type inboundEnv struct {
+	from string
+	env  wire.Envelope
+}
+
+// binding is one coordinated object's machinery plus its dispatch shard:
+// a serial inbox drained by a dedicated worker, so traffic for one object
+// keeps its arrival order while independent objects proceed in parallel
+// over the one shared connection.
 type binding struct {
 	engine  *coord.Engine
 	manager *group.Manager
+	inbox   chan inboundEnv
 }
 
 // Participant is one organisation's middleware runtime.
@@ -71,6 +86,9 @@ type Participant struct {
 	mu      sync.Mutex
 	objects map[string]*binding
 	closed  bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
 }
 
 // New creates a participant and installs its dispatcher on the connection.
@@ -88,6 +106,7 @@ func New(cfg Config) (*Participant, error) {
 	p := &Participant{
 		cfg:     cfg,
 		objects: make(map[string]*binding),
+		stop:    make(chan struct{}),
 	}
 	cfg.Conn.SetHandler(p.dispatch)
 	return p, nil
@@ -153,8 +172,46 @@ func (p *Participant) Bind(object string, v coord.Validator, mv group.Validator)
 	if err != nil {
 		return nil, nil, err
 	}
-	p.objects[object] = &binding{engine: en, manager: mgr}
+	b := &binding{engine: en, manager: mgr, inbox: make(chan inboundEnv, shardDepth)}
+	p.objects[object] = b
+	p.wg.Add(1)
+	go p.runShard(b)
 	return en, mgr, nil
+}
+
+// runShard serially drains one object's inbound queue. Engines and managers
+// lock internally, so different objects' shards run their handlers truly
+// concurrently.
+func (p *Participant) runShard(b *binding) {
+	defer p.wg.Done()
+	handle := func(msg inboundEnv) {
+		switch msg.env.Kind {
+		case wire.KindPropose, wire.KindRespond, wire.KindCommit, wire.KindAbortCert:
+			b.engine.HandleEnvelope(msg.from, msg.env)
+		default:
+			b.manager.HandleEnvelope(msg.from, msg.env)
+		}
+	}
+	for {
+		select {
+		case <-p.stop:
+			// Drain the backlog before exiting: the transport acked and
+			// journaled these as seen before enqueueing, so a message
+			// dropped here would never be retransmitted — delivered zero
+			// times despite the once-only contract. Replies onto the
+			// already-closed connection fail harmlessly.
+			for {
+				select {
+				case msg := <-b.inbox:
+					handle(msg)
+				default:
+					return
+				}
+			}
+		case msg := <-b.inbox:
+			handle(msg)
+		}
+	}
 }
 
 // Engine returns the coordination engine for a bound object.
@@ -190,7 +247,10 @@ func (p *Participant) Objects() []string {
 	return out
 }
 
-// dispatch routes an inbound payload by object and kind.
+// dispatch routes an inbound payload to its object's shard. The shard queue
+// decouples the transport's delivery goroutine from protocol handling, so
+// coordination runs for different objects proceed in parallel over one
+// shared connection instead of serially.
 func (p *Participant) dispatch(from string, payload []byte) {
 	env, err := wire.UnmarshalEnvelope(payload)
 	if err != nil {
@@ -208,16 +268,14 @@ func (p *Participant) dispatch(from string, payload []byte) {
 		_, _ = p.cfg.Log.Append("", env.Object, "unbound-object", p.cfg.Ident.ID(), nrlog.DirReceived, payload)
 		return
 	}
-	switch env.Kind {
-	case wire.KindPropose, wire.KindRespond, wire.KindCommit, wire.KindAbortCert:
-		b.engine.HandleEnvelope(from, env)
-	default:
-		b.manager.HandleEnvelope(from, env)
+	select {
+	case b.inbox <- inboundEnv{from: from, env: env}:
+	case <-p.stop:
 	}
 }
 
-// Close shuts the participant down (the connection is closed; engines keep
-// their persisted state for recovery).
+// Close shuts the participant down (the connection is closed, shard workers
+// stop; engines keep their persisted state for recovery).
 func (p *Participant) Close() error {
 	p.mu.Lock()
 	if p.closed {
@@ -226,5 +284,8 @@ func (p *Participant) Close() error {
 	}
 	p.closed = true
 	p.mu.Unlock()
-	return p.cfg.Conn.Close()
+	close(p.stop)
+	err := p.cfg.Conn.Close()
+	p.wg.Wait()
+	return err
 }

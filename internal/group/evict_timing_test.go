@@ -1,0 +1,44 @@
+package group
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestEvictPromptness: a non-sponsor's Evict blocks until the eviction is
+// applied locally, and a promptly decided eviction returns promptly — well
+// inside one re-send period (the completion poll is decoupled from the
+// re-send ticker).
+func TestEvictPromptness(t *testing.T) {
+	c := newGCluster(t, []string{"alice", "bob", "carol"}, []string{"alice", "bob", "carol"}, []byte("v0"))
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := c.node("alice").manager.Evict(ctx, "bob"); err != nil {
+		t.Fatalf("Evict: %v", err)
+	}
+	if d := time.Since(start); d > 200*time.Millisecond {
+		t.Fatalf("clean eviction took %v, expected well under one re-send period", d)
+	}
+}
+
+// TestEvictAfterJoinPromptness: evicting immediately after a join, while the
+// proposer's own membership commit may still be queued, must not cost a full
+// re-send period — the fast poll notices the rotated sponsor and re-sends
+// immediately.
+func TestEvictAfterJoinPromptness(t *testing.T) {
+	c := newGCluster(t, []string{"alice", "bob", "carol", "dave"}, []string{"alice", "bob", "carol"}, []byte("v0"))
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := c.node("dave").manager.Join(ctx, "alice"); err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	start := time.Now()
+	if err := c.node("alice").manager.Evict(ctx, "bob"); err != nil {
+		t.Fatalf("Evict: %v", err)
+	}
+	if d := time.Since(start); d > 200*time.Millisecond {
+		t.Fatalf("eviction after join took %v, expected the sponsor-change fast path", d)
+	}
+}

@@ -330,7 +330,10 @@ func (m *Manager) Leave(ctx context.Context) error {
 
 // Evict proposes the eviction of one or more members (§4.5.4, including the
 // evictee-subset extension). The proposer forwards the request to the
-// sponsor; if the proposer is the sponsor the request step is elided.
+// sponsor (if the proposer is the sponsor the request step is elided) and
+// blocks until the eviction is reflected in the local membership view or ctx
+// expires — a vetoed or perpetually-refused eviction therefore surfaces as
+// ctx expiry, since membership simply never changes.
 func (m *Manager) Evict(ctx context.Context, evictees ...string) error {
 	if len(evictees) == 0 {
 		return ErrBadSubject
@@ -373,7 +376,57 @@ func (m *Manager) Evict(ctx context.Context, evictees ...string) error {
 		// Sponsor proposes directly (§4.5.4: request step omitted).
 		return m.sponsorDisconnection(ctx, signed, req)
 	}
-	return m.send(ctx, sponsor, wire.KindDiscRequest, signed.Marshal())
+	if err := m.send(ctx, sponsor, wire.KindDiscRequest, signed.Marshal()); err != nil {
+		return err
+	}
+	// Re-send until the eviction takes effect in the local view (bounded by
+	// ctx): the sponsor silently refuses requests while another membership
+	// change is deciding, and the request carries no completion signal back
+	// to the proposer, so a single send can be lost to an unlucky
+	// interleaving (e.g. a voluntary leave being sponsored concurrently).
+	// Completion is polled on a fast ticker, decoupled from the much slower
+	// re-send cadence; a sponsor change observed on the fast tick (e.g. our
+	// own just-applied membership commit rotating sponsorship) triggers an
+	// immediate re-send rather than waiting a full re-send period.
+	dispatch := func(to string) error {
+		if to == self {
+			if err := m.sponsorDisconnection(ctx, signed, req); err == nil {
+				return nil
+			}
+			return nil // busy or raced: keep trying until ctx expires
+		}
+		_ = m.send(ctx, to, wire.KindDiscRequest, signed.Marshal())
+		return nil
+	}
+	resend := time.NewTicker(m.cfg.ResponseTimeout / 20)
+	defer resend.Stop()
+	poll := time.NewTicker(2 * time.Millisecond)
+	defer poll.Stop()
+	for {
+		_, members = m.cfg.Engine.Group()
+		evicted := true
+		for _, e := range evictees {
+			if contains(members, e) {
+				evicted = false
+				break
+			}
+		}
+		if evicted {
+			return nil
+		}
+		if s, serr := SponsorOf(members, evictees...); serr == nil && s != sponsor {
+			sponsor = s
+			_ = dispatch(sponsor)
+			continue
+		}
+		select {
+		case <-poll.C:
+		case <-resend.C:
+			_ = dispatch(sponsor)
+		case <-ctx.Done():
+			return fmt.Errorf("group: eviction request %s: %w", reqID, ctx.Err())
+		}
+	}
 }
 
 // contains reports membership of s in ss.

@@ -441,15 +441,15 @@ func TestEvictionVetoed(t *testing.T) {
 	c.node("alice").mval.disconnect = func(subject string, voluntary bool) wire.Decision {
 		return wire.Rejected("eviction is too harsh")
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
 	err := c.node("alice").manager.Evict(ctx, "bob")
 	// The sponsor (carol) reports the veto to the proposer only via
-	// membership staying unchanged; Evict returns without error when it
-	// merely forwarded the request. When alice is not the sponsor the
-	// request is fire-and-forget, so poll membership.
-	_ = err
-	time.Sleep(300 * time.Millisecond)
+	// membership staying unchanged, so the blocked Evict surfaces it as ctx
+	// expiry.
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("vetoed Evict = %v, want context deadline", err)
+	}
 	want := []string{"alice", "bob", "carol"}
 	if err := c.waitMembers(want, want, 2*time.Second); err != nil {
 		t.Fatal("membership changed despite veto")

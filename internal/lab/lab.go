@@ -59,6 +59,13 @@ type Options struct {
 	Termination   coord.Termination
 	TTP           string
 	RetryInterval time.Duration
+	// Batching enables the reliable layer's throughput path: per-peer frame
+	// coalescing and cumulative acks (transport.WithBatching).
+	Batching bool
+	// BatchWindow overrides the batch flush window (default 200µs in the
+	// lab — short enough to keep in-memory latency sane, long enough that
+	// a protocol step's ack and reply coalesce).
+	BatchWindow time.Duration
 	// NoTSA disables time-stamping (crypto ablation experiments). Signed
 	// messages then fail verification, so it only makes sense together with
 	// measuring raw signing cost, not protocol runs.
@@ -120,8 +127,15 @@ func NewWorld(opts Options, ids ...string) (*World, error) {
 				return nil, err
 			}
 		}
-		rel, err := transport.NewReliable(w.Net.Endpoint(id),
-			transport.WithRetryInterval(5*time.Millisecond))
+		relOpts := []transport.ReliableOption{transport.WithRetryInterval(5 * time.Millisecond)}
+		if opts.Batching {
+			window := opts.BatchWindow
+			if window == 0 {
+				window = 200 * time.Microsecond
+			}
+			relOpts = append(relOpts, transport.WithBatching(window, 0))
+		}
+		rel, err := transport.NewReliable(w.Net.Endpoint(id), relOpts...)
 		if err != nil {
 			return nil, err
 		}

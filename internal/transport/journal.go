@@ -95,6 +95,27 @@ func (j *FileJournal) append(jl journalLine) error {
 	return nil
 }
 
+// appendAll marshals several journal lines into one buffer, writes it and
+// syncs once — the durable cost of a batch is a single fsync.
+func (j *FileJournal) appendAll(lines []journalLine) error {
+	var buf []byte
+	for _, jl := range lines {
+		line, err := json.Marshal(jl)
+		if err != nil {
+			return fmt.Errorf("transport: encoding journal line: %w", err)
+		}
+		buf = append(buf, line...)
+		buf = append(buf, '\n')
+	}
+	if _, err := j.f.Write(buf); err != nil {
+		return fmt.Errorf("transport: writing journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("transport: syncing journal: %w", err)
+	}
+	return nil
+}
+
 // SaveOutgoing implements Journal.
 func (j *FileJournal) SaveOutgoing(msgID, to string, payload []byte) error {
 	j.mu.Lock()
@@ -111,6 +132,29 @@ func (j *FileJournal) SaveOutgoing(msgID, to string, payload []byte) error {
 	return nil
 }
 
+// SaveOutgoingBatch implements BatchJournal: all records become durable in
+// one write+fsync.
+func (j *FileJournal) SaveOutgoingBatch(recs []JournalRecord) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	lines := make([]journalLine, len(recs))
+	for i, r := range recs {
+		lines[i] = journalLine{
+			Op:      "out",
+			MsgID:   r.MsgID,
+			To:      r.To,
+			Payload: base64.StdEncoding.EncodeToString(r.Payload),
+		}
+	}
+	if err := j.appendAll(lines); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		j.out[r.MsgID] = JournalRecord{MsgID: r.MsgID, To: r.To, Payload: append([]byte(nil), r.Payload...)}
+	}
+	return nil
+}
+
 // DeleteOutgoing implements Journal.
 func (j *FileJournal) DeleteOutgoing(msgID string) error {
 	j.mu.Lock()
@@ -119,6 +163,42 @@ func (j *FileJournal) DeleteOutgoing(msgID string) error {
 		return err
 	}
 	delete(j.out, msgID)
+	return nil
+}
+
+// DeleteOutgoingBatch implements BatchJournal: one tombstone write+fsync
+// retires a whole cumulative ack.
+func (j *FileJournal) DeleteOutgoingBatch(msgIDs []string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	lines := make([]journalLine, len(msgIDs))
+	for i, id := range msgIDs {
+		lines[i] = journalLine{Op: "del", MsgID: id}
+	}
+	if err := j.appendAll(lines); err != nil {
+		return err
+	}
+	for _, id := range msgIDs {
+		delete(j.out, id)
+	}
+	return nil
+}
+
+// SaveSeenBatch implements BatchJournal: one write+fsync covers every dedup
+// key of an inbound coalesced datagram.
+func (j *FileJournal) SaveSeenBatch(keys []string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	lines := make([]journalLine, len(keys))
+	for i, k := range keys {
+		lines[i] = journalLine{Op: "seen", Key: k}
+	}
+	if err := j.appendAll(lines); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		j.seen[k] = struct{}{}
+	}
 	return nil
 }
 

@@ -8,12 +8,22 @@ import (
 	"time"
 
 	"b2b/internal/canon"
+	"b2b/internal/wire"
 )
 
 // frame kinds inside the reliable layer.
 const (
-	relData byte = 1
-	relAck  byte = 2
+	relData  byte = 1
+	relAck   byte = 2
+	relBatch byte = 3 // multi-frame envelope of rel frames (wire.MarshalMulti)
+	relAckN  byte = 4 // cumulative ack: body is a canon list of msgIDs
+)
+
+// Batching defaults (the time/size window bounding how long and how large a
+// per-peer batch may grow before it is flushed).
+const (
+	DefaultBatchWindow = time.Millisecond
+	DefaultBatchBytes  = 64 << 10
 )
 
 // Journal persists the reliable layer's outbox and dedup set so that a node
@@ -25,6 +35,17 @@ type Journal interface {
 	DeleteOutgoing(msgID string) error
 	SaveSeen(key string) error
 	Load() (outgoing []JournalRecord, seen []string, err error)
+}
+
+// BatchJournal is an optional Journal extension: persist or delete several
+// records in one durable write. The reliable layer's batched paths (SendBatch
+// and cumulative-ack handling) use it when available, so one fsync covers a
+// whole batch; plain Journals fall back to per-record writes.
+type BatchJournal interface {
+	Journal
+	SaveOutgoingBatch(recs []JournalRecord) error
+	DeleteOutgoingBatch(msgIDs []string) error
+	SaveSeenBatch(keys []string) error
 }
 
 // JournalRecord is one persisted outgoing message.
@@ -55,6 +76,16 @@ func (j *MemJournal) SaveOutgoing(msgID, to string, payload []byte) error {
 	return nil
 }
 
+// SaveOutgoingBatch implements BatchJournal.
+func (j *MemJournal) SaveOutgoingBatch(recs []JournalRecord) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, r := range recs {
+		j.out[r.MsgID] = r
+	}
+	return nil
+}
+
 // DeleteOutgoing removes an acknowledged message.
 func (j *MemJournal) DeleteOutgoing(msgID string) error {
 	j.mu.Lock()
@@ -63,11 +94,31 @@ func (j *MemJournal) DeleteOutgoing(msgID string) error {
 	return nil
 }
 
+// DeleteOutgoingBatch implements BatchJournal.
+func (j *MemJournal) DeleteOutgoingBatch(msgIDs []string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, id := range msgIDs {
+		delete(j.out, id)
+	}
+	return nil
+}
+
 // SaveSeen records an inbound dedup key.
 func (j *MemJournal) SaveSeen(key string) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.seen[key] = struct{}{}
+	return nil
+}
+
+// SaveSeenBatch implements BatchJournal.
+func (j *MemJournal) SaveSeenBatch(keys []string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, k := range keys {
+		j.seen[k] = struct{}{}
+	}
 	return nil
 }
 
@@ -100,6 +151,26 @@ func WithJournal(j Journal) ReliableOption {
 	return func(r *Reliable) { r.journal = j }
 }
 
+// WithBatching enables the throughput path: outgoing frames for one peer are
+// coalesced into a single multi-frame datagram, flushed when the window
+// elapses or the batch reaches maxBytes, and acknowledgements are coalesced
+// into one cumulative ack frame covering many msgIDs. Zero values select
+// DefaultBatchWindow / DefaultBatchBytes. Delivery semantics are unchanged:
+// eventual once-only delivery, unordered.
+func WithBatching(window time.Duration, maxBytes int) ReliableOption {
+	return func(r *Reliable) {
+		if window <= 0 {
+			window = DefaultBatchWindow
+		}
+		if maxBytes <= 0 {
+			maxBytes = DefaultBatchBytes
+		}
+		r.batching = true
+		r.batchWindow = window
+		r.batchBytes = maxBytes
+	}
+}
+
 // Reliable wraps an Endpoint with acknowledgement, retransmission and
 // deduplication: every accepted Send is eventually delivered exactly once to
 // a live receiver, provided loss/partition is temporary (the paper's
@@ -110,6 +181,10 @@ type Reliable struct {
 	retry   time.Duration
 	journal Journal
 
+	batching    bool
+	batchWindow time.Duration
+	batchBytes  int
+
 	mu      sync.Mutex
 	outbox  map[string]JournalRecord
 	seen    map[string]struct{}
@@ -117,20 +192,33 @@ type Reliable struct {
 	acked   map[string]chan struct{} // per-message ack notification
 	closed  bool
 
+	bmu      sync.Mutex
+	batchers map[string]*peerBatch
+
 	stop chan struct{}
 	wg   sync.WaitGroup
 	ctr  atomic.Uint64
 }
 
+// peerBatch accumulates frames and pending acks bound for one peer until the
+// flush window closes or the size cap is reached.
+type peerBatch struct {
+	frames [][]byte
+	ackIDs []string
+	size   int
+	armed  bool
+}
+
 // NewReliable wraps ep. The wrapper takes over ep's handler.
 func NewReliable(ep Endpoint, opts ...ReliableOption) (*Reliable, error) {
 	r := &Reliable{
-		ep:     ep,
-		retry:  50 * time.Millisecond,
-		outbox: make(map[string]JournalRecord),
-		seen:   make(map[string]struct{}),
-		acked:  make(map[string]chan struct{}),
-		stop:   make(chan struct{}),
+		ep:       ep,
+		retry:    50 * time.Millisecond,
+		outbox:   make(map[string]JournalRecord),
+		seen:     make(map[string]struct{}),
+		acked:    make(map[string]chan struct{}),
+		batchers: make(map[string]*peerBatch),
+		stop:     make(chan struct{}),
 	}
 	for _, o := range opts {
 		o(r)
@@ -163,11 +251,17 @@ func (r *Reliable) SetHandler(h Handler) {
 	r.handler = h
 }
 
+// nextMsgID allocates a process-unique message identifier.
+func (r *Reliable) nextMsgID() string {
+	return fmt.Sprintf("%s-%d", r.ep.ID(), r.ctr.Add(1))
+}
+
 // Send queues payload for delivery to peer `to` and transmits the first
-// copy. It returns once the message is durably queued; retransmission
-// continues in the background until the peer acknowledges.
+// copy (with batching enabled, the first copy may travel inside a coalesced
+// multi-frame datagram). It returns once the message is durably queued;
+// retransmission continues in the background until the peer acknowledges.
 func (r *Reliable) Send(ctx context.Context, to string, payload []byte) error {
-	msgID := fmt.Sprintf("%s-%d", r.ep.ID(), r.ctr.Add(1))
+	msgID := r.nextMsgID()
 	rec := JournalRecord{MsgID: msgID, To: to, Payload: payload}
 
 	r.mu.Lock()
@@ -186,7 +280,48 @@ func (r *Reliable) Send(ctx context.Context, to string, payload []byte) error {
 	// First transmission. Errors are ignored deliberately: the retransmit
 	// loop will retry, and an unreachable peer is indistinguishable from a
 	// lossy link at this layer.
-	_ = r.ep.Send(ctx, to, encodeRel(relData, msgID, payload))
+	r.transmit(ctx, to, encodeRel(relData, msgID, payload))
+	return nil
+}
+
+// SendBatch queues several payloads for one peer: one durable journal write
+// (for BatchJournals) and, with batching enabled, typically one coalesced
+// datagram. Each payload keeps its own msgID, so acknowledgement, dedup and
+// crash recovery operate per message exactly as for Send.
+func (r *Reliable) SendBatch(ctx context.Context, to string, payloads [][]byte) error {
+	if len(payloads) == 0 {
+		return nil
+	}
+	recs := make([]JournalRecord, len(payloads))
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	for i, p := range payloads {
+		recs[i] = JournalRecord{MsgID: r.nextMsgID(), To: to, Payload: p}
+		r.outbox[recs[i].MsgID] = recs[i]
+	}
+	r.mu.Unlock()
+
+	if r.journal != nil {
+		var err error
+		if bj, ok := r.journal.(BatchJournal); ok {
+			err = bj.SaveOutgoingBatch(recs)
+		} else {
+			for _, rec := range recs {
+				if err = r.journal.SaveOutgoing(rec.MsgID, rec.To, rec.Payload); err != nil {
+					break
+				}
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("transport: journaling outgoing batch: %w", err)
+		}
+	}
+	for _, rec := range recs {
+		r.transmit(ctx, to, encodeRel(relData, rec.MsgID, rec.Payload))
+	}
 	return nil
 }
 
@@ -194,7 +329,7 @@ func (r *Reliable) Send(ctx context.Context, to string, payload []byte) error {
 // expires. The queued message keeps retransmitting after ctx expiry; only
 // the wait is abandoned.
 func (r *Reliable) SendAndWait(ctx context.Context, to string, payload []byte) error {
-	msgID := fmt.Sprintf("%s-%d", r.ep.ID(), r.ctr.Add(1))
+	msgID := r.nextMsgID()
 	ch := make(chan struct{})
 
 	r.mu.Lock()
@@ -211,12 +346,124 @@ func (r *Reliable) SendAndWait(ctx context.Context, to string, payload []byte) e
 			return fmt.Errorf("transport: journaling outgoing: %w", err)
 		}
 	}
-	_ = r.ep.Send(ctx, to, encodeRel(relData, msgID, payload))
+	r.transmit(ctx, to, encodeRel(relData, msgID, payload))
 	select {
 	case <-ch:
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
+	}
+}
+
+// transmit hands one encoded rel frame to the wire: directly without
+// batching, via the peer's batch otherwise.
+func (r *Reliable) transmit(ctx context.Context, to string, frame []byte) {
+	if !r.batching {
+		_ = r.ep.Send(ctx, to, frame)
+		return
+	}
+	r.enqueue(to, frame, "")
+}
+
+// enqueue adds a frame and/or a pending ack msgID to the peer's batch,
+// flushing immediately when the size cap is reached and otherwise arming the
+// window timer.
+func (r *Reliable) enqueue(to string, frame []byte, ackID string) {
+	r.bmu.Lock()
+	pb := r.batchers[to]
+	if pb == nil {
+		pb = &peerBatch{}
+		r.batchers[to] = pb
+	}
+	if frame != nil {
+		pb.frames = append(pb.frames, frame)
+		pb.size += len(frame)
+	}
+	if ackID != "" {
+		pb.ackIDs = append(pb.ackIDs, ackID)
+	}
+	if pb.size >= r.batchBytes {
+		frames, acks := pb.frames, pb.ackIDs
+		pb.frames, pb.ackIDs, pb.size = nil, nil, 0
+		r.bmu.Unlock()
+		r.sendCoalesced(to, frames, acks)
+		return
+	}
+	if !pb.armed {
+		pb.armed = true
+		time.AfterFunc(r.batchWindow, func() { r.flushPeer(to) })
+	}
+	r.bmu.Unlock()
+}
+
+// flushPeer drains the peer's batch onto the wire.
+func (r *Reliable) flushPeer(to string) {
+	r.bmu.Lock()
+	pb := r.batchers[to]
+	if pb == nil {
+		r.bmu.Unlock()
+		return
+	}
+	frames, acks := pb.frames, pb.ackIDs
+	pb.frames, pb.ackIDs, pb.size, pb.armed = nil, nil, 0, false
+	r.bmu.Unlock()
+	r.sendCoalesced(to, frames, acks)
+}
+
+// flushAll drains every peer's batch (used on Close so queued first copies
+// still hit the wire).
+func (r *Reliable) flushAll() {
+	r.bmu.Lock()
+	peers := make([]string, 0, len(r.batchers))
+	for to := range r.batchers {
+		peers = append(peers, to)
+	}
+	r.bmu.Unlock()
+	for _, to := range peers {
+		r.flushPeer(to)
+	}
+}
+
+// sendCoalesced packs frames plus one cumulative ack into as few datagrams
+// as the size cap allows and transmits them.
+func (r *Reliable) sendCoalesced(to string, frames [][]byte, ackIDs []string) {
+	if len(ackIDs) > 0 {
+		frames = append(frames, encodeRel(relAckN, "", encodeAckSet(ackIDs)))
+	}
+	if len(frames) == 0 {
+		return
+	}
+	var dgrams [][]byte
+	var chunk [][]byte
+	size := 0
+	pack := func() {
+		switch len(chunk) {
+		case 0:
+		case 1:
+			dgrams = append(dgrams, chunk[0]) // single frame travels raw
+		default:
+			dgrams = append(dgrams, encodeRel(relBatch, "", wire.MarshalMulti(chunk)))
+		}
+		chunk, size = nil, 0
+	}
+	for _, f := range frames {
+		if size+len(f) > r.batchBytes && len(chunk) > 0 {
+			pack()
+		}
+		chunk = append(chunk, f)
+		size += len(f)
+	}
+	pack()
+
+	ctx := context.Background()
+	if len(dgrams) > 1 {
+		if bs, ok := r.ep.(BatchSender); ok {
+			_ = bs.SendBatch(ctx, to, dgrams)
+			return
+		}
+	}
+	for _, d := range dgrams {
+		_ = r.ep.Send(ctx, to, d)
 	}
 }
 
@@ -227,7 +474,9 @@ func (r *Reliable) Pending() int {
 	return len(r.outbox)
 }
 
-// Close stops retransmission and closes the underlying endpoint.
+// Close stops retransmission and closes the underlying endpoint. Queued
+// batches are flushed first so first transmissions already accepted by Send
+// reach the wire.
 func (r *Reliable) Close() error {
 	r.mu.Lock()
 	if r.closed {
@@ -238,6 +487,9 @@ func (r *Reliable) Close() error {
 	r.mu.Unlock()
 	close(r.stop)
 	r.wg.Wait()
+	if r.batching {
+		r.flushAll()
+	}
 	return r.ep.Close()
 }
 
@@ -251,13 +503,19 @@ func (r *Reliable) retransmitLoop() {
 			return
 		case <-ticker.C:
 			r.mu.Lock()
-			pending := make([]JournalRecord, 0, len(r.outbox))
+			byPeer := make(map[string][][]byte)
 			for _, rec := range r.outbox {
-				pending = append(pending, rec)
+				byPeer[rec.To] = append(byPeer[rec.To], encodeRel(relData, rec.MsgID, rec.Payload))
 			}
 			r.mu.Unlock()
-			for _, rec := range pending {
-				_ = r.ep.Send(context.Background(), rec.To, encodeRel(relData, rec.MsgID, rec.Payload))
+			for to, frames := range byPeer {
+				if r.batching {
+					r.sendCoalesced(to, frames, nil)
+					continue
+				}
+				for _, f := range frames {
+					_ = r.ep.Send(context.Background(), to, f)
+				}
 			}
 		}
 	}
@@ -270,34 +528,137 @@ func (r *Reliable) onRaw(from string, raw []byte) {
 	}
 	switch kind {
 	case relAck:
-		r.mu.Lock()
-		delete(r.outbox, msgID)
-		if ch, ok := r.acked[msgID]; ok {
-			close(ch)
-			delete(r.acked, msgID)
-		}
-		r.mu.Unlock()
-		if r.journal != nil {
-			_ = r.journal.DeleteOutgoing(msgID)
-		}
-	case relData:
-		// Always acknowledge, even duplicates: the ack may have been lost.
-		_ = r.ep.Send(context.Background(), from, encodeRel(relAck, msgID, nil))
-		key := from + "/" + msgID
-		r.mu.Lock()
-		if _, dup := r.seen[key]; dup {
-			r.mu.Unlock()
+		r.handleAcks([]string{msgID})
+	case relAckN:
+		ids, err := decodeAckSet(body)
+		if err != nil {
 			return
 		}
-		r.seen[key] = struct{}{}
-		h := r.handler
-		r.mu.Unlock()
+		r.handleAcks(ids)
+	case relBatch:
+		subs, err := wire.UnmarshalMulti(body)
+		if err != nil {
+			return
+		}
+		// Nested batches are never produced; handleBatch drops them.
+		r.handleBatch(from, subs)
+	case relData:
+		key, isNew := r.ackAndMark(from, msgID)
+		if !isNew {
+			return
+		}
 		if r.journal != nil {
 			_ = r.journal.SaveSeen(key)
 		}
+		r.mu.Lock()
+		h := r.handler
+		r.mu.Unlock()
 		if h != nil {
 			h(from, body)
 		}
+	}
+}
+
+// ackAndMark acknowledges a data frame — always, even for duplicates, since
+// the previous ack may have been lost (coalesced under batching, immediate
+// otherwise) — and check-and-sets the dedup key. isNew is false for
+// duplicates, which must not reach the handler again.
+func (r *Reliable) ackAndMark(from, msgID string) (key string, isNew bool) {
+	if r.batching {
+		r.enqueue(from, nil, msgID)
+	} else {
+		_ = r.ep.Send(context.Background(), from, encodeRel(relAck, msgID, nil))
+	}
+	key = from + "/" + msgID
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.seen[key]; dup {
+		return key, false
+	}
+	r.seen[key] = struct{}{}
+	return key, true
+}
+
+// handleBatch processes one coalesced datagram as a unit: acknowledgements
+// retire together, every fresh data frame's dedup key persists in a single
+// journal write (the receive-side mirror of the sender's one-fsync batch),
+// and only then do the application handlers run.
+func (r *Reliable) handleBatch(from string, subs [][]byte) {
+	type fresh struct {
+		key  string
+		body []byte
+	}
+	var deliveries []fresh
+	var ackIDs []string
+	for _, sub := range subs {
+		kind, msgID, body, err := decodeRel(sub)
+		if err != nil {
+			continue
+		}
+		switch kind {
+		case relAck:
+			ackIDs = append(ackIDs, msgID)
+		case relAckN:
+			if ids, err := decodeAckSet(body); err == nil {
+				ackIDs = append(ackIDs, ids...)
+			}
+		case relData:
+			if key, isNew := r.ackAndMark(from, msgID); isNew {
+				deliveries = append(deliveries, fresh{key: key, body: body})
+			}
+		}
+	}
+	if len(ackIDs) > 0 {
+		r.handleAcks(ackIDs)
+	}
+	if r.journal != nil && len(deliveries) > 0 {
+		keys := make([]string, len(deliveries))
+		for i, d := range deliveries {
+			keys[i] = d.key
+		}
+		if bj, ok := r.journal.(BatchJournal); ok {
+			_ = bj.SaveSeenBatch(keys)
+		} else {
+			for _, k := range keys {
+				_ = r.journal.SaveSeen(k)
+			}
+		}
+	}
+	r.mu.Lock()
+	h := r.handler
+	r.mu.Unlock()
+	if h != nil {
+		for _, d := range deliveries {
+			h(from, d.body)
+		}
+	}
+}
+
+// handleAcks retires acknowledged messages: outbox, waiters and journal.
+func (r *Reliable) handleAcks(msgIDs []string) {
+	r.mu.Lock()
+	acked := msgIDs[:0:0]
+	for _, id := range msgIDs {
+		if _, ok := r.outbox[id]; !ok {
+			continue
+		}
+		delete(r.outbox, id)
+		acked = append(acked, id)
+		if ch, ok := r.acked[id]; ok {
+			close(ch)
+			delete(r.acked, id)
+		}
+	}
+	r.mu.Unlock()
+	if r.journal == nil || len(acked) == 0 {
+		return
+	}
+	if bj, ok := r.journal.(BatchJournal); ok && len(acked) > 1 {
+		_ = bj.DeleteOutgoingBatch(acked)
+		return
+	}
+	for _, id := range acked {
+		_ = r.journal.DeleteOutgoing(id)
 	}
 }
 
@@ -320,4 +681,21 @@ func decodeRel(raw []byte) (kind byte, msgID string, body []byte, err error) {
 		return 0, "", nil, err
 	}
 	return byte(k), msgID, body, nil
+}
+
+func encodeAckSet(msgIDs []string) []byte {
+	e := canon.NewEncoder()
+	e.Struct("relacks")
+	e.Strings(msgIDs)
+	return e.Out()
+}
+
+func decodeAckSet(raw []byte) ([]string, error) {
+	d := canon.NewDecoder(raw)
+	d.Struct("relacks")
+	ids := d.Strings()
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return ids, nil
 }

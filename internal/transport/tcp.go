@@ -48,6 +48,29 @@ func (lc *lockedConn) writeFrame(payload []byte) error {
 	return writeFrame(lc.Conn, payload)
 }
 
+// writeFrames writes several frames under one lock acquisition and one
+// buffer, so a batch costs one syscall instead of one per frame.
+func (lc *lockedConn) writeFrames(payloads [][]byte) error {
+	total := 0
+	for _, p := range payloads {
+		if len(p) > maxFrame {
+			return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(p))
+		}
+		total += 4 + len(p)
+	}
+	buf := make([]byte, 0, total)
+	var hdr [4]byte
+	for _, p := range payloads {
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(p)))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, p...)
+	}
+	lc.wmu.Lock()
+	defer lc.wmu.Unlock()
+	_, err := lc.Conn.Write(buf)
+	return err
+}
+
 // ListenTCP starts an endpoint listening on addr (e.g. "127.0.0.1:0").
 func ListenTCP(id, addr string) (*TCPEndpoint, error) {
 	ln, err := net.Listen("tcp", addr)
@@ -97,6 +120,24 @@ func (ep *TCPEndpoint) Send(ctx context.Context, to string, payload []byte) erro
 	if err := conn.writeFrame(payload); err != nil {
 		ep.dropConn(to, conn)
 		return fmt.Errorf("transport: send to %s: %w", to, err)
+	}
+	return nil
+}
+
+// SendBatch transmits several frames to the peer in one buffered write
+// (BatchSender). Loss on failure is acceptable — the Reliable layer
+// retransmits.
+func (ep *TCPEndpoint) SendBatch(ctx context.Context, to string, payloads [][]byte) error {
+	if len(payloads) == 0 {
+		return nil
+	}
+	conn, err := ep.conn(ctx, to)
+	if err != nil {
+		return err
+	}
+	if err := conn.writeFrames(payloads); err != nil {
+		ep.dropConn(to, conn)
+		return fmt.Errorf("transport: batch send to %s: %w", to, err)
 	}
 	return nil
 }
@@ -271,12 +312,12 @@ func writeFrame(w io.Writer, payload []byte) error {
 	if len(payload) > maxFrame {
 		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(payload))
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
+	// Header and payload go out in one write: half the syscalls, and no
+	// reliance on the caller's lock to keep them adjacent.
+	buf := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(payload)))
+	copy(buf[4:], payload)
+	_, err := w.Write(buf)
 	return err
 }
 

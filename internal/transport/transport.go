@@ -38,6 +38,14 @@ type Endpoint interface {
 	Close() error
 }
 
+// BatchSender is an optional Endpoint extension: transports that can hand
+// several datagrams to the wire in one operation implement it (TCPEndpoint
+// writes one vectored frame sequence per batch). The Reliable batching layer
+// uses it when one flush produces multiple chunks.
+type BatchSender interface {
+	SendBatch(ctx context.Context, to string, payloads [][]byte) error
+}
+
 // Errors returned by transports.
 var (
 	ErrClosed      = errors.New("transport: endpoint closed")
@@ -208,13 +216,17 @@ func (n *Network) route(from, to string, payload []byte) error {
 		delay += time.Duration(n.rng.Int64N(int64(f.MaxDelay - f.MinDelay)))
 	}
 	n.stats.Delivered += uint64(copies)
+	if delay > 0 {
+		// Registered while the lock is held, so Close (which sets closed
+		// under the same lock before waiting) never races Add against Wait.
+		n.deliver.Add(copies)
+	}
 	n.mu.Unlock()
 
 	body := make([]byte, len(payload))
 	copy(body, payload)
 	for i := 0; i < copies; i++ {
 		if delay > 0 {
-			n.deliver.Add(1)
 			time.AfterFunc(delay, func() {
 				defer n.deliver.Done()
 				dst.enqueue(from, body)

@@ -253,6 +253,42 @@ func UnmarshalEnvelope(buf []byte) (Envelope, error) {
 	return env, nil
 }
 
+// MarshalMulti packs several transport frames into one multi-frame envelope.
+// Transmission granularity is a distribution policy, not application logic
+// (after RAFDA): the reliable transport coalesces queued frames into one
+// datagram using this container, and the protocol layers above never see it.
+func MarshalMulti(frames [][]byte) []byte {
+	e := canon.NewEncoder()
+	e.Struct("multi")
+	e.List(len(frames))
+	for _, f := range frames {
+		e.Bytes(f)
+	}
+	return e.Out()
+}
+
+// UnmarshalMulti unpacks a multi-frame envelope produced by MarshalMulti.
+func UnmarshalMulti(buf []byte) ([][]byte, error) {
+	d := canon.NewDecoder(buf)
+	d.Struct("multi")
+	n := d.List()
+	alloc := n
+	if alloc > 1024 {
+		alloc = 1024 // defend the allocator against a corrupt count
+	}
+	frames := make([][]byte, 0, alloc)
+	for i := 0; i < n; i++ {
+		frames = append(frames, d.Bytes())
+		if d.Err() != nil {
+			break // corrupt count: don't let it drive a billion appends
+		}
+	}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return frames, nil
+}
+
 // Propose is the proposer's first message (§4.3): it identifies the proposer
 // and its group view, specifies the transition Agreed -> Proposed, commits to
 // the authenticator via AuthCommit = h(A_p), and carries the proposed new

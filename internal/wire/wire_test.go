@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"b2b/internal/canon"
 	"b2b/internal/clock"
 	"b2b/internal/crypto"
 	"b2b/internal/tuple"
@@ -494,4 +495,34 @@ func bytesEqual(a, b []byte) bool {
 
 func quickCheck(f interface{}, max int) error {
 	return quick.Check(f, &quick.Config{MaxCount: max})
+}
+
+func TestMultiRoundTrip(t *testing.T) {
+	frames := [][]byte{[]byte("one"), {}, []byte("three")}
+	got, err := UnmarshalMulti(MarshalMulti(frames))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(frames) {
+		t.Fatalf("round trip returned %d frames, want %d", len(got), len(frames))
+	}
+	for i := range frames {
+		if string(got[i]) != string(frames[i]) {
+			t.Fatalf("frame %d = %q, want %q", i, got[i], frames[i])
+		}
+	}
+	if _, err := UnmarshalMulti([]byte("garbage")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestMultiCorruptCountRejected(t *testing.T) {
+	// A hostile multi-frame envelope claiming 2^30 frames but carrying none:
+	// decoding must fail fast without ballooning allocations.
+	e := canon.NewEncoder()
+	e.Struct("multi")
+	e.List(1 << 30)
+	if _, err := UnmarshalMulti(e.Out()); err == nil {
+		t.Fatal("corrupt frame count accepted")
+	}
 }

@@ -1,6 +1,9 @@
 package b2b
 
 import (
+	"fmt"
+	"sync"
+
 	"b2b/internal/coord"
 	"b2b/internal/tuple"
 	"b2b/internal/wire"
@@ -84,11 +87,56 @@ type Event struct {
 type Callback func(Event)
 
 // objectAdapter adapts an application Object to the internal coordination
-// engine's validator interface.
+// engine's validator interface. It also tracks replica divergence: an
+// ApplyState failure means the local replica no longer holds the agreed
+// state, which must never be silently accepted.
 type objectAdapter struct {
 	object string
 	obj    Object
 	cb     Callback
+
+	// applyMu serialises all installs into the application object, so a
+	// Resync racing a concurrent coordinated install cannot overwrite a
+	// newer state with a stale one (or clear a divergence it shouldn't).
+	applyMu sync.Mutex
+
+	mu        sync.Mutex
+	divergent error
+}
+
+// apply installs state into the application object, recording success or
+// failure. A later successful install clears the divergence — the replica
+// has converged again.
+func (a *objectAdapter) apply(state []byte) error {
+	a.applyMu.Lock()
+	defer a.applyMu.Unlock()
+	return a.applyLocked(state)
+}
+
+// applyLatest installs whatever `agreed` reports once the install lock is
+// held, so the state read cannot go stale between read and install.
+func (a *objectAdapter) applyLatest(agreed func() []byte) error {
+	a.applyMu.Lock()
+	defer a.applyMu.Unlock()
+	return a.applyLocked(agreed())
+}
+
+func (a *objectAdapter) applyLocked(state []byte) error {
+	var wrapped error
+	if err := a.obj.ApplyState(state); err != nil {
+		wrapped = fmt.Errorf("%w: %v", ErrDivergent, err)
+	}
+	a.mu.Lock()
+	a.divergent = wrapped
+	a.mu.Unlock()
+	return wrapped
+}
+
+// divergence reports the pending replica divergence, if any.
+func (a *objectAdapter) divergence() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.divergent
 }
 
 var _ coord.Validator = (*objectAdapter)(nil)
@@ -120,16 +168,16 @@ func (a *objectAdapter) ApplyUpdate(current, update []byte) ([]byte, error) {
 }
 
 func (a *objectAdapter) Installed(state []byte, _ tuple.State) {
-	_ = a.obj.ApplyState(state)
+	err := a.apply(state)
 	if a.cb != nil {
-		a.cb(Event{Type: EventInstalled, Object: a.object, Valid: true})
+		a.cb(Event{Type: EventInstalled, Object: a.object, Valid: err == nil, Err: err})
 	}
 }
 
 func (a *objectAdapter) RolledBack(state []byte, _ tuple.State) {
-	_ = a.obj.ApplyState(state)
+	err := a.apply(state)
 	if a.cb != nil {
-		a.cb(Event{Type: EventRolledBack, Object: a.object})
+		a.cb(Event{Type: EventRolledBack, Object: a.object, Err: err})
 	}
 }
 

@@ -26,6 +26,11 @@ var (
 	ErrNoScope      = errors.New("b2b: Leave without matching Enter")
 	ErrNoPending    = errors.New("b2b: no deferred coordination pending")
 	ErrBusyPending  = errors.New("b2b: previous deferred coordination not yet collected")
+	// ErrDivergent: the application object failed to install an agreed state
+	// (Object.ApplyState returned an error), so the local replica no longer
+	// matches what the sharing group agreed. Coordination is refused until
+	// Restore re-installs the agreed state.
+	ErrDivergent = errors.New("b2b: replica divergent: agreed state not installed")
 )
 
 // Mode selects the communication mode of a Controller (paper §5).
@@ -254,6 +259,7 @@ func (p *Participant) Bind(object string, obj Object, cb Callback) (*Controller,
 	return &Controller{
 		object:    object,
 		obj:       obj,
+		adapter:   adapter,
 		engine:    engine,
 		manager:   manager,
 		mode:      p.opts.mode,
@@ -280,10 +286,25 @@ func NewMemoryNetwork(seed uint64) *MemoryNetwork {
 	return &MemoryNetwork{net: transport.NewNetwork(seed)}
 }
 
-// Endpoint returns a reliable connection for a party id.
-func (m *MemoryNetwork) Endpoint(id string) (core.Conn, error) {
+// EndpointOption configures the reliable layer under a MemoryNetwork
+// endpoint (an opaque alias for the internal transport option type, so
+// external consumers can use the constructors exported here).
+type EndpointOption = transport.ReliableOption
+
+// BatchedDelivery returns an endpoint option enabling the transport's
+// throughput path: per-peer frame coalescing into multi-frame datagrams and
+// cumulative acks, flushed on a time/size window. Zero values select the
+// transport defaults (1ms / 64KB). Delivery stays eventual and once-only.
+func BatchedDelivery(window time.Duration, maxBytes int) EndpointOption {
+	return transport.WithBatching(window, maxBytes)
+}
+
+// Endpoint returns a reliable connection for a party id. Extra options are
+// passed to the reliable layer — e.g. BatchedDelivery to coalesce frames
+// and acks into multi-frame datagrams on high-throughput deployments.
+func (m *MemoryNetwork) Endpoint(id string, opts ...EndpointOption) (core.Conn, error) {
 	rel, err := transport.NewReliable(m.net.Endpoint(id),
-		transport.WithRetryInterval(5*time.Millisecond))
+		append([]transport.ReliableOption{transport.WithRetryInterval(5 * time.Millisecond)}, opts...)...)
 	if err != nil {
 		return nil, err
 	}
