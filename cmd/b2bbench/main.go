@@ -12,6 +12,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -34,7 +35,7 @@ type experiment struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (E1, E2, E5, E7, E8, E9, E10, E11, E13, E14, E15) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (E1, E2, E5, E7, E8, E9, E10, E11, E13, E14, E15, E16) or 'all'")
 	list := flag.Bool("list", false, "list experiments")
 	flag.Parse()
 
@@ -50,6 +51,7 @@ func main() {
 		{id: "E13", desc: "§4.5 — membership protocol costs", run: expE13},
 		{id: "E14", desc: "§7 — unanimous vs majority termination", run: expE14},
 		{id: "E15", desc: "transport batching and multi-object throughput", run: expE15},
+		{id: "E16", desc: "pipelined coordination: runs/sec versus window W", run: expE16},
 	}
 
 	if *list {
@@ -670,6 +672,71 @@ func expE15() error {
 	fmt.Printf("%-14s %14v %16.0f\n", "serial", serial.Round(time.Millisecond), float64(total)/serial.Seconds())
 	fmt.Printf("%-14s %14v %16.0f\n", "concurrent", concurrent.Round(time.Millisecond), float64(total)/concurrent.Seconds())
 	fmt.Printf("expected: concurrent driver completes the same %d runs faster (sharded dispatch)\n", total)
+	return nil
+}
+
+// expE16: pipelined coordination — one proposer, one object, delayed links,
+// committed runs/sec as the pipeline window W grows. W=1 is the paper's
+// serialized protocol (one run in flight, ErrRunInFlight otherwise); larger
+// windows overlap runs, each proposal chained to its predecessor's proposed
+// state, with recipients validating in chain order and a veto rolling back
+// the whole suffix.
+func expE16() error {
+	const rounds = 120
+	fmt.Printf("%-8s %14s %14s %10s\n", "window", "wall clock", "runs/second", "speedup")
+	var base float64
+	for _, window := range []int{1, 2, 4, 8} {
+		w, _, err := acceptWorld(2, lab.Options{Seed: 16})
+		if err != nil {
+			return err
+		}
+		w.Net.SetDefaultFaults(transport.Faults{MinDelay: 200 * time.Microsecond, MaxDelay: 400 * time.Microsecond})
+		en := w.Party("org00").Engine("obj")
+		en.SetWindow(window)
+		ctx := context.Background()
+
+		var handles []*coord.RunHandle
+		collect := func() error {
+			h := handles[0]
+			handles = handles[1:]
+			_, err := h.Await(ctx)
+			return err
+		}
+		start := time.Now()
+		for i := 0; i < rounds; i++ {
+			for {
+				h, err := en.ProposeAsync(ctx, []byte(fmt.Sprintf("s-%d", i)))
+				if errors.Is(err, coord.ErrRunInFlight) && len(handles) > 0 {
+					if err := collect(); err != nil {
+						w.Close()
+						return err
+					}
+					continue
+				}
+				if err != nil {
+					w.Close()
+					return err
+				}
+				handles = append(handles, h)
+				break
+			}
+		}
+		for len(handles) > 0 {
+			if err := collect(); err != nil {
+				w.Close()
+				return err
+			}
+		}
+		elapsed := time.Since(start)
+		w.Close()
+
+		rate := float64(rounds) / elapsed.Seconds()
+		if window == 1 {
+			base = rate
+		}
+		fmt.Printf("W=%-6d %14v %14.0f %9.1fx\n", window, elapsed.Round(time.Millisecond), rate, rate/base)
+	}
+	fmt.Printf("expected: runs/sec scales with W on delayed links (>= 2x at W=4)\n")
 	return nil
 }
 

@@ -30,6 +30,13 @@ const (
 // concurrency-control or transactional mechanisms would attach, §5);
 // coordination runs at the outermost Leave.
 //
+// In DeferredSynchronous and Asynchronous modes the controller can pipeline
+// coordination: SetPipelineWindow(w) lets up to w Leaves run concurrently,
+// each proposal chained to its predecessor's proposed state, with outcomes
+// delivered strictly in Leave order (CoordCommit collects the oldest
+// uncollected outcome; callbacks fire in initiation order). The default
+// window of 1 reproduces the paper's serialized behaviour exactly.
+//
 // A Controller is safe for use by one application goroutine at a time
 // (matching the paper's single client per object replica); concurrent
 // scopes on one controller are a programming error.
@@ -43,10 +50,13 @@ type Controller struct {
 	cb        Callback
 	opTimeout time.Duration
 
-	mu      sync.Mutex
-	depth   int
-	access  accessKind
-	pending chan pendingResult
+	mu       sync.Mutex
+	depth    int
+	access   accessKind
+	window   int
+	pendingQ []chan pendingResult // uncollected outcomes, Leave order
+	lastInit chan struct{}        // previous Leave's run-initiated signal
+	lastDone chan struct{}        // previous Leave's callback-delivered signal
 }
 
 type pendingResult struct {
@@ -120,6 +130,37 @@ func (c *Controller) AgreedSeq() uint64 {
 // evidence of blocked protocol runs (§4.4).
 func (c *Controller) ActiveRuns() []string { return c.engine.ActiveRuns() }
 
+// SetPipelineWindow sets how many coordination runs this party may hold in
+// flight against the object at once. With w > 1 a DeferredSynchronous or
+// Asynchronous Leave no longer waits for the previous run: up to w runs
+// overlap, each chained to its predecessor's proposed state, and a veto of
+// run k rolls back the whole suffix k+1..w at every party (the paper's
+// rollback rule, generalized to the pipeline). w < 1 is treated as 1, the
+// paper-faithful serialized default.
+func (c *Controller) SetPipelineWindow(w int) {
+	if w < 1 {
+		w = 1
+	}
+	c.mu.Lock()
+	c.window = w
+	c.mu.Unlock()
+	c.engine.SetWindow(w)
+}
+
+// PipelineWindow reports the controller's pipeline window.
+func (c *Controller) PipelineWindow() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.windowLocked()
+}
+
+func (c *Controller) windowLocked() int {
+	if c.window < 1 {
+		return 1
+	}
+	return c.window
+}
+
 // Enter opens a state access scope. Scopes nest; coordination triggers at
 // the Leave matching the outermost Enter.
 func (c *Controller) Enter() {
@@ -184,91 +225,134 @@ func (c *Controller) LeaveContext(ctx context.Context) error {
 		c.mu.Unlock()
 		return nil // read-only scope: nothing to coordinate
 	}
-	if c.pending != nil && mode == DeferredSynchronous {
+	if mode == DeferredSynchronous && len(c.pendingQ) >= c.windowLocked() {
 		c.mu.Unlock()
 		return ErrBusyPending
-	}
-	ch := make(chan pendingResult, 1)
-	if mode != Synchronous {
-		c.pending = ch
 	}
 	c.mu.Unlock()
 
 	if err := c.adapter.divergence(); err != nil {
 		// A replica that failed to install the agreed state must not propose
 		// on top of it; Restore (or a later successful install) clears this.
-		c.mu.Lock()
-		if c.pending == ch {
-			c.pending = nil
-		}
-		c.mu.Unlock()
 		return err
 	}
 
-	run := func(ctx context.Context) (coord.Outcome, error) {
+	// The state (or update) is captured synchronously — each Leave proposes
+	// exactly the state its scope produced, even when later scopes mutate
+	// the object before the run completes.
+	capture := func() (func(context.Context) (*coord.RunHandle, error), error) {
 		if access == accessUpdate {
 			uo, ok := c.obj.(UpdatableObject)
 			if !ok {
-				return coord.Outcome{}, ErrNotUpdatable
+				return nil, ErrNotUpdatable
 			}
 			update, err := uo.GetUpdate()
 			if err != nil {
-				return coord.Outcome{}, fmt.Errorf("b2b: reading update: %w", err)
+				return nil, fmt.Errorf("b2b: reading update: %w", err)
 			}
-			return c.engine.ProposeUpdate(ctx, update)
+			return func(ctx context.Context) (*coord.RunHandle, error) {
+				return c.engine.ProposeUpdateAsync(ctx, update)
+			}, nil
 		}
 		state, err := c.obj.GetState()
 		if err != nil {
-			return coord.Outcome{}, fmt.Errorf("b2b: reading object state: %w", err)
+			return nil, fmt.Errorf("b2b: reading object state: %w", err)
 		}
-		return c.engine.Propose(ctx, state)
+		return func(ctx context.Context) (*coord.RunHandle, error) {
+			return c.engine.ProposeAsync(ctx, state)
+		}, nil
+	}
+	initiate, err := capture()
+	if err != nil {
+		return err
 	}
 
-	switch mode {
-	case Synchronous:
+	if mode == Synchronous {
 		tctx, cancel := context.WithTimeout(ctx, c.opTimeout)
 		defer cancel()
-		_, err := run(tctx)
+		h, err := initiate(tctx)
+		if err != nil {
+			return err
+		}
+		_, err = h.Await(tctx)
 		return err
-	default:
-		go func() {
-			tctx, cancel := context.WithTimeout(context.Background(), c.opTimeout)
-			defer cancel()
-			out, err := run(tctx)
-			ch <- pendingResult{out: out, err: err}
-			if c.cb != nil {
-				c.cb(Event{
-					Type:   EventCoordComplete,
-					Object: c.object,
-					RunID:  out.RunID,
-					Valid:  out.Valid,
-					Err:    err,
-				})
-			}
-		}()
-		return nil
 	}
+
+	ch := make(chan pendingResult, 1)
+	c.mu.Lock()
+	c.pendingQ = append(c.pendingQ, ch)
+	if len(c.pendingQ) > c.windowLocked() {
+		// Asynchronous mode keeps at most window uncollected outcomes; the
+		// oldest is dropped (its completion was already signalled through
+		// the callback).
+		c.pendingQ = c.pendingQ[1:]
+	}
+	prevInit := c.lastInit
+	myInit := make(chan struct{})
+	c.lastInit = myInit
+	prevDone := c.lastDone
+	myDone := make(chan struct{})
+	c.lastDone = myDone
+	c.mu.Unlock()
+
+	// Initiation and the outcome wait run off the caller's path — Leave
+	// returns immediately. Chaining on the previous Leave's initiation
+	// keeps pipelined runs reaching the engine in Leave order; chaining on
+	// its completion delivers callbacks in that same order, matching the
+	// engine's pipeline-ordered verdicts.
+	go func() {
+		defer close(myDone)
+		var res pendingResult
+		tctx, cancel := context.WithTimeout(context.Background(), c.opTimeout)
+		if prevInit != nil {
+			<-prevInit
+		}
+		h, initErr := initiate(tctx)
+		close(myInit)
+		if initErr != nil {
+			res.err = initErr
+		} else {
+			out, err := h.Await(tctx)
+			res = pendingResult{out: out, err: err}
+		}
+		cancel()
+		ch <- res
+		if prevDone != nil {
+			<-prevDone
+		}
+		if c.cb != nil {
+			c.cb(Event{
+				Type:   EventCoordComplete,
+				Object: c.object,
+				RunID:  res.out.RunID,
+				Valid:  res.err == nil && res.out.Valid,
+				Err:    res.err,
+			})
+		}
+	}()
+	return nil
 }
 
-// CoordCommit blocks until the deferred-synchronous coordination started by
-// the last Leave completes (paper §5).
+// CoordCommit blocks until the oldest uncollected deferred coordination
+// completes (paper §5). With a pipeline window above 1, outcomes are
+// collected in Leave order: one CoordCommit per deferred Leave.
 func (c *Controller) CoordCommit(ctx context.Context) error {
 	c.mu.Lock()
-	ch := c.pending
-	c.pending = nil
-	c.mu.Unlock()
-	if ch == nil {
+	if len(c.pendingQ) == 0 {
+		c.mu.Unlock()
 		return ErrNoPending
 	}
+	ch := c.pendingQ[0]
+	c.pendingQ = c.pendingQ[1:]
+	c.mu.Unlock()
 	select {
 	case res := <-ch:
 		return res.err
 	case <-ctx.Done():
-		// Put the channel back so a later CoordCommit can still collect.
+		// Put the channel back in front so a later CoordCommit still
+		// collects outcomes in Leave order.
 		c.mu.Lock()
-		if c.pending == nil {
-			c.pending = ch
-		}
+		c.pendingQ = append([]chan pendingResult{ch}, c.pendingQ...)
 		c.mu.Unlock()
 		return ctx.Err()
 	}

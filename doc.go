@@ -36,6 +36,46 @@
 // Controller.Disconnect, with sponsor-coordinated admission, state transfer
 // and eviction.
 //
+// # Pipelined coordination
+//
+// By default a party holds at most one coordination run in flight per
+// object, as the paper specifies: on a wide-area link every change pays a
+// full round trip before the next can start. Controller.SetPipelineWindow
+// raises that limit:
+//
+//	ctrl.SetPipelineWindow(4)
+//	for i := 0; i < 4; i++ {
+//		ctrl.Enter()
+//		ctrl.Overwrite()
+//		obj.Set(...)
+//		_ = ctrl.Leave()       // DeferredSynchronous: returns immediately
+//	}
+//	for i := 0; i < 4; i++ {
+//		err := ctrl.CoordCommit(ctx)  // outcomes collected in Leave order
+//	}
+//
+// Up to W runs overlap, each proposal chained to its predecessor's proposed
+// state through an explicit predecessor tuple; recipients validate and
+// resolve runs in chain order, and a veto of run k rolls back the whole
+// suffix k+1..W at every party — the paper's rollback rule generalized
+// (ErrVetoed with a "predecessor rolled back" diagnostic). Outcome delivery
+// is ordered per object: CoordCommit collects oldest-first and callbacks
+// fire in Leave order. The window is a distribution policy, not application
+// logic: W=1 (the default) reproduces the paper's serialized protocol
+// exactly. See docs/ARCHITECTURE.md for the design and safety argument and
+// docs/PROTOCOL.md for the wire format.
+//
+// # Batched delivery
+//
+// BatchedDelivery is the transport's throughput path: frames bound for one
+// peer coalesce into multi-frame datagrams and acknowledgements into
+// cumulative acks, flushed on a time/size window, with delivery semantics
+// unchanged (eventual, once-only). Enable it per endpoint:
+//
+//	conn, _ := net.Endpoint("org-a", b2b.BatchedDelivery(time.Millisecond, 0))
+//
+// Batching composes with pipelining: overlapping runs share datagrams.
+//
 // # Module layout
 //
 // The public API lives in this root package (Participant, Controller,
@@ -68,9 +108,10 @@
 //	go run ./cmd/b2bbench -list     # enumerate experiments
 //	go run ./cmd/b2bbench -exp all  # run everything
 //	go run ./cmd/b2bbench -exp E15  # transport batching + multi-object throughput
+//	go run ./cmd/b2bbench -exp E16  # pipelined coordination: runs/sec vs window W
 //
-// Benchmarks (message complexity, state size, communication modes, batching
-// and multi-object throughput) run with:
+// Benchmarks (message complexity, state size, communication modes, batching,
+// multi-object and pipelined throughput) run with:
 //
 //	go test -bench . -benchtime 100x .
 package b2b

@@ -1,0 +1,75 @@
+package b2b_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links [text](target). Reference-style links
+// are not used in this repository.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocLinks fails on broken intra-repo links in README.md and docs/: a
+// renamed file or package must not leave the documentation pointing at
+// nothing. External links (http/https/mailto) and pure anchors are skipped;
+// a fragment on a relative link is checked against the file only.
+func TestDocLinks(t *testing.T) {
+	files := []string{"README.md"}
+	entries, err := os.ReadDir("docs")
+	if err != nil {
+		t.Fatalf("docs/ directory missing: %v", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".md") {
+			files = append(files, filepath.Join("docs", e.Name()))
+		}
+	}
+
+	for _, file := range files {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatalf("reading %s: %v", file, err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(raw), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken intra-repo link %q (resolved %s)", file, m[1], resolved)
+			}
+		}
+	}
+}
+
+// TestDocsMentionPipelining guards the documentation pass itself: the
+// architecture and protocol documents must describe the pipelined
+// coordination path and the predecessor-chaining wire fields.
+func TestDocsMentionPipelining(t *testing.T) {
+	for file, want := range map[string][]string{
+		"README.md":            {"SetPipelineWindow", "docs/ARCHITECTURE.md", "docs/PROTOCOL.md"},
+		"docs/ARCHITECTURE.md": {"Pipelined coordination", "rollback", "Safety argument"},
+		"docs/PROTOCOL.md":     {"pred", "multi", "envelope"},
+	} {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatalf("reading %s: %v", file, err)
+		}
+		for _, w := range want {
+			if !strings.Contains(string(raw), w) {
+				t.Errorf("%s does not mention %q", file, w)
+			}
+		}
+	}
+}

@@ -13,6 +13,14 @@
 // party's non-repudiation log. The engine enforces the four invariants of
 // §4.2 and implements the update variant of §4.3.1 and the majority-vote and
 // TTP-certified-abort termination extensions sketched in §7.
+//
+// Beyond the paper, the engine supports pipelined coordination: a proposer
+// may hold up to Window runs in flight at once, each proposal chained to its
+// predecessor's proposed state via an explicit predecessor tuple. Recipients
+// validate and resolve runs in chain order, and a veto of run k rolls back
+// the entire suffix k+1, k+2, ... at every party — the paper's rollback rule
+// generalized. The default window of 1 reproduces the paper's serialized
+// protocol exactly. See docs/ARCHITECTURE.md for the safety argument.
 package coord
 
 import (
@@ -104,6 +112,11 @@ type Config struct {
 	// certificates the engine honours (§7 deadline extension). The TTP's
 	// certificate must be registered in Verifier.
 	TTP string
+	// Window is the proposal pipeline depth: how many runs this party may
+	// hold in flight against the object at once, each chained to its
+	// predecessor's proposed state (see docs/ARCHITECTURE.md). Zero or one
+	// selects the paper's serialized protocol. SetWindow adjusts it live.
+	Window int
 }
 
 // Outcome is the result of a coordination run as established by the
@@ -127,7 +140,11 @@ type Stats struct {
 	RunsCommitted uint64 // runs committed as recipient
 }
 
-// proposerRun tracks one in-flight proposal at the proposer.
+// proposerRun tracks one in-flight proposal at the proposer. Runs form a
+// pipeline: pred points at the run whose proposed state this one chains
+// from (nil when the run builds directly on the agreed state), and runs
+// finalize strictly in pipeline order so a veto of run k rolls back the
+// whole suffix k+1, k+2, ... (the paper's rollback rule generalized).
 type proposerRun struct {
 	runID     string
 	propose   wire.Propose
@@ -137,13 +154,23 @@ type proposerRun struct {
 	responses map[string]wire.Signed
 	parsed    map[string]wire.Respond
 	recips    []string
-	done      chan struct{} // closed when all responses are in
+	done      chan struct{} // closed when all responses are in (or the run is force-resolved)
 	aborted   bool          // TTP-certified abort
+	forced    bool          // predecessor rolled back: this run can never commit
+
+	pred      *proposerRun  // predecessor run in the pipeline (nil: chains from agreed)
+	predTuple tuple.State   // state tuple the run chains from
+	finalized chan struct{} // closed once outcome/outErr are set
+	final     sync.Once
+	outcome   Outcome
+	outErr    error
 }
 
 // respondedRun tracks a run this party answered as a recipient, pending
 // commit. Keeping the signed response allows idempotent re-send when the
-// proposer re-broadcasts (crash recovery / lost ack).
+// proposer re-broadcasts (crash recovery / lost ack). pred is the state
+// tuple the proposal chained from: the agreed state, or — for a pipelined
+// successor — the proposed tuple of an earlier answered run.
 type respondedRun struct {
 	runID    string
 	proposer string
@@ -152,7 +179,16 @@ type respondedRun struct {
 	decision wire.Decision
 	newState []byte // state that a valid commit will install
 	proposed tuple.State
+	pred     tuple.State
 	started  time.Time
+}
+
+// pendingMsg is an inbound protocol message buffered until the state it
+// chains to is known (reliable delivery is unordered).
+type pendingMsg struct {
+	from    string
+	payload []byte
+	runID   string
 }
 
 // Engine coordinates one object replica for one party.
@@ -170,11 +206,24 @@ type Engine struct {
 	seen         *tuple.Seen
 	frozen       bool
 
+	window   int            // live pipeline window override (0: use cfg)
+	pipeline []*proposerRun // in-flight proposer runs, pipeline order
+
 	runs      map[string]*proposerRun // in-flight, this party proposing
 	responded map[string]*respondedRun
 	completed map[string]Outcome // finished runs, idempotent commit handling
-	deferred  map[string]bool    // proposals deferred awaiting a commit in flight
-	stats     Stats
+
+	// Reorder machinery for pipelined traffic: proposals and commits whose
+	// predecessor state has not been seen yet wait here, keyed by the
+	// predecessor tuple, until it is answered/agreed (or a grace period
+	// expires for proposals, which are then evaluated — and rejected — on
+	// their merits).
+	waitProps    map[tuple.State][]pendingMsg
+	waitCommits  map[tuple.State][]pendingMsg
+	propBuffered map[string]bool // runID currently buffered in waitProps
+	propWaited   map[string]bool // runID already waited once: evaluate regardless
+
+	stats Stats
 }
 
 // New creates an engine. Call Bootstrap (fresh group) or Restore (recover
@@ -188,13 +237,44 @@ func New(cfg Config) (*Engine, error) {
 		return nil, errors.New("coord: object name required")
 	}
 	return &Engine{
-		cfg:       cfg,
-		seen:      tuple.NewSeen(),
-		runs:      make(map[string]*proposerRun),
-		responded: make(map[string]*respondedRun),
-		completed: make(map[string]Outcome),
-		deferred:  make(map[string]bool),
+		cfg:          cfg,
+		seen:         tuple.NewSeen(),
+		runs:         make(map[string]*proposerRun),
+		responded:    make(map[string]*respondedRun),
+		completed:    make(map[string]Outcome),
+		waitProps:    make(map[tuple.State][]pendingMsg),
+		waitCommits:  make(map[tuple.State][]pendingMsg),
+		propBuffered: make(map[string]bool),
+		propWaited:   make(map[string]bool),
 	}, nil
+}
+
+// SetWindow sets the pipeline window: the number of runs this party may
+// hold in flight at once as a proposer. w < 1 selects the paper's
+// serialized protocol (window 1). Recipients need no configuration — they
+// validate whatever chain depth arrives.
+func (en *Engine) SetWindow(w int) {
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	en.window = w
+}
+
+// Window reports the effective pipeline window.
+func (en *Engine) Window() int {
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	return en.windowLocked()
+}
+
+func (en *Engine) windowLocked() int {
+	w := en.window
+	if w == 0 {
+		w = en.cfg.Window
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // Bootstrap initialises a founding member with the initial object state and
@@ -375,11 +455,95 @@ func (en *Engine) checkpointLocked() error {
 // logEvidence appends to the non-repudiation log, panicking never: logging
 // failures surface as errors on the protocol operation in progress.
 func (en *Engine) logEvidence(runID, kind string, dir nrlog.Direction, payload []byte) error {
-	_, err := en.cfg.Log.Append(runID, en.cfg.Object, kind, en.cfg.Ident.ID(), dir, payload)
+	return en.logEvidenceSeq(runID, 0, kind, dir, payload)
+}
+
+// logEvidenceSeq is logEvidence tagged with the run's proposal sequence
+// number, chaining the evidence of a pipelined burst per sequence.
+func (en *Engine) logEvidenceSeq(runID string, seq uint64, kind string, dir nrlog.Direction, payload []byte) error {
+	var err error
+	if sl, ok := en.cfg.Log.(nrlog.SeqAppender); ok {
+		_, err = sl.AppendSeq(runID, seq, en.cfg.Object, kind, en.cfg.Ident.ID(), dir, payload)
+	} else {
+		_, err = en.cfg.Log.Append(runID, en.cfg.Object, kind, en.cfg.Ident.ID(), dir, payload)
+	}
 	if err != nil {
 		return fmt.Errorf("coord: recording evidence: %w", err)
 	}
 	return nil
+}
+
+// tailLocked returns the newest in-flight proposer run, or nil.
+func (en *Engine) tailLocked() *proposerRun {
+	if len(en.pipeline) == 0 {
+		return nil
+	}
+	return en.pipeline[len(en.pipeline)-1]
+}
+
+// removePipelineLocked drops a run from the pipeline (finalization).
+func (en *Engine) removePipelineLocked(run *proposerRun) {
+	for i, r := range en.pipeline {
+		if r == run {
+			en.pipeline = append(en.pipeline[:i], en.pipeline[i+1:]...)
+			return
+		}
+	}
+}
+
+// forceSuffixLocked marks every pipeline successor of run as forced —
+// their predecessor can never commit — and releases their waiters.
+func (en *Engine) forceSuffixLocked(run *proposerRun) {
+	for i, r := range en.pipeline {
+		if r != run {
+			continue
+		}
+		for _, succ := range en.pipeline[i+1:] {
+			succ.forced = true
+			en.closeDoneLocked(succ)
+		}
+		return
+	}
+}
+
+// syncCurrentLocked restores the proposer-view invariant: current is the
+// tail of the speculative pipeline, or the agreed state when no run is in
+// flight.
+func (en *Engine) syncCurrentLocked() {
+	if tail := en.tailLocked(); tail != nil {
+		en.current = tail.propose.Proposed
+		en.currentState = append([]byte(nil), tail.newState...)
+		return
+	}
+	en.current = en.agreed
+	en.currentState = append([]byte(nil), en.agreedState...)
+}
+
+// closeDoneLocked closes a run's done channel exactly once.
+func (en *Engine) closeDoneLocked(run *proposerRun) {
+	select {
+	case <-run.done:
+	default:
+		close(run.done)
+	}
+}
+
+// respondedByTupleLocked finds the answered-but-uncommitted run whose
+// proposed tuple is t (the speculative chain lookup).
+func (en *Engine) respondedByTupleLocked(t tuple.State) *respondedRun {
+	for _, rr := range en.responded {
+		if rr.proposed == t {
+			return rr
+		}
+	}
+	return nil
+}
+
+// takeWaitingLocked removes and returns the messages buffered on tuple t.
+func takeWaitingLocked(m map[tuple.State][]pendingMsg, t tuple.State) []pendingMsg {
+	msgs := m[t]
+	delete(m, t)
+	return msgs
 }
 
 // newRunID labels a protocol run uniquely and attributably.
@@ -425,4 +589,9 @@ func (en *Engine) Reset() {
 	en.frozen = false
 	en.runs = make(map[string]*proposerRun)
 	en.responded = make(map[string]*respondedRun)
+	en.pipeline = nil
+	en.waitProps = make(map[tuple.State][]pendingMsg)
+	en.waitCommits = make(map[tuple.State][]pendingMsg)
+	en.propBuffered = make(map[string]bool)
+	en.propWaited = make(map[string]bool)
 }

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"b2b/internal/crypto"
@@ -22,53 +23,112 @@ import (
 // evidence in the log, as the paper specifies: termination is not guaranteed
 // when parties misbehave.
 func (en *Engine) Propose(ctx context.Context, newState []byte) (Outcome, error) {
-	return en.propose(ctx, wire.ModeOverwrite, newState, nil)
+	h, err := en.proposeAsync(ctx, wire.ModeOverwrite, newState, nil)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return h.Await(ctx)
 }
 
 // ProposeUpdate runs the §4.3.1 variant: the update (delta) travels instead
 // of the full state; recipients apply it to their agreed state and verify
 // the result against the proposed tuple's state hash.
 func (en *Engine) ProposeUpdate(ctx context.Context, update []byte) (Outcome, error) {
-	return en.propose(ctx, wire.ModeUpdate, nil, update)
+	h, err := en.proposeAsync(ctx, wire.ModeUpdate, nil, update)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return h.Await(ctx)
 }
 
-func (en *Engine) propose(ctx context.Context, mode wire.Mode, newState, update []byte) (Outcome, error) {
-	// A recipient that has answered a run whose commit has not yet arrived
-	// knows its agreed state may be about to change: proposing now would be
-	// rejected under invariant 1 at the other parties. Wait briefly for the
-	// pending commit(s) to resolve — the honest-path race between a commit
-	// broadcast and the next proposal. The wait is bounded: a run blocked by
-	// a misbehaving proposer (§4.4) must not stop honest parties from
-	// further coordination, so after the grace period we proceed — a stale
-	// proposal is merely vetoed and retried.
-	graceCtx, cancel := context.WithTimeout(ctx, en.pendingGrace())
-	_ = en.waitNoPending(graceCtx)
-	cancel()
+// ProposeAsync initiates a coordination run without waiting for its outcome,
+// returning a handle whose Await collects it. Up to Window runs may be in
+// flight at once; each successor chains to its predecessor's proposed state,
+// and outcomes resolve strictly in initiation order (a veto of run k rolls
+// back the whole suffix k+1, k+2, ...). Every handle must eventually be
+// Awaited — finalization happens on the awaiting goroutine.
+func (en *Engine) ProposeAsync(ctx context.Context, newState []byte) (*RunHandle, error) {
+	return en.proposeAsync(ctx, wire.ModeOverwrite, newState, nil)
+}
+
+// ProposeUpdateAsync is ProposeAsync for the update (delta) variant.
+func (en *Engine) ProposeUpdateAsync(ctx context.Context, update []byte) (*RunHandle, error) {
+	return en.proposeAsync(ctx, wire.ModeUpdate, nil, update)
+}
+
+// RunHandle identifies an initiated coordination run awaiting its outcome.
+type RunHandle struct {
+	en  *Engine
+	run *proposerRun
+}
+
+// RunID returns the run's identifier.
+func (h *RunHandle) RunID() string { return h.run.runID }
+
+// Await blocks until the run's outcome is established (in pipeline order)
+// or ctx expires; on expiry the run stays registered as blocked evidence and
+// a later Await may still collect it.
+func (h *RunHandle) Await(ctx context.Context) (Outcome, error) {
+	return h.en.awaitRun(ctx, h.run)
+}
+
+func (en *Engine) proposeAsync(ctx context.Context, mode wire.Mode, newState, update []byte) (*RunHandle, error) {
+	en.mu.Lock()
+	pipelined := len(en.pipeline) > 0
+	en.mu.Unlock()
+	if !pipelined {
+		// A recipient that has answered a run whose commit has not yet
+		// arrived knows its agreed state may be about to change: proposing
+		// now would be rejected under invariant 1 at the other parties.
+		// Wait briefly for the pending commit(s) to resolve — the honest-path
+		// race between a commit broadcast and the next proposal. The wait is
+		// bounded: a run blocked by a misbehaving proposer (§4.4) must not
+		// stop honest parties from further coordination, so after the grace
+		// period we proceed — a stale proposal is merely vetoed and retried.
+		// Mid-pipeline the wait is skipped: the burst already owns the chain.
+		graceCtx, cancel := context.WithTimeout(ctx, en.pendingGrace())
+		_ = en.waitNoPending(graceCtx)
+		cancel()
+	}
 
 	en.mu.Lock()
 	if !en.bootstrapped {
 		en.mu.Unlock()
-		return Outcome{}, ErrNotBootstrapd
+		return nil, ErrNotBootstrapd
 	}
 	if en.frozen {
 		en.mu.Unlock()
-		return Outcome{}, ErrFrozen
+		return nil, ErrFrozen
 	}
-	if len(en.runs) > 0 {
+	if len(en.pipeline) >= en.windowLocked() {
 		en.mu.Unlock()
-		return Outcome{}, ErrRunInFlight
+		return nil, ErrRunInFlight
 	}
-	if tuple.CheckProposerView(en.current, en.agreed) != nil {
-		// current != agreed would mean an unresolved previous run.
-		en.mu.Unlock()
-		return Outcome{}, ErrRunInFlight
+	var pred *proposerRun
+	var predTuple tuple.State
+	var baseState []byte
+	if tail := en.tailLocked(); tail != nil {
+		if tail.forced || tail.aborted {
+			// The pipeline is unwinding after a veto/abort; new runs must
+			// wait for the rollback to complete and chain from agreed.
+			en.mu.Unlock()
+			return nil, ErrRunInFlight
+		}
+		pred, predTuple, baseState = tail, tail.propose.Proposed, tail.newState
+	} else {
+		if tuple.CheckProposerView(en.current, en.agreed) != nil {
+			// current != agreed would mean an unresolved previous run.
+			en.mu.Unlock()
+			return nil, ErrRunInFlight
+		}
+		predTuple, baseState = en.agreed, en.currentState
 	}
 
 	if mode == wire.ModeUpdate {
-		s, err := en.cfg.Validator.ApplyUpdate(en.currentState, update)
+		s, err := en.cfg.Validator.ApplyUpdate(baseState, update)
 		if err != nil {
 			en.mu.Unlock()
-			return Outcome{}, fmt.Errorf("coord: applying own update: %w", err)
+			return nil, fmt.Errorf("coord: applying own update: %w", err)
 		}
 		newState = s
 	}
@@ -76,26 +136,26 @@ func (en *Engine) propose(ctx context.Context, mode wire.Mode, newState, update 
 	recips := en.recipientsLocked()
 	if len(recips) == 0 {
 		en.mu.Unlock()
-		return Outcome{}, ErrSoleMember
+		return nil, ErrSoleMember
 	}
 
 	runID, err := en.newRunID()
 	if err != nil {
 		en.mu.Unlock()
-		return Outcome{}, err
+		return nil, err
 	}
 	rnd, err := crypto.Nonce()
 	if err != nil {
 		en.mu.Unlock()
-		return Outcome{}, err
+		return nil, err
 	}
 	auth, err := crypto.Nonce()
 	if err != nil {
 		en.mu.Unlock()
-		return Outcome{}, err
+		return nil, err
 	}
 
-	seq := en.agreed.Seq
+	seq := predTuple.Seq
 	if m := en.seen.MaxSeq(); m > seq {
 		seq = m
 	}
@@ -108,6 +168,7 @@ func (en *Engine) propose(ctx context.Context, mode wire.Mode, newState, update 
 		Object:     en.cfg.Object,
 		Group:      en.group,
 		Agreed:     en.agreed,
+		Pred:       predTuple,
 		Proposed:   proposed,
 		AuthCommit: crypto.Hash(auth),
 		Mode:       mode,
@@ -126,9 +187,9 @@ func (en *Engine) propose(ctx context.Context, mode wire.Mode, newState, update 
 	en.currentState = append([]byte(nil), newState...)
 	if err := en.seen.Observe(proposed); err != nil {
 		// Fresh randomness makes this unreachable; treat as internal error.
-		en.rollbackLocked()
+		en.syncCurrentLocked()
 		en.mu.Unlock()
-		return Outcome{}, err
+		return nil, err
 	}
 
 	run := &proposerRun{
@@ -141,25 +202,48 @@ func (en *Engine) propose(ctx context.Context, mode wire.Mode, newState, update 
 		parsed:    make(map[string]wire.Respond, len(recips)),
 		recips:    recips,
 		done:      make(chan struct{}),
+		pred:      pred,
+		predTuple: predTuple,
+		finalized: make(chan struct{}),
 	}
 	en.runs[runID] = run
+	en.pipeline = append(en.pipeline, run)
 	en.stats.RunsProposed++
 	en.mu.Unlock()
 
-	if err := en.logEvidence(runID, wire.KindPropose.String(), nrlog.DirSent, signed.Marshal()); err != nil {
-		return Outcome{}, err
+	// Failures past this point deregister the run: a half-initiated run must
+	// not wedge the pipeline slot forever (no handle exists to finalize it).
+	// Recipients that already received the proposal keep it as evidence of
+	// an incomplete run; a retry proposes afresh with a higher sequence.
+	fail := func(err error) (*RunHandle, error) {
+		en.mu.Lock()
+		// A successor may already have chained onto this run; release it as
+		// a forced rollback so its Await does not wait forever on us.
+		en.forceSuffixLocked(run)
+		run.outcome = Outcome{RunID: runID, Valid: false, Diagnostic: "initiation failed"}
+		run.outErr = err
+		close(run.finalized)
+		en.removePipelineLocked(run)
+		delete(en.runs, runID)
+		en.syncCurrentLocked()
+		en.mu.Unlock()
+		return nil, err
+	}
+	if err := en.logEvidenceSeq(runID, seq, wire.KindPropose.String(), nrlog.DirSent, signed.Marshal()); err != nil {
+		return fail(err)
 	}
 	if err := en.cfg.Store.SaveRun(store.RunRecord{
 		RunID:    runID,
 		Object:   en.cfg.Object,
 		Role:     "proposer",
 		Proposed: proposed,
+		Pred:     predTuple,
 		State:    newState,
 		Auth:     auth,
 		Raw:      signed.Marshal(),
 		Time:     en.cfg.Clock.Now(),
 	}); err != nil {
-		return Outcome{}, err
+		return fail(err)
 	}
 
 	payload := signed.Marshal()
@@ -168,10 +252,10 @@ func (en *Engine) propose(ctx context.Context, mode wire.Mode, newState, update 
 		en.stats.ProposesSent++
 		en.mu.Unlock()
 		if err := en.send(ctx, r, wire.KindPropose, payload); err != nil {
-			return Outcome{}, fmt.Errorf("coord: sending propose to %s: %w", r, err)
+			return fail(fmt.Errorf("coord: sending propose to %s: %w", r, err))
 		}
 	}
-	return en.awaitRun(ctx, run)
+	return &RunHandle{en: en, run: run}, nil
 }
 
 // awaitRun blocks until every response arrives (or ctx expires), then
@@ -215,15 +299,66 @@ func (en *Engine) awaitRun(ctx context.Context, run *proposerRun) (Outcome, erro
 	}
 }
 
-// finishRun computes the outcome from a complete (or TTP-aborted) response
-// set, broadcasts commit, and installs/rolls back locally.
+// finishRun resolves a run whose response set is complete (or that was
+// aborted/force-rolled-back), in pipeline order: the predecessor must
+// finalize first, so a veto propagates down the chain before any successor
+// commits.
 func (en *Engine) finishRun(ctx context.Context, run *proposerRun) (Outcome, error) {
+	if run.pred != nil {
+		select {
+		case <-run.pred.finalized:
+		case <-ctx.Done():
+			return Outcome{RunID: run.runID}, fmt.Errorf("%w: run %s: %v", ErrBlocked, run.runID, ctx.Err())
+		}
+	}
+	run.final.Do(func() { en.finalizeRun(ctx, run) })
+	return run.outcome, run.outErr
+}
+
+// finalizeRun computes the outcome from a complete (or TTP-aborted, or
+// force-invalidated) response set, broadcasts commit, and installs or rolls
+// back locally. Runs exactly once per run, via finishRun.
+func (en *Engine) finalizeRun(ctx context.Context, run *proposerRun) {
+	defer close(run.finalized)
+
 	en.mu.Lock()
+	predInvalid := run.pred != nil && !run.pred.outcome.Valid
 	out := Outcome{RunID: run.runID, Decisions: make(map[string]wire.Decision, len(run.parsed))}
-	if run.aborted {
+	sendCommit := true
+	switch {
+	case run.aborted:
 		out.Valid = false
 		out.Diagnostic = "TTP-certified abort"
-	} else {
+		// Recipients resolve through their own copy of the TTP certificate;
+		// an incomplete commit would be rejected anyway.
+		sendCommit = false
+	case predInvalid || run.forced:
+		// The paper's rollback rule generalized to the pipeline: the state
+		// this run chained from was rolled back, so the run can never take
+		// effect, whatever its own responses say. Recipients derive the same
+		// verdict from the predecessor's commit (suffix cascade), so no
+		// commit of our own is needed — the response set may be incomplete.
+		out.Valid = false
+		out.Diagnostic = "predecessor rolled back"
+		if run.pred != nil && run.pred.outcome.Diagnostic != "" {
+			out.Diagnostic += ": " + run.pred.outcome.Diagnostic
+		}
+		sendCommit = false
+	case run.predTuple != en.agreed:
+		// Another party's run committed between this run's initiation and
+		// finalization: the base state is gone. The commit is still
+		// broadcast — it is the evidence that closes the run — and each
+		// recipient resolves it against its own agreed state at arrival
+		// time. Two vote-valid commits racing for the same predecessor can
+		// therefore resolve differently at different parties; see the known
+		// limitation in docs/ARCHITECTURE.md (present in the serialized
+		// engine too, and widest under Majority termination).
+		out.Valid = false
+		out.Diagnostic = "predecessor state no longer agreed"
+		for responder, resp := range run.parsed {
+			out.Decisions[responder] = resp.Decision
+		}
+	default:
 		accepts := 1 // proposer is committed to acceptance by definition
 		consistent := true
 		var diag string
@@ -270,73 +405,83 @@ func (en *Engine) finishRun(ctx context.Context, run *proposerRun) (Outcome, err
 	}
 	payload := commit.Marshal()
 	recips := run.recips
-	if run.aborted {
-		// Recipients resolve through their own copy of the TTP certificate;
-		// an incomplete commit would be rejected anyway.
+	if !sendCommit {
 		recips = nil
 	}
 
 	if out.Valid {
 		en.agreed = run.propose.Proposed
 		en.agreedState = append([]byte(nil), run.newState...)
-		en.current = en.agreed
-		en.currentState = en.agreedState
 		en.stats.RunsValid++
 	} else {
-		en.rollbackLocked()
 		en.stats.RunsInvalid++
+		// Force the suffix down with this run; successors finalize (in
+		// order) to "predecessor rolled back" outcomes.
+		en.forceSuffixLocked(run)
 	}
+	en.removePipelineLocked(run)
 	delete(en.runs, run.runID)
 	en.completed[run.runID] = out
 	en.stats.CommitsSent += uint64(len(recips))
-	valid := out.Valid
-	installedState := append([]byte(nil), en.currentState...)
-	installedTuple := en.current
+	en.syncCurrentLocked()
+	pipelineEmpty := len(en.pipeline) == 0
+	installedTuple := run.propose.Proposed
+	installedState := append([]byte(nil), run.newState...)
+	rolledTuple := en.agreed
+	rolledState := append([]byte(nil), en.agreedState...)
 	en.mu.Unlock()
 
-	if err := en.logEvidence(run.runID, wire.KindCommit.String(), nrlog.DirSent, payload); err != nil {
-		return out, err
+	run.outcome = out
+	seq := run.propose.Proposed.Seq
+	if err := en.logEvidenceSeq(run.runID, seq, wire.KindCommit.String(), nrlog.DirSent, payload); err != nil {
+		run.outErr = err
+		return
 	}
 	for _, r := range recips {
 		if err := en.send(ctx, r, wire.KindCommit, payload); err != nil {
-			return out, fmt.Errorf("coord: sending commit to %s: %w", r, err)
+			run.outErr = fmt.Errorf("coord: sending commit to %s: %w", r, err)
+			return
 		}
 	}
 
-	if valid {
+	if out.Valid {
 		if err := en.withLock(func() error { return en.checkpointLocked() }); err != nil {
-			return out, err
+			run.outErr = err
+			return
 		}
-		en.cfg.Validator.Installed(installedState, installedTuple)
+		// Install into the application only when the burst has drained:
+		// mid-pipeline the application object already holds the newer
+		// speculative state, and re-installing run k's state would regress
+		// it. With window 1 the pipeline is always empty here, preserving
+		// the paper's per-run install.
+		if pipelineEmpty {
+			en.cfg.Validator.Installed(installedState, installedTuple)
+		}
 	} else {
-		en.cfg.Validator.RolledBack(installedState, installedTuple)
+		en.cfg.Validator.RolledBack(rolledState, rolledTuple)
 	}
 	if err := en.cfg.Store.DeleteRun(run.runID); err != nil {
-		return out, err
+		run.outErr = err
+		return
 	}
-	if err := en.logEvidence(run.runID, "verdict", nrlog.DirLocal,
+	if err := en.logEvidenceSeq(run.runID, seq, "verdict", nrlog.DirLocal,
 		[]byte(fmt.Sprintf("valid=%t %s", out.Valid, out.Diagnostic))); err != nil {
-		return out, err
+		run.outErr = err
+		return
 	}
-	if !valid {
+	if !out.Valid {
 		if run.aborted {
-			return out, ErrAborted
+			run.outErr = ErrAborted
+			return
 		}
-		return out, fmt.Errorf("%w: %s", ErrVetoed, out.Diagnostic)
+		run.outErr = fmt.Errorf("%w: %s", ErrVetoed, out.Diagnostic)
 	}
-	return out, nil
 }
 
 func (en *Engine) withLock(f func() error) error {
 	en.mu.Lock()
 	defer en.mu.Unlock()
 	return f()
-}
-
-// rollbackLocked reverts the proposer's replica to the agreed state.
-func (en *Engine) rollbackLocked() {
-	en.current = en.agreed
-	en.currentState = append([]byte(nil), en.agreedState...)
 }
 
 // HandleEnvelope dispatches an inbound protocol message. Unknown or
@@ -359,6 +504,11 @@ func (en *Engine) HandleEnvelope(from string, env wire.Envelope) {
 
 // handlePropose is the recipient side of step 1: verify, check invariants,
 // validate via the application upcall, and answer with a signed respond.
+// Proposals are validated in chain order: one whose predecessor state has
+// not been seen yet is buffered until the predecessor is answered or agreed
+// (reliable delivery is unordered), and evaluated on its merits after a
+// grace period so a genuinely unknown predecessor still earns its signed
+// rejection.
 func (en *Engine) handlePropose(from string, payload []byte) {
 	signed, err := wire.UnmarshalSigned(payload)
 	if err != nil {
@@ -370,6 +520,7 @@ func (en *Engine) handlePropose(from string, payload []byte) {
 		_ = en.logEvidence("", "malformed-propose", nrlog.DirReceived, payload)
 		return
 	}
+	pred := prop.Predecessor()
 
 	en.mu.Lock()
 	if !en.bootstrapped {
@@ -395,25 +546,45 @@ func (en *Engine) handlePropose(from string, payload []byte) {
 		en.mu.Unlock()
 		return
 	}
-	// If this proposal references an agreed state ahead of ours while we
-	// hold an answered-but-uncommitted run, the missing commit is still in
-	// flight: defer evaluation until it lands rather than wrongly vetoing
-	// under invariant 1. Evaluation proceeds regardless after the wait, so
-	// a genuinely missing commit still yields the invariant-1 evidence.
-	if prop.Agreed.Seq > en.agreed.Seq && len(en.responded) > 0 && !en.deferred[prop.RunID] {
-		en.deferred[prop.RunID] = true
+	if en.propBuffered[prop.RunID] {
+		// A protocol-level retry of a proposal that is already buffered
+		// below, awaiting its predecessor.
 		en.mu.Unlock()
-		go func() {
-			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-			defer cancel()
-			_ = en.waitNoPending(ctx)
-			en.handlePropose(from, payload)
-		}()
+		return
+	}
+	if pred != en.agreed && en.respondedByTupleLocked(pred) == nil &&
+		pred.Seq >= en.agreed.Seq && !en.propWaited[prop.RunID] {
+		en.propWaited[prop.RunID] = true
+		en.propBuffered[prop.RunID] = true
+		en.waitProps[pred] = append(en.waitProps[pred], pendingMsg{from: from, payload: payload, runID: prop.RunID})
+		en.mu.Unlock()
+		runID := prop.RunID
+		time.AfterFunc(en.pendingGrace(), func() {
+			// Expire only this proposal: others buffered on the same tuple
+			// keep their own full grace period.
+			en.mu.Lock()
+			var expired []pendingMsg
+			bucket := en.waitProps[pred]
+			for i, m := range bucket {
+				if m.runID == runID {
+					expired = append(expired, m)
+					bucket = append(bucket[:i], bucket[i+1:]...)
+					break
+				}
+			}
+			if len(bucket) == 0 {
+				delete(en.waitProps, pred)
+			} else {
+				en.waitProps[pred] = bucket
+			}
+			en.mu.Unlock()
+			en.dispatchProps(expired)
+		})
 		return
 	}
 	en.mu.Unlock()
 
-	if err := en.logEvidence(prop.RunID, wire.KindPropose.String(), nrlog.DirReceived, payload); err != nil {
+	if err := en.logEvidenceSeq(prop.RunID, prop.Proposed.Seq, wire.KindPropose.String(), nrlog.DirReceived, payload); err != nil {
 		return
 	}
 
@@ -439,9 +610,14 @@ func (en *Engine) handlePropose(from string, payload []byte) {
 		decision: decision,
 		newState: newState,
 		proposed: prop.Proposed,
+		pred:     pred,
 		started:  en.cfg.Clock.Now(),
 	}
+	delete(en.propWaited, prop.RunID)
 	en.stats.RespondsSent++
+	// The proposal is answered: successors buffered on its tuple can now be
+	// validated against the speculative chain.
+	wake := takeWaitingLocked(en.waitProps, prop.Proposed)
 	en.mu.Unlock()
 
 	if err := en.cfg.Store.SaveRun(store.RunRecord{
@@ -449,14 +625,33 @@ func (en *Engine) handlePropose(from string, payload []byte) {
 		Object:   en.cfg.Object,
 		Role:     "recipient",
 		Proposed: prop.Proposed,
+		Pred:     pred,
 		Time:     en.cfg.Clock.Now(),
 	}); err != nil {
 		return
 	}
-	if err := en.logEvidence(prop.RunID, wire.KindRespond.String(), nrlog.DirSent, signedResp.Marshal()); err != nil {
+	if err := en.logEvidenceSeq(prop.RunID, prop.Proposed.Seq, wire.KindRespond.String(), nrlog.DirSent, signedResp.Marshal()); err != nil {
 		return
 	}
 	_ = en.send(context.Background(), from, wire.KindRespond, signedResp.Marshal())
+	en.dispatchProps(wake)
+}
+
+// dispatchProps re-enters buffered proposals (outside en.mu).
+func (en *Engine) dispatchProps(msgs []pendingMsg) {
+	for _, m := range msgs {
+		en.mu.Lock()
+		delete(en.propBuffered, m.runID)
+		en.mu.Unlock()
+		en.handlePropose(m.from, m.payload)
+	}
+}
+
+// dispatchCommits re-enters buffered commits (outside en.mu).
+func (en *Engine) dispatchCommits(msgs []pendingMsg) {
+	for _, m := range msgs {
+		en.handleCommit(m.from, m.payload)
+	}
 }
 
 // receivedHash computes the recipient's integrity assertion over the state
@@ -470,7 +665,10 @@ func receivedHash(prop wire.Propose) [32]byte {
 
 // evaluatePropose performs all §4.2/§4.4 consistency checks plus the
 // application-specific validation, returning the decision and, for
-// acceptable proposals, the state a commit would install.
+// acceptable proposals, the state a commit would install. For a pipelined
+// successor the checks run against the speculative chain: the predecessor
+// must be the agreed state or a pending answered proposal, and the
+// application validates against the state that predecessor would install.
 func (en *Engine) evaluatePropose(from string, signed wire.Signed, prop wire.Propose) (wire.Decision, []byte) {
 	if err := signed.Verify(en.cfg.Verifier); err != nil {
 		return wire.Rejected(fmt.Sprintf("signature verification failed: %v", err)), nil
@@ -481,6 +679,7 @@ func (en *Engine) evaluatePropose(from string, signed wire.Signed, prop wire.Pro
 	if prop.Object != en.cfg.Object {
 		return wire.Rejected("proposal for foreign object"), nil
 	}
+	pred := prop.Predecessor()
 
 	en.mu.Lock()
 	defer en.mu.Unlock()
@@ -495,10 +694,30 @@ func (en *Engine) evaluatePropose(from string, signed wire.Signed, prop wire.Pro
 		// Inconsistent group identifiers lead to invalidation (§4.2).
 		return wire.Rejected("inconsistent group identifier"), nil
 	}
-	if err := tuple.CheckRecipientView(en.current, en.agreed, prop.Agreed); err != nil {
-		return wire.Rejected(err.Error()), nil
+	if prop.Agreed.Seq > pred.Seq {
+		return wire.Rejected("proposal's agreed tuple is ahead of its predecessor"), nil
 	}
-	if err := tuple.CheckOrdering(prop.Proposed, en.agreed, en.seen.MaxSeq()); err != nil {
+	var base []byte
+	if pred == en.agreed {
+		// Invariant 1 in its original form: our current state is the agreed
+		// state, which is exactly the state the proposer builds on.
+		if err := tuple.CheckRecipientView(en.current, en.agreed, pred); err != nil {
+			return wire.Rejected(err.Error()), nil
+		}
+		base = en.currentState
+	} else if rr := en.respondedByTupleLocked(pred); rr != nil {
+		// Invariant 1 generalized to the pipeline: the proposal extends a
+		// pending proposal we have answered, so we validate against the
+		// state that predecessor would install. The final verdict still
+		// hinges on the predecessor committing — a rollback cascades down.
+		if rr.newState == nil {
+			return wire.Rejected("predecessor proposal was structurally rejected"), nil
+		}
+		base = rr.newState
+	} else {
+		return wire.Rejected(fmt.Sprintf("unknown predecessor state tuple %v", pred)), nil
+	}
+	if err := tuple.CheckOrdering(prop.Proposed, pred, en.seen.MaxSeq()); err != nil {
 		return wire.Rejected(err.Error()), nil
 	}
 	if err := en.seen.Observe(prop.Proposed); err != nil {
@@ -506,7 +725,7 @@ func (en *Engine) evaluatePropose(from string, signed wire.Signed, prop wire.Pro
 		return wire.Rejected(err.Error()), nil
 	}
 	// Null state transition is detectable and rejected (§4.4).
-	if prop.Proposed.HashState == prop.Agreed.HashState {
+	if prop.Proposed.HashState == pred.HashState {
 		return wire.Rejected("null state transition"), nil
 	}
 
@@ -521,7 +740,7 @@ func (en *Engine) evaluatePropose(from string, signed wire.Signed, prop wire.Pro
 		if crypto.Hash(prop.Update) != prop.UpdateHash {
 			return wire.Rejected("update does not match its hash"), nil
 		}
-		applied, err := en.cfg.Validator.ApplyUpdate(en.currentState, prop.Update)
+		applied, err := en.cfg.Validator.ApplyUpdate(base, prop.Update)
 		if err != nil {
 			return wire.Rejected(fmt.Sprintf("update not applicable: %v", err)), nil
 		}
@@ -537,9 +756,9 @@ func (en *Engine) evaluatePropose(from string, signed wire.Signed, prop wire.Pro
 
 	var decision wire.Decision
 	if prop.Mode == wire.ModeUpdate {
-		decision = en.cfg.Validator.ValidateUpdate(prop.Proposer, en.currentState, prop.Update)
+		decision = en.cfg.Validator.ValidateUpdate(prop.Proposer, base, prop.Update)
 	} else {
-		decision = en.cfg.Validator.ValidateState(prop.Proposer, en.currentState, prop.NewState)
+		decision = en.cfg.Validator.ValidateState(prop.Proposer, base, prop.NewState)
 	}
 	// The candidate state is retained even on an application-level veto:
 	// under majority termination (§7) a vetoing minority member still
@@ -574,7 +793,7 @@ func (en *Engine) handleRespond(from string, payload []byte) {
 	}
 	en.mu.Unlock()
 
-	if err := en.logEvidence(resp.RunID, wire.KindRespond.String(), nrlog.DirReceived, payload); err != nil {
+	if err := en.logEvidenceSeq(resp.RunID, resp.Proposed.Seq, wire.KindRespond.String(), nrlog.DirReceived, payload); err != nil {
 		return
 	}
 	if err := signed.Verify(en.cfg.Verifier); err != nil {
@@ -609,7 +828,7 @@ func (en *Engine) handleRespond(from string, payload []byte) {
 	run.responses[resp.Responder] = signed
 	run.parsed[resp.Responder] = resp
 	if len(run.responses) == len(run.recips) {
-		close(run.done)
+		en.closeDoneLocked(run)
 	}
 }
 
@@ -618,9 +837,56 @@ func appendEvidenceLocked(en *Engine, runID, kind string, payload []byte) error 
 	return err
 }
 
+// recipientRollback records a run rolled back at a recipient by the suffix
+// cascade, for post-lock cleanup (store deletion, verdict evidence).
+type recipientRollback struct {
+	runID string
+	seq   uint64
+	diag  string
+}
+
+// cascadeLocked rolls back every pending answered run chained (transitively)
+// to the dead tuple t: their predecessor can never become agreed, so they
+// resolve as invalid at this party exactly as they do at the proposer
+// (suffix rollback). Returns the rolled-back runs for post-lock cleanup and
+// any proposals buffered on the dead tuples, which must be re-dispatched to
+// earn their rejections.
+func (en *Engine) cascadeLocked(t tuple.State, diag string) (rolled []recipientRollback, wake []pendingMsg) {
+	reason := "predecessor rolled back: " + diag
+	queue := []tuple.State{t}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		wake = append(wake, takeWaitingLocked(en.waitProps, cur)...)
+		// Buffered successor commits resolve here, not via re-dispatch.
+		delete(en.waitCommits, cur)
+		for id, next := range en.responded {
+			if next.pred != cur {
+				continue
+			}
+			delete(en.responded, id)
+			delete(en.propWaited, id)
+			en.completed[id] = Outcome{RunID: id, Valid: false, Diagnostic: reason}
+			rolled = append(rolled, recipientRollback{runID: id, seq: next.proposed.Seq, diag: reason})
+			queue = append(queue, next.proposed)
+		}
+	}
+	return rolled, wake
+}
+
+// finishRollbacks performs the out-of-lock half of a suffix cascade.
+func (en *Engine) finishRollbacks(rolled []recipientRollback) {
+	for _, r := range rolled {
+		_ = en.cfg.Store.DeleteRun(r.runID)
+		_ = en.logEvidenceSeq(r.runID, r.seq, "verdict", nrlog.DirLocal, []byte("valid=false "+r.diag))
+	}
+}
+
 // handleCommit is the recipient side of step 3: verify the authenticator and
 // the aggregated evidence, compute the group's decision independently, and
-// install or discard.
+// install or discard. Commits resolve in chain order: a commit whose
+// predecessor is still pending waits for the predecessor's own commit, and
+// an invalid outcome cascades down the chain (suffix rollback).
 func (en *Engine) handleCommit(from string, payload []byte) {
 	commit, err := wire.UnmarshalCommit(payload)
 	if err != nil {
@@ -634,9 +900,36 @@ func (en *Engine) handleCommit(from string, payload []byte) {
 		return // idempotent
 	}
 	rr, responded := en.responded[commit.RunID]
+	if responded && rr.pred != en.agreed {
+		if en.respondedByTupleLocked(rr.pred) != nil {
+			// The predecessor is answered but unresolved: hold this commit
+			// until the predecessor's commit lands (reliable delivery is
+			// unordered). Resolution — install, rollback or abort — drains
+			// the buffer. Replayed copies (an adversary can re-wrap a
+			// captured commit under fresh transport ids) do not stack.
+			for _, m := range en.waitCommits[rr.pred] {
+				if m.runID == commit.RunID {
+					en.mu.Unlock()
+					return
+				}
+			}
+			en.waitCommits[rr.pred] = append(en.waitCommits[rr.pred], pendingMsg{from: from, payload: payload, runID: commit.RunID})
+			en.mu.Unlock()
+			return
+		}
+		// The predecessor is neither agreed nor pending: it can never
+		// become agreed. Fall through to the verified path below — its
+		// evidence checks run first, then the predecessor re-check
+		// downgrades even a vote-valid commit to a rollback, so an
+		// unverified payload never drives the resolution.
+	}
 	en.mu.Unlock()
 
-	if err := en.logEvidence(commit.RunID, wire.KindCommit.String(), nrlog.DirReceived, payload); err != nil {
+	var seq uint64
+	if responded {
+		seq = rr.proposed.Seq
+	}
+	if err := en.logEvidenceSeq(commit.RunID, seq, wire.KindCommit.String(), nrlog.DirReceived, payload); err != nil {
 		return
 	}
 
@@ -655,20 +948,43 @@ func (en *Engine) handleCommit(from string, payload []byte) {
 	}
 
 	en.mu.Lock()
+	if _, done := en.completed[commit.RunID]; done {
+		en.mu.Unlock()
+		return // a cascade raced us while verifying
+	}
+	if _, still := en.responded[commit.RunID]; !still {
+		en.mu.Unlock()
+		return
+	}
+	if verdict == commitValid && rr.pred != en.agreed {
+		// The chain moved underneath us while verifying: never install a
+		// state whose predecessor is not our agreed state.
+		verdict, diag = commitInvalid, "predecessor state no longer agreed"
+	}
 	out := Outcome{RunID: commit.RunID, Valid: verdict == commitValid, Diagnostic: diag,
 		Decisions: decisionsOf(commit)}
+	var rolled []recipientRollback
+	var wakeProps, wakeCommits []pendingMsg
 	if verdict == commitValid {
 		prop, _ := wire.UnmarshalPropose(commit.Propose.Body)
 		en.agreed = prop.Proposed
 		en.agreedState = append([]byte(nil), rr.newState...)
-		en.current = en.agreed
-		en.currentState = en.agreedState
+		if len(en.pipeline) == 0 {
+			en.current = en.agreed
+			en.currentState = en.agreedState
+		}
 		en.stats.RunsCommitted++
+		wakeProps = takeWaitingLocked(en.waitProps, prop.Proposed)
+		wakeCommits = takeWaitingLocked(en.waitCommits, prop.Proposed)
 	}
 	delete(en.responded, commit.RunID)
+	delete(en.propWaited, commit.RunID)
 	en.completed[commit.RunID] = out
-	installedState := append([]byte(nil), en.currentState...)
-	installedTuple := en.current
+	if verdict != commitValid {
+		rolled, wakeProps = en.cascadeLocked(rr.proposed, out.Diagnostic)
+	}
+	installedState := append([]byte(nil), en.agreedState...)
+	installedTuple := en.agreed
 	en.mu.Unlock()
 
 	_ = en.cfg.Store.DeleteRun(commit.RunID)
@@ -678,8 +994,11 @@ func (en *Engine) handleCommit(from string, payload []byte) {
 		}
 		en.cfg.Validator.Installed(installedState, installedTuple)
 	}
-	_ = en.logEvidence(commit.RunID, "verdict", nrlog.DirLocal,
+	_ = en.logEvidenceSeq(commit.RunID, seq, "verdict", nrlog.DirLocal,
 		[]byte(fmt.Sprintf("valid=%t %s", out.Valid, out.Diagnostic)))
+	en.finishRollbacks(rolled)
+	en.dispatchProps(wakeProps)
+	en.dispatchCommits(wakeCommits)
 }
 
 type commitVerdict uint8
@@ -809,7 +1128,8 @@ func decisionsOf(commit wire.Commit) map[string]wire.Decision {
 
 // handleAbortCert applies a TTP-certified abort (§7 extension): if a trusted
 // TTP certifies that a run is aborted, both proposer and recipients resolve
-// the blocked run as invalid.
+// the blocked run as invalid — and, in a pipeline, every run chained to it
+// rolls back with it.
 func (en *Engine) handleAbortCert(from string, payload []byte) {
 	signed, err := wire.UnmarshalSigned(payload)
 	if err != nil {
@@ -836,22 +1156,24 @@ func (en *Engine) handleAbortCert(from string, payload []byte) {
 
 	en.mu.Lock()
 	if run, ok := en.runs[cert.RunID]; ok {
-		// Proposer side: resolve the blocked run as aborted.
+		// Proposer side: resolve the blocked run as aborted; successors are
+		// forced down when the run finalizes.
 		run.aborted = true
-		select {
-		case <-run.done:
-		default:
-			close(run.done)
-		}
+		en.closeDoneLocked(run)
 		en.mu.Unlock()
 		return
 	}
-	if _, ok := en.responded[cert.RunID]; ok {
+	if rr, ok := en.responded[cert.RunID]; ok {
 		// Recipient side: clear the active run; replica stays at agreed.
+		// Pending runs chained to it roll back too.
 		delete(en.responded, cert.RunID)
+		delete(en.propWaited, cert.RunID)
 		en.completed[cert.RunID] = Outcome{RunID: cert.RunID, Valid: false, Diagnostic: "TTP-certified abort"}
+		rolled, wake := en.cascadeLocked(rr.proposed, "TTP-certified abort")
 		en.mu.Unlock()
 		_ = en.cfg.Store.DeleteRun(cert.RunID)
+		en.finishRollbacks(rolled)
+		en.dispatchProps(wake)
 		return
 	}
 	en.mu.Unlock()
@@ -879,7 +1201,8 @@ func (en *Engine) Outcome(runID string) (Outcome, bool) {
 }
 
 // pendingGrace bounds how long a proposer waits for in-flight commits of
-// runs it has answered before proposing anyway.
+// runs it has answered before proposing anyway, and how long a recipient
+// buffers a proposal whose predecessor has not arrived yet.
 func (en *Engine) pendingGrace() time.Duration {
 	if en.cfg.RetryInterval > 0 {
 		return 8 * en.cfg.RetryInterval
@@ -915,16 +1238,24 @@ func (en *Engine) WaitQuiescent(ctx context.Context) error {
 
 // RecoverPendingRuns resumes coordination runs interrupted by a crash
 // (§4.2: nodes eventually recover and resume participation in a protocol
-// run). Proposer-side runs are re-entered with their original signed
-// proposal and authenticator and re-broadcast; recipient-side records are
-// dropped — the proposer's protocol-level retries re-deliver the proposal
-// and the recipient re-validates. Call after Restore, before new proposals.
+// run). Proposer-side runs are re-entered, in pipeline order, with their
+// original signed proposals and authenticators and re-broadcast; any suffix
+// whose predecessor never became agreed — it chains from a state decided
+// without us, or from a run that was itself dropped — is rolled back and
+// deleted. Recipient-side records are dropped: the proposer's protocol-level
+// retries re-deliver the proposal and the recipient re-validates. Call after
+// Restore, before new proposals.
 func (en *Engine) RecoverPendingRuns(ctx context.Context) ([]Outcome, error) {
 	records, err := en.cfg.Store.PendingRuns()
 	if err != nil {
 		return nil, err
 	}
-	var outs []Outcome
+	type pendingRec struct {
+		rec    store.RunRecord
+		signed wire.Signed
+		prop   wire.Propose
+	}
+	var recs []pendingRec
 	for _, rec := range records {
 		if rec.Object != en.cfg.Object {
 			continue
@@ -943,46 +1274,68 @@ func (en *Engine) RecoverPendingRuns(ctx context.Context) ([]Outcome, error) {
 			_ = en.cfg.Store.DeleteRun(rec.RunID)
 			continue
 		}
+		recs = append(recs, pendingRec{rec: rec, signed: signed, prop: prop})
+	}
+	sort.SliceStable(recs, func(i, j int) bool {
+		return recs[i].prop.Proposed.Seq < recs[j].prop.Proposed.Seq
+	})
 
-		en.mu.Lock()
-		if !en.bootstrapped {
-			en.mu.Unlock()
-			return outs, ErrNotBootstrapd
-		}
-		if prop.Agreed != en.agreed {
-			// The run's base state is no longer the agreed state (it was
-			// decided without us); nothing to resume.
-			en.mu.Unlock()
-			_ = en.cfg.Store.DeleteRun(rec.RunID)
+	en.mu.Lock()
+	if !en.bootstrapped {
+		en.mu.Unlock()
+		return nil, ErrNotBootstrapd
+	}
+	recipients := en.recipientsLocked()
+	expected := en.agreed
+	var prev *proposerRun
+	var chain []*proposerRun
+	var dropped []pendingRec
+	for _, r := range recs {
+		pred := r.prop.Predecessor()
+		if len(recipients) == 0 || r.prop.Proposed.Seq <= en.agreed.Seq || pred != expected {
+			// Suffix rollback on recovery: the run's base state is not (or
+			// no longer) this party's agreed state — it was decided without
+			// us, or its own predecessor was just dropped.
+			dropped = append(dropped, r)
 			continue
 		}
-		// Re-enter the proposer's commitment.
-		en.current = prop.Proposed
-		en.currentState = append([]byte(nil), rec.State...)
-		en.seen.ObserveRecovered(prop.Proposed)
+		en.seen.ObserveRecovered(r.prop.Proposed)
 		run := &proposerRun{
-			runID:     rec.RunID,
-			propose:   prop,
-			signed:    signed,
-			auth:      append([]byte(nil), rec.Auth...),
-			newState:  append([]byte(nil), rec.State...),
+			runID:     r.rec.RunID,
+			propose:   r.prop,
+			signed:    r.signed,
+			auth:      append([]byte(nil), r.rec.Auth...),
+			newState:  append([]byte(nil), r.rec.State...),
 			responses: make(map[string]wire.Signed),
 			parsed:    make(map[string]wire.Respond),
-			recips:    en.recipientsLocked(),
+			recips:    recipients,
 			done:      make(chan struct{}),
+			pred:      prev,
+			predTuple: pred,
+			finalized: make(chan struct{}),
 		}
-		if len(run.recips) == 0 {
-			en.mu.Unlock()
-			_ = en.cfg.Store.DeleteRun(rec.RunID)
-			continue
-		}
-		en.runs[rec.RunID] = run
-		en.mu.Unlock()
+		en.runs[r.rec.RunID] = run
+		en.pipeline = append(en.pipeline, run)
+		chain = append(chain, run)
+		prev = run
+		expected = r.prop.Proposed
+	}
+	// Re-enter the proposer's commitment: current is the pipeline tail.
+	en.syncCurrentLocked()
+	en.mu.Unlock()
 
-		payload := signed.Marshal()
+	for _, r := range dropped {
+		_ = en.cfg.Store.DeleteRun(r.rec.RunID)
+		_ = en.logEvidenceSeq(r.rec.RunID, r.prop.Proposed.Seq, "recovery-rollback", nrlog.DirLocal, r.rec.Raw)
+	}
+	for _, run := range chain {
+		payload := run.signed.Marshal()
 		for _, r := range run.recips {
 			_ = en.send(ctx, r, wire.KindPropose, payload)
 		}
+	}
+	var outs []Outcome
+	for _, run := range chain {
 		out, err := en.awaitRun(ctx, run)
 		outs = append(outs, out)
 		if err != nil && !errors.Is(err, ErrVetoed) && !errors.Is(err, ErrAborted) {

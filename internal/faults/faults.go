@@ -188,6 +188,7 @@ func (a *Adversary) buildPropose(spec ProposalSpec, state []byte) (wire.Propose,
 		Object:     a.Object,
 		Group:      spec.Group,
 		Agreed:     spec.Agreed,
+		Pred:       spec.Agreed,
 		Proposed:   tuple.NewState(spec.Seq, rnd, state),
 		AuthCommit: crypto.Hash(auth),
 		Mode:       wire.ModeOverwrite,
@@ -232,6 +233,7 @@ func (a *Adversary) SelectiveSend(ctx context.Context, spec ProposalSpec, states
 			Object:     a.Object,
 			Group:      spec.Group,
 			Agreed:     spec.Agreed,
+			Pred:       spec.Agreed,
 			Proposed:   tuple.NewState(spec.Seq, rnd, states[i]),
 			AuthCommit: crypto.Hash(auth),
 			Mode:       wire.ModeOverwrite,
@@ -369,6 +371,7 @@ func (a *Adversary) MismatchedState(ctx context.Context, spec ProposalSpec, reci
 		Object:     a.Object,
 		Group:      spec.Group,
 		Agreed:     spec.Agreed,
+		Pred:       spec.Agreed,
 		Proposed:   tuple.NewState(spec.Seq, rnd, []byte("advertised state")),
 		AuthCommit: crypto.Hash(auth),
 		Mode:       wire.ModeOverwrite,

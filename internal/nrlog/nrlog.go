@@ -30,10 +30,16 @@ const (
 	DirLocal    Direction = "local" // local decisions, checkpoints, verdicts
 )
 
-// Entry is one evidence record. Hash covers (Seq, PrevHash, Time, RunID,
-// Object, Kind, Party, Direction, Payload); PrevHash chains entries.
+// Entry is one evidence record. Hash covers (Seq, RunSeq, PrevHash, Time,
+// RunID, Object, Kind, Party, Direction, Payload); PrevHash chains entries.
+// RunSeq is the proposal sequence number of the coordination run the
+// evidence belongs to (zero when not applicable), so the evidence of a
+// pipelined burst is chained per sequence: the records of run k and of its
+// successors k+1, k+2, ... are attributable to their exact position in the
+// pipeline when a disputed suffix rollback goes to arbitration.
 type Entry struct {
 	Seq       uint64
+	RunSeq    uint64
 	PrevHash  [32]byte
 	Hash      [32]byte
 	Time      time.Time
@@ -45,9 +51,15 @@ type Entry struct {
 	Payload   []byte
 }
 
+// entryHash is the per-version hash layout of the evidence chain. Like the
+// wire encoding (docs/PROTOCOL.md §7) it carries no version tag: a log
+// written under a different field layout fails verification on open rather
+// than being silently misread, and migrating historical evidence across
+// layouts is an explicit operator action, not something the log does
+// implicitly.
 func entryHash(e *Entry) [32]byte {
-	meta := fmt.Sprintf("%d|%s|%s|%s|%s|%s|%d",
-		e.Seq, e.RunID, e.Object, e.Kind, e.Party, e.Direction, e.Time.UTC().UnixNano())
+	meta := fmt.Sprintf("%d|%d|%s|%s|%s|%s|%s|%d",
+		e.Seq, e.RunSeq, e.RunID, e.Object, e.Kind, e.Party, e.Direction, e.Time.UTC().UnixNano())
 	return crypto.Hash(e.PrevHash[:], []byte(meta), e.Payload)
 }
 
@@ -71,6 +83,29 @@ type Log interface {
 	Len() int
 }
 
+// SeqAppender is an optional Log extension: evidence tagged with the
+// coordination run's proposal sequence number, so the record of a pipelined
+// burst is indexed per sequence (see Entry.RunSeq). Both built-in logs
+// implement it; Append is AppendSeq with RunSeq zero.
+type SeqAppender interface {
+	AppendSeq(runID string, runSeq uint64, object, kind, party string, dir Direction, payload []byte) (Entry, error)
+}
+
+// BySeq filters entries down to one object's runs at one proposal sequence.
+func BySeq(l Log, object string, runSeq uint64) ([]Entry, error) {
+	all, err := l.Entries()
+	if err != nil {
+		return nil, err
+	}
+	var out []Entry
+	for _, e := range all {
+		if e.Object == object && e.RunSeq == runSeq {
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}
+
 // Clock supplies entry times (decoupled for deterministic tests).
 type Clock interface {
 	Now() time.Time
@@ -90,10 +125,16 @@ func NewMemory(clk Clock) *Memory {
 
 // Append implements Log.
 func (l *Memory) Append(runID, object, kind, party string, dir Direction, payload []byte) (Entry, error) {
+	return l.AppendSeq(runID, 0, object, kind, party, dir, payload)
+}
+
+// AppendSeq implements SeqAppender.
+func (l *Memory) AppendSeq(runID string, runSeq uint64, object, kind, party string, dir Direction, payload []byte) (Entry, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	e := Entry{
 		Seq:       uint64(len(l.entries)),
+		RunSeq:    runSeq,
 		Time:      l.clk.Now(),
 		RunID:     runID,
 		Object:    object,
@@ -164,6 +205,7 @@ func verifyChain(entries []Entry) error {
 // fileEntry is the JSON-lines on-disk form.
 type fileEntry struct {
 	Seq       uint64    `json:"seq"`
+	RunSeq    uint64    `json:"run_seq,omitempty"`
 	PrevHash  string    `json:"prev"`
 	Hash      string    `json:"hash"`
 	Time      time.Time `json:"time"`
@@ -178,6 +220,7 @@ type fileEntry struct {
 func toFileEntry(e Entry) fileEntry {
 	return fileEntry{
 		Seq:       e.Seq,
+		RunSeq:    e.RunSeq,
 		PrevHash:  base64.StdEncoding.EncodeToString(e.PrevHash[:]),
 		Hash:      base64.StdEncoding.EncodeToString(e.Hash[:]),
 		Time:      e.Time,
@@ -193,6 +236,7 @@ func toFileEntry(e Entry) fileEntry {
 func fromFileEntry(fe fileEntry) (Entry, error) {
 	e := Entry{
 		Seq:       fe.Seq,
+		RunSeq:    fe.RunSeq,
 		Time:      fe.Time,
 		RunID:     fe.RunID,
 		Object:    fe.Object,
@@ -277,10 +321,16 @@ func OpenFile(path string, clk Clock) (*File, error) {
 
 // Append implements Log.
 func (l *File) Append(runID, object, kind, party string, dir Direction, payload []byte) (Entry, error) {
+	return l.AppendSeq(runID, 0, object, kind, party, dir, payload)
+}
+
+// AppendSeq implements SeqAppender.
+func (l *File) AppendSeq(runID string, runSeq uint64, object, kind, party string, dir Direction, payload []byte) (Entry, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	e := Entry{
 		Seq:       uint64(len(l.entries)),
+		RunSeq:    runSeq,
 		Time:      l.clk.Now(),
 		RunID:     runID,
 		Object:    object,

@@ -234,3 +234,52 @@ func TestChainProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestAppendSeqChainsEvidencePerSequence(t *testing.T) {
+	l := NewMemory(simClock())
+	var sl SeqAppender = l // both built-in logs implement the extension
+	if _, err := sl.AppendSeq("run-a", 1, "obj", "propose", "p", DirSent, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sl.AppendSeq("run-b", 2, "obj", "propose", "p", DirSent, []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append("run-c", "obj", "verdict", "p", DirLocal, []byte("z")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Verify(); err != nil {
+		t.Fatalf("chain with RunSeq entries fails verification: %v", err)
+	}
+	got, err := BySeq(l, "obj", 2)
+	if err != nil || len(got) != 1 || got[0].RunID != "run-b" {
+		t.Fatalf("BySeq = %+v (%v)", got, err)
+	}
+	// Tampering with the sequence tag breaks the chain.
+	l.entries[1].RunSeq = 7
+	if err := l.Verify(); err == nil {
+		t.Fatal("RunSeq tamper went undetected")
+	}
+}
+
+func TestFileLogRunSeqSurvivesReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seq.log")
+	l, err := OpenFile(path, simClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AppendSeq("run-a", 3, "obj", "commit", "p", DirSent, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := OpenFile(path, simClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l2.Close() }()
+	got, err := BySeq(l2, "obj", 3)
+	if err != nil || len(got) != 1 || got[0].RunID != "run-a" {
+		t.Fatalf("BySeq after reopen = %+v (%v)", got, err)
+	}
+}

@@ -30,12 +30,17 @@ type Checkpoint struct {
 	Time    time.Time
 }
 
-// RunRecord captures an in-flight coordination run for crash recovery.
+// RunRecord captures an in-flight coordination run for crash recovery. A
+// pipelining proposer holds several records per object at once, one per
+// in-flight run; Pred chains each record to the state tuple it builds on, so
+// a recovering proposer can re-enter the runs in order and roll back any
+// suffix whose base state never became agreed.
 type RunRecord struct {
 	RunID    string
 	Object   string
 	Role     string // "proposer" | "recipient"
 	Proposed tuple.State
+	Pred     tuple.State // predecessor state tuple the run chains from
 	State    []byte
 	Auth     []byte // proposer's authenticator preimage
 	Raw      []byte // proposer's signed propose message, for re-broadcast
@@ -56,7 +61,9 @@ type Store interface {
 	// SaveRun records an in-flight run; DeleteRun removes it on completion.
 	SaveRun(r RunRecord) error
 	DeleteRun(runID string) error
-	// PendingRuns returns in-flight runs (crash recovery).
+	// PendingRuns returns in-flight runs (crash recovery), ordered by
+	// object, then proposal sequence number — the order a pipelining
+	// proposer must resume them in.
 	PendingRuns() ([]RunRecord, error)
 }
 
@@ -129,8 +136,22 @@ func (s *Memory) PendingRuns() ([]RunRecord, error) {
 	for _, r := range s.runs {
 		out = append(out, r)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].RunID < out[j].RunID })
+	sortRuns(out)
 	return out, nil
+}
+
+// sortRuns orders records by object, then proposal sequence (pipeline
+// order), with run id as a deterministic tie-break.
+func sortRuns(out []RunRecord) {
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Object != out[j].Object {
+			return out[i].Object < out[j].Object
+		}
+		if out[i].Proposed.Seq != out[j].Proposed.Seq {
+			return out[i].Proposed.Seq < out[j].Proposed.Seq
+		}
+		return out[i].RunID < out[j].RunID
+	})
 }
 
 // fileCheckpoint / fileRun are the on-disk JSON forms.
@@ -154,6 +175,9 @@ type fileRun struct {
 	Seq      uint64    `json:"seq"`
 	HashRand string    `json:"hash_rand"`
 	HashSt   string    `json:"hash_state"`
+	PredSeq  uint64    `json:"pred_seq,omitempty"`
+	PredRand string    `json:"pred_rand,omitempty"`
+	PredSt   string    `json:"pred_state,omitempty"`
 	State    string    `json:"state"`
 	Auth     string    `json:"auth"`
 	Raw      string    `json:"raw,omitempty"`
@@ -341,6 +365,9 @@ func (s *File) SaveRun(r RunRecord) error {
 		Seq:      r.Proposed.Seq,
 		HashRand: b64(r.Proposed.HashRand[:]),
 		HashSt:   b64(r.Proposed.HashState[:]),
+		PredSeq:  r.Pred.Seq,
+		PredRand: b64(r.Pred.HashRand[:]),
+		PredSt:   b64(r.Pred.HashState[:]),
 		State:    b64(r.State),
 		Auth:     b64(r.Auth),
 		Raw:      b64(r.Raw),
@@ -401,6 +428,15 @@ func (s *File) PendingRuns() ([]RunRecord, error) {
 			return nil, err
 		}
 		r.Proposed.Seq = fr.Seq
+		if fr.PredRand != "" {
+			if r.Pred.HashRand, err = unb64h(fr.PredRand); err != nil {
+				return nil, err
+			}
+			if r.Pred.HashState, err = unb64h(fr.PredSt); err != nil {
+				return nil, err
+			}
+			r.Pred.Seq = fr.PredSeq
+		}
 		if r.State, err = unb64(fr.State); err != nil {
 			return nil, err
 		}
@@ -412,6 +448,6 @@ func (s *File) PendingRuns() ([]RunRecord, error) {
 		}
 		out = append(out, r)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].RunID < out[j].RunID })
+	sortRuns(out)
 	return out, nil
 }

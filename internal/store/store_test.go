@@ -236,3 +236,57 @@ func mustOpenFile(t *testing.T) Store {
 	}
 	return s
 }
+
+func TestPendingRunsPipelineOrder(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		mk   func(t *testing.T) Store
+	}{
+		{name: "memory", mk: func(*testing.T) Store { return NewMemory() }},
+		{name: "file", mk: func(t *testing.T) Store {
+			s, err := OpenFile(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			s := mk.mk(t)
+			// Saved out of order, across two objects; PendingRuns must come
+			// back ordered by object then proposal sequence, with each
+			// record's predecessor tuple intact (pipeline recovery order).
+			pred := tuple.NewState(1, []byte("r1"), []byte("s1"))
+			recs := []RunRecord{
+				{RunID: "c", Object: "obj", Proposed: tuple.NewState(3, []byte("r3"), []byte("s3")), Pred: tuple.NewState(2, []byte("r2"), []byte("s2")), Role: "proposer"},
+				{RunID: "z", Object: "aaa", Proposed: tuple.NewState(9, []byte("r9"), []byte("s9")), Role: "proposer"},
+				{RunID: "b", Object: "obj", Proposed: tuple.NewState(2, []byte("r2"), []byte("s2")), Pred: pred, Role: "proposer"},
+			}
+			for _, r := range recs {
+				if err := s.SaveRun(r); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got, err := s.PendingRuns()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var order []string
+			for _, r := range got {
+				order = append(order, r.RunID)
+			}
+			want := []string{"z", "b", "c"}
+			for i := range want {
+				if order[i] != want[i] {
+					t.Fatalf("order = %v, want %v", order, want)
+				}
+			}
+			if got[1].Pred != pred {
+				t.Fatalf("Pred tuple not persisted: %+v", got[1].Pred)
+			}
+			if got[2].Pred.Seq != 2 {
+				t.Fatalf("chained Pred = %+v", got[2].Pred)
+			}
+		})
+	}
+}

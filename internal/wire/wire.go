@@ -290,21 +290,40 @@ func UnmarshalMulti(buf []byte) ([][]byte, error) {
 }
 
 // Propose is the proposer's first message (§4.3): it identifies the proposer
-// and its group view, specifies the transition Agreed -> Proposed, commits to
+// and its group view, specifies the transition Pred -> Proposed, commits to
 // the authenticator via AuthCommit = h(A_p), and carries the proposed new
 // state (overwrite mode) or the update and its hash (update mode, §4.3.1).
+//
+// Pred is the explicit predecessor tuple the proposal chains from. For an
+// unpipelined run (and for the first run of a pipeline) Pred equals Agreed,
+// the proposer's agreed state tuple. A pipelining proposer (see
+// docs/PROTOCOL.md) chains each successor run to its predecessor's Proposed
+// tuple, so Proposed.Seq strictly increases along the chain and every
+// proposal names the exact state lineage it extends. A zero Pred is read as
+// Agreed — the form produced by a constructor that never sets the field
+// (there is no cross-version wire compatibility; see docs/PROTOCOL.md §7).
 type Propose struct {
 	RunID      string
 	Proposer   string
 	Object     string
 	Group      tuple.Group
 	Agreed     tuple.State
+	Pred       tuple.State
 	Proposed   tuple.State
 	AuthCommit [32]byte
 	Mode       Mode
 	NewState   []byte
 	Update     []byte
 	UpdateHash [32]byte
+}
+
+// Predecessor returns the state tuple the proposal chains from: Pred when
+// set, Agreed otherwise (legacy form).
+func (p Propose) Predecessor() tuple.State {
+	if p.Pred.Zero() {
+		return p.Agreed
+	}
+	return p.Pred
 }
 
 // Marshal returns the canonical (signature input) bytes.
@@ -316,6 +335,7 @@ func (p Propose) Marshal() []byte {
 	e.String(p.Object)
 	p.Group.Encode(e)
 	p.Agreed.Encode(e)
+	p.Pred.Encode(e)
 	p.Proposed.Encode(e)
 	e.Bytes32(p.AuthCommit)
 	e.Uint64(uint64(p.Mode))
@@ -335,6 +355,7 @@ func UnmarshalPropose(buf []byte) (Propose, error) {
 		Object:   d.String(),
 		Group:    tuple.DecodeGroup(d),
 		Agreed:   tuple.DecodeState(d),
+		Pred:     tuple.DecodeState(d),
 		Proposed: tuple.DecodeState(d),
 	}
 	p.AuthCommit = d.Bytes32()

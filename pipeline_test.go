@@ -1,0 +1,216 @@
+package b2b_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	b2b "b2b"
+)
+
+// valueObj is a minimal Object holding one string and vetoing, by content,
+// any state containing "bad" — a deterministic policy for pipeline tests.
+type valueObj struct {
+	mu  sync.Mutex
+	val string
+}
+
+func (o *valueObj) get() string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.val
+}
+
+func (o *valueObj) set(v string) {
+	o.mu.Lock()
+	o.val = v
+	o.mu.Unlock()
+}
+
+func (o *valueObj) GetState() ([]byte, error) {
+	return []byte(o.get()), nil
+}
+
+func (o *valueObj) ApplyState(state []byte) error {
+	o.set(string(state))
+	return nil
+}
+
+func (o *valueObj) ValidateState(_ string, state []byte) error {
+	if strings.Contains(string(state), "bad") {
+		return errors.New("content policy veto")
+	}
+	return nil
+}
+
+func (o *valueObj) ValidateConnect(string) error { return nil }
+
+func (o *valueObj) ValidateDisconnect(string, bool) error { return nil }
+
+// bindValues attaches a fresh valueObj pair under name to parties a and b of
+// an existing deployment and bootstraps them.
+func bindValues(t *testing.T, d *deployment, name string, cb b2b.Callback) (*b2b.Controller, *valueObj, *valueObj) {
+	t.Helper()
+	objA, objB := &valueObj{}, &valueObj{}
+	ctrlA, err := d.parts["a"].Bind(name, objA, cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrlB, err := d.parts["b"].Bind(name, objB, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []*b2b.Controller{ctrlA, ctrlB} {
+		if err := c.Bootstrap([]string{"a", "b"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ctrlA, objA, objB
+}
+
+func waitVal(t *testing.T, o *valueObj, want string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if o.get() == want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("value = %q, want %q", o.get(), want)
+}
+
+// TestControllerPipelinedDeferred drives the controller's pipelined path:
+// with a window of 3, three deferred Leaves overlap and their outcomes are
+// collected in Leave order; a fourth uncollected Leave is refused.
+func TestControllerPipelinedDeferred(t *testing.T) {
+	d := newDeployment(t, []string{"a", "b"}, b2b.WithMode(b2b.DeferredSynchronous))
+	ctrl, objA, objB := bindValues(t, d, "values", nil)
+	ctrl.SetPipelineWindow(3)
+	if got := ctrl.PipelineWindow(); got != 3 {
+		t.Fatalf("PipelineWindow = %d, want 3", got)
+	}
+
+	for i := 1; i <= 3; i++ {
+		ctrl.Enter()
+		ctrl.Overwrite()
+		objA.set(fmt.Sprintf("v%d", i))
+		if err := ctrl.Leave(); err != nil {
+			t.Fatalf("Leave %d: %v", i, err)
+		}
+	}
+	// Window full: a fourth deferred Leave is refused until one collects.
+	ctrl.Enter()
+	ctrl.Overwrite()
+	objA.set("v4")
+	if err := ctrl.Leave(); !errors.Is(err, b2b.ErrBusyPending) {
+		t.Fatalf("4th Leave err = %v, want ErrBusyPending", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	for i := 1; i <= 3; i++ {
+		if err := ctrl.CoordCommit(ctx); err != nil {
+			t.Fatalf("CoordCommit %d: %v", i, err)
+		}
+	}
+	if err := ctrl.CoordCommit(ctx); !errors.Is(err, b2b.ErrNoPending) {
+		t.Fatalf("extra CoordCommit err = %v, want ErrNoPending", err)
+	}
+	waitVal(t, objB, "v3", 5*time.Second)
+	if seq := ctrl.AgreedSeq(); seq != 3 {
+		t.Fatalf("agreed seq = %d, want 3", seq)
+	}
+}
+
+// TestControllerPipelinedVetoOrdering verifies per-object outcome ordering
+// under a mid-pipeline veto: CoordCommit returns the outcomes in Leave
+// order, the vetoed run and its successor roll back, and both replicas
+// converge on the surviving prefix.
+func TestControllerPipelinedVetoOrdering(t *testing.T) {
+	d := newDeployment(t, []string{"a", "b"}, b2b.WithMode(b2b.DeferredSynchronous))
+	ctrl, objA, objB := bindValues(t, d, "values", nil)
+	ctrl.SetPipelineWindow(3)
+
+	for _, v := range []string{"good", "bad2", "bad3"} {
+		ctrl.Enter()
+		ctrl.Overwrite()
+		objA.set(v)
+		if err := ctrl.Leave(); err != nil {
+			t.Fatalf("Leave %q: %v", v, err)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := ctrl.CoordCommit(ctx); err != nil {
+		t.Fatalf("CoordCommit 1: %v", err)
+	}
+	for i := 2; i <= 3; i++ {
+		if err := ctrl.CoordCommit(ctx); !errors.Is(err, b2b.ErrVetoed) {
+			t.Fatalf("CoordCommit %d err = %v, want ErrVetoed", i, err)
+		}
+	}
+	// Both replicas converge on the surviving prefix; the proposer's
+	// rollback re-installed it into the application object.
+	waitVal(t, objA, "good", 5*time.Second)
+	waitVal(t, objB, "good", 5*time.Second)
+	if seq := ctrl.AgreedSeq(); seq != 1 {
+		t.Fatalf("agreed seq = %d, want 1", seq)
+	}
+}
+
+// TestControllerPipelinedCallbacksInOrder: asynchronous mode with a window
+// delivers EventCoordComplete callbacks in Leave order — the valid head
+// must not be overtaken by the vetoed suffix.
+func TestControllerPipelinedCallbacksInOrder(t *testing.T) {
+	var mu sync.Mutex
+	var got []bool
+	done := make(chan struct{}, 16)
+	cb := func(ev b2b.Event) {
+		if ev.Type != b2b.EventCoordComplete {
+			return
+		}
+		mu.Lock()
+		got = append(got, ev.Valid)
+		mu.Unlock()
+		done <- struct{}{}
+	}
+
+	d := newDeployment(t, []string{"a", "b"}, b2b.WithMode(b2b.Asynchronous))
+	ctrl, objA, objB := bindValues(t, d, "values", cb)
+	ctrl.SetPipelineWindow(4)
+
+	const runs = 4
+	for i, v := range []string{"v1", "bad2", "bad3", "bad4"} {
+		ctrl.Enter()
+		ctrl.Overwrite()
+		objA.set(v)
+		if err := ctrl.Leave(); err != nil {
+			t.Fatalf("Leave %d: %v", i+1, err)
+		}
+	}
+	for i := 0; i < runs; i++ {
+		select {
+		case <-done:
+		case <-time.After(15 * time.Second):
+			t.Fatalf("callback %d never arrived", i)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []bool{true, false, false, false}
+	if len(got) != len(want) {
+		t.Fatalf("callbacks = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("callback order = %v, want %v", got, want)
+		}
+	}
+	waitVal(t, objB, "v1", 5*time.Second)
+}
