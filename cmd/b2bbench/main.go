@@ -16,12 +16,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"time"
 
 	"b2b/internal/coord"
 	"b2b/internal/faults"
 	"b2b/internal/lab"
+	"b2b/internal/store"
 	"b2b/internal/transport"
 	"b2b/internal/ttp"
 	"b2b/internal/tuple"
@@ -35,9 +37,11 @@ type experiment struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (E1, E2, E5, E7, E8, E9, E10, E11, E13, E14, E15, E16) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (E1, E2, E5, E7, E8, E9, E10, E11, E13, E14, E15, E16, E17) or 'all'")
 	list := flag.Bool("list", false, "list experiments")
+	soak := flag.Bool("soak", false, "E17 soak mode: >=10k runs on the durability plane, failing unless disk stays bounded and evidence verifies")
 	flag.Parse()
+	soakMode = *soak
 
 	experiments := []experiment{
 		{id: "E1", desc: "Fig 1a/1b — direct vs trusted-agent interaction", run: expE1},
@@ -52,6 +56,7 @@ func main() {
 		{id: "E14", desc: "§7 — unanimous vs majority termination", run: expE14},
 		{id: "E15", desc: "transport batching and multi-object throughput", run: expE15},
 		{id: "E16", desc: "pipelined coordination: runs/sec versus window W", run: expE16},
+		{id: "E17", desc: "durability plane: delta checkpoints, group commit, bounded disk", run: expE17},
 	}
 
 	if *list {
@@ -738,6 +743,323 @@ func expE16() error {
 	}
 	fmt.Printf("expected: runs/sec scales with W on delayed links (>= 2x at W=4)\n")
 	return nil
+}
+
+// soakMode (flag -soak) turns E17 into the CI soak job: >=10k runs on the
+// durability plane, hard-failing unless disk usage stays under the
+// retention bound and the evidence log verifies across its anchor.
+var soakMode bool
+
+// dirSize sums the file sizes under dir (bytes persisted by the legacy
+// per-file storage, which never deletes anything).
+func dirSize(dir string) int64 {
+	var total int64
+	_ = filepath.Walk(dir, func(_ string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			total += info.Size()
+		}
+		return nil
+	})
+	return total
+}
+
+// e17Result is one storage configuration's measurements.
+type e17Result struct {
+	name      string
+	runs      int
+	runsPerS  float64
+	bytesRun  float64
+	fsyncsRun float64
+	disk      int64
+}
+
+// e17Objects is the number of >=1 MiB objects the E17 workload drives
+// concurrently over each party's one shared plane — the deployment shape
+// group commit exists for: barriers of independent objects' runs coalesce
+// into shared fsyncs.
+const e17Objects = 4
+
+func e17ObjName(k int) string { return fmt.Sprintf("obj%02d", k) }
+
+// e17Workload drives `runs` update-mode coordination runs (64-byte
+// in-place patches against >=1 MiB objects, constant state size) spread
+// over e17Objects concurrent per-object pipelines of window 4, and returns
+// the wall-clock seconds spent.
+func e17Workload(w *lab.World, runs int) (float64, error) {
+	ctx := context.Background()
+	errCh := make(chan error, e17Objects)
+	perObj := runs / e17Objects
+	start := time.Now()
+	for k := 0; k < e17Objects; k++ {
+		go func(k int) {
+			en := w.Party("alice").Engine(e17ObjName(k))
+			en.SetWindow(4)
+			var handles []*coord.RunHandle
+			collect := func() error {
+				h := handles[0]
+				handles = handles[1:]
+				_, err := h.Await(ctx)
+				return err
+			}
+			for i := 0; i < perObj; i++ {
+				upd := lab.Patch((i*64)%(1<<20-64), []byte(fmt.Sprintf("upd-%02d-%08d-%044d", k, i, i)))
+				for {
+					h, err := en.ProposeUpdateAsync(ctx, upd)
+					if errors.Is(err, coord.ErrRunInFlight) && len(handles) > 0 {
+						if err := collect(); err != nil {
+							errCh <- err
+							return
+						}
+						continue
+					}
+					if err != nil {
+						errCh <- err
+						return
+					}
+					handles = append(handles, h)
+					break
+				}
+			}
+			for len(handles) > 0 {
+				if err := collect(); err != nil {
+					errCh <- err
+					return
+				}
+			}
+			errCh <- nil
+		}(k)
+	}
+	for k := 0; k < e17Objects; k++ {
+		if err := <-errCh; err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start).Seconds(), nil
+}
+
+// e17Base returns the >=1 MiB object state every E17 configuration starts
+// from.
+func e17Base() []byte {
+	base := make([]byte, 1<<20)
+	for i := range base {
+		base[i] = byte(i)
+	}
+	return base
+}
+
+// expE17: the durability plane versus the legacy per-event-fsync storage on
+// the write path the paper's dependability story lives on: a large (1 MiB)
+// object receiving a stream of small updates. Three configurations:
+//
+//   - legacy: store.File + nrlog.File — a full-state checkpoint per commit,
+//     one fsync per event, unbounded growth (the seed implementation).
+//   - plane, per-record fsync: the segment WAL with delta checkpoints but
+//     every record fsynced individually (Policy.SyncEveryRecord).
+//   - plane, group commit: the default — staged records, one durability
+//     barrier per protocol step, barriers of overlapping runs coalesced.
+//
+// Both plane configurations carry an injected 2ms delay per fsync
+// (faults.DiskFS), so the gated throughput comparison — group commit
+// versus per-record fsync on the same WAL — is fsync-bound even on hosts
+// whose test filesystem makes fsync nearly free. The legacy baseline runs
+// at native fsync speed (its file stores predate the FS abstraction); its
+// gated metric is bytes persisted per run, which is fsync-independent —
+// the legacy column's runs/sec is informational only. Acceptance bars:
+// >=10x fewer bytes persisted per run on the plane, >=2x committed
+// runs/sec with group commit versus per-record fsync, and (soak) disk
+// usage bounded under compaction with the evidence chain verifying across
+// the truncation anchor.
+func expE17() error {
+	pol := store.Policy{
+		SegmentSize:   512 << 10,
+		CompactAt:     4 << 20,
+		SnapshotEvery: 64,
+		RetainEntries: 256,
+	}
+	ids := []string{"alice", "bob"}
+	base := e17Base()
+	syncDelay := func() { time.Sleep(2 * time.Millisecond) }
+
+	runConfig := func(name string, runs int, legacy bool, perRecord bool) (e17Result, *lab.World, error) {
+		dir, err := os.MkdirTemp("", "b2b-e17-")
+		if err != nil {
+			return e17Result{}, nil, err
+		}
+		p := pol
+		p.SyncEveryRecord = perRecord
+		fsMap := map[string]store.FS{}
+		if !legacy {
+			for _, id := range ids {
+				dfs := faults.NewDiskFS(nil)
+				dfs.SetSyncDelay(syncDelay)
+				fsMap[id] = dfs
+			}
+		}
+		w, err := lab.NewWorld(lab.Options{
+			Seed:          17,
+			StorageDir:    dir,
+			Durability:    p,
+			FS:            fsMap,
+			LegacyStorage: legacy,
+		}, ids...)
+		if err != nil {
+			return e17Result{}, nil, err
+		}
+		cleanup := func() {
+			w.Close()
+			_ = os.RemoveAll(dir)
+		}
+		for k := 0; k < e17Objects; k++ {
+			if err := w.Bind(e17ObjName(k), func(string) coord.Validator { return lab.PatchValidator() }, nil); err != nil {
+				cleanup()
+				return e17Result{}, nil, err
+			}
+			if err := w.Bootstrap(e17ObjName(k), base, ids); err != nil {
+				cleanup()
+				return e17Result{}, nil, err
+			}
+		}
+
+		var bytesBefore, fsyncsBefore uint64
+		diskBefore := dirSize(dir)
+		if !legacy {
+			var b, f uint64
+			for _, id := range ids {
+				st := w.Party(id).Plane.Stats()
+				b += st.BytesWritten
+				f += st.Fsyncs
+			}
+			bytesBefore, fsyncsBefore = b, f
+		}
+		secs, err := e17Workload(w, runs)
+		if err != nil {
+			cleanup()
+			return e17Result{}, nil, err
+		}
+		res := e17Result{name: name, runs: runs, runsPerS: float64(runs) / secs}
+		if legacy {
+			res.bytesRun = float64(dirSize(dir)-diskBefore) / float64(runs)
+			res.disk = dirSize(dir)
+			res.fsyncsRun = -1 // not instrumented; one fsync per event by construction
+		} else {
+			// BytesWritten includes compaction rewrites; archived evidence
+			// is written outside the plane, so add the archive directories
+			// to count every byte the storage layer persisted.
+			var b, f uint64
+			var disk int64
+			for _, id := range ids {
+				st := w.Party(id).Plane.Stats()
+				b += st.BytesWritten
+				f += st.Fsyncs
+				disk += st.DiskBytes
+				b += uint64(dirSize(filepath.Join(dir, id, "archive")))
+			}
+			res.bytesRun = float64(b-bytesBefore) / float64(runs)
+			res.fsyncsRun = float64(f-fsyncsBefore) / float64(runs)
+			res.disk = disk
+		}
+		res.runs = runs
+		// Callers that need post-run assertions keep the world; others
+		// clean up immediately.
+		return res, w, nil
+	}
+
+	legacyRes, wLegacy, err := runConfig("legacy (full-state, fsync/event)", 32, true, false)
+	if err != nil {
+		return fmt.Errorf("legacy config: %w", err)
+	}
+	wLegacy.Close()
+
+	perRecRes, wPerRec, err := runConfig("plane, per-record fsync", 400, false, true)
+	if err != nil {
+		return fmt.Errorf("per-record config: %w", err)
+	}
+	wPerRec.Close()
+
+	groupRes, wGroup, err := runConfig("plane, group commit (W=4)", 400, false, false)
+	if err != nil {
+		return fmt.Errorf("group-commit config: %w", err)
+	}
+	defer wGroup.Close()
+
+	// Soak mode adds the endurance phase: >=10k runs on the group-commit
+	// configuration. The throughput-ratio bar is judged on the equal-sized
+	// 400-run phases above; the endurance phase carries the retention and
+	// evidence bars — disk stays bounded under compaction over >=10k runs
+	// and the evidence chain verifies across the truncation anchor.
+	results := []e17Result{legacyRes, perRecRes, groupRes}
+	checkWorld, checkRuns := wGroup, groupRes
+	if soakMode {
+		soakRes, wSoak, err := runConfig("plane, group commit (soak)", 10000, false, false)
+		if err != nil {
+			return fmt.Errorf("soak config: %w", err)
+		}
+		defer wSoak.Close()
+		results = append(results, soakRes)
+		checkWorld, checkRuns = wSoak, soakRes
+	}
+
+	fmt.Printf("%-34s %7s %10s %14s %11s %14s\n", "storage", "runs", "runs/sec", "persisted/run", "fsyncs/run", "disk at end")
+	for _, r := range results {
+		fsyncs := "1/event"
+		if r.fsyncsRun >= 0 {
+			fsyncs = fmt.Sprintf("%.1f", r.fsyncsRun)
+		}
+		fmt.Printf("%-34s %7d %10.0f %14s %11s %14s\n",
+			r.name, r.runs, r.runsPerS, fmtBytes(r.bytesRun), fsyncs, fmtBytes(float64(r.disk)))
+	}
+
+	byteRatio := legacyRes.bytesRun / groupRes.bytesRun
+	rateRatio := groupRes.runsPerS / perRecRes.runsPerS
+	fmt.Printf("persisted/run legacy vs plane: %.0fx (bar >=10x); runs/sec group commit vs per-record fsync: %.1fx (bar >=2x)\n",
+		byteRatio, rateRatio)
+
+	// Post-run dependability checks: evidence verifies across any
+	// truncation anchor, and disk stays bounded. In soak mode these run
+	// against the >=10k-run endurance world.
+	diskBound := int64(len(ids)) * (2*int64(e17Objects+1)<<20 + pol.CompactAt + int64(pol.SegmentSize))
+	for _, id := range ids {
+		p := checkWorld.Party(id)
+		if err := p.Log.Verify(); err != nil {
+			return fmt.Errorf("%s evidence chain after %d runs: %w", id, checkRuns.runs, err)
+		}
+		anchored := "no cut yet"
+		if a := p.SegLog.Anchor(); a != nil {
+			if err := a.VerifySig(p.Verifier); err != nil {
+				return fmt.Errorf("%s anchor signature: %w", id, err)
+			}
+			anchored = fmt.Sprintf("anchored at seq %d", a.BaseSeq)
+		}
+		fmt.Printf("nrlog %s: chain OK (%s), %d entries total, %d retained\n",
+			id, anchored, p.Log.Len(), p.SegLog.Retained())
+	}
+	fmt.Printf("disk usage: %s across %d parties after %d runs (bound %s)\n",
+		fmtBytes(float64(checkRuns.disk)), len(ids), checkRuns.runs, fmtBytes(float64(diskBound)))
+
+	if byteRatio < 10 {
+		return fmt.Errorf("bytes persisted per run improved only %.1fx, bar is 10x", byteRatio)
+	}
+	if rateRatio < 2 {
+		return fmt.Errorf("group commit gained only %.1fx runs/sec over per-record fsync, bar is 2x", rateRatio)
+	}
+	if checkRuns.disk > diskBound {
+		return fmt.Errorf("disk usage %d exceeds retention bound %d after %d runs", checkRuns.disk, diskBound, checkRuns.runs)
+	}
+	fmt.Printf("expected: >=10x fewer persisted bytes/run, >=2x runs/sec under group commit, disk bounded under compaction\n")
+	return nil
+}
+
+func fmtBytes(b float64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", b/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", b/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", b/(1<<10))
+	default:
+		return fmt.Sprintf("%.0f B", b)
+	}
 }
 
 // vetoValidator rejects everything.

@@ -303,10 +303,13 @@ func (c *Controller) LeaveContext(ctx context.Context) error {
 	go func() {
 		defer close(myDone)
 		var res pendingResult
-		tctx, cancel := context.WithTimeout(context.Background(), c.opTimeout)
 		if prevInit != nil {
 			<-prevInit
 		}
+		// The operation timeout starts once this Leave actually reaches the
+		// engine: time spent queued behind a stalled predecessor must not
+		// consume this run's own budget.
+		tctx, cancel := context.WithTimeout(context.Background(), c.opTimeout)
 		h, initErr := initiate(tctx)
 		close(myInit)
 		if initErr != nil {

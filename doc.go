@@ -76,6 +76,36 @@
 //
 // Batching composes with pipelining: overlapping runs share datagrams.
 //
+// # Durable storage and retention
+//
+// WithFileStorage persists everything a party must survive a crash with —
+// checkpoints of agreed states, in-flight run records, and the
+// non-repudiation log — through the durability plane: one append-only
+// segment WAL with group-commit fsync (one durability barrier per protocol
+// step, barriers of overlapping runs coalesced), delta checkpoints for
+// update-mode runs (the update bytes travel to disk, not the whole
+// object), and bounded retention via compaction. WithDurability tunes the
+// policy:
+//
+//	p, _ := b2b.NewParticipant(ident, td, conn,
+//		b2b.WithFileStorage("/var/lib/b2b"),
+//		b2b.WithDurability(b2b.DurabilityPolicy{
+//			SegmentSize:   1 << 20,  // rotate segments at 1 MiB
+//			CompactAt:     8 << 20,  // compact when the WAL passes 8 MiB
+//			SnapshotEvery: 32,       // full snapshot every 32 delta checkpoints
+//			RetainEntries: 512,      // evidence entries kept in the WAL
+//		}))
+//
+// Compaction never destroys evidence: the pruned prefix of the
+// non-repudiation log moves to an archive file and the cut is recorded as
+// a signed anchor carrying the chain hash, so the retained suffix still
+// verifies (nrlog.Verify) and archive + anchor reproduce the full chain
+// for arbitration. Participant.EvidenceArchives lists the archives,
+// Participant.StorageUsage reports the WAL's bounded on-disk size, and
+// Participant.Compact forces a cycle. WithLegacyStorage keeps the old
+// one-file-per-record, fsync-per-event layout as a measured baseline
+// (cmd/b2bbench -exp E17). See docs/ARCHITECTURE.md, "Durability plane".
+//
 // # Module layout
 //
 // The public API lives in this root package (Participant, Controller,
@@ -109,6 +139,8 @@
 //	go run ./cmd/b2bbench -exp all  # run everything
 //	go run ./cmd/b2bbench -exp E15  # transport batching + multi-object throughput
 //	go run ./cmd/b2bbench -exp E16  # pipelined coordination: runs/sec vs window W
+//	go run ./cmd/b2bbench -exp E17  # durability plane: delta checkpoints, group commit
+//	go run ./cmd/b2bbench -exp E17 -soak  # the CI soak: >=10k runs, bounded disk
 //
 // Benchmarks (message complexity, state size, communication modes, batching,
 // multi-object and pipelined throughput) run with:

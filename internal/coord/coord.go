@@ -117,7 +117,19 @@ type Config struct {
 	// predecessor's proposed state (see docs/ARCHITECTURE.md). Zero or one
 	// selects the paper's serialized protocol. SetWindow adjusts it live.
 	Window int
+	// SnapshotEvery bounds the delta checkpoint chain: update-mode runs
+	// persist only the update bytes (a delta checkpoint), and after this
+	// many deltas a full snapshot is written so recovery never replays an
+	// unbounded chain. Zero selects the default (32).
+	SnapshotEvery int
 }
+
+// defaultSnapshotEvery bounds a delta checkpoint chain when the config
+// leaves SnapshotEvery zero.
+const defaultSnapshotEvery = 32
+
+// completedCap bounds the completed-outcome cache (see Engine.completed).
+const completedCap = 4096
 
 // Outcome is the result of a coordination run as established by the
 // authenticated decision of the group.
@@ -149,6 +161,7 @@ type proposerRun struct {
 	runID     string
 	propose   wire.Propose
 	signed    wire.Signed
+	raw       []byte // signed.Marshal(), computed once and reused
 	auth      []byte
 	newState  []byte
 	responses map[string]wire.Signed
@@ -181,6 +194,14 @@ type respondedRun struct {
 	proposed tuple.State
 	pred     tuple.State
 	started  time.Time
+	// durable marks that the run record and response evidence reached the
+	// store/log (the durability barrier succeeded). The signed response is
+	// only ever sent while durable; until then a duplicate propose
+	// re-attempts persistence instead of re-sending (a response must never
+	// leave this party without its evidence on disk, and the one response
+	// already signed must stay the only decision this party ever emits for
+	// the run).
+	durable bool
 }
 
 // pendingMsg is an inbound protocol message buffered until the state it
@@ -195,6 +216,14 @@ type pendingMsg struct {
 type Engine struct {
 	cfg Config
 
+	// blog/bstore are the optional batched-durability surfaces of the log
+	// and store (the durability plane): records are staged without
+	// per-record fsyncs and one barrier() per protocol step makes the
+	// whole batch durable in a single group-commit fsync. Nil when the
+	// configured log/store do not support deferral.
+	blog   nrlog.Batched
+	bstore store.Batched
+
 	mu           sync.Mutex
 	bootstrapped bool
 	members      []string // join-ordered, including self
@@ -206,12 +235,21 @@ type Engine struct {
 	seen         *tuple.Seen
 	frozen       bool
 
-	window   int            // live pipeline window override (0: use cfg)
-	pipeline []*proposerRun // in-flight proposer runs, pipeline order
+	window    int            // live pipeline window override (0: use cfg)
+	pipeline  []*proposerRun // in-flight proposer runs, pipeline order
+	deltaRuns int            // delta checkpoints since the last full snapshot
 
 	runs      map[string]*proposerRun // in-flight, this party proposing
 	responded map[string]*respondedRun
-	completed map[string]Outcome // finished runs, idempotent commit handling
+	// completed caches finished runs' outcomes for idempotent handling of
+	// duplicate commits and Outcome lookups. It is bounded (FIFO eviction
+	// at completedCap) so a long-running party's memory does not grow with
+	// every run it ever coordinated; a duplicate commit arriving after
+	// eviction is still harmless — the responded entry is long gone, so it
+	// resolves as "commit for a run this party never answered" (evidence
+	// kept, no state change).
+	completed  map[string]Outcome
+	completedQ []string // completed run ids, insertion order
 
 	// Reorder machinery for pipelined traffic: proposals and commits whose
 	// predecessor state has not been seen yet wait here, keyed by the
@@ -236,7 +274,7 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Object == "" {
 		return nil, errors.New("coord: object name required")
 	}
-	return &Engine{
+	en := &Engine{
 		cfg:          cfg,
 		seen:         tuple.NewSeen(),
 		runs:         make(map[string]*proposerRun),
@@ -246,7 +284,10 @@ func New(cfg Config) (*Engine, error) {
 		waitCommits:  make(map[tuple.State][]pendingMsg),
 		propBuffered: make(map[string]bool),
 		propWaited:   make(map[string]bool),
-	}, nil
+	}
+	en.blog, _ = cfg.Log.(nrlog.Batched)
+	en.bstore, _ = cfg.Store.(store.Batched)
+	return en, nil
 }
 
 // SetWindow sets the pipeline window: the number of runs this party may
@@ -299,25 +340,56 @@ func (en *Engine) Bootstrap(initialState []byte, members []string) error {
 	return en.checkpointLocked()
 }
 
-// Restore recovers engine state from the latest checkpoint in the store
-// (crash recovery, §4.2: nodes eventually recover and resume).
+// Restore recovers engine state from the store's checkpoint chain (crash
+// recovery, §4.2: nodes eventually recover and resume). The chain is the
+// most recent full snapshot plus any later delta checkpoints; the agreed
+// state is reconstructed by folding the deltas through the application's
+// ApplyUpdate and every intermediate state is verified against its tuple's
+// state hash, so a corrupted or misordered chain is rejected, never
+// installed.
 func (en *Engine) Restore() error {
 	en.mu.Lock()
 	defer en.mu.Unlock()
 	if en.bootstrapped {
 		return ErrAlreadySetup
 	}
-	cp, err := en.cfg.Store.Latest(en.cfg.Object)
+	chain, err := en.cfg.Store.Chain(en.cfg.Object)
 	if err != nil {
 		return fmt.Errorf("coord: restoring: %w", err)
 	}
-	en.members = append([]string(nil), cp.Members...)
-	en.group = cp.Group
-	en.agreed = cp.Tuple
-	en.agreedState = append([]byte(nil), cp.State...)
+	if len(chain) == 0 {
+		return fmt.Errorf("coord: restoring: %w: %s", store.ErrNoCheckpoint, en.cfg.Object)
+	}
+	if chain[0].Delta {
+		return fmt.Errorf("coord: restoring %s: chain does not start at a full snapshot", en.cfg.Object)
+	}
+	state := append([]byte(nil), chain[0].State...)
+	if !chain[0].Tuple.Matches(state) {
+		return fmt.Errorf("coord: restoring %s: snapshot does not match its tuple", en.cfg.Object)
+	}
+	for _, cp := range chain[1:] {
+		if !cp.Delta {
+			return fmt.Errorf("coord: restoring %s: full snapshot mid-chain", en.cfg.Object)
+		}
+		state, err = en.cfg.Validator.ApplyUpdate(state, cp.Update)
+		if err != nil {
+			return fmt.Errorf("coord: restoring %s: replaying delta seq %d: %w", en.cfg.Object, cp.Tuple.Seq, err)
+		}
+		if !cp.Tuple.Matches(state) {
+			return fmt.Errorf("coord: restoring %s: delta seq %d does not yield its tuple's state", en.cfg.Object, cp.Tuple.Seq)
+		}
+	}
+	last := chain[len(chain)-1]
+	en.members = append([]string(nil), last.Members...)
+	en.group = last.Group
+	en.agreed = last.Tuple
+	en.agreedState = state
 	en.current = en.agreed
 	en.currentState = en.agreedState
-	en.seen.ObserveRecovered(cp.Tuple)
+	en.deltaRuns = len(chain) - 1
+	for _, cp := range chain {
+		en.seen.ObserveRecovered(cp.Tuple)
+	}
 	en.bootstrapped = true
 	return nil
 }
@@ -440,16 +512,92 @@ func (en *Engine) recipientsLocked() []string {
 	return out
 }
 
-// checkpointLocked persists the agreed state; en.mu must be held.
-func (en *Engine) checkpointLocked() error {
-	return en.cfg.Store.SaveCheckpoint(store.Checkpoint{
+// snapshotLocked builds a full checkpoint of the agreed state; en.mu held.
+func (en *Engine) snapshotLocked() store.Checkpoint {
+	return store.Checkpoint{
 		Object:  en.cfg.Object,
 		Tuple:   en.agreed,
 		State:   append([]byte(nil), en.agreedState...),
 		Group:   en.group,
 		Members: append([]string(nil), en.members...),
 		Time:    en.cfg.Clock.Now(),
-	})
+	}
+}
+
+// checkpointLocked persists a full snapshot of the agreed state, durable on
+// return; en.mu must be held.
+func (en *Engine) checkpointLocked() error {
+	en.deltaRuns = 0
+	return en.cfg.Store.SaveCheckpoint(en.snapshotLocked())
+}
+
+func (en *Engine) snapshotEvery() int {
+	if en.cfg.SnapshotEvery > 0 {
+		return en.cfg.SnapshotEvery
+	}
+	return defaultSnapshotEvery
+}
+
+// commitCheckpointLocked persists the checkpoint of a just-committed run,
+// staged for the caller's durability barrier. On a batched store (the
+// durability plane) update-mode runs persist a delta — the update bytes
+// plus the predecessor tuple — so the write cost tracks the change, not
+// the object; every SnapshotEvery deltas (and for every overwrite) a full
+// snapshot bounds the recovery chain. Non-batched stores keep the original
+// full-snapshot-per-commit behaviour. en.mu must be held: holding it
+// across the staging keeps the on-disk chain in agreed order.
+func (en *Engine) commitCheckpointLocked(mode wire.Mode, update []byte, pred tuple.State) error {
+	if mode == wire.ModeUpdate && en.bstore != nil && en.deltaRuns < en.snapshotEvery() {
+		en.deltaRuns++
+		return en.bstore.SaveCheckpointDeferred(store.Checkpoint{
+			Object:  en.cfg.Object,
+			Tuple:   en.agreed,
+			Group:   en.group,
+			Members: append([]string(nil), en.members...),
+			Time:    en.cfg.Clock.Now(),
+			Delta:   true,
+			Update:  append([]byte(nil), update...),
+			Pred:    pred,
+		})
+	}
+	en.deltaRuns = 0
+	if en.bstore != nil {
+		return en.bstore.SaveCheckpointDeferred(en.snapshotLocked())
+	}
+	return en.cfg.Store.SaveCheckpoint(en.snapshotLocked())
+}
+
+// barrier makes every record staged so far durable in one group-commit
+// fsync (no-op when the log/store are not batched: each record was already
+// synced individually).
+func (en *Engine) barrier() error {
+	if en.blog != nil {
+		if err := en.blog.Barrier(); err != nil {
+			return fmt.Errorf("coord: durability barrier: %w", err)
+		}
+	}
+	if en.bstore != nil {
+		if err := en.bstore.Barrier(); err != nil {
+			return fmt.Errorf("coord: durability barrier: %w", err)
+		}
+	}
+	return nil
+}
+
+// saveRun persists a run record, staged when the store supports deferral.
+func (en *Engine) saveRun(r store.RunRecord) error {
+	if en.bstore != nil {
+		return en.bstore.SaveRunDeferred(r)
+	}
+	return en.cfg.Store.SaveRun(r)
+}
+
+// deleteRun removes a run record, staged when the store supports deferral.
+func (en *Engine) deleteRun(runID string) error {
+	if en.bstore != nil {
+		return en.bstore.DeleteRunDeferred(runID)
+	}
+	return en.cfg.Store.DeleteRun(runID)
 }
 
 // logEvidence appends to the non-repudiation log, panicking never: logging
@@ -459,7 +607,8 @@ func (en *Engine) logEvidence(runID, kind string, dir nrlog.Direction, payload [
 }
 
 // logEvidenceSeq is logEvidence tagged with the run's proposal sequence
-// number, chaining the evidence of a pipelined burst per sequence.
+// number, chaining the evidence of a pipelined burst per sequence. The
+// entry is durable on return.
 func (en *Engine) logEvidenceSeq(runID string, seq uint64, kind string, dir nrlog.Direction, payload []byte) error {
 	var err error
 	if sl, ok := en.cfg.Log.(nrlog.SeqAppender); ok {
@@ -468,6 +617,20 @@ func (en *Engine) logEvidenceSeq(runID string, seq uint64, kind string, dir nrlo
 		_, err = en.cfg.Log.Append(runID, en.cfg.Object, kind, en.cfg.Ident.ID(), dir, payload)
 	}
 	if err != nil {
+		return fmt.Errorf("coord: recording evidence: %w", err)
+	}
+	return nil
+}
+
+// logEvidenceStaged is logEvidenceSeq staged for the caller's durability
+// barrier: the entry is appended but only durable after the next barrier().
+// Callers MUST issue that barrier before externalizing anything (sending a
+// message) that depends on the evidence being on disk.
+func (en *Engine) logEvidenceStaged(runID string, seq uint64, kind string, dir nrlog.Direction, payload []byte) error {
+	if en.blog == nil {
+		return en.logEvidenceSeq(runID, seq, kind, dir, payload)
+	}
+	if _, err := en.blog.AppendDeferred(runID, seq, en.cfg.Object, kind, en.cfg.Ident.ID(), dir, payload); err != nil {
 		return fmt.Errorf("coord: recording evidence: %w", err)
 	}
 	return nil
@@ -517,6 +680,19 @@ func (en *Engine) syncCurrentLocked() {
 	}
 	en.current = en.agreed
 	en.currentState = append([]byte(nil), en.agreedState...)
+}
+
+// completeLocked records a finished run's outcome, evicting the oldest
+// entries past completedCap.
+func (en *Engine) completeLocked(runID string, out Outcome) {
+	if _, dup := en.completed[runID]; !dup {
+		en.completedQ = append(en.completedQ, runID)
+	}
+	en.completed[runID] = out
+	for len(en.completedQ) > completedCap {
+		delete(en.completed, en.completedQ[0])
+		en.completedQ = en.completedQ[1:]
+	}
 }
 
 // closeDoneLocked closes a run's done channel exactly once.

@@ -1,0 +1,103 @@
+package coord
+
+// Durability-plane-era recovery semantics: run records persist no state
+// copy, so a recovering proposer rebuilds each pending run's proposed state
+// from the signed propose — verbatim for overwrites, and through
+// Validator.ApplyUpdate along the pipeline chain for update-mode runs.
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"b2b/internal/crypto"
+	"b2b/internal/wire"
+)
+
+func TestRecoverPendingUpdateRunsRebuildStates(t *testing.T) {
+	c := newCluster(t, []string{"alice", "bob"}, []byte("base:"))
+
+	// Cut bob off and open a pipeline of three update-mode runs: three
+	// proposer RunRecords, none carrying the proposed state.
+	c.net.Partition([]string{"alice"}, []string{"bob"})
+	en := c.node("alice").engine
+	en.SetWindow(3)
+	ctx, cancel := ctxTO(30 * time.Second)
+	defer cancel()
+	for _, u := range []string{"+u1", "+u2", "+u3"} {
+		if _, err := en.ProposeUpdateAsync(ctx, []byte(u)); err != nil {
+			t.Fatalf("propose update %q: %v", u, err)
+		}
+	}
+	pending, err := c.node("alice").store.PendingRuns()
+	if err != nil || len(pending) != 3 {
+		t.Fatalf("pending runs = %d (%v), want 3", len(pending), err)
+	}
+	for _, r := range pending {
+		if len(r.State) != 0 {
+			t.Fatalf("run record %s persists %d state bytes, want 0 (delta-aware)", r.RunID, len(r.State))
+		}
+		if len(r.Raw) == 0 {
+			t.Fatalf("run record %s has no raw propose", r.RunID)
+		}
+	}
+
+	// Crash alice: fresh engine over the same store and connection.
+	alice := c.node("alice")
+	v := crypto.NewVerifier(c.ca, c.tsa)
+	for _, id := range []string{"alice", "bob"} {
+		if err := v.AddCertificate(c.node(id).ident.Certificate()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	en2, err := New(Config{
+		Ident: alice.ident, Object: "obj", Verifier: v, TSA: c.tsa, Conn: alice.rel,
+		Log: alice.log, Store: alice.store, Clock: c.clk, Validator: alice.val,
+		RetryInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := en2.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	alice.rel.SetHandler(func(from string, payload []byte) {
+		env, err := wire.UnmarshalEnvelope(payload)
+		if err != nil {
+			return
+		}
+		en2.HandleEnvelope(from, env)
+	})
+
+	c.net.Heal()
+	rctx, rcancel := ctxTO(30 * time.Second)
+	defer rcancel()
+	outs, err := en2.RecoverPendingRuns(rctx)
+	if err != nil {
+		t.Fatalf("RecoverPendingRuns: %v", err)
+	}
+	if len(outs) != 3 {
+		t.Fatalf("recovered outcomes = %d, want 3", len(outs))
+	}
+	for i, out := range outs {
+		if !out.Valid {
+			t.Fatalf("recovered run %d invalid: %s", i, out.Diagnostic)
+		}
+	}
+	want := []byte("base:+u1+u2+u3")
+	_, state := en2.Agreed()
+	if !bytes.Equal(state, want) {
+		t.Fatalf("alice recovered agreed state %q, want %q", state, want)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, s := c.node("bob").engine.Agreed()
+		if bytes.Equal(s, want) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("bob agreed state = %q, want %q", s, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

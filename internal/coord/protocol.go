@@ -180,6 +180,9 @@ func (en *Engine) proposeAsync(ctx context.Context, mode wire.Mode, newState, up
 		prop.NewState = newState
 	}
 	signed := wire.Sign(wire.KindPropose, prop.Marshal(), en.cfg.Ident, en.cfg.TSA)
+	// Marshal the signed propose exactly once: the same bytes serve as
+	// evidence, run-record raw form, and broadcast payload.
+	raw := signed.Marshal()
 
 	// The proposer is committed at initiation: current becomes the proposed
 	// state and cannot be unilaterally withdrawn (§4.3).
@@ -196,6 +199,7 @@ func (en *Engine) proposeAsync(ctx context.Context, mode wire.Mode, newState, up
 		runID:     runID,
 		propose:   prop,
 		signed:    signed,
+		raw:       raw,
 		auth:      auth,
 		newState:  append([]byte(nil), newState...),
 		responses: make(map[string]wire.Signed, len(recips)),
@@ -229,24 +233,33 @@ func (en *Engine) proposeAsync(ctx context.Context, mode wire.Mode, newState, up
 		en.mu.Unlock()
 		return nil, err
 	}
-	if err := en.logEvidenceSeq(runID, seq, wire.KindPropose.String(), nrlog.DirSent, signed.Marshal()); err != nil {
+	// One durability barrier covers both the propose evidence and the run
+	// record — with the segment store that is one group-commit fsync for
+	// the whole step (and for every other run staged in the same window)
+	// instead of one per record. The run record carries no state copy: the
+	// signed propose (Raw) already holds the overwrite state or the update
+	// bytes, and recovery reconstructs the proposed state from it (delta
+	// chains replay through Validator.ApplyUpdate).
+	if err := en.logEvidenceStaged(runID, seq, wire.KindPropose.String(), nrlog.DirSent, raw); err != nil {
 		return fail(err)
 	}
-	if err := en.cfg.Store.SaveRun(store.RunRecord{
+	if err := en.saveRun(store.RunRecord{
 		RunID:    runID,
 		Object:   en.cfg.Object,
 		Role:     "proposer",
 		Proposed: proposed,
 		Pred:     predTuple,
-		State:    newState,
 		Auth:     auth,
-		Raw:      signed.Marshal(),
+		Raw:      raw,
 		Time:     en.cfg.Clock.Now(),
 	}); err != nil {
 		return fail(err)
 	}
+	if err := en.barrier(); err != nil {
+		return fail(err)
+	}
 
-	payload := signed.Marshal()
+	payload := raw
 	for _, r := range recips {
 		en.mu.Lock()
 		en.stats.ProposesSent++
@@ -288,7 +301,7 @@ func (en *Engine) awaitRun(ctx context.Context, run *proposerRun) (Outcome, erro
 			if aborted {
 				return en.finishRun(ctx, run)
 			}
-			payload := run.signed.Marshal()
+			payload := run.raw
 			for _, r := range missing {
 				_ = en.send(context.Background(), r, wire.KindPropose, payload)
 			}
@@ -409,11 +422,30 @@ func (en *Engine) finalizeRun(ctx context.Context, run *proposerRun) {
 		recips = nil
 	}
 
+	var cpErr error
 	if out.Valid {
+		// Stage the checkpoint while still holding en.mu: checkpoints must
+		// reach the store in agreed order or a delta would not chain. It
+		// becomes durable at the barrier below, before the commit leaves.
+		// If even staging fails, the run must NOT count as valid: nothing
+		// has been externalized yet, and advancing agreed without a
+		// persisted checkpoint would let successors commit on top of a
+		// state no recipient ever received the commit for.
+		prevAgreed, prevAgreedState := en.agreed, en.agreedState
 		en.agreed = run.propose.Proposed
 		en.agreedState = append([]byte(nil), run.newState...)
-		en.stats.RunsValid++
-	} else {
+		cpErr = en.commitCheckpointLocked(run.propose.Mode, run.propose.Update, run.predTuple)
+		if cpErr != nil {
+			en.agreed, en.agreedState = prevAgreed, prevAgreedState
+			out.Valid = false
+			out.Diagnostic = "checkpoint persistence failed: " + cpErr.Error()
+			sendCommit = false
+			recips = nil
+		} else {
+			en.stats.RunsValid++
+		}
+	}
+	if !out.Valid {
 		en.stats.RunsInvalid++
 		// Force the suffix down with this run; successors finalize (in
 		// order) to "predecessor rolled back" outcomes.
@@ -421,7 +453,7 @@ func (en *Engine) finalizeRun(ctx context.Context, run *proposerRun) {
 	}
 	en.removePipelineLocked(run)
 	delete(en.runs, run.runID)
-	en.completed[run.runID] = out
+	en.completeLocked(run.runID, out)
 	en.stats.CommitsSent += uint64(len(recips))
 	en.syncCurrentLocked()
 	pipelineEmpty := len(en.pipeline) == 0
@@ -432,8 +464,20 @@ func (en *Engine) finalizeRun(ctx context.Context, run *proposerRun) {
 	en.mu.Unlock()
 
 	run.outcome = out
+	if cpErr != nil {
+		// The checkpoint could not even be staged: do not broadcast a
+		// commit whose outcome this party failed to persist.
+		run.outErr = cpErr
+		return
+	}
 	seq := run.propose.Proposed.Seq
-	if err := en.logEvidenceSeq(run.runID, seq, wire.KindCommit.String(), nrlog.DirSent, payload); err != nil {
+	if err := en.logEvidenceStaged(run.runID, seq, wire.KindCommit.String(), nrlog.DirSent, payload); err != nil {
+		run.outErr = err
+		return
+	}
+	// One barrier makes the checkpoint and the commit evidence durable
+	// together before the commit is externalized.
+	if err := en.barrier(); err != nil {
 		run.outErr = err
 		return
 	}
@@ -445,10 +489,6 @@ func (en *Engine) finalizeRun(ctx context.Context, run *proposerRun) {
 	}
 
 	if out.Valid {
-		if err := en.withLock(func() error { return en.checkpointLocked() }); err != nil {
-			run.outErr = err
-			return
-		}
 		// Install into the application only when the burst has drained:
 		// mid-pipeline the application object already holds the newer
 		// speculative state, and re-installing run k's state would regress
@@ -460,11 +500,14 @@ func (en *Engine) finalizeRun(ctx context.Context, run *proposerRun) {
 	} else {
 		en.cfg.Validator.RolledBack(rolledState, rolledTuple)
 	}
-	if err := en.cfg.Store.DeleteRun(run.runID); err != nil {
+	// The trailing records ride the next batch (or Close): a crash before
+	// they sync re-enters a completed run on recovery, which resolves as a
+	// stale sequence and is dropped.
+	if err := en.deleteRun(run.runID); err != nil {
 		run.outErr = err
 		return
 	}
-	if err := en.logEvidenceSeq(run.runID, seq, "verdict", nrlog.DirLocal,
+	if err := en.logEvidenceStaged(run.runID, seq, "verdict", nrlog.DirLocal,
 		[]byte(fmt.Sprintf("valid=%t %s", out.Valid, out.Diagnostic))); err != nil {
 		run.outErr = err
 		return
@@ -528,9 +571,17 @@ func (en *Engine) handlePropose(from string, payload []byte) {
 		return
 	}
 	// Duplicate propose (protocol-level retry): re-send our response or,
-	// if already committed, re-send nothing — the proposer has it.
+	// if already committed, re-send nothing — the proposer has it. If a
+	// previous persistence attempt failed, the already-signed response
+	// stands but was never sent; retry the persistence and send only once
+	// it sticks.
 	if rr, ok := en.responded[prop.RunID]; ok {
 		if bytes.Equal(rr.propose.Body, signed.Body) {
+			if !rr.durable {
+				en.mu.Unlock()
+				en.persistAndSendResponse(from, prop, rr)
+				return
+			}
 			resp := rr.respond.Marshal()
 			en.mu.Unlock()
 			_ = en.send(context.Background(), from, wire.KindRespond, resp)
@@ -584,13 +635,26 @@ func (en *Engine) handlePropose(from string, payload []byte) {
 	}
 	en.mu.Unlock()
 
-	if err := en.logEvidenceSeq(prop.RunID, prop.Proposed.Seq, wire.KindPropose.String(), nrlog.DirReceived, payload); err != nil {
+	if err := en.logEvidenceStaged(prop.RunID, prop.Proposed.Seq, wire.KindPropose.String(), nrlog.DirReceived, payload); err != nil {
 		return
 	}
 
 	decision, newState := en.evaluatePropose(from, signed, prop)
 
 	en.mu.Lock()
+	if _, dup := en.responded[prop.RunID]; dup {
+		// A grace-timer dispatch and a protocol-level retry can race into
+		// two concurrent evaluations of one proposal; the first inserted
+		// response stands and is the only one ever signed and sent —
+		// emitting a second (the replayed-tuple evaluation rejects) would
+		// hand out conflicting signed decisions for one run.
+		en.mu.Unlock()
+		return
+	}
+	if _, done := en.completed[prop.RunID]; done {
+		en.mu.Unlock()
+		return
+	}
 	resp := wire.Respond{
 		RunID:             prop.RunID,
 		Responder:         en.cfg.Ident.ID(),
@@ -602,7 +666,7 @@ func (en *Engine) handlePropose(from string, payload []byte) {
 		Decision:          decision,
 	}
 	signedResp := wire.Sign(wire.KindRespond, resp.Marshal(), en.cfg.Ident, en.cfg.TSA)
-	en.responded[prop.RunID] = &respondedRun{
+	rr := &respondedRun{
 		runID:    prop.RunID,
 		proposer: prop.Proposer,
 		propose:  signed,
@@ -613,6 +677,7 @@ func (en *Engine) handlePropose(from string, payload []byte) {
 		pred:     pred,
 		started:  en.cfg.Clock.Now(),
 	}
+	en.responded[prop.RunID] = rr
 	delete(en.propWaited, prop.RunID)
 	en.stats.RespondsSent++
 	// The proposal is answered: successors buffered on its tuple can now be
@@ -620,21 +685,39 @@ func (en *Engine) handlePropose(from string, payload []byte) {
 	wake := takeWaitingLocked(en.waitProps, prop.Proposed)
 	en.mu.Unlock()
 
-	if err := en.cfg.Store.SaveRun(store.RunRecord{
+	en.persistAndSendResponse(from, prop, rr)
+	en.dispatchProps(wake)
+}
+
+// persistAndSendResponse stages a recipient's run record and response
+// evidence, issues one durability barrier, and only then sends the signed
+// response (the response is the recipient's commitment — its evidence must
+// be on disk first). On failure the answered entry stays, marked
+// non-durable: the response is not sent, and the proposer's protocol retry
+// re-enters here to try persistence again — the single signed decision is
+// preserved, and it never leaves the party without evidence.
+func (en *Engine) persistAndSendResponse(from string, prop wire.Propose, rr *respondedRun) {
+	respRaw := rr.respond.Marshal()
+	if err := en.saveRun(store.RunRecord{
 		RunID:    prop.RunID,
 		Object:   en.cfg.Object,
 		Role:     "recipient",
 		Proposed: prop.Proposed,
-		Pred:     pred,
+		Pred:     prop.Predecessor(),
 		Time:     en.cfg.Clock.Now(),
 	}); err != nil {
 		return
 	}
-	if err := en.logEvidenceSeq(prop.RunID, prop.Proposed.Seq, wire.KindRespond.String(), nrlog.DirSent, signedResp.Marshal()); err != nil {
+	if err := en.logEvidenceStaged(prop.RunID, prop.Proposed.Seq, wire.KindRespond.String(), nrlog.DirSent, respRaw); err != nil {
 		return
 	}
-	_ = en.send(context.Background(), from, wire.KindRespond, signedResp.Marshal())
-	en.dispatchProps(wake)
+	if err := en.barrier(); err != nil {
+		return
+	}
+	en.mu.Lock()
+	rr.durable = true
+	en.mu.Unlock()
+	_ = en.send(context.Background(), from, wire.KindRespond, respRaw)
 }
 
 // dispatchProps re-enters buffered proposals (outside en.mu).
@@ -793,7 +876,11 @@ func (en *Engine) handleRespond(from string, payload []byte) {
 	}
 	en.mu.Unlock()
 
-	if err := en.logEvidenceSeq(resp.RunID, resp.Proposed.Seq, wire.KindRespond.String(), nrlog.DirReceived, payload); err != nil {
+	// Inbound evidence is staged, not fsynced inline: nothing leaves this
+	// party between here and the finalize barrier that covers it, and a
+	// crash in between merely re-receives the response (proposer retry /
+	// recovery re-broadcast re-earns it).
+	if err := en.logEvidenceStaged(resp.RunID, resp.Proposed.Seq, wire.KindRespond.String(), nrlog.DirReceived, payload); err != nil {
 		return
 	}
 	if err := signed.Verify(en.cfg.Verifier); err != nil {
@@ -866,7 +953,7 @@ func (en *Engine) cascadeLocked(t tuple.State, diag string) (rolled []recipientR
 			}
 			delete(en.responded, id)
 			delete(en.propWaited, id)
-			en.completed[id] = Outcome{RunID: id, Valid: false, Diagnostic: reason}
+			en.completeLocked(id, Outcome{RunID: id, Valid: false, Diagnostic: reason})
 			rolled = append(rolled, recipientRollback{runID: id, seq: next.proposed.Seq, diag: reason})
 			queue = append(queue, next.proposed)
 		}
@@ -929,7 +1016,7 @@ func (en *Engine) handleCommit(from string, payload []byte) {
 	if responded {
 		seq = rr.proposed.Seq
 	}
-	if err := en.logEvidenceSeq(commit.RunID, seq, wire.KindCommit.String(), nrlog.DirReceived, payload); err != nil {
+	if err := en.logEvidenceStaged(commit.RunID, seq, wire.KindCommit.String(), nrlog.DirReceived, payload); err != nil {
 		return
 	}
 
@@ -965,6 +1052,7 @@ func (en *Engine) handleCommit(from string, payload []byte) {
 		Decisions: decisionsOf(commit)}
 	var rolled []recipientRollback
 	var wakeProps, wakeCommits []pendingMsg
+	var cpErr error
 	if verdict == commitValid {
 		prop, _ := wire.UnmarshalPropose(commit.Propose.Body)
 		en.agreed = prop.Proposed
@@ -974,12 +1062,17 @@ func (en *Engine) handleCommit(from string, payload []byte) {
 			en.currentState = en.agreedState
 		}
 		en.stats.RunsCommitted++
+		// Stage the checkpoint under en.mu so the on-disk chain follows
+		// agreed order; it becomes durable at the barrier below, before
+		// the application sees the installed state. Update-mode commits
+		// persist only the update (delta checkpoint).
+		cpErr = en.commitCheckpointLocked(prop.Mode, prop.Update, rr.pred)
 		wakeProps = takeWaitingLocked(en.waitProps, prop.Proposed)
 		wakeCommits = takeWaitingLocked(en.waitCommits, prop.Proposed)
 	}
 	delete(en.responded, commit.RunID)
 	delete(en.propWaited, commit.RunID)
-	en.completed[commit.RunID] = out
+	en.completeLocked(commit.RunID, out)
 	if verdict != commitValid {
 		rolled, wakeProps = en.cascadeLocked(rr.proposed, out.Diagnostic)
 	}
@@ -987,14 +1080,18 @@ func (en *Engine) handleCommit(from string, payload []byte) {
 	installedTuple := en.agreed
 	en.mu.Unlock()
 
-	_ = en.cfg.Store.DeleteRun(commit.RunID)
+	_ = en.deleteRun(commit.RunID)
 	if verdict == commitValid {
-		if err := en.withLock(func() error { return en.checkpointLocked() }); err != nil {
-			return
+		// A checkpoint-staging or barrier failure must not swallow the
+		// buffered successors drained above — they were already removed
+		// from the reorder buffers and a commit is sent only once. Skip
+		// only the install (the group's decision stands; local durability
+		// failed, and the plane is fail-stop on real disk errors).
+		if cpErr == nil && en.barrier() == nil {
+			en.cfg.Validator.Installed(installedState, installedTuple)
 		}
-		en.cfg.Validator.Installed(installedState, installedTuple)
 	}
-	_ = en.logEvidenceSeq(commit.RunID, seq, "verdict", nrlog.DirLocal,
+	_ = en.logEvidenceStaged(commit.RunID, seq, "verdict", nrlog.DirLocal,
 		[]byte(fmt.Sprintf("valid=%t %s", out.Valid, out.Diagnostic)))
 	en.finishRollbacks(rolled)
 	en.dispatchProps(wakeProps)
@@ -1168,7 +1265,7 @@ func (en *Engine) handleAbortCert(from string, payload []byte) {
 		// Pending runs chained to it roll back too.
 		delete(en.responded, cert.RunID)
 		delete(en.propWaited, cert.RunID)
-		en.completed[cert.RunID] = Outcome{RunID: cert.RunID, Valid: false, Diagnostic: "TTP-certified abort"}
+		en.completeLocked(cert.RunID, Outcome{RunID: cert.RunID, Valid: false, Diagnostic: "TTP-certified abort"})
 		rolled, wake := en.cascadeLocked(rr.proposed, "TTP-certified abort")
 		en.mu.Unlock()
 		_ = en.cfg.Store.DeleteRun(cert.RunID)
@@ -1287,6 +1384,7 @@ func (en *Engine) RecoverPendingRuns(ctx context.Context) ([]Outcome, error) {
 	}
 	recipients := en.recipientsLocked()
 	expected := en.agreed
+	prevState := append([]byte(nil), en.agreedState...)
 	var prev *proposerRun
 	var chain []*proposerRun
 	var dropped []pendingRec
@@ -1299,13 +1397,40 @@ func (en *Engine) RecoverPendingRuns(ctx context.Context) ([]Outcome, error) {
 			dropped = append(dropped, r)
 			continue
 		}
+		// Reconstruct the proposed state from the signed propose: run
+		// records persist no state copy. Overwrite runs carry it verbatim;
+		// update runs replay the delta on the predecessor's state (the
+		// recovered agreed state, or the previous recovered run's state).
+		// The tuple's state hash authenticates the result either way, so a
+		// record whose state cannot be faithfully rebuilt is dropped like
+		// any other orphan.
+		var newState []byte
+		switch r.prop.Mode {
+		case wire.ModeOverwrite:
+			newState = append([]byte(nil), r.prop.NewState...)
+		case wire.ModeUpdate:
+			s, err := en.cfg.Validator.ApplyUpdate(prevState, r.prop.Update)
+			if err != nil {
+				dropped = append(dropped, r)
+				continue
+			}
+			newState = s
+		default:
+			dropped = append(dropped, r)
+			continue
+		}
+		if !r.prop.Proposed.Matches(newState) {
+			dropped = append(dropped, r)
+			continue
+		}
 		en.seen.ObserveRecovered(r.prop.Proposed)
 		run := &proposerRun{
 			runID:     r.rec.RunID,
 			propose:   r.prop,
 			signed:    r.signed,
+			raw:       append([]byte(nil), r.rec.Raw...),
 			auth:      append([]byte(nil), r.rec.Auth...),
-			newState:  append([]byte(nil), r.rec.State...),
+			newState:  newState,
 			responses: make(map[string]wire.Signed),
 			parsed:    make(map[string]wire.Respond),
 			recips:    recipients,
@@ -1319,6 +1444,7 @@ func (en *Engine) RecoverPendingRuns(ctx context.Context) ([]Outcome, error) {
 		chain = append(chain, run)
 		prev = run
 		expected = r.prop.Proposed
+		prevState = newState
 	}
 	// Re-enter the proposer's commitment: current is the pipeline tail.
 	en.syncCurrentLocked()
@@ -1329,7 +1455,7 @@ func (en *Engine) RecoverPendingRuns(ctx context.Context) ([]Outcome, error) {
 		_ = en.logEvidenceSeq(r.rec.RunID, r.prop.Proposed.Seq, "recovery-rollback", nrlog.DirLocal, r.rec.Raw)
 	}
 	for _, run := range chain {
-		payload := run.signed.Marshal()
+		payload := run.raw
 		for _, r := range run.recips {
 			_ = en.send(ctx, r, wire.KindPropose, payload)
 		}

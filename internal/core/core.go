@@ -56,6 +56,9 @@ type Config struct {
 	RetryInterval time.Duration
 	// ResponseTimeout bounds membership decision waits (default 10s).
 	ResponseTimeout time.Duration
+	// SnapshotEvery bounds each engine's delta checkpoint chain (zero:
+	// the coord default).
+	SnapshotEvery int
 }
 
 // shardDepth bounds each object's inbound queue; a full queue exerts
@@ -150,6 +153,7 @@ func (p *Participant) Bind(object string, v coord.Validator, mv group.Validator)
 		Termination:   p.cfg.Termination,
 		RetryInterval: p.cfg.RetryInterval,
 		TTP:           p.cfg.TTP,
+		SnapshotEvery: p.cfg.SnapshotEvery,
 	})
 	if err != nil {
 		return nil, nil, err

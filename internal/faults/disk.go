@@ -1,0 +1,199 @@
+package faults
+
+import (
+	"errors"
+	"sync"
+
+	"b2b/internal/store"
+)
+
+// Disk-level fault injection for the durability plane: a store.FS wrapper
+// that can fail an fsync, tear a write in half, or add latency to every
+// fsync (modelling a real disk on hosts whose test filesystem makes fsync
+// nearly free). Failing faults are fail-stop, matching the plane's
+// contract: after the injected failure every subsequent operation errors,
+// as a crashed process's file descriptors would. Tests then re-open the
+// plane over a clean FS and assert recovery.
+
+// ErrDiskFault is the injected failure.
+var ErrDiskFault = errors.New("faults: injected disk fault")
+
+// DiskFS wraps an FS with crash-shaped fault injection.
+type DiskFS struct {
+	inner store.FS
+
+	mu          sync.Mutex
+	crashed     bool
+	syncsSeen   int
+	writesSeen  int
+	failSyncAt  int // 1-based; 0 = never
+	tornWriteAt int // 1-based; 0 = never
+	syncDelay   func()
+}
+
+// NewDiskFS wraps inner (nil: the real filesystem).
+func NewDiskFS(inner store.FS) *DiskFS {
+	if inner == nil {
+		inner = store.OS
+	}
+	return &DiskFS{inner: inner}
+}
+
+// FailSyncAt makes the n-th fsync (1-based, counted across all files) fail
+// and crashes the FS.
+func (d *DiskFS) FailSyncAt(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failSyncAt = n
+}
+
+// TornWriteAt makes the n-th file write (1-based) persist only its first
+// half before crashing the FS — the classic torn write.
+func (d *DiskFS) TornWriteAt(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.tornWriteAt = n
+}
+
+// SetSyncDelay installs a delay executed inside every successful fsync
+// (e.g. time.Sleep to model rotational or networked storage).
+func (d *DiskFS) SetSyncDelay(f func()) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.syncDelay = f
+}
+
+// Crashed reports whether an injected fault has tripped.
+func (d *DiskFS) Crashed() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.crashed
+}
+
+// Counters reports the writes and fsyncs observed so far.
+func (d *DiskFS) Counters() (writes, syncs int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.writesSeen, d.syncsSeen
+}
+
+func (d *DiskFS) check() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return ErrDiskFault
+	}
+	return nil
+}
+
+// MkdirAll implements store.FS.
+func (d *DiskFS) MkdirAll(dir string) error {
+	if err := d.check(); err != nil {
+		return err
+	}
+	return d.inner.MkdirAll(dir)
+}
+
+// OpenAppend implements store.FS.
+func (d *DiskFS) OpenAppend(path string) (store.SegmentFile, error) {
+	if err := d.check(); err != nil {
+		return nil, err
+	}
+	f, err := d.inner.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &diskFile{fs: d, inner: f}, nil
+}
+
+// ReadFile implements store.FS.
+func (d *DiskFS) ReadFile(path string) ([]byte, error) {
+	if err := d.check(); err != nil {
+		return nil, err
+	}
+	return d.inner.ReadFile(path)
+}
+
+// ReadDir implements store.FS.
+func (d *DiskFS) ReadDir(dir string) ([]string, error) {
+	if err := d.check(); err != nil {
+		return nil, err
+	}
+	return d.inner.ReadDir(dir)
+}
+
+// Rename implements store.FS.
+func (d *DiskFS) Rename(oldPath, newPath string) error {
+	if err := d.check(); err != nil {
+		return err
+	}
+	return d.inner.Rename(oldPath, newPath)
+}
+
+// Remove implements store.FS.
+func (d *DiskFS) Remove(path string) error {
+	if err := d.check(); err != nil {
+		return err
+	}
+	return d.inner.Remove(path)
+}
+
+// SyncDir implements store.FS.
+func (d *DiskFS) SyncDir(dir string) error {
+	if err := d.check(); err != nil {
+		return err
+	}
+	return d.inner.SyncDir(dir)
+}
+
+type diskFile struct {
+	fs    *DiskFS
+	inner store.SegmentFile
+}
+
+func (f *diskFile) Write(p []byte) (int, error) {
+	d := f.fs
+	d.mu.Lock()
+	if d.crashed {
+		d.mu.Unlock()
+		return 0, ErrDiskFault
+	}
+	d.writesSeen++
+	torn := d.tornWriteAt > 0 && d.writesSeen == d.tornWriteAt
+	if torn {
+		d.crashed = true
+	}
+	d.mu.Unlock()
+	if torn {
+		if n := len(p) / 2; n > 0 {
+			_, _ = f.inner.Write(p[:n])
+		}
+		return 0, ErrDiskFault
+	}
+	return f.inner.Write(p)
+}
+
+func (f *diskFile) Sync() error {
+	d := f.fs
+	d.mu.Lock()
+	if d.crashed {
+		d.mu.Unlock()
+		return ErrDiskFault
+	}
+	d.syncsSeen++
+	fail := d.failSyncAt > 0 && d.syncsSeen == d.failSyncAt
+	if fail {
+		d.crashed = true
+	}
+	delay := d.syncDelay
+	d.mu.Unlock()
+	if fail {
+		return ErrDiskFault
+	}
+	if delay != nil {
+		delay()
+	}
+	return f.inner.Sync()
+}
+
+func (f *diskFile) Close() error { return f.inner.Close() }

@@ -6,7 +6,9 @@
 package lab
 
 import (
+	"encoding/binary"
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"b2b/internal/clock"
@@ -29,9 +31,14 @@ type Party struct {
 	Verifier    *crypto.Verifier
 	Rel         *transport.Reliable
 	Interceptor *faults.Interceptor
-	Log         *nrlog.Memory
-	Store       *store.Memory
+	Log         nrlog.Log
+	Store       store.Store
 	Part        *core.Participant
+	// Plane is the party's durability plane when the world was built with
+	// Options.StorageDir (nil for in-memory and legacy storage). SegLog is
+	// the plane-backed evidence log (anchor/archive inspection).
+	Plane  *store.Plane
+	SegLog *nrlog.Segmented
 }
 
 // Engine returns the coordination engine for object (panics if unbound:
@@ -70,6 +77,27 @@ type Options struct {
 	// messages then fail verification, so it only makes sense together with
 	// measuring raw signing cost, not protocol runs.
 	Start time.Time
+	// StorageDir, when set, gives every party durable storage under
+	// <StorageDir>/<id>: the durability plane (segment WAL shared by
+	// checkpoints, run records and evidence) by default, or the legacy
+	// per-event-fsync stores with LegacyStorage — the baseline the E17
+	// experiment measures the plane against.
+	StorageDir string
+	// Durability tunes the plane (zero: defaults).
+	Durability store.Policy
+	// LegacyStorage selects store.File + nrlog.File under StorageDir.
+	LegacyStorage bool
+	// FS injects a filesystem under a party's plane (disk fault
+	// injection); parties not in the map use the real filesystem.
+	FS map[string]store.FS
+	// DeterministicKeys derives every identity (and the CA/TSA) from Seed,
+	// so a world re-created over the same StorageDir can verify signatures
+	// and anchors made by its previous incarnation — the crash-recovery
+	// harness.
+	DeterministicKeys bool
+	// SnapshotEvery bounds delta checkpoint chains in the engines (zero:
+	// Durability.SnapshotEvery, else the coord default).
+	SnapshotEvery int
 }
 
 // World is a lab deployment.
@@ -94,13 +122,31 @@ func NewWorld(opts Options, ids ...string) (*World, error) {
 		opts.RetryInterval = 25 * time.Millisecond
 	}
 	clk := clock.NewSim(start)
-	ca, err := crypto.NewCA("lab-ca", clk, 10*365*24*time.Hour)
-	if err != nil {
-		return nil, err
+	seed32 := func(name string) []byte {
+		h := crypto.Hash([]byte(fmt.Sprintf("lab-seed-%d-%s", opts.Seed, name)))
+		return h[:]
 	}
-	tsa, err := crypto.NewTSA("lab-tsa", clk)
-	if err != nil {
-		return nil, err
+	var ca *crypto.CA
+	var tsa *crypto.TSA
+	var err error
+	if opts.DeterministicKeys {
+		ca, err = crypto.NewCAFromSeed("lab-ca", seed32("ca"), clk, 10*365*24*time.Hour)
+		if err != nil {
+			return nil, err
+		}
+		tsa, err = crypto.NewTSAFromSeed("lab-tsa", seed32("tsa"), clk)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		ca, err = crypto.NewCA("lab-ca", clk, 10*365*24*time.Hour)
+		if err != nil {
+			return nil, err
+		}
+		tsa, err = crypto.NewTSA("lab-tsa", clk)
+		if err != nil {
+			return nil, err
+		}
 	}
 	w := &World{
 		Net:     transport.NewNetwork(opts.Seed),
@@ -113,7 +159,12 @@ func NewWorld(opts Options, ids ...string) (*World, error) {
 
 	idents := make(map[string]*crypto.Identity, len(ids))
 	for _, id := range ids {
-		ident, err := crypto.NewIdentity(id)
+		var ident *crypto.Identity
+		if opts.DeterministicKeys {
+			ident, err = crypto.NewIdentityFromSeed(id, seed32("id-"+id))
+		} else {
+			ident, err = crypto.NewIdentity(id)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -146,8 +197,36 @@ func NewWorld(opts Options, ids ...string) (*World, error) {
 			Verifier:    v,
 			Rel:         rel,
 			Interceptor: ic,
-			Log:         nrlog.NewMemory(clk),
-			Store:       store.NewMemory(),
+		}
+		switch {
+		case opts.StorageDir != "" && opts.LegacyStorage:
+			fl, err := nrlog.OpenFile(filepath.Join(opts.StorageDir, id, "evidence.nrlog"), clk)
+			if err != nil {
+				return nil, err
+			}
+			fs, err := store.OpenFile(filepath.Join(opts.StorageDir, id, "store"))
+			if err != nil {
+				return nil, err
+			}
+			p.Log, p.Store = fl, fs
+		case opts.StorageDir != "":
+			pl, err := store.OpenPlane(filepath.Join(opts.StorageDir, id), opts.Durability, opts.FS[id])
+			if err != nil {
+				return nil, err
+			}
+			p.Store = store.NewSegmented(pl)
+			p.SegLog = nrlog.OpenSegmented(pl, clk, idents[id])
+			p.Log = p.SegLog
+			if err := pl.Start(); err != nil {
+				return nil, err
+			}
+			p.Plane = pl
+		default:
+			p.Log, p.Store = nrlog.NewMemory(clk), store.NewMemory()
+		}
+		snapEvery := opts.SnapshotEvery
+		if snapEvery == 0 {
+			snapEvery = opts.Durability.SnapshotEvery
 		}
 		part, err := core.New(core.Config{
 			Ident:         idents[id],
@@ -160,6 +239,7 @@ func NewWorld(opts Options, ids ...string) (*World, error) {
 			Termination:   opts.Termination,
 			TTP:           opts.TTP,
 			RetryInterval: opts.RetryInterval,
+			SnapshotEvery: snapEvery,
 		})
 		if err != nil {
 			return nil, err
@@ -193,6 +273,12 @@ func (w *World) IDs() []string { return append([]string(nil), w.order...) }
 func (w *World) Close() {
 	for _, p := range w.Parties {
 		_ = p.Part.Close()
+		if p.Plane != nil {
+			_ = p.Plane.Close()
+		}
+		if fl, ok := p.Log.(*nrlog.File); ok {
+			_ = fl.Close()
+		}
 	}
 	w.Net.Close()
 }
@@ -254,6 +340,43 @@ func (w *World) Adversary(id, object string) *faults.Adversary {
 		Conn:   p.Rel,
 		Object: object,
 	}
+}
+
+// PatchValidator returns a coord.Validator for fixed-size objects whose
+// updates are in-place patches: "[u32 BE offset][bytes]" replacing that
+// window of the state. Unlike AcceptAllValidator's append semantics the
+// state size stays constant, which is the E17 workload — a large object
+// receiving a stream of small updates.
+func PatchValidator() coord.Validator { return patchAll{} }
+
+type patchAll struct{}
+
+func (patchAll) ValidateState(_ string, _, _ []byte) wire.Decision  { return wire.Accepted }
+func (patchAll) ValidateUpdate(_ string, _, _ []byte) wire.Decision { return wire.Accepted }
+
+func (patchAll) ApplyUpdate(current, update []byte) ([]byte, error) {
+	if len(update) < 4 {
+		return nil, fmt.Errorf("lab: patch update too short: %d bytes", len(update))
+	}
+	off := int(binary.BigEndian.Uint32(update))
+	body := update[4:]
+	if off+len(body) > len(current) {
+		return nil, fmt.Errorf("lab: patch [%d,%d) outside %d-byte state", off, off+len(body), len(current))
+	}
+	out := append([]byte(nil), current...)
+	copy(out[off:], body)
+	return out, nil
+}
+
+func (patchAll) Installed([]byte, tuple.State)  {}
+func (patchAll) RolledBack([]byte, tuple.State) {}
+
+// Patch encodes an in-place update for PatchValidator.
+func Patch(offset int, body []byte) []byte {
+	out := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(out, uint32(offset))
+	copy(out[4:], body)
+	return out
 }
 
 // AcceptAllValidator returns a coord.Validator accepting every change, with

@@ -111,16 +111,19 @@ type Clock interface {
 	Now() time.Time
 }
 
-// Memory is an in-memory Log.
+// Memory is an in-memory Log. It keeps a per-run index and the cached tail
+// hash so Append is O(1) and ByRun is O(matches) regardless of log length.
 type Memory struct {
 	mu      sync.Mutex
 	clk     Clock
 	entries []Entry
+	byRun   map[string][]int
+	tail    [32]byte
 }
 
 // NewMemory creates an empty in-memory log.
 func NewMemory(clk Clock) *Memory {
-	return &Memory{clk: clk}
+	return &Memory{clk: clk, byRun: make(map[string][]int)}
 }
 
 // Append implements Log.
@@ -144,10 +147,12 @@ func (l *Memory) AppendSeq(runID string, runSeq uint64, object, kind, party stri
 		Payload:   append([]byte(nil), payload...),
 	}
 	if len(l.entries) > 0 {
-		e.PrevHash = l.entries[len(l.entries)-1].Hash
+		e.PrevHash = l.tail
 	}
 	e.Hash = entryHash(&e)
+	l.byRun[e.RunID] = append(l.byRun[e.RunID], len(l.entries))
 	l.entries = append(l.entries, e)
+	l.tail = e.Hash
 	return e, nil
 }
 
@@ -160,17 +165,20 @@ func (l *Memory) Entries() ([]Entry, error) {
 	return out, nil
 }
 
-// ByRun implements Log.
+// ByRun implements Log via the per-run index.
 func (l *Memory) ByRun(runID string) ([]Entry, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	var out []Entry
-	for _, e := range l.entries {
-		if e.RunID == runID {
-			out = append(out, e)
-		}
+	return pickEntries(l.entries, l.byRun[runID]), nil
+}
+
+// pickEntries gathers the entries at the indexed positions.
+func pickEntries(entries []Entry, idx []int) []Entry {
+	out := make([]Entry, 0, len(idx))
+	for _, i := range idx {
+		out = append(out, entries[i])
 	}
-	return out, nil
+	return out
 }
 
 // Verify implements Log.
@@ -264,15 +272,27 @@ func fromFileEntry(fe fileEntry) (Entry, error) {
 	return e, nil
 }
 
+func marshalFileEntry(e Entry) ([]byte, error) {
+	line, err := json.Marshal(toFileEntry(e))
+	if err != nil {
+		return nil, fmt.Errorf("nrlog: encoding entry: %w", err)
+	}
+	return line, nil
+}
+
 // File is a persistent Log stored as JSON lines, one entry per line, synced
 // on every append. On open it loads and verifies the existing chain, so a
-// party recovering from a crash resumes with intact evidence.
+// party recovering from a crash resumes with intact evidence. Like Memory
+// it maintains a per-run index and the cached tail hash, keeping Append
+// O(1) and ByRun O(matches) however long the log grows.
 type File struct {
 	mu      sync.Mutex
 	clk     Clock
 	path    string
 	f       *os.File
 	entries []Entry
+	byRun   map[string][]int
+	tail    [32]byte
 }
 
 // OpenFile opens (or creates) the log at path.
@@ -284,7 +304,7 @@ func OpenFile(path string, clk Clock) (*File, error) {
 	if err != nil {
 		return nil, fmt.Errorf("nrlog: opening %s: %w", path, err)
 	}
-	l := &File{clk: clk, path: path, f: f}
+	l := &File{clk: clk, path: path, f: f, byRun: make(map[string][]int)}
 	scanner := bufio.NewScanner(f)
 	scanner.Buffer(make([]byte, 0, 1<<20), 64<<20)
 	for scanner.Scan() {
@@ -302,7 +322,9 @@ func OpenFile(path string, clk Clock) (*File, error) {
 			_ = f.Close()
 			return nil, err
 		}
+		l.byRun[e.RunID] = append(l.byRun[e.RunID], len(l.entries))
 		l.entries = append(l.entries, e)
+		l.tail = e.Hash
 	}
 	if err := scanner.Err(); err != nil {
 		_ = f.Close()
@@ -340,13 +362,13 @@ func (l *File) AppendSeq(runID string, runSeq uint64, object, kind, party string
 		Payload:   append([]byte(nil), payload...),
 	}
 	if len(l.entries) > 0 {
-		e.PrevHash = l.entries[len(l.entries)-1].Hash
+		e.PrevHash = l.tail
 	}
 	e.Hash = entryHash(&e)
 
-	line, err := json.Marshal(toFileEntry(e))
+	line, err := marshalFileEntry(e)
 	if err != nil {
-		return Entry{}, fmt.Errorf("nrlog: encoding entry: %w", err)
+		return Entry{}, err
 	}
 	if _, err := l.f.Write(append(line, '\n')); err != nil {
 		return Entry{}, fmt.Errorf("nrlog: writing entry: %w", err)
@@ -354,7 +376,9 @@ func (l *File) AppendSeq(runID string, runSeq uint64, object, kind, party string
 	if err := l.f.Sync(); err != nil {
 		return Entry{}, fmt.Errorf("nrlog: syncing: %w", err)
 	}
+	l.byRun[e.RunID] = append(l.byRun[e.RunID], len(l.entries))
 	l.entries = append(l.entries, e)
+	l.tail = e.Hash
 	return e, nil
 }
 
@@ -367,17 +391,11 @@ func (l *File) Entries() ([]Entry, error) {
 	return out, nil
 }
 
-// ByRun implements Log.
+// ByRun implements Log via the per-run index.
 func (l *File) ByRun(runID string) ([]Entry, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	var out []Entry
-	for _, e := range l.entries {
-		if e.RunID == runID {
-			out = append(out, e)
-		}
-	}
-	return out, nil
+	return pickEntries(l.entries, l.byRun[runID]), nil
 }
 
 // Verify implements Log.

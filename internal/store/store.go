@@ -19,7 +19,13 @@ import (
 	"b2b/internal/tuple"
 )
 
-// Checkpoint is one validated (agreed) state of an object.
+// Checkpoint is one validated (agreed) state of an object. A checkpoint is
+// either a full snapshot (Delta false: State holds the complete object
+// state) or a delta (Delta true: Update holds the §4.3.1 update bytes and
+// Pred names the predecessor tuple they apply to; State is empty). Delta
+// chains keep the persistence cost of an update-mode run proportional to
+// the update, not the object: recovery reconstructs the full state by
+// folding the chain through the application's ApplyUpdate (see Chain).
 type Checkpoint struct {
 	Object string
 	Tuple  tuple.State
@@ -28,13 +34,21 @@ type Checkpoint struct {
 	// Members is the join-ordered membership at checkpoint time.
 	Members []string
 	Time    time.Time
+	// Delta marks an incremental checkpoint; Update and Pred are only
+	// meaningful when it is set.
+	Delta  bool
+	Update []byte
+	Pred   tuple.State
 }
 
 // RunRecord captures an in-flight coordination run for crash recovery. A
 // pipelining proposer holds several records per object at once, one per
-// in-flight run; Pred chains each record to the state tuple it builds on, so
-// a recovering proposer can re-enter the runs in order and roll back any
-// suffix whose base state never became agreed.
+// in-flight run. Recovery re-enters proposer runs in sequence order,
+// deriving each run's chain position and proposed state from the signed
+// propose in Raw (the authoritative copy — it is what recipients hold);
+// State is therefore normally empty, and Pred/Proposed are denormalized
+// copies kept for sorting and for operators inspecting a store without
+// parsing signed messages.
 type RunRecord struct {
 	RunID    string
 	Object   string
@@ -54,10 +68,17 @@ var ErrNoCheckpoint = errors.New("store: no checkpoint")
 type Store interface {
 	// SaveCheckpoint records a newly agreed state (becomes Latest).
 	SaveCheckpoint(cp Checkpoint) error
-	// Latest returns the most recent checkpoint for the object.
+	// Latest returns the most recent checkpoint for the object. It may be
+	// a delta; recovery uses Chain to reconstruct the full state.
 	Latest(object string) (Checkpoint, error)
-	// History returns all checkpoints for the object, oldest first.
+	// History returns the retained checkpoints for the object, oldest
+	// first. Stores with bounded retention (Segmented) keep only the
+	// reconstruction chain.
 	History(object string) ([]Checkpoint, error)
+	// Chain returns the reconstruction chain: the most recent full
+	// snapshot followed by every later delta checkpoint, oldest first.
+	// Empty when the object has no checkpoint.
+	Chain(object string) ([]Checkpoint, error)
 	// SaveRun records an in-flight run; DeleteRun removes it on completion.
 	SaveRun(r RunRecord) error
 	DeleteRun(runID string) error
@@ -65,6 +86,18 @@ type Store interface {
 	// object, then proposal sequence number — the order a pipelining
 	// proposer must resume them in.
 	PendingRuns() ([]RunRecord, error)
+}
+
+// Batched is the optional Store extension the durability plane provides:
+// persistence calls that stage a record without waiting for the disk, plus
+// an explicit Barrier that makes everything staged so far durable in one
+// group-commit fsync. The coordination engine uses it to issue one
+// durability barrier per protocol step instead of one fsync per record.
+type Batched interface {
+	SaveCheckpointDeferred(cp Checkpoint) error
+	SaveRunDeferred(r RunRecord) error
+	DeleteRunDeferred(runID string) error
+	Barrier() error
 }
 
 // Memory is an in-memory Store.
@@ -86,13 +119,12 @@ func NewMemory() *Memory {
 func (s *Memory) SaveCheckpoint(cp Checkpoint) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	cp.State = append([]byte(nil), cp.State...)
-	cp.Members = append([]string(nil), cp.Members...)
-	s.cps[cp.Object] = append(s.cps[cp.Object], cp)
+	s.cps[cp.Object] = append(s.cps[cp.Object], copyCheckpoint(cp))
 	return nil
 }
 
-// Latest implements Store.
+// Latest implements Store. The result is a defensive copy: mutating its
+// State or Members cannot corrupt the stored history.
 func (s *Memory) Latest(object string) (Checkpoint, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -100,16 +132,40 @@ func (s *Memory) Latest(object string) (Checkpoint, error) {
 	if len(cps) == 0 {
 		return Checkpoint{}, fmt.Errorf("%w: %s", ErrNoCheckpoint, object)
 	}
-	return cps[len(cps)-1], nil
+	return copyCheckpoint(cps[len(cps)-1]), nil
 }
 
-// History implements Store.
+// History implements Store. Each element is a defensive copy.
 func (s *Memory) History(object string) ([]Checkpoint, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]Checkpoint, len(s.cps[object]))
-	copy(out, s.cps[object])
-	return out, nil
+	return copyCheckpoints(s.cps[object]), nil
+}
+
+// Chain implements Store.
+func (s *Memory) Chain(object string) ([]Checkpoint, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return copyCheckpoints(chainOf(s.cps[object])), nil
+}
+
+// chainOf slices a checkpoint history down to the reconstruction chain:
+// from the last full snapshot to the end.
+func chainOf(cps []Checkpoint) []Checkpoint {
+	for i := len(cps) - 1; i >= 0; i-- {
+		if !cps[i].Delta {
+			return cps[i:]
+		}
+	}
+	return cps
+}
+
+func copyCheckpoints(cps []Checkpoint) []Checkpoint {
+	out := make([]Checkpoint, len(cps))
+	for i, cp := range cps {
+		out[i] = copyCheckpoint(cp)
+	}
+	return out
 }
 
 // SaveRun implements Store.
@@ -166,6 +222,11 @@ type fileCheckpoint struct {
 	GroupMem  string    `json:"group_members_hash"`
 	Members   []string  `json:"members"`
 	Time      time.Time `json:"time"`
+	Delta     bool      `json:"delta,omitempty"`
+	Update    string    `json:"update,omitempty"`
+	PredSeq   uint64    `json:"pred_seq,omitempty"`
+	PredRand  string    `json:"pred_rand,omitempty"`
+	PredSt    string    `json:"pred_state,omitempty"`
 }
 
 type fileRun struct {
@@ -261,6 +322,13 @@ func (s *File) SaveCheckpoint(cp Checkpoint) error {
 		Members:   cp.Members,
 		Time:      cp.Time,
 	}
+	if cp.Delta {
+		fc.Delta = true
+		fc.Update = b64(cp.Update)
+		fc.PredSeq = cp.Pred.Seq
+		fc.PredRand = b64(cp.Pred.HashRand[:])
+		fc.PredSt = b64(cp.Pred.HashState[:])
+	}
 	line, err := json.Marshal(fc)
 	if err != nil {
 		return fmt.Errorf("store: encoding checkpoint: %w", err)
@@ -311,6 +379,19 @@ func (s *File) loadCheckpoints(object string) ([]Checkpoint, error) {
 			return nil, err
 		}
 		cp.Group.Seq = fc.GroupSeq
+		if fc.Delta {
+			cp.Delta = true
+			if cp.Update, err = unb64(fc.Update); err != nil {
+				return nil, err
+			}
+			if cp.Pred.HashRand, err = unb64h(fc.PredRand); err != nil {
+				return nil, err
+			}
+			if cp.Pred.HashState, err = unb64h(fc.PredSt); err != nil {
+				return nil, err
+			}
+			cp.Pred.Seq = fc.PredSeq
+		}
 		out = append(out, cp)
 	}
 	return out, nil
@@ -352,6 +433,17 @@ func (s *File) History(object string) ([]Checkpoint, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.loadCheckpoints(object)
+}
+
+// Chain implements Store.
+func (s *File) Chain(object string) ([]Checkpoint, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cps, err := s.loadCheckpoints(object)
+	if err != nil {
+		return nil, err
+	}
+	return chainOf(cps), nil
 }
 
 // SaveRun implements Store.

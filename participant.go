@@ -108,6 +108,8 @@ type participantOpts struct {
 	termination     coord.Termination
 	ttp             string
 	storageDir      string
+	durability      DurabilityPolicy
+	legacyStorage   bool
 	retryInterval   time.Duration
 	responseTimeout time.Duration
 	opTimeout       time.Duration
@@ -138,9 +140,33 @@ func WithTTP(name string) Option {
 }
 
 // WithFileStorage persists the non-repudiation log and checkpoint store
-// under dir (default: in-memory, no crash durability).
+// under dir (default: in-memory, no crash durability). Storage goes through
+// the durability plane: one append-only segment WAL shared by checkpoints,
+// run records and evidence, with group-commit fsync and bounded retention
+// (see docs/ARCHITECTURE.md, "Durability plane"). Tune retention with
+// WithDurability.
 func WithFileStorage(dir string) Option {
 	return func(o *participantOpts) { o.storageDir = dir }
+}
+
+// DurabilityPolicy tunes the durability plane's segment size, compaction
+// threshold, delta-snapshot cadence and evidence retention. The zero value
+// selects the defaults documented on the fields.
+type DurabilityPolicy = store.Policy
+
+// WithDurability sets the durability plane policy (only meaningful together
+// with WithFileStorage).
+func WithDurability(p DurabilityPolicy) Option {
+	return func(o *participantOpts) { o.durability = p }
+}
+
+// WithLegacyStorage selects the pre-plane storage layout under
+// WithFileStorage's dir: one JSON file per checkpoint history / run record
+// / evidence log, fsynced per event, unbounded growth. It exists as the
+// measured baseline for the durability plane (cmd/b2bbench -exp E17) and
+// for reading old deployments' state; new deployments should not use it.
+func WithLegacyStorage() Option {
+	return func(o *participantOpts) { o.legacyStorage = true }
 }
 
 // WithRetryInterval tunes the protocol-level retry period.
@@ -163,12 +189,14 @@ func WithPeerCertificates(certs ...crypto.Certificate) Option {
 // Participant is one organisation's middleware runtime (the deployment of
 // B2BObjects middleware inside an organisation, Fig 1).
 type Participant struct {
-	ident *crypto.Identity
-	part  *core.Participant
-	opts  participantOpts
-	tsa   wire.Stamper
-	vfr   *crypto.Verifier
-	conn  core.Conn
+	ident  *crypto.Identity
+	part   *core.Participant
+	opts   participantOpts
+	tsa    wire.Stamper
+	vfr    *crypto.Verifier
+	conn   core.Conn
+	plane  *store.Plane     // nil unless plane-backed file storage
+	segLog *nrlog.Segmented // nil unless plane-backed file storage
 }
 
 // NewParticipant assembles a participant from an identity issued by the
@@ -201,7 +229,10 @@ func NewParticipant(ident *crypto.Identity, td *TrustDomain, conn core.Conn, opt
 
 	var log nrlog.Log
 	var st store.Store
-	if o.storageDir != "" {
+	var plane *store.Plane
+	var segLog *nrlog.Segmented
+	switch {
+	case o.storageDir != "" && o.legacyStorage:
 		fl, err := nrlog.OpenFile(filepath.Join(o.storageDir, ident.ID()+".nrlog"), o.clk)
 		if err != nil {
 			return nil, err
@@ -211,7 +242,19 @@ func NewParticipant(ident *crypto.Identity, td *TrustDomain, conn core.Conn, opt
 			return nil, err
 		}
 		log, st = fl, fs
-	} else {
+	case o.storageDir != "":
+		pl, err := store.OpenPlane(filepath.Join(o.storageDir, ident.ID()+".wal"), o.durability, nil)
+		if err != nil {
+			return nil, err
+		}
+		st = store.NewSegmented(pl)
+		segLog = nrlog.OpenSegmented(pl, o.clk, ident)
+		log = segLog
+		if err := pl.Start(); err != nil {
+			return nil, err
+		}
+		plane = pl
+	default:
 		log, st = nrlog.NewMemory(o.clk), store.NewMemory()
 	}
 
@@ -227,17 +270,23 @@ func NewParticipant(ident *crypto.Identity, td *TrustDomain, conn core.Conn, opt
 		TTP:             o.ttp,
 		RetryInterval:   o.retryInterval,
 		ResponseTimeout: o.responseTimeout,
+		SnapshotEvery:   o.durability.SnapshotEvery,
 	})
 	if err != nil {
+		if plane != nil {
+			_ = plane.Close()
+		}
 		return nil, err
 	}
 	return &Participant{
-		ident: ident,
-		part:  part,
-		opts:  o,
-		tsa:   td.TSA,
-		vfr:   vfr,
-		conn:  conn,
+		ident:  ident,
+		part:   part,
+		opts:   o,
+		tsa:    td.TSA,
+		vfr:    vfr,
+		conn:   conn,
+		plane:  plane,
+		segLog: segLog,
 	}, nil
 }
 
@@ -269,7 +318,50 @@ func (p *Participant) Bind(object string, obj Object, cb Callback) (*Controller,
 }
 
 // Close shuts the participant down.
-func (p *Participant) Close() error { return p.part.Close() }
+func (p *Participant) Close() error {
+	err := p.part.Close()
+	if p.plane != nil {
+		if cerr := p.plane.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Compact forces a durability-plane compaction now: the live set (latest
+// snapshots, delta chains, pending runs, anchored evidence suffix) is
+// rewritten into a fresh segment and dead segments are deleted. A no-op
+// error-free call requires plane-backed file storage.
+func (p *Participant) Compact() error {
+	if p.plane == nil {
+		return errors.New("b2b: Compact requires plane-backed file storage")
+	}
+	return p.plane.Compact()
+}
+
+// StorageUsage reports the durability plane's on-disk size in bytes (zero
+// without plane-backed file storage). Archives are not counted: they are
+// the operator's to retain or ship off-host.
+func (p *Participant) StorageUsage() int64 {
+	if p.plane == nil {
+		return 0
+	}
+	return p.plane.DiskUsage()
+}
+
+// EvidenceArchives lists the evidence archive files written by anchored
+// truncation, oldest first, as names relative to the plane's archive
+// directory. Empty without plane-backed file storage or before the first
+// cut. Each archive is a JSON-lines evidence file (the nrlog.File format)
+// whose chain splices onto the anchor recorded in the live log — handing
+// an archive plus the signed anchor to arbitration reproduces the full
+// evidence trail.
+func (p *Participant) EvidenceArchives() ([]string, error) {
+	if p.segLog == nil {
+		return nil, nil
+	}
+	return p.segLog.Archives()
+}
 
 // Clock returns the participant's clock.
 func (p *Participant) Clock() clock.Clock { return p.opts.clk }
