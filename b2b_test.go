@@ -12,6 +12,7 @@ import (
 	b2b "b2b"
 	"b2b/internal/clock"
 	"b2b/internal/crypto"
+	"b2b/internal/transport"
 )
 
 // document is a minimal application object: a JSON map with a revision
@@ -22,7 +23,8 @@ type document struct {
 	Rev  int               `json:"rev"`
 	Data map[string]string `json:"data"`
 
-	vetoNext string // when set, veto proposals with this diagnostic
+	vetoNext   string        // when set, veto proposals with this diagnostic
+	onValidate func(rev int) // test hook, runs inside ValidateState
 }
 
 func newDocument() *document {
@@ -73,6 +75,7 @@ func (d *document) ValidateState(_ string, state []byte) error {
 	d.mu.Lock()
 	veto := d.vetoNext
 	cur := d.Rev
+	hook := d.onValidate
 	d.mu.Unlock()
 	if veto != "" {
 		return errors.New(veto)
@@ -85,6 +88,9 @@ func (d *document) ValidateState(_ string, state []byte) error {
 	}
 	if s.Rev <= cur {
 		return fmt.Errorf("revision must advance (have %d, proposed %d)", cur, s.Rev)
+	}
+	if hook != nil {
+		hook(s.Rev)
 	}
 	return nil
 }
@@ -628,5 +634,71 @@ func TestApplyStateFailureSurfaces(t *testing.T) {
 	}
 	if got := docs["bob"].Get("k"); got != "v1" {
 		t.Fatalf("bob's replica after resync = %q, want v1", got)
+	}
+}
+
+// TestResyncNetworkCatchUp: Resync only re-installs the LOCAL agreed copy,
+// so it cannot help a party whose engine itself missed a commit — bob
+// answers alice's proposal and then the commit to him is lost forever (his
+// inbound link from alice partitions the instant he validates). Resync
+// leaves him stale; CatchUp takes the network path, fetches the missing
+// state from another live member, and converges engine and object both.
+func TestResyncNetworkCatchUp(t *testing.T) {
+	d := newDeployment(t, []string{"alice", "bob", "carol"})
+
+	// The instant bob validates revision 1, his inbound link from alice
+	// goes dark: his signed response still reaches alice, the run completes
+	// everywhere else, and the commit to bob is dropped for good.
+	net := d.net.Underlying()
+	d.docs["bob"].onValidate = func(rev int) {
+		if rev == 1 {
+			net.SetLinkFaults("alice", "bob", transport.Faults{Partitioned: true})
+		}
+	}
+
+	ctrl := d.ctrls["alice"]
+	ctrl.Enter()
+	ctrl.Overwrite()
+	d.docs["alice"].Set("item", "42 x widget9")
+	if err := ctrl.Leave(); err != nil {
+		t.Fatalf("Leave: %v", err)
+	}
+	d.waitDoc(t, "carol", "item", "42 x widget9", 5*time.Second)
+
+	// Bob is genuinely stale: engine and object both at revision 0.
+	if got := d.ctrls["bob"].AgreedSeq(); got != 0 {
+		t.Fatalf("bob agreed seq = %d, want 0 (stale)", got)
+	}
+	// The local path cannot fix that — Resync re-installs the stale copy.
+	if err := d.ctrls["bob"].Resync(); err != nil {
+		t.Fatalf("Resync: %v", err)
+	}
+	if got := d.docs["bob"].Get("item"); got != "" {
+		t.Fatalf("local resync should not conjure state, item = %q", got)
+	}
+	if got := d.ctrls["bob"].AgreedSeq(); got != 0 {
+		t.Fatalf("bob agreed seq after Resync = %d, want 0", got)
+	}
+
+	// The network path: CatchUp fetches from a live peer (carol — the
+	// alice→bob link stays dead) and installs engine + object.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := d.ctrls["bob"].CatchUp(ctx); err != nil {
+		t.Fatalf("CatchUp: %v", err)
+	}
+	if got := d.ctrls["bob"].AgreedSeq(); got != 1 {
+		t.Fatalf("bob agreed seq after CatchUp = %d, want 1", got)
+	}
+	if got := d.docs["bob"].Get("item"); got != "42 x widget9" {
+		t.Fatalf("bob doc after CatchUp: item = %q", got)
+	}
+	// The transfer plane really served the session.
+	st, err := d.parts["carol"].TransferStats("document")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SessionsServed == 0 {
+		t.Fatal("carol served no transfer session")
 	}
 }

@@ -663,3 +663,101 @@ func BenchmarkCommModes(b *testing.B) {
 		b.ReportMetric(float64(initiation.Nanoseconds())/float64(b.N), "init-ns/op")
 	})
 }
+
+// BenchmarkStateTransfer (E18): anti-entropy catch-up on a 16 MiB object by
+// a member 256 runs behind. The deltas variant fetches the missing runs'
+// update bytes from a peer's delta checkpoint chain; the snapshot variant
+// fetches the whole object. The acceptance bar (enforced by b2bbench -exp
+// E18) is >= 10x fewer transferred payload bytes for deltas; the custom
+// metrics report the measured sizes so regressions are visible here too.
+func BenchmarkStateTransfer(b *testing.B) {
+	const stateSize = 16 << 20
+	const behind = 256
+
+	ids := []string{"org00", "org01", "org02"}
+	w, err := lab.NewWorld(lab.Options{
+		Seed:          18,
+		StorageDir:    b.TempDir(),
+		SnapshotEvery: 1024,
+		Durability:    b2b.DurabilityPolicy{SegmentSize: 4 << 20, CompactAt: 256 << 20, SnapshotEvery: 1024},
+	}, ids...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(w.Close)
+	if err := w.Bind("obj", func(string) coord.Validator { return lab.PatchValidator() }, nil); err != nil {
+		b.Fatal(err)
+	}
+	base := make([]byte, stateSize)
+	for i := range base {
+		base[i] = byte(i * 31)
+	}
+	if err := w.Bootstrap("obj", base, ids); err != nil {
+		b.Fatal(err)
+	}
+
+	// org02 answers every run but never sees a commit: deterministically
+	// `behind` runs stale.
+	w.Party("org00").Interceptor.SetOnSend(faults.DropEnvelopeKinds("org02", wire.KindCommit))
+	en := w.Party("org00").Engine("obj")
+	en.SetWindow(8)
+	ctx := context.Background()
+	patch := make([]byte, 60)
+	var handles []*coord.RunHandle
+	await := func() {
+		for _, h := range handles {
+			if _, err := h.Await(ctx); err != nil {
+				b.Fatalf("await %s: %v", h.RunID(), err)
+			}
+		}
+		handles = handles[:0]
+	}
+	for i := 0; i < behind; i++ {
+		h, err := en.ProposeUpdateAsync(ctx, lab.Patch((i*64)%(stateSize-64), patch))
+		if err != nil {
+			b.Fatalf("run %d: %v", i, err)
+		}
+		handles = append(handles, h)
+		if len(handles) == 8 {
+			await()
+		}
+	}
+	await()
+	if err := w.Party("org00").Engine("obj").WaitQuiescent(ctx); err != nil {
+		b.Fatal(err)
+	}
+
+	xm := w.Party("org02").Xfer("obj")
+	have, _ := w.Party("org02").Engine("obj").Agreed()
+
+	var deltaBytes, snapBytes int
+	b.Run("deltas", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := xm.Fetch(ctx, "org01", have, b2b.StateTuple{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Mode != wire.XferDeltas || res.Deltas != behind {
+				b.Fatalf("mode=%v deltas=%d, want deltas mode with %d steps", res.Mode, res.Deltas, behind)
+			}
+			deltaBytes = res.PayloadBytes
+		}
+		b.ReportMetric(float64(deltaBytes), "payload-bytes")
+	})
+	b.Run("snapshot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := xm.Fetch(ctx, "org01", b2b.StateTuple{}, b2b.StateTuple{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Mode != wire.XferSnapshot {
+				b.Fatalf("mode = %v, want snapshot", res.Mode)
+			}
+			snapBytes = res.PayloadBytes
+		}
+		b.ReportMetric(float64(snapBytes), "payload-bytes")
+	})
+	if deltaBytes > 0 && snapBytes > 0 {
+		b.ReportMetric(float64(snapBytes)/float64(deltaBytes), "snapshot/delta-ratio")
+	}
+}

@@ -37,7 +37,7 @@ type experiment struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (E1, E2, E5, E7, E8, E9, E10, E11, E13, E14, E15, E16, E17) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (E1, E2, E5, E7, E8, E9, E10, E11, E13, E14, E15, E16, E17, E18) or 'all'")
 	list := flag.Bool("list", false, "list experiments")
 	soak := flag.Bool("soak", false, "E17 soak mode: >=10k runs on the durability plane, failing unless disk stays bounded and evidence verifies")
 	flag.Parse()
@@ -57,6 +57,7 @@ func main() {
 		{id: "E15", desc: "transport batching and multi-object throughput", run: expE15},
 		{id: "E16", desc: "pipelined coordination: runs/sec versus window W", run: expE16},
 		{id: "E17", desc: "durability plane: delta checkpoints, group commit, bounded disk", run: expE17},
+		{id: "E18", desc: "state transfer: delta catch-up bytes and chunked join vs the frame cap", run: expE18},
 	}
 
 	if *list {
@@ -1079,3 +1080,145 @@ func (vetoValidator) ApplyUpdate(current, update []byte) ([]byte, error) {
 
 func (vetoValidator) Installed([]byte, tuple.State)  {}
 func (vetoValidator) RolledBack([]byte, tuple.State) {}
+
+// expE18: the state-transfer / anti-entropy plane on the workload the join
+// protocol could not previously carry: a 16 MiB object. A member 256 runs
+// behind catches up by fetching the delta suffix from a peer's checkpoint
+// chain; the comparison column fetches the full snapshot. A fourth party
+// then joins: the Welcome defers the state and the joiner pulls it as a
+// chunked session, where the inline form would not fit a transport frame
+// at all. Acceptance bars: >=10x fewer transferred payload bytes for delta
+// catch-up than for the snapshot, the lagging member and the joiner both
+// converge byte-exactly, and the inline Welcome the transfer replaced
+// would have exceeded transport.MaxFrame.
+func expE18() error {
+	const stateSize = 16 << 20
+	const behind = 256
+	obj := "obj"
+
+	dir, err := os.MkdirTemp("", "b2b-e18-")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+
+	ids := []string{"alice", "bob", "carol", "dave"}
+	w, err := lab.NewWorld(lab.Options{
+		Seed:          18,
+		StorageDir:    dir,
+		SnapshotEvery: 1024,
+		Durability:    store.Policy{SegmentSize: 4 << 20, CompactAt: 256 << 20, SnapshotEvery: 1024},
+	}, ids...)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	if err := w.Bind(obj, func(string) coord.Validator { return lab.PatchValidator() }, nil); err != nil {
+		return err
+	}
+	base := make([]byte, stateSize)
+	for i := range base {
+		base[i] = byte(i * 131)
+	}
+	founders := []string{"alice", "bob", "carol"}
+	if err := w.Bootstrap(obj, base, founders); err != nil {
+		return err
+	}
+
+	// carol answers every run but never sees a commit (selective omission,
+	// §4.4): deterministically `behind` runs stale.
+	w.Party("alice").Interceptor.SetOnSend(faults.DropEnvelopeKinds("carol", wire.KindCommit))
+	en := w.Party("alice").Engine(obj)
+	en.SetWindow(8)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	patch := make([]byte, 60)
+	var handles []*coord.RunHandle
+	await := func() error {
+		for _, h := range handles {
+			if _, err := h.Await(ctx); err != nil {
+				return err
+			}
+		}
+		handles = handles[:0]
+		return nil
+	}
+	start := time.Now()
+	for i := 0; i < behind; i++ {
+		h, err := en.ProposeUpdateAsync(ctx, lab.Patch((i*64)%(stateSize-64), patch))
+		if err != nil {
+			return fmt.Errorf("run %d: %v", i, err)
+		}
+		handles = append(handles, h)
+		if len(handles) == 8 {
+			if err := await(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := await(); err != nil {
+		return err
+	}
+	fmt.Printf("E18: %d update runs on a %d MiB object in %v\n", behind, stateSize>>20, time.Since(start).Round(time.Millisecond))
+
+	// Delta catch-up versus snapshot transfer, same peer, same object.
+	xm := w.Party("carol").Xfer(obj)
+	have, _ := w.Party("carol").Engine(obj).Agreed()
+	dStart := time.Now()
+	deltaRes, err := xm.Fetch(ctx, "bob", have, tuple.State{})
+	if err != nil {
+		return fmt.Errorf("delta fetch: %v", err)
+	}
+	dElapsed := time.Since(dStart)
+	sStart := time.Now()
+	snapRes, err := xm.Fetch(ctx, "bob", tuple.State{}, tuple.State{})
+	if err != nil {
+		return fmt.Errorf("snapshot fetch: %v", err)
+	}
+	sElapsed := time.Since(sStart)
+	if deltaRes.Mode != wire.XferDeltas || deltaRes.Deltas != behind {
+		return fmt.Errorf("delta fetch: mode=%v steps=%d, want deltas/%d", deltaRes.Mode, deltaRes.Deltas, behind)
+	}
+	if snapRes.Mode != wire.XferSnapshot {
+		return fmt.Errorf("snapshot fetch: mode=%v", snapRes.Mode)
+	}
+	ratio := float64(snapRes.PayloadBytes) / float64(deltaRes.PayloadBytes)
+	fmt.Printf("E18: catch-up %d runs behind: deltas %d B in %v, snapshot %d B in %v (%.1fx fewer bytes)\n",
+		behind, deltaRes.PayloadBytes, dElapsed.Round(time.Millisecond),
+		snapRes.PayloadBytes, sElapsed.Round(time.Millisecond), ratio)
+	if ratio < 10 {
+		return fmt.Errorf("delta catch-up moved only %.1fx fewer bytes than snapshot, bar is 10x", ratio)
+	}
+
+	// Install: carol converges to the group's agreed state.
+	advanced, err := xm.CatchUp(ctx)
+	if err != nil || !advanced {
+		return fmt.Errorf("carol catch-up: advanced=%t err=%v", advanced, err)
+	}
+	_, want := w.Party("alice").Engine(obj).Agreed()
+	if _, got := w.Party("carol").Engine(obj).Agreed(); !bytes.Equal(got, want) {
+		return errors.New("carol did not converge")
+	}
+
+	// Chunked join of the same object. The inline Welcome it replaces could
+	// not travel at all: its signed frame would exceed the transport frame
+	// cap.
+	inline := wire.Welcome{Object: obj, Members: founders, AgreedState: want}
+	inlineSize := len(inline.Marshal())
+	if inlineSize <= transport.MaxFrame {
+		return fmt.Errorf("inline welcome is %d B, expected it to exceed the %d B frame cap", inlineSize, transport.MaxFrame)
+	}
+	jStart := time.Now()
+	if err := w.Party("dave").Manager(obj).Join(ctx, "alice"); err != nil {
+		return fmt.Errorf("chunked join: %v", err)
+	}
+	jElapsed := time.Since(jStart)
+	if _, got := w.Party("dave").Engine(obj).Agreed(); !bytes.Equal(got, want) {
+		return errors.New("joiner did not converge")
+	}
+	st := w.Party("dave").Xfer(obj).Stats()
+	fmt.Printf("E18: chunked join of the %d MiB object in %v (%d B fetched; inline welcome would be %d B > %d B frame cap)\n",
+		stateSize>>20, jElapsed.Round(time.Millisecond), st.BytesFetched, inlineSize, transport.MaxFrame)
+	fmt.Println("E18: PASS — delta catch-up >=10x cheaper than snapshot; oversized join travels chunked")
+	return nil
+}

@@ -11,6 +11,7 @@ import (
 	"b2b/internal/group"
 	"b2b/internal/tuple"
 	"b2b/internal/wire"
+	"b2b/internal/xfer"
 )
 
 // accessKind tracks the strongest access indicated in the current scope.
@@ -46,6 +47,7 @@ type Controller struct {
 	adapter   *objectAdapter
 	engine    *coord.Engine
 	manager   *group.Manager
+	xfer      *xfer.Manager
 	mode      Mode
 	cb        Callback
 	opTimeout time.Duration
@@ -373,12 +375,36 @@ func (c *Controller) ReplicaErr() error {
 // Resync re-installs the currently agreed state into the application object,
 // clearing a replica divergence once the object can install again (e.g.
 // after a transient storage failure). Unlike Restore it leaves the engine's
-// in-memory and persistent state untouched.
+// in-memory and persistent state untouched. Resync is purely local: when the
+// engine's own agreed copy is stale — this party missed commits while
+// partitioned or down — use CatchUp, which fetches the missing state from a
+// live peer first.
 func (c *Controller) Resync() error {
 	return c.adapter.applyLatest(func() []byte {
 		_, state := c.engine.Agreed()
 		return state
 	})
+}
+
+// CatchUp is the network resync path (anti-entropy): it asks live peers for
+// agreed state this party is missing — a delta suffix of the runs it slept
+// through when a peer's checkpoint chain still covers them, a chunked
+// snapshot otherwise — verifies it hash-by-hash, installs it into the
+// engine (persisting a checkpoint) and into the application object, and
+// clears any replica divergence. When every reachable peer confirms this
+// party is already current it degrades to a local Resync, so callers can
+// use it wherever Resync is too weak.
+func (c *Controller) CatchUp(ctx context.Context) error {
+	advanced, err := c.xfer.CatchUp(ctx)
+	if err != nil {
+		return err
+	}
+	if !advanced {
+		return c.Resync()
+	}
+	// InstallCatchUp already pushed the state into the application object;
+	// surface an install failure the same way Resync would.
+	return c.adapter.divergence()
 }
 
 // SyncCoord coordinates the object's current state immediately, outside any

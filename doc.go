@@ -76,6 +76,32 @@
 //
 // Batching composes with pipelining: overlapping runs share datagrams.
 //
+// # State transfer and catch-up
+//
+// Large objects do not ride inside a single Welcome frame: past the inline
+// cap (default 64 KiB, WithTransfer) a join defers the state and the new
+// member fetches it as a chunked, flow-controlled transfer session from the
+// sponsor — or any other member, if the sponsor dies mid-transfer —
+// verified against the agreed tuple the membership evidence authenticates.
+// The same plane is the anti-entropy path for a member that missed commits
+// (crash after responding, partition, a proposer that lost its
+// retransmission outbox): Controller.CatchUp asks live peers for the
+// missing state and installs it into engine and object:
+//
+//	net.Underlying().Heal()               // partition over
+//	if err := ctrl.CatchUp(ctx); err != nil {
+//		// no live peer could serve us
+//	}
+//
+// A peer whose delta checkpoint chain still covers the stale member's
+// tuple serves only the missing runs' update bytes — O(runs behind ·
+// delta) instead of O(state) — each step folded through the application's
+// ApplyUpdate and hash-verified exactly like crash recovery; otherwise a
+// chunked snapshot travels. CatchUp degrades to a local Resync when every
+// reachable peer confirms currency, so it is safe wherever Resync is used.
+// See docs/ARCHITECTURE.md, "State transfer", for the safety argument and
+// docs/PROTOCOL.md §9 for the session wire format.
+//
 // # Durable storage and retention
 //
 // WithFileStorage persists everything a party must survive a crash with —
@@ -122,6 +148,9 @@
 //     evidence envelope, and the multi-frame batch container.
 //   - internal/coord — the propose/respond/commit coordination engine (§4.3).
 //   - internal/group — connection/disconnection membership protocols (§4.5).
+//   - internal/xfer — the state-transfer/anti-entropy plane: chunked,
+//     flow-controlled sessions serving delta suffixes or snapshots, behind
+//     deferred Welcomes and Controller.CatchUp.
 //   - internal/core — the participant runtime; inbound traffic is dispatched
 //     through per-object shards, so independent objects coordinate
 //     concurrently over one shared connection.
@@ -141,6 +170,7 @@
 //	go run ./cmd/b2bbench -exp E16  # pipelined coordination: runs/sec vs window W
 //	go run ./cmd/b2bbench -exp E17  # durability plane: delta checkpoints, group commit
 //	go run ./cmd/b2bbench -exp E17 -soak  # the CI soak: >=10k runs, bounded disk
+//	go run ./cmd/b2bbench -exp E18  # state transfer: delta catch-up vs snapshot, chunked join
 //
 // Benchmarks (message complexity, state size, communication modes, batching,
 // multi-object and pipelined throughput) run with:

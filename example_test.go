@@ -9,6 +9,7 @@ import (
 
 	b2b "b2b"
 	"b2b/internal/crypto"
+	"b2b/internal/transport"
 )
 
 // contract is a tiny application object for the documentation examples: a
@@ -242,4 +243,107 @@ func ExampleBatchedDelivery() {
 
 	// Output:
 	// count agreed over the batched transport: 7
+}
+
+// watchedContract is a contract that reports the moment it validates a
+// proposal, so the example below can cut a link at exactly the §4.4
+// omission point: after this replica's signed response, before the commit.
+type watchedContract struct {
+	contract
+	onValidate func()
+}
+
+func (w *watchedContract) ValidateState(proposer string, state []byte) error {
+	if err := w.contract.ValidateState(proposer, state); err != nil {
+		return err
+	}
+	if w.onValidate != nil {
+		w.onValidate()
+	}
+	return nil
+}
+
+// ExampleController_CatchUp shows the anti-entropy path after a partition:
+// org-c answers a proposal and is then cut off from the proposer, so the
+// commit never reaches it — its replica is stale and no local Resync can
+// help. CatchUp fetches the missing agreed state from any live peer over
+// the state-transfer plane and installs it.
+func ExampleController_CatchUp() {
+	td, err := b2b.NewTrustDomain(nil)
+	if err != nil {
+		panic(err)
+	}
+	ids := []string{"org-a", "org-b", "org-c"}
+	idents := make(map[string]*crypto.Identity)
+	var certs []crypto.Certificate
+	for _, id := range ids {
+		ident, _ := td.Issue(id)
+		idents[id] = ident
+		certs = append(certs, ident.Certificate())
+	}
+	net := b2b.NewMemoryNetwork(1)
+	defer net.Close()
+
+	ctrls := make(map[string]*b2b.Controller)
+	objA := &contract{}
+	objC := &watchedContract{}
+	for _, id := range ids {
+		conn, err := net.Endpoint(id)
+		if err != nil {
+			panic(err)
+		}
+		p, err := b2b.NewParticipant(idents[id], td, conn, b2b.WithPeerCertificates(certs...))
+		if err != nil {
+			panic(err)
+		}
+		var obj b2b.Object = &contract{}
+		switch id {
+		case "org-a":
+			obj = objA
+		case "org-c":
+			obj = objC
+		}
+		ctrl, err := p.Bind("contract", obj, nil)
+		if err != nil {
+			panic(err)
+		}
+		ctrls[id] = ctrl
+	}
+	for _, id := range ids {
+		if err := ctrls[id].Bootstrap(ids); err != nil {
+			panic(err)
+		}
+	}
+
+	// The instant org-c validates the proposal, its inbound link from the
+	// proposer goes dark: the signed response still travels, the run
+	// completes everywhere else, the commit to org-c is lost for good.
+	objC.onValidate = func() {
+		net.Underlying().SetLinkFaults("org-a", "org-c", transport.Faults{Partitioned: true})
+	}
+	panicIf := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+	a := ctrls["org-a"]
+	a.Enter()
+	a.Overwrite()
+	objA.Count = 5
+	panicIf(a.Leave())
+	for ctrls["org-b"].AgreedSeq() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	fmt.Println("org-c agreed seq before catch-up:", ctrls["org-c"].AgreedSeq())
+
+	// The network path back: fetch the missing state from a live peer
+	// (org-b — the link from org-a stays dead).
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	panicIf(ctrls["org-c"].CatchUp(ctx))
+	fmt.Println("org-c agreed seq after catch-up:", ctrls["org-c"].AgreedSeq())
+
+	// Output:
+	// org-c agreed seq before catch-up: 0
+	// org-c agreed seq after catch-up: 1
 }

@@ -345,6 +345,15 @@ func (d *Decoder) Strings() []string {
 		d.fail(ErrLength)
 		return nil
 	}
+	// Each element costs at least 5 encoded bytes (tag + length prefix), so
+	// a count the remaining input cannot possibly hold is corrupt; checking
+	// before the preallocation stops a hostile count from driving a
+	// multi-gigabyte make (the corrupt multi-frame OOM of the transport
+	// layer, reincarnated as a list header).
+	if n > d.Remaining()/5 {
+		d.fail(ErrLength)
+		return nil
+	}
 	out := make([]string, 0, n)
 	for i := 0; i < n; i++ {
 		out = append(out, d.String())

@@ -748,6 +748,81 @@ func (en *Engine) send(ctx context.Context, to string, kind wire.Kind, payload [
 	return en.cfg.Conn.Send(ctx, to, env.Marshal())
 }
 
+// CatchUpChain returns the reconstruction chain this party can serve to a
+// lagging peer: the most recent full snapshot checkpoint followed by every
+// later delta checkpoint, oldest first (the state-transfer plane's source
+// material — see internal/xfer).
+func (en *Engine) CatchUpChain() ([]store.Checkpoint, error) {
+	return en.cfg.Store.Chain(en.cfg.Object)
+}
+
+// DeltaRange reports the closed sequence interval (from, to] of agreed runs
+// this party can serve as catch-up deltas: a peer whose agreed sequence is
+// at least `from` can sync with O(missing runs · delta) bytes instead of a
+// full snapshot. ok is false when no delta chain is available (fresh engine,
+// overwrite-mode history, or a chain compacted down to its snapshot).
+func (en *Engine) DeltaRange() (from, to uint64, ok bool) {
+	chain, err := en.cfg.Store.Chain(en.cfg.Object)
+	if err != nil || len(chain) < 2 {
+		return 0, 0, false
+	}
+	return chain[0].Tuple.Seq, chain[len(chain)-1].Tuple.Seq, true
+}
+
+// Errors of the catch-up path.
+var (
+	// ErrStaleCatchUp: the offered state is not newer than the agreed state.
+	ErrStaleCatchUp = errors.New("coord: catch-up state is not newer than agreed")
+)
+
+// InstallCatchUp installs a verified newer agreed state fetched over the
+// state-transfer plane (anti-entropy after a partition): the engine's agreed
+// and current state advance to t, a full snapshot checkpoint is persisted,
+// and the application is notified through Validator.Installed — clearing any
+// recorded replica divergence exactly as a coordinated install does. The
+// caller (internal/xfer) has already verified state against t's hash and
+// walked the delta chain; this method re-checks the hash binding and
+// refuses to move backwards or to interleave with an in-flight proposal
+// pipeline.
+func (en *Engine) InstallCatchUp(t tuple.State, state []byte) error {
+	en.mu.Lock()
+	if !en.bootstrapped {
+		en.mu.Unlock()
+		return ErrNotBootstrapd
+	}
+	if !t.Matches(state) {
+		en.mu.Unlock()
+		return fmt.Errorf("coord: catch-up state does not match its tuple")
+	}
+	if t.Seq <= en.agreed.Seq {
+		en.mu.Unlock()
+		return fmt.Errorf("%w: have seq %d, offered seq %d", ErrStaleCatchUp, en.agreed.Seq, t.Seq)
+	}
+	if len(en.pipeline) > 0 {
+		en.mu.Unlock()
+		return ErrRunInFlight
+	}
+	en.agreed = t
+	en.agreedState = append([]byte(nil), state...)
+	en.seen.ObserveRecovered(t)
+	en.syncCurrentLocked()
+	err := en.checkpointLocked()
+	installed := append([]byte(nil), en.agreedState...)
+	en.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	en.cfg.Validator.Installed(installed, t)
+	return nil
+}
+
+// ApplyUpdateFn exposes the application's update fold for the transfer
+// plane: folding a served delta chain through the same ApplyUpdate recovery
+// uses keeps catch-up and crash recovery byte-identical.
+func (en *Engine) ApplyUpdateFn(current, update []byte) ([]byte, error) {
+	return en.cfg.Validator.ApplyUpdate(current, update)
+}
+
 // Reset returns a departed member's engine to the unbootstrapped state so
 // the party can later reconnect (via the connection protocol) or found a new
 // group. Evidence in the non-repudiation log and replay-protection state are

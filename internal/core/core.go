@@ -22,6 +22,7 @@ import (
 	"b2b/internal/store"
 	"b2b/internal/transport"
 	"b2b/internal/wire"
+	"b2b/internal/xfer"
 )
 
 // Conn is the transport surface a participant needs (satisfied by
@@ -59,6 +60,9 @@ type Config struct {
 	// SnapshotEvery bounds each engine's delta checkpoint chain (zero:
 	// the coord default).
 	SnapshotEvery int
+	// Transfer tunes the state-transfer plane (chunk size, flow-control
+	// window, Welcome inline cap). Zero selects the defaults.
+	Transfer xfer.Policy
 }
 
 // shardDepth bounds each object's inbound queue; a full queue exerts
@@ -79,6 +83,7 @@ type inboundEnv struct {
 type binding struct {
 	engine  *coord.Engine
 	manager *group.Manager
+	xfer    *xfer.Manager
 	inbox   chan inboundEnv
 }
 
@@ -161,6 +166,20 @@ func (p *Participant) Bind(object string, v coord.Validator, mv group.Validator)
 	if mv == nil {
 		mv = group.AcceptAll{}
 	}
+	xm, err := xfer.New(xfer.Config{
+		Ident:    p.cfg.Ident,
+		Object:   object,
+		Verifier: p.cfg.Verifier,
+		TSA:      p.cfg.TSA,
+		Conn:     p.cfg.Conn,
+		Log:      p.cfg.Log,
+		Clock:    p.cfg.Clock,
+		Engine:   en,
+		Policy:   p.cfg.Transfer,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
 	mgr, err := group.New(group.Config{
 		Ident:           p.cfg.Ident,
 		Object:          object,
@@ -172,11 +191,13 @@ func (p *Participant) Bind(object string, v coord.Validator, mv group.Validator)
 		Engine:          en,
 		Validator:       mv,
 		ResponseTimeout: p.cfg.ResponseTimeout,
+		Xfer:            xm,
+		InlineStateCap:  p.cfg.Transfer.InlineStateCap,
 	})
 	if err != nil {
 		return nil, nil, err
 	}
-	b := &binding{engine: en, manager: mgr, inbox: make(chan inboundEnv, shardDepth)}
+	b := &binding{engine: en, manager: mgr, xfer: xm, inbox: make(chan inboundEnv, shardDepth)}
 	p.objects[object] = b
 	p.wg.Add(1)
 	go p.runShard(b)
@@ -192,6 +213,9 @@ func (p *Participant) runShard(b *binding) {
 		switch msg.env.Kind {
 		case wire.KindPropose, wire.KindRespond, wire.KindCommit, wire.KindAbortCert:
 			b.engine.HandleEnvelope(msg.from, msg.env)
+		case wire.KindStateRequest, wire.KindStateOffer, wire.KindStateChunk,
+			wire.KindStateAck, wire.KindStateDone:
+			b.xfer.HandleEnvelope(msg.from, msg.env)
 		default:
 			b.manager.HandleEnvelope(msg.from, msg.env)
 		}
@@ -238,6 +262,17 @@ func (p *Participant) Manager(object string) (*group.Manager, error) {
 		return nil, fmt.Errorf("%w: %s", ErrObjectUnknown, object)
 	}
 	return b.manager, nil
+}
+
+// Xfer returns the state-transfer manager for a bound object.
+func (p *Participant) Xfer(object string) (*xfer.Manager, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	b, ok := p.objects[object]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrObjectUnknown, object)
+	}
+	return b.xfer, nil
 }
 
 // Objects lists bound object names.
@@ -287,7 +322,14 @@ func (p *Participant) Close() error {
 		return nil
 	}
 	p.closed = true
+	objs := make([]*binding, 0, len(p.objects))
+	for _, b := range p.objects {
+		objs = append(objs, b)
+	}
 	p.mu.Unlock()
+	for _, b := range objs {
+		b.xfer.Close()
+	}
 	close(p.stop)
 	err := p.cfg.Conn.Close()
 	p.wg.Wait()

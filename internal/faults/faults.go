@@ -65,8 +65,9 @@ func (ic *Interceptor) SetOnSend(f func(to string, payload []byte) (Action, []by
 	ic.onSend = f
 }
 
-// Send implements coord.Conn with interception.
-func (ic *Interceptor) Send(ctx context.Context, to string, payload []byte) error {
+// intercept captures the outbound message and applies the intercept
+// decision; drop reports that the message must be swallowed.
+func (ic *Interceptor) intercept(to string, payload []byte) (out []byte, drop bool) {
 	ic.mu.Lock()
 	cp := make([]byte, len(payload))
 	copy(cp, payload)
@@ -78,10 +79,36 @@ func (ic *Interceptor) Send(ctx context.Context, to string, payload []byte) erro
 		action, replacement := f(to, payload)
 		switch action {
 		case Drop:
-			return nil
+			return nil, true
 		case Tamper:
-			payload = replacement
+			return replacement, false
 		}
+	}
+	return payload, false
+}
+
+// Send implements coord.Conn with interception.
+func (ic *Interceptor) Send(ctx context.Context, to string, payload []byte) error {
+	payload, drop := ic.intercept(to, payload)
+	if drop {
+		return nil
+	}
+	return ic.inner.Send(ctx, to, payload)
+}
+
+// SendStream implements the transport's backpressured bulk path with
+// interception: the intercept decision applies exactly as for Send, and the
+// backpressure (when the wrapped connection supports it) still bounds the
+// unacknowledged backlog per peer.
+func (ic *Interceptor) SendStream(ctx context.Context, to string, payload []byte, limit int) error {
+	payload, drop := ic.intercept(to, payload)
+	if drop {
+		return nil
+	}
+	if ss, ok := ic.inner.(interface {
+		SendStream(ctx context.Context, to string, payload []byte, limit int) error
+	}); ok {
+		return ss.SendStream(ctx, to, payload, limit)
 	}
 	return ic.inner.Send(ctx, to, payload)
 }
@@ -106,6 +133,29 @@ func (ic *Interceptor) Replay(ctx context.Context, idx int) error {
 	c := ic.captured[idx]
 	ic.mu.Unlock()
 	return ic.inner.Send(ctx, c.To, c.Payload)
+}
+
+// DropEnvelopeKinds returns an intercept decision that drops every outbound
+// envelope of the listed kinds addressed to one recipient (empty: any
+// recipient) and passes everything else. It models a sender that
+// selectively omits messages (§4.4) — and, pointed at commit or transfer
+// traffic, deterministically manufactures a lagging party for the
+// anti-entropy scenarios.
+func DropEnvelopeKinds(to string, kinds ...wire.Kind) func(string, []byte) (Action, []byte) {
+	want := make(map[wire.Kind]bool, len(kinds))
+	for _, k := range kinds {
+		want[k] = true
+	}
+	return func(dst string, payload []byte) (Action, []byte) {
+		if to != "" && dst != to {
+			return Pass, nil
+		}
+		env, err := wire.UnmarshalEnvelope(payload)
+		if err != nil || !want[env.Kind] {
+			return Pass, nil
+		}
+		return Drop, nil
+	}
 }
 
 // TamperEnvelopeFrom rewrites the unsigned envelope sender field — the

@@ -25,8 +25,10 @@ import (
 	"b2b/internal/coord"
 	"b2b/internal/crypto"
 	"b2b/internal/nrlog"
+	"b2b/internal/transport"
 	"b2b/internal/tuple"
 	"b2b/internal/wire"
+	"b2b/internal/xfer"
 )
 
 // Errors returned by the manager.
@@ -75,6 +77,15 @@ type Config struct {
 	// ResponseTimeout bounds the sponsor's wait for member responses in a
 	// single membership run (default 10s).
 	ResponseTimeout time.Duration
+	// Xfer is the state-transfer plane (optional). When present, a Welcome
+	// whose agreed state exceeds InlineStateCap defers the state: the
+	// subject fetches it as a chunked transfer session from the sponsor (or
+	// any member, on failover), verified against the evidence-authenticated
+	// agreed tuple. Without it every Welcome carries the state inline.
+	Xfer *xfer.Manager
+	// InlineStateCap overrides the transfer plane's inline threshold
+	// (0: the policy default; negative: always inline).
+	InlineStateCap int
 }
 
 // sponsorRun tracks an in-flight membership change at the sponsor.
@@ -173,7 +184,7 @@ func (m *Manager) Join(ctx context.Context, contact string) error {
 			return err
 		}
 		if res.welcome != nil {
-			return m.adoptWelcome(res.welcome)
+			return m.adoptWelcome(ctx, res.welcome)
 		}
 		if strings.HasPrefix(res.reason, redirectPrefix) {
 			contact = strings.TrimPrefix(res.reason, redirectPrefix)
@@ -223,7 +234,11 @@ func (m *Manager) joinOnce(ctx context.Context, contact string) (joinResult, err
 }
 
 // adoptWelcome verifies the welcome evidence and installs membership+state.
-func (m *Manager) adoptWelcome(w *wire.Welcome) error {
+// A deferred welcome carries no state: the subject fetches it through the
+// transfer plane — from the sponsor, failing over to any other member — and
+// verifies the received bytes against the agreed tuple the membership
+// evidence has already authenticated.
+func (m *Manager) adoptWelcome(ctx context.Context, w *wire.Welcome) error {
 	// Register the members' certificates first so signatures verify.
 	for _, cert := range w.MemberCerts {
 		if err := m.cfg.Verifier.AddCertificate(cert); err != nil {
@@ -244,7 +259,7 @@ func (m *Manager) adoptWelcome(w *wire.Welcome) error {
 	if !w.Group.MatchesMembers(w.Members) {
 		return fmt.Errorf("%w: membership does not match group tuple", ErrBadEvidence)
 	}
-	if !w.AgreedTuple.Matches(w.AgreedState) {
+	if !w.StateDeferred && !w.AgreedTuple.Matches(w.AgreedState) {
 		return fmt.Errorf("%w: agreed state does not match its tuple", ErrBadEvidence)
 	}
 	// Every member's signed response asserts its agreed-state tuple: all
@@ -261,7 +276,36 @@ func (m *Manager) adoptWelcome(w *wire.Welcome) error {
 	if err := m.logEvidence(w.RunID, wire.KindWelcome.String(), nrlog.DirReceived, w.Marshal()); err != nil {
 		return err
 	}
-	return m.cfg.Engine.AdoptMembership(w.Group, w.Members, w.AgreedTuple, w.AgreedState)
+	state := w.AgreedState
+	agreed := w.AgreedTuple
+	if w.StateDeferred {
+		if m.cfg.Xfer == nil {
+			return fmt.Errorf("%w: welcome defers state but no transfer plane is configured", ErrBadEvidence)
+		}
+		// Sponsor first; every other member already holds the agreed state
+		// and serves as failover if the sponsor dies mid-transfer.
+		peers := []string{w.Sponsor}
+		for _, p := range w.Members {
+			if p != w.Sponsor && p != m.cfg.Ident.ID() {
+				peers = append(peers, p)
+			}
+		}
+		res, err := m.cfg.Xfer.FetchAny(ctx, peers, tuple.State{}, w.AgreedTuple)
+		if err != nil {
+			return fmt.Errorf("group: fetching deferred welcome state: %w", err)
+		}
+		if res.Group != w.Group {
+			// A transfer may legitimately reach a newer agreed STATE than
+			// the Welcome's (coordination resumed behind us), but never a
+			// different MEMBERSHIP: adopting the Welcome's member list
+			// against a later group's state would leave this party
+			// coordinating with a view nobody else holds. Fail the join;
+			// the subject re-requests admission under the new group.
+			return fmt.Errorf("%w: group changed during state transfer; rejoin", ErrBadEvidence)
+		}
+		state, agreed = res.State, res.Agreed
+	}
+	return m.cfg.Engine.AdoptMembership(w.Group, w.Members, agreed, state)
 }
 
 // Leave runs the subject side of voluntary disconnection (§4.5.4).
@@ -437,6 +481,28 @@ func contains(ss []string, s string) bool {
 		}
 	}
 	return false
+}
+
+// deferWelcomeState decides whether a Welcome for a state of the given size
+// defers its payload to the transfer plane: past the inline cap when one is
+// configured, and always when the inline form could not ride a single
+// transport frame anyway.
+func (m *Manager) deferWelcomeState(stateLen int) bool {
+	if m.cfg.Xfer == nil {
+		return false
+	}
+	cap := m.cfg.InlineStateCap
+	if cap == 0 {
+		cap = m.cfg.Xfer.Policy().InlineStateCap
+	}
+	if cap < 0 {
+		// Always-inline is a policy choice, but a state no frame can carry
+		// has no inline form at all.
+		return stateLen > transport.MaxFrame/2
+	}
+	// An inline cap above the frame budget must not produce an unsendable
+	// Welcome: the frame ceiling binds whatever the policy says.
+	return stateLen > cap || stateLen > transport.MaxFrame/2
 }
 
 func (m *Manager) logEvidence(runID, kind string, dir nrlog.Direction, payload []byte) error {

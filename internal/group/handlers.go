@@ -229,7 +229,11 @@ func (m *Manager) sponsorConnection(reqSigned wire.Signed, req wire.ConnRequest)
 		return
 	}
 
-	// Welcome: transfer the agreed state with full evidence.
+	// Welcome: transfer the agreed state with full evidence. Small states
+	// ride inline; past the inline cap the Welcome defers the state and the
+	// subject fetches it as a chunked transfer session (internal/xfer) —
+	// join latency is then bounded by link bandwidth, not by what a single
+	// frame may carry.
 	agreedTuple, agreedState := m.cfg.Engine.Agreed()
 	var certs []crypto.Certificate
 	for _, member := range members {
@@ -248,12 +252,18 @@ func (m *Manager) sponsorConnection(reqSigned wire.Signed, req wire.ConnRequest)
 		MemberCerts: certs,
 		Commit:      commit,
 	}
+	if m.deferWelcomeState(len(agreedState)) {
+		welcome.AgreedState = nil
+		welcome.StateDeferred = true
+	}
 	wsigned := wire.Sign(wire.KindWelcome, welcome.Marshal(), m.cfg.Ident, m.cfg.TSA)
 	if err := m.logEvidence(runID, wire.KindWelcome.String(), nrlog.DirSent, wsigned.Marshal()); err != nil {
 		return
 	}
-	_ = m.send(ctx, req.Subject, wire.KindWelcome, wsigned.Marshal())
+	// Membership applies before the Welcome leaves: the subject's state
+	// request must find it already a member at this party.
 	_ = m.cfg.Engine.ApplyMembership(prop.NewGroup, newMembers)
+	_ = m.send(ctx, req.Subject, wire.KindWelcome, wsigned.Marshal())
 	m.mu.Lock()
 	m.completed[runID] = true
 	m.mu.Unlock()

@@ -22,6 +22,7 @@ import (
 	"b2b/internal/transport"
 	"b2b/internal/tuple"
 	"b2b/internal/wire"
+	"b2b/internal/xfer"
 )
 
 // Party is one organisation's full stack in the lab world.
@@ -58,6 +59,15 @@ func (p *Party) Manager(object string) *group.Manager {
 		panic(err)
 	}
 	return m
+}
+
+// Xfer returns the state-transfer manager for object.
+func (p *Party) Xfer(object string) *xfer.Manager {
+	x, err := p.Part.Xfer(object)
+	if err != nil {
+		panic(err)
+	}
+	return x
 }
 
 // Options configures world construction.
@@ -98,6 +108,8 @@ type Options struct {
 	// SnapshotEvery bounds delta checkpoint chains in the engines (zero:
 	// Durability.SnapshotEvery, else the coord default).
 	SnapshotEvery int
+	// Transfer tunes the state-transfer plane (zero: defaults).
+	Transfer xfer.Policy
 }
 
 // World is a lab deployment.
@@ -240,6 +252,7 @@ func NewWorld(opts Options, ids ...string) (*World, error) {
 			TTP:           opts.TTP,
 			RetryInterval: opts.RetryInterval,
 			SnapshotEvery: snapEvery,
+			Transfer:      opts.Transfer,
 		})
 		if err != nil {
 			return nil, err

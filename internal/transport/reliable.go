@@ -195,6 +195,11 @@ type Reliable struct {
 	bmu      sync.Mutex
 	batchers map[string]*peerBatch
 
+	// ackNotify wakes SendStream waiters when acknowledgements retire
+	// outbox entries (capacity 1: a coalescing edge trigger, with a slow
+	// fallback tick covering waiters a single signal missed).
+	ackNotify chan struct{}
+
 	stop chan struct{}
 	wg   sync.WaitGroup
 	ctr  atomic.Uint64
@@ -212,13 +217,14 @@ type peerBatch struct {
 // NewReliable wraps ep. The wrapper takes over ep's handler.
 func NewReliable(ep Endpoint, opts ...ReliableOption) (*Reliable, error) {
 	r := &Reliable{
-		ep:       ep,
-		retry:    50 * time.Millisecond,
-		outbox:   make(map[string]JournalRecord),
-		seen:     make(map[string]struct{}),
-		acked:    make(map[string]chan struct{}),
-		batchers: make(map[string]*peerBatch),
-		stop:     make(chan struct{}),
+		ep:        ep,
+		retry:     50 * time.Millisecond,
+		outbox:    make(map[string]JournalRecord),
+		seen:      make(map[string]struct{}),
+		acked:     make(map[string]chan struct{}),
+		batchers:  make(map[string]*peerBatch),
+		ackNotify: make(chan struct{}, 1),
+		stop:      make(chan struct{}),
 	}
 	for _, o := range opts {
 		o(r)
@@ -474,6 +480,48 @@ func (r *Reliable) Pending() int {
 	return len(r.outbox)
 }
 
+// PendingTo reports the number of unacknowledged outgoing messages queued
+// for one peer.
+func (r *Reliable) PendingTo(to string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, rec := range r.outbox {
+		if rec.To == to {
+			n++
+		}
+	}
+	return n
+}
+
+// SendStream is Send with backpressure for bulk traffic: it blocks while the
+// peer already has `limit` or more unacknowledged messages queued, so a
+// large state transfer feeds the outbox at the receiver's pace instead of
+// flooding it — coordination messages sharing the connection keep their
+// retransmission slots and the outbox stays bounded. Waiters wake on ack
+// arrival (with a slow fallback tick); limit < 1 degrades to plain Send.
+func (r *Reliable) SendStream(ctx context.Context, to string, payload []byte, limit int) error {
+	if limit >= 1 {
+		var fallback <-chan time.Time
+		for r.PendingTo(to) >= limit {
+			if fallback == nil {
+				tick := time.NewTicker(50 * time.Millisecond)
+				defer tick.Stop()
+				fallback = tick.C
+			}
+			select {
+			case <-r.ackNotify:
+			case <-fallback:
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-r.stop:
+				return ErrClosed
+			}
+		}
+	}
+	return r.Send(ctx, to, payload)
+}
+
 // Close stops retransmission and closes the underlying endpoint. Queued
 // batches are flushed first so first transmissions already accepted by Send
 // reach the wire.
@@ -650,6 +698,12 @@ func (r *Reliable) handleAcks(msgIDs []string) {
 		}
 	}
 	r.mu.Unlock()
+	if len(acked) > 0 {
+		select {
+		case r.ackNotify <- struct{}{}:
+		default:
+		}
+	}
 	if r.journal == nil || len(acked) == 0 {
 		return
 	}

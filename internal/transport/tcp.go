@@ -10,9 +10,12 @@ import (
 	"sync"
 )
 
-// maxFrame bounds a single TCP frame (16 MiB) to stop a corrupt length
-// prefix from exhausting memory.
-const maxFrame = 16 << 20
+// MaxFrame bounds a single TCP frame (16 MiB) to stop a corrupt length
+// prefix from exhausting memory. It is also the hard ceiling any one
+// protocol message may occupy on a real link — the reason large object
+// states travel as chunked transfer sessions (internal/xfer) rather than
+// inline in a single Welcome.
+const MaxFrame = 16 << 20
 
 // TCPEndpoint is a real inter-process Endpoint. Each endpoint listens on an
 // address and lazily dials peers from a static id->address directory. The
@@ -53,7 +56,7 @@ func (lc *lockedConn) writeFrame(payload []byte) error {
 func (lc *lockedConn) writeFrames(payloads [][]byte) error {
 	total := 0
 	for _, p := range payloads {
-		if len(p) > maxFrame {
+		if len(p) > MaxFrame {
 			return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(p))
 		}
 		total += 4 + len(p)
@@ -309,7 +312,7 @@ func (ep *TCPEndpoint) readLoop(c net.Conn, from string) {
 }
 
 func writeFrame(w io.Writer, payload []byte) error {
-	if len(payload) > maxFrame {
+	if len(payload) > MaxFrame {
 		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(payload))
 	}
 	// Header and payload go out in one write: half the syscalls, and no
@@ -327,7 +330,7 @@ func readFrame(r io.Reader) ([]byte, error) {
 		return nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
-	if n > maxFrame {
+	if n > MaxFrame {
 		return nil, errors.New("transport: oversized frame")
 	}
 	buf := make([]byte, n)

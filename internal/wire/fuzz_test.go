@@ -1,0 +1,196 @@
+package wire_test
+
+import (
+	"bytes"
+	"testing"
+
+	"b2b/internal/crypto"
+	"b2b/internal/tuple"
+	"b2b/internal/wire"
+)
+
+// FuzzUnmarshal drives every wire-message decoder (including the multi-frame
+// container and the state-transfer messages) over arbitrary bytes, selected
+// by the seed's kind byte. Two properties must hold for every input:
+//
+//  1. no decoder panics or allocates past the input's size class — length
+//     prefixes are attacker-controlled;
+//  2. whatever a decoder accepts re-marshals to the identical bytes — the
+//     canonical-encoding guarantee signatures depend on.
+func FuzzUnmarshal(f *testing.F) {
+	ident, err := crypto.NewIdentity("fuzz-party")
+	if err != nil {
+		f.Fatal(err)
+	}
+	st := tuple.NewState(3, []byte("rand"), []byte("state"))
+	pred := tuple.NewState(2, []byte("pred"), []byte("prev"))
+	grp := tuple.NewGroup(1, []byte("grand"), []string{"a", "b"})
+	signed := wire.Sign(wire.KindPropose, []byte("body"), ident, nil)
+	var h32 [32]byte
+	copy(h32[:], bytes.Repeat([]byte{7}, 32))
+
+	prop := wire.Propose{RunID: "r1", Proposer: "a", Object: "o", Group: grp,
+		Agreed: pred, Pred: pred, Proposed: st, AuthCommit: h32,
+		Mode: wire.ModeUpdate, Update: []byte("delta"), UpdateHash: h32}
+	resp := wire.Respond{RunID: "r1", Responder: "b", Object: "o", Group: grp,
+		Proposed: st, Current: pred, ReceivedStateHash: h32, Decision: wire.Accepted}
+	commit := wire.Commit{RunID: "r1", Proposer: "a", Object: "o",
+		Auth: []byte("auth"), Propose: signed, Responds: []wire.Signed{signed}}
+	connReq := wire.ConnRequest{ReqID: "q1", Object: "o", Subject: "c",
+		SubjectCert: ident.Certificate(), Nonce: []byte("n")}
+	connProp := wire.ConnPropose{RunID: "r2", Sponsor: "a", Object: "o", ReqID: "q1",
+		Request: signed, CurGroup: grp, NewGroup: grp, NewMembers: []string{"a", "b", "c"},
+		Subject: "c", SubjectCert: ident.Certificate(), AuthCommit: h32}
+	gResp := wire.GroupRespond{RunID: "r2", Responder: "b", Object: "o",
+		CurGroup: grp, NewGroup: grp, Agreed: st, Decision: wire.Accepted}
+	gCommit := wire.GroupCommit{RunID: "r2", Sponsor: "a", Object: "o",
+		Auth: []byte("auth"), Propose: signed, Responds: []wire.Signed{signed}}
+	welcome := wire.Welcome{RunID: "r2", Sponsor: "a", Object: "o",
+		Members: []string{"a", "b", "c"}, Group: grp, AgreedTuple: st,
+		StateDeferred: true, MemberCerts: []crypto.Certificate{ident.Certificate()},
+		Commit: gCommit}
+	discReq := wire.DiscRequest{ReqID: "q2", Object: "o", Proposer: "b",
+		Voluntary: true, Evictees: []string{"b"}, Nonce: []byte("n")}
+	discProp := wire.DiscPropose{RunID: "r3", Sponsor: "a", Object: "o", ReqID: "q2",
+		Request: signed, CurGroup: grp, NewGroup: grp, NewMembers: []string{"a"},
+		Evictees: []string{"b"}, Voluntary: true, AuthCommit: h32}
+	stReq := wire.StateRequest{SessionID: "s1", Requester: "c", Object: "o",
+		Have: pred, Resume: 4, Window: 8}
+	stOffer := wire.StateOffer{SessionID: "s1", Sponsor: "a", Object: "o",
+		Group: grp, Members: []string{"a", "b"}, Agreed: st, Mode: wire.XferDeltas,
+		DeltaFrom: 3, Chunks: 7, TotalLen: 1024, PayloadHash: h32}
+	stChunk := wire.StateChunk{SessionID: "s1", Object: "o", Index: 4,
+		Payload: []byte("chunk-bytes"), CRC: 0xdeadbeef}
+	stAck := wire.StateAck{SessionID: "s1", Object: "o", Next: 5}
+	stDone := wire.StateDone{SessionID: "s1", Sponsor: "a", Object: "o",
+		Agreed: st, StateHash: h32, PayloadHash: h32, Chunks: 7}
+
+	seeds := [][]byte{
+		signed.Marshal(),
+		wire.Envelope{MsgID: "m", From: "a", To: "b", Object: "o",
+			Kind: wire.KindPropose, Payload: []byte("p")}.Marshal(),
+		wire.MarshalMulti([][]byte{[]byte("f1"), []byte("f2")}),
+		prop.Marshal(),
+		resp.Marshal(),
+		commit.Marshal(),
+		connReq.Marshal(),
+		connProp.Marshal(),
+		gResp.MarshalConn(),
+		gResp.MarshalDisc(),
+		gCommit.MarshalConn(),
+		gCommit.MarshalDisc(),
+		welcome.Marshal(),
+		wire.Reject{ReqID: "q1", Object: "o", Sponsor: "a", Reason: "no"}.Marshal(),
+		discReq.Marshal(),
+		discProp.Marshal(),
+		wire.DiscNotice{RunID: "r3", Sponsor: "a", Object: "o",
+			Members: []string{"a"}, Group: grp, AgreedTuple: st}.Marshal(),
+		wire.AbortRequest{RunID: "r1", Object: "o", Requester: "b",
+			Evidence: []wire.Signed{signed}}.Marshal(),
+		wire.AbortCert{RunID: "r1", Object: "o", TTP: "ttp", Aborted: true,
+			Decision: wire.Rejected("late")}.Marshal(),
+		stReq.Marshal(),
+		stOffer.Marshal(),
+		stChunk.Marshal(),
+		stAck.Marshal(),
+		stDone.Marshal(),
+	}
+	for i, s := range seeds {
+		f.Add(uint8(i), s)
+	}
+
+	roundtrip := func(t *testing.T, in []byte, err error, remarshal func() []byte) {
+		if err != nil {
+			return
+		}
+		if out := remarshal(); !bytes.Equal(in, out) {
+			t.Fatalf("accepted input does not re-marshal canonically:\n in=%x\nout=%x", in, out)
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, which uint8, data []byte) {
+		switch which % 24 {
+		case 0:
+			v, err := wire.UnmarshalSigned(data)
+			roundtrip(t, data, err, v.Marshal)
+		case 1:
+			v, err := wire.UnmarshalEnvelope(data)
+			roundtrip(t, data, err, v.Marshal)
+		case 2:
+			frames, err := wire.UnmarshalMulti(data)
+			if err == nil {
+				total := 0
+				for _, fr := range frames {
+					total += len(fr)
+				}
+				if total > len(data) {
+					t.Fatalf("multi frames exceed input: %d > %d", total, len(data))
+				}
+				roundtrip(t, data, nil, func() []byte { return wire.MarshalMulti(frames) })
+			}
+		case 3:
+			v, err := wire.UnmarshalPropose(data)
+			roundtrip(t, data, err, v.Marshal)
+		case 4:
+			v, err := wire.UnmarshalRespond(data)
+			roundtrip(t, data, err, v.Marshal)
+		case 5:
+			v, err := wire.UnmarshalCommit(data)
+			roundtrip(t, data, err, v.Marshal)
+		case 6:
+			v, err := wire.UnmarshalConnRequest(data)
+			roundtrip(t, data, err, v.Marshal)
+		case 7:
+			v, err := wire.UnmarshalConnPropose(data)
+			roundtrip(t, data, err, v.Marshal)
+		case 8:
+			v, err := wire.UnmarshalConnRespond(data)
+			roundtrip(t, data, err, v.MarshalConn)
+		case 9:
+			v, err := wire.UnmarshalDiscRespond(data)
+			roundtrip(t, data, err, v.MarshalDisc)
+		case 10:
+			v, err := wire.UnmarshalConnCommit(data)
+			roundtrip(t, data, err, v.MarshalConn)
+		case 11:
+			v, err := wire.UnmarshalDiscCommit(data)
+			roundtrip(t, data, err, v.MarshalDisc)
+		case 12:
+			v, err := wire.UnmarshalWelcome(data)
+			roundtrip(t, data, err, v.Marshal)
+		case 13:
+			v, err := wire.UnmarshalReject(data)
+			roundtrip(t, data, err, v.Marshal)
+		case 14:
+			v, err := wire.UnmarshalDiscRequest(data)
+			roundtrip(t, data, err, v.Marshal)
+		case 15:
+			v, err := wire.UnmarshalDiscPropose(data)
+			roundtrip(t, data, err, v.Marshal)
+		case 16:
+			v, err := wire.UnmarshalDiscNotice(data)
+			roundtrip(t, data, err, v.Marshal)
+		case 17:
+			v, err := wire.UnmarshalAbortRequest(data)
+			roundtrip(t, data, err, v.Marshal)
+		case 18:
+			v, err := wire.UnmarshalAbortCert(data)
+			roundtrip(t, data, err, v.Marshal)
+		case 19:
+			v, err := wire.UnmarshalStateRequest(data)
+			roundtrip(t, data, err, v.Marshal)
+		case 20:
+			v, err := wire.UnmarshalStateOffer(data)
+			roundtrip(t, data, err, v.Marshal)
+		case 21:
+			v, err := wire.UnmarshalStateChunk(data)
+			roundtrip(t, data, err, v.Marshal)
+		case 22:
+			v, err := wire.UnmarshalStateAck(data)
+			roundtrip(t, data, err, v.Marshal)
+		case 23:
+			v, err := wire.UnmarshalStateDone(data)
+			roundtrip(t, data, err, v.Marshal)
+		}
+	})
+}

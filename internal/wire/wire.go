@@ -37,6 +37,11 @@ const (
 	KindDiscNotice
 	KindAbortRequest
 	KindAbortCert
+	KindStateRequest
+	KindStateOffer
+	KindStateChunk
+	KindStateAck
+	KindStateDone
 )
 
 var kindNames = map[Kind]string{
@@ -57,6 +62,11 @@ var kindNames = map[Kind]string{
 	KindDiscNotice:   "disc-notice",
 	KindAbortRequest: "abort-request",
 	KindAbortCert:    "abort-cert",
+	KindStateRequest: "state-request",
+	KindStateOffer:   "state-offer",
+	KindStateChunk:   "state-chunk",
+	KindStateAck:     "state-ack",
+	KindStateDone:    "state-done",
 }
 
 // String names the kind for logs and evidence records.
@@ -705,16 +715,24 @@ func UnmarshalDiscCommit(buf []byte) (GroupCommit, error) {
 // successful end of the connection protocol: join-ordered membership, group
 // tuple, agreed state (verifiable against each member's signed agreed tuple
 // inside Commit), and the members' certificates.
+//
+// Large objects do not ride inline: when StateDeferred is set, AgreedState
+// is empty and the subject fetches the state through a chunked transfer
+// session (internal/xfer) from the sponsor — or any member, on failover —
+// verifying the received bytes against AgreedTuple, which the membership
+// evidence inside Commit already authenticates. The inline form is kept for
+// small objects (group.Config.InlineStateCap).
 type Welcome struct {
-	RunID       string
-	Sponsor     string
-	Object      string
-	Members     []string
-	Group       tuple.Group
-	AgreedTuple tuple.State
-	AgreedState []byte
-	MemberCerts []crypto.Certificate
-	Commit      GroupCommit
+	RunID         string
+	Sponsor       string
+	Object        string
+	Members       []string
+	Group         tuple.Group
+	AgreedTuple   tuple.State
+	AgreedState   []byte
+	StateDeferred bool
+	MemberCerts   []crypto.Certificate
+	Commit        GroupCommit
 }
 
 // Marshal returns the canonical (signature input) bytes.
@@ -728,6 +746,7 @@ func (w Welcome) Marshal() []byte {
 	w.Group.Encode(e)
 	w.AgreedTuple.Encode(e)
 	e.Bytes(w.AgreedState)
+	e.Bool(w.StateDeferred)
 	e.List(len(w.MemberCerts))
 	for _, c := range w.MemberCerts {
 		c.Encode(e)
@@ -749,6 +768,7 @@ func UnmarshalWelcome(buf []byte) (Welcome, error) {
 	w.Group = tuple.DecodeGroup(d)
 	w.AgreedTuple = tuple.DecodeState(d)
 	w.AgreedState = d.Bytes()
+	w.StateDeferred = d.Bool()
 	n := d.List()
 	if d.Err() == nil {
 		for i := 0; i < n; i++ {
@@ -946,6 +966,271 @@ func UnmarshalDiscNotice(buf []byte) (DiscNotice, error) {
 		return DiscNotice{}, err
 	}
 	return n, nil
+}
+
+// XferMode selects what a state-transfer session carries (see internal/xfer
+// and docs/PROTOCOL.md §9): a chunked full snapshot, a delta suffix folded
+// through the application's ApplyUpdate, or nothing because the requester is
+// already current.
+type XferMode uint8
+
+// Transfer modes.
+const (
+	XferSnapshot XferMode = 1
+	XferDeltas   XferMode = 2
+	XferUpToDate XferMode = 3
+)
+
+// String names the transfer mode.
+func (m XferMode) String() string {
+	switch m {
+	case XferSnapshot:
+		return "snapshot"
+	case XferDeltas:
+		return "deltas"
+	case XferUpToDate:
+		return "up-to-date"
+	default:
+		return fmt.Sprintf("xfer-mode(%d)", uint8(m))
+	}
+}
+
+// StateRequest opens (or resumes) a state-transfer session: the requester —
+// a welcomed joiner fetching the agreed state, or a stale member catching up
+// after a partition — names its last-known agreed tuple so the sponsor can
+// serve the smallest sufficient payload (a delta suffix when its checkpoint
+// chain still covers Have, a snapshot otherwise). Resume names the first
+// chunk index still wanted, so a requester that lost connectivity mid-session
+// re-enters without re-transferring the prefix it holds.
+type StateRequest struct {
+	SessionID string
+	Requester string
+	Object    string
+	Have      tuple.State // zero: requester holds no state (joiner)
+	Resume    uint64      // first chunk index wanted
+	Window    uint64      // flow-control window override (0: sponsor default)
+}
+
+// Marshal returns the canonical (signature input) bytes.
+func (r StateRequest) Marshal() []byte {
+	e := canon.NewEncoder()
+	e.Struct("state-request")
+	e.String(r.SessionID)
+	e.String(r.Requester)
+	e.String(r.Object)
+	r.Have.Encode(e)
+	e.Uint64(r.Resume)
+	e.Uint64(r.Window)
+	return e.Out()
+}
+
+// UnmarshalStateRequest parses a StateRequest.
+func UnmarshalStateRequest(buf []byte) (StateRequest, error) {
+	d := canon.NewDecoder(buf)
+	d.Struct("state-request")
+	r := StateRequest{
+		SessionID: d.String(),
+		Requester: d.String(),
+		Object:    d.String(),
+	}
+	r.Have = tuple.DecodeState(d)
+	r.Resume = d.Uint64()
+	r.Window = d.Uint64()
+	if err := d.Finish(); err != nil {
+		return StateRequest{}, err
+	}
+	return r, nil
+}
+
+// StateOffer is the sponsor's signed description of the transfer it is about
+// to stream: the agreed tuple the session converges to, the group view,
+// transfer mode, chunk geometry and the hash of the whole reassembled
+// payload. Every chunk is authenticated transitively — chunk CRCs catch
+// transport damage, and the payload hash inside this signed offer (and the
+// closing StateDone) catches everything else.
+type StateOffer struct {
+	SessionID   string
+	Sponsor     string
+	Object      string
+	Group       tuple.Group
+	Members     []string
+	Agreed      tuple.State
+	Mode        XferMode
+	DeltaFrom   uint64 // sequence of the first delta step (deltas mode)
+	Chunks      uint64
+	TotalLen    uint64
+	PayloadHash [32]byte
+}
+
+// Marshal returns the canonical (signature input) bytes.
+func (o StateOffer) Marshal() []byte {
+	e := canon.NewEncoder()
+	e.Struct("state-offer")
+	e.String(o.SessionID)
+	e.String(o.Sponsor)
+	e.String(o.Object)
+	o.Group.Encode(e)
+	e.Strings(o.Members)
+	o.Agreed.Encode(e)
+	e.Uint64(uint64(o.Mode))
+	e.Uint64(o.DeltaFrom)
+	e.Uint64(o.Chunks)
+	e.Uint64(o.TotalLen)
+	e.Bytes32(o.PayloadHash)
+	return e.Out()
+}
+
+// UnmarshalStateOffer parses a StateOffer.
+func UnmarshalStateOffer(buf []byte) (StateOffer, error) {
+	d := canon.NewDecoder(buf)
+	d.Struct("state-offer")
+	o := StateOffer{
+		SessionID: d.String(),
+		Sponsor:   d.String(),
+		Object:    d.String(),
+	}
+	o.Group = tuple.DecodeGroup(d)
+	o.Members = d.Strings()
+	o.Agreed = tuple.DecodeState(d)
+	o.Mode = XferMode(d.Uint8())
+	o.DeltaFrom = d.Uint64()
+	o.Chunks = d.Uint64()
+	o.TotalLen = d.Uint64()
+	o.PayloadHash = d.Bytes32()
+	if err := d.Finish(); err != nil {
+		return StateOffer{}, err
+	}
+	return o, nil
+}
+
+// StateChunk is one flow-controlled slice of the transfer payload. Chunks
+// are unsigned — signing per chunk would put an asymmetric operation on
+// every 256 KiB of bulk data — and carry a CRC-32C instead; end-to-end
+// integrity rests on the payload hash inside the signed offer/done.
+type StateChunk struct {
+	SessionID string
+	Object    string
+	Index     uint64
+	Payload   []byte
+	CRC       uint32 // CRC-32C (Castagnoli) of Payload
+}
+
+// Marshal returns the canonical bytes.
+func (c StateChunk) Marshal() []byte {
+	e := canon.NewEncoder()
+	e.Struct("state-chunk")
+	e.String(c.SessionID)
+	e.String(c.Object)
+	e.Uint64(c.Index)
+	e.Bytes(c.Payload)
+	e.Uint64(uint64(c.CRC))
+	return e.Out()
+}
+
+// UnmarshalStateChunk parses a StateChunk.
+func UnmarshalStateChunk(buf []byte) (StateChunk, error) {
+	d := canon.NewDecoder(buf)
+	d.Struct("state-chunk")
+	c := StateChunk{
+		SessionID: d.String(),
+		Object:    d.String(),
+	}
+	c.Index = d.Uint64()
+	c.Payload = d.Bytes()
+	crc := d.Uint64()
+	if d.Err() == nil && crc > 0xffffffff {
+		return StateChunk{}, fmt.Errorf("wire: chunk CRC out of range: %d", crc)
+	}
+	c.CRC = uint32(crc)
+	if err := d.Finish(); err != nil {
+		return StateChunk{}, err
+	}
+	return c, nil
+}
+
+// StateAck is the requester's cumulative flow-control acknowledgement: all
+// chunks with index < Next have been received, and the sponsor may keep up
+// to the session window unacknowledged beyond it. Cancel aborts the session.
+type StateAck struct {
+	SessionID string
+	Object    string
+	Next      uint64
+	Cancel    bool
+}
+
+// Marshal returns the canonical bytes.
+func (a StateAck) Marshal() []byte {
+	e := canon.NewEncoder()
+	e.Struct("state-ack")
+	e.String(a.SessionID)
+	e.String(a.Object)
+	e.Uint64(a.Next)
+	e.Bool(a.Cancel)
+	return e.Out()
+}
+
+// UnmarshalStateAck parses a StateAck.
+func UnmarshalStateAck(buf []byte) (StateAck, error) {
+	d := canon.NewDecoder(buf)
+	d.Struct("state-ack")
+	a := StateAck{
+		SessionID: d.String(),
+		Object:    d.String(),
+	}
+	a.Next = d.Uint64()
+	a.Cancel = d.Bool()
+	if err := d.Finish(); err != nil {
+		return StateAck{}, err
+	}
+	return a, nil
+}
+
+// StateDone closes a transfer session: the sponsor's signed assertion of the
+// final agreed tuple, the expected state hash the reassembled (and, for
+// deltas, folded) result must reach, and the payload geometry. A requester
+// completes only when it holds every chunk, the payload hash matches, and
+// the verification walk ends at StateHash.
+type StateDone struct {
+	SessionID   string
+	Sponsor     string
+	Object      string
+	Agreed      tuple.State
+	StateHash   [32]byte
+	PayloadHash [32]byte
+	Chunks      uint64
+}
+
+// Marshal returns the canonical (signature input) bytes.
+func (dn StateDone) Marshal() []byte {
+	e := canon.NewEncoder()
+	e.Struct("state-done")
+	e.String(dn.SessionID)
+	e.String(dn.Sponsor)
+	e.String(dn.Object)
+	dn.Agreed.Encode(e)
+	e.Bytes32(dn.StateHash)
+	e.Bytes32(dn.PayloadHash)
+	e.Uint64(dn.Chunks)
+	return e.Out()
+}
+
+// UnmarshalStateDone parses a StateDone.
+func UnmarshalStateDone(buf []byte) (StateDone, error) {
+	d := canon.NewDecoder(buf)
+	d.Struct("state-done")
+	dn := StateDone{
+		SessionID: d.String(),
+		Sponsor:   d.String(),
+		Object:    d.String(),
+	}
+	dn.Agreed = tuple.DecodeState(d)
+	dn.StateHash = d.Bytes32()
+	dn.PayloadHash = d.Bytes32()
+	dn.Chunks = d.Uint64()
+	if err := d.Finish(); err != nil {
+		return StateDone{}, err
+	}
+	return dn, nil
 }
 
 // AbortRequest asks a TTP to certify the abort of a blocked run (§7

@@ -1,0 +1,448 @@
+package xfer
+
+import (
+	"context"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"time"
+
+	"b2b/internal/crypto"
+	"b2b/internal/nrlog"
+	"b2b/internal/tuple"
+	"b2b/internal/wire"
+)
+
+// handleOffer records the sponsor's signed session description.
+func (m *Manager) handleOffer(from string, payload []byte) {
+	signed, err := wire.UnmarshalSigned(payload)
+	if err != nil {
+		_ = m.logEvidence("", "malformed-state-offer", nrlog.DirReceived, payload)
+		return
+	}
+	offer, err := wire.UnmarshalStateOffer(signed.Body)
+	if err != nil || offer.Sponsor != signed.Signer() || offer.Sponsor != from ||
+		offer.Object != m.cfg.Object {
+		_ = m.logEvidence("", "malformed-state-offer", nrlog.DirReceived, payload)
+		return
+	}
+	if err := signed.Verify(m.cfg.Verifier); err != nil {
+		_ = m.logEvidence(offer.SessionID, "unverifiable-state-offer", nrlog.DirReceived, payload)
+		return
+	}
+	if offer.TotalLen > maxPayloadBytes || offer.Chunks > maxChunks {
+		_ = m.logEvidence(offer.SessionID, "state-offer-oversized", nrlog.DirReceived, payload)
+		return
+	}
+	if err := m.logEvidence(offer.SessionID, wire.KindStateOffer.String(), nrlog.DirReceived, payload); err != nil {
+		return
+	}
+
+	m.mu.Lock()
+	s, ok := m.fetching[offer.SessionID]
+	if !ok || s.peer != from {
+		m.mu.Unlock()
+		return
+	}
+	switch {
+	case s.offer == nil:
+		s.offer = &offer
+	case s.offer.PayloadHash != offer.PayloadHash || s.offer.Chunks != offer.Chunks:
+		// The sponsor rebuilt the session around a newer agreed state (its
+		// previous session was reaped): the held prefix no longer belongs to
+		// this payload. Restart the reassembly under the new offer; the
+		// progress timeout re-requests from chunk zero.
+		s.offer = &offer
+		s.done = nil
+		s.chunks = make(map[uint64][]byte)
+		s.contig, s.received, s.bytes = 0, 0, 0
+	}
+	signal(s.progress)
+	m.mu.Unlock()
+}
+
+// handleChunk buffers one payload slice and acknowledges cumulatively.
+func (m *Manager) handleChunk(from string, payload []byte) {
+	c, err := wire.UnmarshalStateChunk(payload)
+	if err != nil || c.Object != m.cfg.Object {
+		return
+	}
+	if crc32.Checksum(c.Payload, castagnoli) != c.CRC {
+		_ = m.logEvidence(c.SessionID, "state-chunk-crc-mismatch", nrlog.DirReceived, nil)
+		return
+	}
+	m.mu.Lock()
+	s, ok := m.fetching[c.SessionID]
+	if !ok || s.peer != from || c.Index >= maxChunks {
+		m.mu.Unlock()
+		return
+	}
+	if _, dup := s.chunks[c.Index]; !dup {
+		// The signed offer's geometry bounds what this session may buffer;
+		// the offer-size cap enforced in handleOffer must not be bypassable
+		// through the chunk stream itself. Before the offer arrives
+		// (unordered delivery) only a small reorder allowance is held —
+		// dropped chunks are re-earned through the resume rule.
+		if s.offer != nil {
+			if c.Index >= s.offer.Chunks || uint64(s.bytes+len(c.Payload)) > s.offer.TotalLen {
+				m.mu.Unlock()
+				_ = m.logEvidence(c.SessionID, "state-chunk-outside-offer", nrlog.DirReceived, nil)
+				return
+			}
+		} else if s.bytes+len(c.Payload) > preOfferBufferCap || len(s.chunks) >= preOfferChunkCap {
+			m.mu.Unlock()
+			return
+		}
+		s.chunks[c.Index] = c.Payload
+		s.received++
+		s.bytes += len(c.Payload)
+		for {
+			if _, have := s.chunks[s.contig]; !have {
+				break
+			}
+			s.contig++
+		}
+	}
+	next := s.contig
+	signal(s.progress)
+	m.mu.Unlock()
+
+	ack := wire.StateAck{SessionID: c.SessionID, Object: m.cfg.Object, Next: next}
+	_ = m.send(context.Background(), from, wire.KindStateAck, ack.Marshal())
+}
+
+// handleDone records the sponsor's signed session close.
+func (m *Manager) handleDone(from string, payload []byte) {
+	signed, err := wire.UnmarshalSigned(payload)
+	if err != nil {
+		_ = m.logEvidence("", "malformed-state-done", nrlog.DirReceived, payload)
+		return
+	}
+	done, err := wire.UnmarshalStateDone(signed.Body)
+	if err != nil || done.Sponsor != signed.Signer() || done.Sponsor != from ||
+		done.Object != m.cfg.Object {
+		_ = m.logEvidence("", "malformed-state-done", nrlog.DirReceived, payload)
+		return
+	}
+	if err := signed.Verify(m.cfg.Verifier); err != nil {
+		_ = m.logEvidence(done.SessionID, "unverifiable-state-done", nrlog.DirReceived, payload)
+		return
+	}
+	if err := m.logEvidence(done.SessionID, wire.KindStateDone.String(), nrlog.DirReceived, payload); err != nil {
+		return
+	}
+	m.mu.Lock()
+	if s, ok := m.fetching[done.SessionID]; ok && s.peer == from {
+		s.done = &done
+		signal(s.progress)
+	}
+	m.mu.Unlock()
+}
+
+// completeLocked reports whether a client session holds everything it needs.
+func (s *clientSession) completeLocked() bool {
+	return s.offer != nil && s.done != nil && s.contig >= s.offer.Chunks
+}
+
+// Fetch runs one requester-side transfer session against peer: request the
+// suffix from `have` (zero: everything), stream, reassemble, verify. `want`,
+// when non-zero, is an independently authenticated tuple the result must
+// reach (the Welcome's agreed tuple at a join). Fetch does not install —
+// callers decide (join adoption vs live catch-up). On silence it re-issues
+// the request with a resume index until ctx expires.
+func (m *Manager) Fetch(ctx context.Context, peer string, have, want tuple.State) (*Result, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrClosed
+	}
+	m.mu.Unlock()
+
+	// Capture the fold base before requesting: a deltas-mode payload chains
+	// from our agreed state as of the request.
+	var baseState []byte
+	if !have.Zero() {
+		baseT, bs := m.cfg.Engine.Agreed()
+		if baseT != have {
+			return nil, fmt.Errorf("xfer: have tuple is not the current agreed tuple")
+		}
+		baseState = bs
+	}
+
+	nonce, err := crypto.Nonce()
+	if err != nil {
+		return nil, err
+	}
+	sessionID := m.cfg.Ident.ID() + "-xfer-" + hex.EncodeToString(nonce[:8])
+	s := &clientSession{
+		id:       sessionID,
+		peer:     peer,
+		chunks:   make(map[uint64][]byte),
+		progress: make(chan struct{}, 1),
+	}
+	m.mu.Lock()
+	m.fetching[sessionID] = s
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		delete(m.fetching, sessionID)
+		m.mu.Unlock()
+	}()
+
+	request := func(resume uint64) error {
+		req := wire.StateRequest{
+			SessionID: sessionID,
+			Requester: m.cfg.Ident.ID(),
+			Object:    m.cfg.Object,
+			Have:      have,
+			Resume:    resume,
+			Window:    uint64(m.pol.Window),
+		}
+		signed := wire.Sign(wire.KindStateRequest, req.Marshal(), m.cfg.Ident, m.cfg.TSA)
+		raw := signed.Marshal()
+		if err := m.logEvidence(sessionID, wire.KindStateRequest.String(), nrlog.DirSent, raw); err != nil {
+			return err
+		}
+		return m.send(ctx, peer, wire.KindStateRequest, raw)
+	}
+	if err := request(0); err != nil {
+		return nil, err
+	}
+
+	// The give-up rule is progress-based, not wall-clock: a transfer that
+	// keeps delivering chunks may take as long as the link needs, while a
+	// peer that stays silent through maxStalls consecutive re-requests is
+	// dead to us (the caller fails over). ctx still bounds everything.
+	const maxStalls = 3
+	stalls := 0
+	lastProgress := uint64(0)
+	for {
+		m.mu.Lock()
+		complete := s.completeLocked()
+		resume := s.contig
+		progress := s.received
+		if s.offer != nil {
+			progress++
+		}
+		if s.done != nil {
+			progress++
+		}
+		m.mu.Unlock()
+		if complete {
+			break
+		}
+		select {
+		case <-s.progress:
+			stalls = 0
+		case <-time.After(m.pol.RequestTimeout):
+			if progress == lastProgress {
+				stalls++
+				if stalls >= maxStalls {
+					ack := wire.StateAck{SessionID: sessionID, Object: m.cfg.Object, Cancel: true}
+					_ = m.send(context.Background(), peer, wire.KindStateAck, ack.Marshal())
+					return nil, fmt.Errorf("xfer: session %s: no progress from %s after %d re-requests",
+						sessionID, peer, stalls)
+				}
+			} else {
+				stalls = 0
+			}
+			lastProgress = progress
+			// Stalled: the request, the offer or a chunk window was lost, or
+			// the sponsor reaped the session. Re-open it at our high-water
+			// mark; a live sponsor rewinds, a restarted one re-offers.
+			if err := request(resume); err != nil {
+				return nil, err
+			}
+		case <-m.stop:
+			return nil, ErrClosed
+		case <-ctx.Done():
+			ack := wire.StateAck{SessionID: sessionID, Object: m.cfg.Object, Cancel: true}
+			_ = m.send(context.Background(), peer, wire.KindStateAck, ack.Marshal())
+			return nil, fmt.Errorf("xfer: session %s: %w", sessionID, ctx.Err())
+		}
+	}
+	res, err := m.verify(s, have, want, baseState)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	m.stats.SessionsFetched++
+	m.stats.BytesFetched += uint64(res.PayloadBytes)
+	m.mu.Unlock()
+	return res, nil
+}
+
+// verify reassembles a complete session and walks the verification chain:
+// payload hash against the signed offer/done, then — per mode — the
+// snapshot hash against the agreed tuple, or every delta step folded through
+// the application's ApplyUpdate with its resulting state checked against its
+// tuple's hash, ending exactly at the offered agreed tuple.
+func (m *Manager) verify(s *clientSession, have, want tuple.State, baseState []byte) (*Result, error) {
+	m.mu.Lock()
+	offer, done := *s.offer, *s.done
+	chunks := s.chunks
+	m.mu.Unlock()
+	// Reassembly runs outside m.mu: a complete session's chunk map is
+	// effectively frozen (every in-range index is present, so late
+	// duplicates fail the dup check and never write), and copying up to a
+	// gigabyte under the manager lock would stall every served session.
+	payload := make([]byte, 0, offer.TotalLen)
+	for i := uint64(0); i < offer.Chunks; i++ {
+		payload = append(payload, chunks[i]...)
+	}
+
+	if done.Agreed != offer.Agreed || done.PayloadHash != offer.PayloadHash || done.Chunks != offer.Chunks {
+		return nil, fmt.Errorf("%w: done does not match offer", ErrBadOffer)
+	}
+	if done.StateHash != offer.Agreed.HashState {
+		return nil, fmt.Errorf("%w: state hash does not match agreed tuple", ErrBadOffer)
+	}
+	if uint64(len(payload)) != offer.TotalLen || crypto.Hash(payload) != offer.PayloadHash {
+		return nil, fmt.Errorf("%w: payload hash mismatch", ErrBadPayload)
+	}
+	mode, state, deltas, err := decodePayload(payload)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadPayload, err)
+	}
+	if mode != offer.Mode {
+		return nil, fmt.Errorf("%w: payload mode does not match offer", ErrBadPayload)
+	}
+	res := &Result{
+		Agreed:       offer.Agreed,
+		Group:        offer.Group,
+		Members:      offer.Members,
+		Mode:         mode,
+		PayloadBytes: len(payload),
+		Chunks:       int(offer.Chunks),
+	}
+	switch mode {
+	case wire.XferUpToDate:
+		return res, nil
+	case wire.XferSnapshot:
+		if !offer.Agreed.Matches(state) {
+			return nil, fmt.Errorf("%w: snapshot does not match agreed tuple", ErrBadPayload)
+		}
+		res.State = state
+	case wire.XferDeltas:
+		if have.Zero() {
+			return nil, fmt.Errorf("%w: delta payload without a base state", ErrBadPayload)
+		}
+		st := baseState
+		prev := have
+		for i, d := range deltas {
+			if d.Pred != prev {
+				return nil, fmt.Errorf("%w: delta %d does not chain from %v", ErrBadPayload, i, prev)
+			}
+			if d.Tuple.Seq <= prev.Seq {
+				return nil, fmt.Errorf("%w: delta %d sequence does not advance", ErrBadPayload, i)
+			}
+			next, err := m.cfg.Engine.ApplyUpdateFn(st, d.Update)
+			if err != nil {
+				return nil, fmt.Errorf("%w: folding delta %d: %v", ErrBadPayload, i, err)
+			}
+			if !d.Tuple.Matches(next) {
+				return nil, fmt.Errorf("%w: delta %d does not yield its tuple's state", ErrBadPayload, i)
+			}
+			st, prev = next, d.Tuple
+		}
+		if prev != offer.Agreed {
+			return nil, fmt.Errorf("%w: delta chain ends at %v, offer says %v", ErrBadPayload, prev, offer.Agreed)
+		}
+		res.State = st
+		res.Deltas = len(deltas)
+	default:
+		return nil, fmt.Errorf("%w: unknown transfer mode %v", ErrBadPayload, mode)
+	}
+	if !want.Zero() && res.Agreed != want {
+		// The group's agreed state may legitimately advance between the
+		// Welcome and the transfer (coordination resumes the moment the
+		// sponsor applies the new membership); accept a strictly newer
+		// signed result, keeping the deviation as evidence.
+		if res.Agreed.Seq <= want.Seq {
+			return nil, fmt.Errorf("%w: transfer reached %v, want %v", ErrBadPayload, res.Agreed, want)
+		}
+		_ = m.logEvidence(s.id, "state-newer-than-welcome", nrlog.DirLocal,
+			[]byte(fmt.Sprintf("want seq %d, got seq %d", want.Seq, res.Agreed.Seq)))
+	}
+	return res, nil
+}
+
+// FetchAny tries peers in order until one transfer completes. Each attempt
+// is bounded by Fetch's own progress rule — a silent peer is abandoned
+// after a few unanswered re-requests, a slow-but-flowing transfer is not —
+// so failover is quick without capping legitimate transfer time.
+func (m *Manager) FetchAny(ctx context.Context, peers []string, have, want tuple.State) (*Result, error) {
+	var lastErr error
+	for _, peer := range peers {
+		if peer == m.cfg.Ident.ID() {
+			continue
+		}
+		res, err := m.Fetch(ctx, peer, have, want)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+	}
+	if lastErr == nil {
+		lastErr = ErrNoPeer
+	}
+	return nil, fmt.Errorf("%w: %v", ErrNoPeer, lastErr)
+}
+
+// CatchUp is the anti-entropy entry point for a live member: ask peers
+// (most recently joined first) for the agreed state this party is missing
+// and install the first verified result into the engine — which persists a
+// checkpoint and notifies the application exactly as a coordinated install
+// does. Returns true when the agreed state advanced; (false, nil) means a
+// reachable peer confirmed this party is current (unreachable peers cannot
+// contradict that — they serve the same agreed chain).
+func (m *Manager) CatchUp(ctx context.Context) (bool, error) {
+	en := m.cfg.Engine
+	haveT, _ := en.Agreed()
+	group, members := en.Group()
+	self := m.cfg.Ident.ID()
+	var lastErr error
+	current := 0
+	for i := len(members) - 1; i >= 0; i-- {
+		peer := members[i]
+		if peer == self {
+			continue
+		}
+		res, err := m.Fetch(ctx, peer, haveT, tuple.State{})
+		if ctx.Err() != nil {
+			return false, ctx.Err()
+		}
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if res.Mode == wire.XferUpToDate || res.Agreed.Seq <= haveT.Seq {
+			// Only a peer at least as current as us can confirm currency: a
+			// STALER peer also answers up-to-date (it has nothing for us),
+			// but its word says nothing about the runs we both missed.
+			if res.Agreed.Seq >= haveT.Seq {
+				current++
+			}
+			continue
+		}
+		if res.Group != group {
+			// State catch-up does not adjudicate membership: a group tuple
+			// we do not hold means we missed membership changes too, and
+			// those must come through the membership protocol (rejoin).
+			lastErr = ErrDiverged
+			continue
+		}
+		if err := en.InstallCatchUp(res.Agreed, res.State); err != nil {
+			lastErr = err
+			continue
+		}
+		return true, nil
+	}
+	if current > 0 || len(members) <= 1 {
+		return false, nil
+	}
+	return false, lastErr
+}

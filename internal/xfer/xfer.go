@@ -1,0 +1,317 @@
+// Package xfer implements the state-transfer / anti-entropy plane: chunked,
+// flow-controlled transfer of agreed object state between parties, so that a
+// welcomed joiner receives a multi-MiB object as a stream of bounded frames
+// instead of one giant Welcome datagram, and a member that missed commits
+// (crash, partition) has a network path back to the group.
+//
+// A session is opened by the requester with a signed StateRequest naming its
+// last-known agreed tuple. The serving party (the sponsor) answers with a
+// signed StateOffer describing the cheapest sufficient payload:
+//
+//   - a delta suffix — the update bytes of every agreed run after the
+//     requester's tuple, sourced from the durability plane's delta
+//     checkpoint chain, costing O(missing runs · delta) bytes; or
+//   - a chunked full snapshot, when the chain has been compacted past the
+//     requester's tuple (or the requester holds nothing at all); or
+//   - nothing (up-to-date).
+//
+// Payload bytes travel as CRC-framed StateChunk messages under a cumulative
+// StateAck window, and the session closes with a signed StateDone carrying
+// the expected final state hash. The requester reassembles, verifies the
+// payload hash against the signed offer/done, folds delta payloads through
+// the application's ApplyUpdate with per-step tuple-hash verification —
+// byte-identical to crash recovery's checkpoint replay — and only then
+// installs. See docs/ARCHITECTURE.md, "State transfer", for the safety
+// argument.
+package xfer
+
+import (
+	"context"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"time"
+
+	"b2b/internal/clock"
+	"b2b/internal/coord"
+	"b2b/internal/crypto"
+	"b2b/internal/nrlog"
+	"b2b/internal/tuple"
+	"b2b/internal/wire"
+)
+
+// Errors returned by the transfer plane.
+var (
+	ErrNoPeer     = errors.New("xfer: no peer completed the transfer")
+	ErrBadOffer   = errors.New("xfer: offer failed verification")
+	ErrBadPayload = errors.New("xfer: transfer payload failed verification")
+	ErrDiverged   = errors.New("xfer: peer's group membership diverged; rejoin required")
+	ErrClosed     = errors.New("xfer: manager closed")
+)
+
+// Policy tunes the transfer plane. The zero value selects the defaults noted
+// on each field. Transmission granularity is a distribution policy, not
+// application logic (after RAFDA): applications never see chunking.
+type Policy struct {
+	// ChunkSize is the payload bytes per StateChunk (default 256 KiB).
+	ChunkSize int
+	// Window is how many chunks may be unacknowledged in flight (default 8).
+	Window int
+	// InlineStateCap is the largest agreed state a Welcome still carries
+	// inline; bigger objects are handed to the joiner as a transfer session
+	// (default 64 KiB; negative: always inline, the legacy behaviour).
+	InlineStateCap int
+	// RequestTimeout is the progress timeout: a requester re-issues its
+	// request (with a resume index) after this long without a new chunk, and
+	// gives a peer 3x this before failing over to another (default 2s).
+	RequestTimeout time.Duration
+	// MaxSessions bounds concurrently served sessions (default 16).
+	MaxSessions int
+}
+
+// DefaultInlineStateCap is the Welcome inline-state threshold when the
+// policy leaves InlineStateCap zero.
+const DefaultInlineStateCap = 64 << 10
+
+// WithDefaults returns the policy with zero fields replaced by defaults.
+func (p Policy) WithDefaults() Policy {
+	if p.ChunkSize <= 0 {
+		p.ChunkSize = 256 << 10
+	}
+	if p.Window <= 0 {
+		p.Window = 8
+	}
+	if p.InlineStateCap == 0 {
+		p.InlineStateCap = DefaultInlineStateCap
+	}
+	if p.RequestTimeout <= 0 {
+		p.RequestTimeout = 2 * time.Second
+	}
+	if p.MaxSessions <= 0 {
+		p.MaxSessions = 16
+	}
+	return p
+}
+
+// Limits a hostile or corrupt offer may not exceed.
+const (
+	maxPayloadBytes = 1 << 30
+	maxChunks       = 1 << 20
+	// preOfferBufferCap / preOfferChunkCap bound the bytes and entries a
+	// requester buffers before the signed offer (with its authoritative
+	// geometry) has arrived — a reorder allowance, not a payload budget.
+	preOfferBufferCap = 8 << 20
+	preOfferChunkCap  = 256
+)
+
+// castagnoli is the chunk CRC table (CRC-32C, matching the WAL framing).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Config assembles a transfer manager's dependencies.
+type Config struct {
+	Ident    *crypto.Identity
+	Object   string
+	Verifier *crypto.Verifier
+	TSA      wire.Stamper
+	Conn     coord.Conn
+	Log      nrlog.Log
+	Clock    clock.Clock
+	Engine   *coord.Engine
+	Policy   Policy
+}
+
+// streamSender is the transport's backpressured bulk path
+// (transport.Reliable.SendStream); connections without it fall back to Send.
+type streamSender interface {
+	SendStream(ctx context.Context, to string, payload []byte, limit int) error
+}
+
+// Stats counts the transfer plane's work.
+type Stats struct {
+	SessionsServed   uint64 // transfer sessions this party served
+	DeltaSessions    uint64 // ... of which served a delta suffix
+	SnapshotSessions uint64 // ... of which served a full snapshot
+	UpToDateReplies  uint64 // requests answered "already current"
+	ChunksSent       uint64
+	BytesSent        uint64 // payload bytes sent
+	SessionsFetched  uint64 // completed requester-side sessions
+	BytesFetched     uint64 // payload bytes received
+}
+
+// Result is a completed requester-side transfer.
+type Result struct {
+	Agreed  tuple.State
+	Group   tuple.Group
+	Members []string
+	Mode    wire.XferMode
+	// State is the verified final object state (nil for XferUpToDate).
+	State []byte
+	// Deltas is the number of delta steps folded (deltas mode).
+	Deltas int
+	// PayloadBytes is the transfer payload size — the measure the E18
+	// experiment compares against full-snapshot join.
+	PayloadBytes int
+	Chunks       int
+}
+
+// serverSession is one transfer being served.
+type serverSession struct {
+	id        string
+	requester string
+	payload   []byte
+	offerRaw  []byte
+	doneRaw   []byte
+	chunks    uint64
+	window    uint64
+	next      uint64 // next chunk index to send
+	acked     uint64 // cumulative: requester holds all chunks < acked
+	cancelled bool
+	wake      chan struct{}
+}
+
+// clientSession is one transfer being fetched.
+type clientSession struct {
+	id       string
+	peer     string
+	offer    *wire.StateOffer
+	done     *wire.StateDone
+	chunks   map[uint64][]byte
+	contig   uint64 // chunks [0, contig) received
+	received uint64 // distinct chunks received
+	bytes    int
+	progress chan struct{}
+}
+
+// Manager runs the transfer plane for one object: it serves sessions to
+// peers (sponsor side) and fetches sessions from them (requester side).
+type Manager struct {
+	cfg Config
+	pol Policy
+
+	mu       sync.Mutex
+	serving  map[string]*serverSession
+	fetching map[string]*clientSession
+	stats    Stats
+	closed   bool
+	stop     chan struct{}
+}
+
+// New creates a transfer manager bound to a coordination engine.
+func New(cfg Config) (*Manager, error) {
+	if cfg.Ident == nil || cfg.Conn == nil || cfg.Log == nil || cfg.Clock == nil ||
+		cfg.Engine == nil || cfg.Verifier == nil {
+		return nil, errors.New("xfer: incomplete config")
+	}
+	if cfg.Object == "" {
+		return nil, errors.New("xfer: object name required")
+	}
+	return &Manager{
+		cfg:      cfg,
+		pol:      cfg.Policy.WithDefaults(),
+		serving:  make(map[string]*serverSession),
+		fetching: make(map[string]*clientSession),
+		stop:     make(chan struct{}),
+	}, nil
+}
+
+// Policy returns the manager's effective policy (defaults applied).
+func (m *Manager) Policy() Policy { return m.pol }
+
+// Stats returns a snapshot of the transfer counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Close aborts all sessions; further fetches fail.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	for _, s := range m.serving {
+		s.cancelled = true
+		signal(s.wake)
+	}
+	m.mu.Unlock()
+	close(m.stop)
+}
+
+func signal(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+func (m *Manager) logEvidence(sessionID, kind string, dir nrlog.Direction, payload []byte) error {
+	_, err := m.cfg.Log.Append(sessionID, m.cfg.Object, kind, m.cfg.Ident.ID(), dir, payload)
+	if err != nil {
+		return fmt.Errorf("xfer: recording evidence: %w", err)
+	}
+	return nil
+}
+
+// envelope frames a payload for transport with a fresh message id.
+func (m *Manager) envelope(to string, kind wire.Kind, payload []byte) ([]byte, error) {
+	n, err := crypto.Nonce()
+	if err != nil {
+		return nil, err
+	}
+	env := wire.Envelope{
+		MsgID:   hex.EncodeToString(n[:12]),
+		From:    m.cfg.Ident.ID(),
+		To:      to,
+		Object:  m.cfg.Object,
+		Kind:    kind,
+		Payload: payload,
+	}
+	return env.Marshal(), nil
+}
+
+// send wraps payload in an envelope and transmits it.
+func (m *Manager) send(ctx context.Context, to string, kind wire.Kind, payload []byte) error {
+	raw, err := m.envelope(to, kind, payload)
+	if err != nil {
+		return err
+	}
+	return m.cfg.Conn.Send(ctx, to, raw)
+}
+
+// sendStream is send through the transport's backpressured bulk path, so a
+// 16 MiB transfer feeds the outbox at the receiver's pace instead of
+// flooding it and starving coordination traffic on the shared connection.
+func (m *Manager) sendStream(ctx context.Context, to string, kind wire.Kind, payload []byte, limit int) error {
+	ss, ok := m.cfg.Conn.(streamSender)
+	if !ok {
+		return m.send(ctx, to, kind, payload)
+	}
+	raw, err := m.envelope(to, kind, payload)
+	if err != nil {
+		return err
+	}
+	return ss.SendStream(ctx, to, raw, limit)
+}
+
+// HandleEnvelope dispatches inbound transfer traffic (both sides).
+func (m *Manager) HandleEnvelope(from string, env wire.Envelope) {
+	switch env.Kind {
+	case wire.KindStateRequest:
+		m.handleRequest(from, env.Payload)
+	case wire.KindStateOffer:
+		m.handleOffer(from, env.Payload)
+	case wire.KindStateChunk:
+		m.handleChunk(from, env.Payload)
+	case wire.KindStateAck:
+		m.handleAck(from, env.Payload)
+	case wire.KindStateDone:
+		m.handleDone(from, env.Payload)
+	default:
+		_ = m.logEvidence("", "unknown-kind", nrlog.DirReceived, env.Marshal())
+	}
+}

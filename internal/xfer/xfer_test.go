@@ -1,0 +1,342 @@
+package xfer_test
+
+import (
+	"bytes"
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"b2b/internal/coord"
+	"b2b/internal/faults"
+	"b2b/internal/lab"
+	"b2b/internal/tuple"
+	"b2b/internal/wire"
+	"b2b/internal/xfer"
+)
+
+const obj = "ledger"
+
+// bigState builds a deterministic pseudo-random state of n bytes.
+func bigState(n int) []byte {
+	out := make([]byte, n)
+	x := uint32(2463534242)
+	for i := range out {
+		x ^= x << 13
+		x ^= x >> 17
+		x ^= x << 5
+		out[i] = byte(x)
+	}
+	return out
+}
+
+func joinCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// TestJoinDeferredWelcome: a join whose agreed state exceeds the inline cap
+// receives a Welcome without state and fetches it as a chunked snapshot
+// session from the sponsor, verified against the evidence-authenticated
+// agreed tuple.
+func TestJoinDeferredWelcome(t *testing.T) {
+	pol := xfer.Policy{ChunkSize: 16 << 10, InlineStateCap: 32 << 10, RequestTimeout: 300 * time.Millisecond}
+	w, err := lab.NewWorld(lab.Options{Seed: 42, Transfer: pol}, "a", "b", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Bind(obj, func(string) coord.Validator { return lab.AcceptAllValidator() }, nil); err != nil {
+		t.Fatal(err)
+	}
+	initial := bigState(200 << 10)
+	if err := w.Bootstrap(obj, initial, []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := w.Party("c").Manager(obj).Join(joinCtx(t), "a"); err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	_, got := w.Party("c").Engine(obj).Agreed()
+	if !bytes.Equal(got, initial) {
+		t.Fatalf("joiner state: %d bytes, want %d", len(got), len(initial))
+	}
+	// Sponsor of the join is the most recently joined member, "b".
+	st := w.Party("b").Xfer(obj).Stats()
+	if st.SnapshotSessions != 1 {
+		t.Fatalf("sponsor snapshot sessions = %d, want 1", st.SnapshotSessions)
+	}
+	if want := uint64((200<<10)/(16<<10)) + 1; st.ChunksSent < want-1 {
+		t.Fatalf("sponsor sent %d chunks, want >= %d", st.ChunksSent, want-1)
+	}
+	cst := w.Party("c").Xfer(obj).Stats()
+	if cst.SessionsFetched != 1 || cst.BytesFetched < 200<<10 {
+		t.Fatalf("joiner fetch stats = %+v", cst)
+	}
+}
+
+// TestJoinSmallStateStaysInline: below the inline cap the legacy one-frame
+// Welcome still carries the state and no transfer session runs.
+func TestJoinSmallStateStaysInline(t *testing.T) {
+	w, err := lab.NewWorld(lab.Options{Seed: 43}, "a", "b", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Bind(obj, func(string) coord.Validator { return lab.AcceptAllValidator() }, nil); err != nil {
+		t.Fatal(err)
+	}
+	initial := []byte("small agreed state")
+	if err := w.Bootstrap(obj, initial, []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Party("c").Manager(obj).Join(joinCtx(t), "b"); err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	_, got := w.Party("c").Engine(obj).Agreed()
+	if !bytes.Equal(got, initial) {
+		t.Fatalf("joiner state = %q", got)
+	}
+	if st := w.Party("b").Xfer(obj).Stats(); st.SessionsServed != 0 {
+		t.Fatalf("inline join served %d transfer sessions", st.SessionsServed)
+	}
+}
+
+// TestCatchUpSnapshot: a member whose commits were selectively omitted
+// (§4.4) catches up over the network from any live peer with a verified
+// snapshot, and installs it into engine and store.
+func TestCatchUpSnapshot(t *testing.T) {
+	pol := xfer.Policy{RequestTimeout: 300 * time.Millisecond}
+	w, err := lab.NewWorld(lab.Options{Seed: 44, Transfer: pol}, "a", "b", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Bind(obj, func(string) coord.Validator { return lab.AcceptAllValidator() }, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Bootstrap(obj, []byte("genesis"), []string{"a", "b", "c"}); err != nil {
+		t.Fatal(err)
+	}
+	// The proposer omits its commit to c: c answers the run, then never
+	// learns the outcome — a deterministically lagging party.
+	w.Party("a").Interceptor.SetOnSend(faults.DropEnvelopeKinds("c", wire.KindCommit))
+
+	ctx := joinCtx(t)
+	newState := []byte("genesis+rev1")
+	if _, err := w.Party("a").Engine(obj).Propose(ctx, newState); err != nil {
+		t.Fatalf("propose: %v", err)
+	}
+	if err := w.WaitAgreed(obj, []string{"a", "b"}, newState, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, got := w.Party("c").Engine(obj).Agreed(); !bytes.Equal(got, []byte("genesis")) {
+		t.Fatalf("c should be stale, agreed = %q", got)
+	}
+
+	advanced, err := w.Party("c").Xfer(obj).CatchUp(ctx)
+	if err != nil {
+		t.Fatalf("catch-up: %v", err)
+	}
+	if !advanced {
+		t.Fatal("catch-up reported no progress")
+	}
+	if _, got := w.Party("c").Engine(obj).Agreed(); !bytes.Equal(got, newState) {
+		t.Fatalf("c after catch-up: %q", got)
+	}
+	// A second catch-up is a no-op: every peer confirms currency.
+	advanced, err = w.Party("c").Xfer(obj).CatchUp(ctx)
+	if err != nil || advanced {
+		t.Fatalf("second catch-up: advanced=%t err=%v", advanced, err)
+	}
+}
+
+// TestCatchUpDeltas: with plane storage retaining the delta checkpoint
+// chain, a member N runs behind syncs with O(N·delta) bytes — the delta
+// suffix — instead of the full object, each step hash-verified.
+func TestCatchUpDeltas(t *testing.T) {
+	const stateSize = 256 << 10
+	const runs = 24
+	pol := xfer.Policy{RequestTimeout: 300 * time.Millisecond}
+	w, err := lab.NewWorld(lab.Options{
+		Seed:          45,
+		Transfer:      pol,
+		StorageDir:    t.TempDir(),
+		SnapshotEvery: 1024,
+	}, "a", "b", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Bind(obj, func(string) coord.Validator { return lab.PatchValidator() }, nil); err != nil {
+		t.Fatal(err)
+	}
+	initial := bigState(stateSize)
+	if err := w.Bootstrap(obj, initial, []string{"a", "b", "c"}); err != nil {
+		t.Fatal(err)
+	}
+	w.Party("a").Interceptor.SetOnSend(faults.DropEnvelopeKinds("c", wire.KindCommit))
+
+	ctx := joinCtx(t)
+	state := append([]byte(nil), initial...)
+	for i := 0; i < runs; i++ {
+		patch := lab.Patch(i*8, []byte{byte(i), 1, 2, 3})
+		var err error
+		state, err = lab.PatchValidator().ApplyUpdate(state, patch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Party("a").Engine(obj).ProposeUpdate(ctx, patch); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	if err := w.WaitAgreed(obj, []string{"a", "b"}, state, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	advanced, err := w.Party("c").Xfer(obj).CatchUp(ctx)
+	if err != nil {
+		t.Fatalf("catch-up: %v", err)
+	}
+	if !advanced {
+		t.Fatal("catch-up reported no progress")
+	}
+	if _, got := w.Party("c").Engine(obj).Agreed(); !bytes.Equal(got, state) {
+		t.Fatal("c did not converge to the agreed state")
+	}
+	// The transfer must have been the delta suffix, orders of magnitude
+	// smaller than the object.
+	cst := w.Party("c").Xfer(obj).Stats()
+	if cst.BytesFetched == 0 || cst.BytesFetched > stateSize/10 {
+		t.Fatalf("delta catch-up moved %d bytes (object is %d)", cst.BytesFetched, stateSize)
+	}
+	served := false
+	for _, id := range []string{"a", "b"} {
+		if st := w.Party(id).Xfer(obj).Stats(); st.DeltaSessions > 0 {
+			served = true
+		}
+	}
+	if !served {
+		t.Fatal("no peer served a delta session")
+	}
+}
+
+// TestFetchResumesAfterChunkLoss: a transfer that loses its first chunk
+// window re-opens the session at the requester's high-water mark and
+// completes — the crash/loss-mid-transfer resumption rule.
+func TestFetchResumesAfterChunkLoss(t *testing.T) {
+	pol := xfer.Policy{ChunkSize: 4 << 10, Window: 4, RequestTimeout: 200 * time.Millisecond}
+	w, err := lab.NewWorld(lab.Options{Seed: 46, Transfer: pol}, "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Bind(obj, func(string) coord.Validator { return lab.AcceptAllValidator() }, nil); err != nil {
+		t.Fatal(err)
+	}
+	initial := bigState(64 << 10)
+	if err := w.Bootstrap(obj, initial, []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drop the first 6 chunk transmissions from a, then heal.
+	var dropped atomic.Int32
+	drop := faults.DropEnvelopeKinds("b", wire.KindStateChunk)
+	w.Party("a").Interceptor.SetOnSend(func(to string, payload []byte) (faults.Action, []byte) {
+		act, repl := drop(to, payload)
+		if act == faults.Drop {
+			if dropped.Add(1) > 6 {
+				return faults.Pass, nil
+			}
+		}
+		return act, repl
+	})
+
+	ctx := joinCtx(t)
+	res, err := w.Party("b").Xfer(obj).Fetch(ctx, "a", tuple.State{}, tuple.State{})
+	if err != nil {
+		t.Fatalf("fetch: %v", err)
+	}
+	if !bytes.Equal(res.State, initial) {
+		t.Fatal("fetched state differs")
+	}
+	if dropped.Load() < 6 {
+		t.Fatalf("fault injector only saw %d chunks", dropped.Load())
+	}
+}
+
+// TestJoinFailsOverWhenSponsorDies: the sponsor welcomes the subject and
+// then serves nothing (its transfer traffic is blackholed — a sponsor crash
+// right after the Welcome); the joiner times the sponsor out and fetches
+// the deferred state from another member.
+func TestJoinFailsOverWhenSponsorDies(t *testing.T) {
+	pol := xfer.Policy{ChunkSize: 16 << 10, InlineStateCap: 32 << 10, RequestTimeout: 150 * time.Millisecond}
+	w, err := lab.NewWorld(lab.Options{Seed: 47, Transfer: pol}, "a", "b", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Bind(obj, func(string) coord.Validator { return lab.AcceptAllValidator() }, nil); err != nil {
+		t.Fatal(err)
+	}
+	initial := bigState(128 << 10)
+	if err := w.Bootstrap(obj, initial, []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	// Sponsor b answers the membership run and sends the Welcome, but its
+	// transfer plane is dead.
+	w.Party("b").Interceptor.SetOnSend(faults.DropEnvelopeKinds("",
+		wire.KindStateOffer, wire.KindStateChunk, wire.KindStateDone))
+
+	if err := w.Party("c").Manager(obj).Join(joinCtx(t), "a"); err != nil {
+		t.Fatalf("join with dead sponsor: %v", err)
+	}
+	_, got := w.Party("c").Engine(obj).Agreed()
+	if !bytes.Equal(got, initial) {
+		t.Fatal("joiner state differs")
+	}
+	if st := w.Party("a").Xfer(obj).Stats(); st.SnapshotSessions == 0 {
+		t.Fatal("failover peer a served no session")
+	}
+}
+
+// TestRequesterRestartsSession: a requester that dies mid-transfer (its
+// fetch is cancelled) and comes back opens a fresh session and completes;
+// the sponsor's orphaned session is reaped by its idle timeout.
+func TestRequesterRestartsSession(t *testing.T) {
+	pol := xfer.Policy{ChunkSize: 4 << 10, Window: 2, RequestTimeout: 150 * time.Millisecond}
+	w, err := lab.NewWorld(lab.Options{Seed: 48, Transfer: pol}, "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Bind(obj, func(string) coord.Validator { return lab.AcceptAllValidator() }, nil); err != nil {
+		t.Fatal(err)
+	}
+	initial := bigState(64 << 10)
+	if err := w.Bootstrap(obj, initial, []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// First attempt: the link eats every chunk, and the requester dies
+	// (its fetch context expires) mid-transfer with the session incomplete.
+	w.Party("a").Interceptor.SetOnSend(faults.DropEnvelopeKinds("b", wire.KindStateChunk))
+	shortCtx, cancel := context.WithTimeout(context.Background(), 400*time.Millisecond)
+	_, err = w.Party("b").Xfer(obj).Fetch(shortCtx, "a", tuple.State{}, tuple.State{})
+	cancel()
+	if err == nil {
+		t.Fatal("expected the interrupted fetch to fail")
+	}
+	w.Party("a").Interceptor.SetOnSend(nil)
+
+	// The restarted requester succeeds with a fresh session.
+	res, err := w.Party("b").Xfer(obj).Fetch(joinCtx(t), "a", tuple.State{}, tuple.State{})
+	if err != nil {
+		t.Fatalf("restarted fetch: %v", err)
+	}
+	if !bytes.Equal(res.State, initial) {
+		t.Fatal("fetched state differs")
+	}
+}

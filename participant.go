@@ -15,6 +15,7 @@ import (
 	"b2b/internal/store"
 	"b2b/internal/transport"
 	"b2b/internal/wire"
+	"b2b/internal/xfer"
 )
 
 // Errors returned by the public API.
@@ -110,6 +111,7 @@ type participantOpts struct {
 	storageDir      string
 	durability      DurabilityPolicy
 	legacyStorage   bool
+	transfer        TransferPolicy
 	retryInterval   time.Duration
 	responseTimeout time.Duration
 	opTimeout       time.Duration
@@ -167,6 +169,17 @@ func WithDurability(p DurabilityPolicy) Option {
 // for reading old deployments' state; new deployments should not use it.
 func WithLegacyStorage() Option {
 	return func(o *participantOpts) { o.legacyStorage = true }
+}
+
+// TransferPolicy tunes the state-transfer plane: the chunk size and
+// flow-control window of transfer sessions, the largest agreed state a
+// Welcome still carries inline, and the per-attempt progress timeout. The
+// zero value selects the defaults documented on the fields.
+type TransferPolicy = xfer.Policy
+
+// WithTransfer sets the state-transfer policy.
+func WithTransfer(p TransferPolicy) Option {
+	return func(o *participantOpts) { o.transfer = p }
 }
 
 // WithRetryInterval tunes the protocol-level retry period.
@@ -271,6 +284,7 @@ func NewParticipant(ident *crypto.Identity, td *TrustDomain, conn core.Conn, opt
 		RetryInterval:   o.retryInterval,
 		ResponseTimeout: o.responseTimeout,
 		SnapshotEvery:   o.durability.SnapshotEvery,
+		Transfer:        o.transfer,
 	})
 	if err != nil {
 		if plane != nil {
@@ -305,16 +319,32 @@ func (p *Participant) Bind(object string, obj Object, cb Callback) (*Controller,
 	if err != nil {
 		return nil, err
 	}
+	xm, err := p.part.Xfer(object)
+	if err != nil {
+		return nil, err
+	}
 	return &Controller{
 		object:    object,
 		obj:       obj,
 		adapter:   adapter,
 		engine:    engine,
 		manager:   manager,
+		xfer:      xm,
 		mode:      p.opts.mode,
 		cb:        cb,
 		opTimeout: p.opts.opTimeout,
 	}, nil
+}
+
+// TransferStats reports the state-transfer plane's counters for a bound
+// object: sessions served (delta vs snapshot), chunks and payload bytes in
+// both directions.
+func (p *Participant) TransferStats(object string) (xfer.Stats, error) {
+	xm, err := p.part.Xfer(object)
+	if err != nil {
+		return xfer.Stats{}, err
+	}
+	return xm.Stats(), nil
 }
 
 // Close shuts the participant down.
