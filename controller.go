@@ -124,7 +124,7 @@ func (c *Controller) AgreedState() []byte {
 
 // AgreedSeq returns the sequence number of the agreed state tuple.
 func (c *Controller) AgreedSeq() uint64 {
-	t, _ := c.engine.Agreed()
+	t := c.engine.AgreedTuple()
 	return t.Seq
 }
 

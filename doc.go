@@ -157,6 +157,10 @@
 //   - internal/crypto, internal/nrlog, internal/store, internal/clock,
 //     internal/tuple, internal/canon — identities and signing, the
 //     non-repudiation log, checkpoint store, time, state tuples, encoding.
+//   - internal/pagestate — the paged Merkle state identity behind every
+//     tuple's HashState, and the copy-on-write replica representation that
+//     makes per-run cost O(delta), independent of object size (tune with
+//     WithPaging; see docs/ARCHITECTURE.md, "State identity").
 //   - internal/lab, internal/faults — test worlds and adversarial fault
 //     injection; internal/ttp, internal/rmi, internal/apps — §7 extensions,
 //     remote invocation, example applications.
@@ -171,6 +175,7 @@
 //	go run ./cmd/b2bbench -exp E17  # durability plane: delta checkpoints, group commit
 //	go run ./cmd/b2bbench -exp E17 -soak  # the CI soak: >=10k runs, bounded disk
 //	go run ./cmd/b2bbench -exp E18  # state transfer: delta catch-up vs snapshot, chunked join
+//	go run ./cmd/b2bbench -exp E19  # paged Merkle identity: O(delta) runs on large objects
 //
 // Benchmarks (message complexity, state size, communication modes, batching,
 // multi-object and pipelined throughput) run with:

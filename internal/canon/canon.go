@@ -13,6 +13,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -50,6 +51,31 @@ type Encoder struct {
 
 // NewEncoder returns an empty encoder.
 func NewEncoder() *Encoder { return &Encoder{} }
+
+// encPool recycles encoder buffers for the marshal-once hot paths (propose /
+// respond / commit construction, envelope framing): the repeated
+// append-growth of a fresh buffer per message becomes a single right-sized
+// copy out of a warm buffer.
+var encPool = sync.Pool{New: func() any { return new(Encoder) }}
+
+// maxPooledBuf caps the buffer size returned to the pool, so one multi-MiB
+// state marshal does not pin a giant buffer for the process lifetime.
+const maxPooledBuf = 1 << 20
+
+// Marshal encodes through a pooled encoder: fn writes the value, and the
+// result is a fresh, exactly-sized copy of the encoding. Use for hot-path
+// Marshal implementations; NewEncoder remains for incremental callers that
+// keep the buffer.
+func Marshal(fn func(*Encoder)) []byte {
+	e := encPool.Get().(*Encoder)
+	e.buf = e.buf[:0]
+	fn(e)
+	out := append(make([]byte, 0, len(e.buf)), e.buf...)
+	if cap(e.buf) <= maxPooledBuf {
+		encPool.Put(e)
+	}
+	return out
+}
 
 // Out returns the encoded buffer. The returned slice aliases the encoder's
 // internal buffer; callers that keep encoding afterwards must copy it first.

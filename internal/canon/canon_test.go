@@ -2,6 +2,7 @@ package canon
 
 import (
 	"bytes"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -266,4 +267,39 @@ func TestUint8StrictRange(t *testing.T) {
 	if d2.Err() == nil {
 		t.Fatal("out-of-range uint8 accepted")
 	}
+}
+
+// TestPooledMarshal: pooled encoding must equal fresh encoding, outputs must
+// not alias the recycled buffer, and concurrent use must be safe.
+func TestPooledMarshal(t *testing.T) {
+	enc := func(e *Encoder) {
+		e.Struct("pooled")
+		e.Uint64(7)
+		e.String("hello")
+		e.Bytes([]byte{1, 2, 3})
+	}
+	ref := NewEncoder()
+	enc(ref)
+	a := Marshal(enc)
+	b := Marshal(func(e *Encoder) { e.Struct("other"); e.Uint64(9) })
+	if !bytes.Equal(a, ref.Out()) {
+		t.Fatal("pooled encoding differs from fresh encoding")
+	}
+	if bytes.Equal(a, b) {
+		t.Fatal("distinct marshals alias one buffer")
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				if got := Marshal(enc); !bytes.Equal(got, ref.Out()) {
+					t.Error("concurrent pooled marshal corrupted")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

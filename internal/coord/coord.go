@@ -34,6 +34,7 @@ import (
 	"b2b/internal/clock"
 	"b2b/internal/crypto"
 	"b2b/internal/nrlog"
+	"b2b/internal/pagestate"
 	"b2b/internal/store"
 	"b2b/internal/tuple"
 	"b2b/internal/wire"
@@ -122,6 +123,11 @@ type Config struct {
 	// many deltas a full snapshot is written so recovery never replays an
 	// unbounded chain. Zero selects the default (32).
 	SnapshotEvery int
+	// PageSize is the paged state identity's page granularity (zero: the
+	// pagestate default, 4 KiB). It is a protocol parameter bound into every
+	// HashState the group agrees on — all members must configure the same
+	// value (see internal/pagestate).
+	PageSize int
 }
 
 // defaultSnapshotEvery bounds a delta checkpoint chain when the config
@@ -141,7 +147,10 @@ type Outcome struct {
 	Diagnostic string
 }
 
-// Stats counts protocol messages for the message-complexity experiment.
+// Stats counts protocol messages for the message-complexity experiment,
+// plus the verified-signature memo's effectiveness (ed25519 verifies skipped
+// because the identical signed bytes had already been verified — or signed —
+// by this party).
 type Stats struct {
 	ProposesSent  uint64
 	RespondsSent  uint64
@@ -150,6 +159,8 @@ type Stats struct {
 	RunsValid     uint64
 	RunsInvalid   uint64
 	RunsCommitted uint64 // runs committed as recipient
+	SigMemoHits   uint64 // signature verifications skipped via the memo
+	SigVerifies   uint64 // signature verifications actually performed
 }
 
 // proposerRun tracks one in-flight proposal at the proposer. Runs form a
@@ -163,7 +174,7 @@ type proposerRun struct {
 	signed    wire.Signed
 	raw       []byte // signed.Marshal(), computed once and reused
 	auth      []byte
-	newState  []byte
+	newState  *pagestate.Paged // proposed state; immutable, pages shared COW
 	responses map[string]wire.Signed
 	parsed    map[string]wire.Respond
 	recips    []string
@@ -190,7 +201,7 @@ type respondedRun struct {
 	propose  wire.Signed // exact signed propose we responded to
 	respond  wire.Signed
 	decision wire.Decision
-	newState []byte // state that a valid commit will install
+	newState *pagestate.Paged // state a valid commit will install (shared COW)
 	proposed tuple.State
 	pred     tuple.State
 	started  time.Time
@@ -216,6 +227,11 @@ type pendingMsg struct {
 type Engine struct {
 	cfg Config
 
+	// pv is the validator's optional paged fast path (nil: flat shim), and
+	// memo the bounded verified-signature cache.
+	pv   PagedValidator
+	memo *sigMemo
+
 	// blog/bstore are the optional batched-durability surfaces of the log
 	// and store (the durability plane): records are staged without
 	// per-record fsyncs and one barrier() per protocol step makes the
@@ -229,9 +245,9 @@ type Engine struct {
 	members      []string // join-ordered, including self
 	group        tuple.Group
 	agreed       tuple.State
-	agreedState  []byte
+	agreedState  *pagestate.Paged // immutable once stored; clones share pages
 	current      tuple.State
-	currentState []byte
+	currentState *pagestate.Paged
 	seen         *tuple.Seen
 	frozen       bool
 
@@ -276,6 +292,7 @@ func New(cfg Config) (*Engine, error) {
 	}
 	en := &Engine{
 		cfg:          cfg,
+		memo:         newSigMemo(),
 		seen:         tuple.NewSeen(),
 		runs:         make(map[string]*proposerRun),
 		responded:    make(map[string]*respondedRun),
@@ -287,6 +304,7 @@ func New(cfg Config) (*Engine, error) {
 	}
 	en.blog, _ = cfg.Log.(nrlog.Batched)
 	en.bstore, _ = cfg.Store.(store.Batched)
+	en.pv, _ = cfg.Validator.(PagedValidator)
 	return en, nil
 }
 
@@ -332,8 +350,8 @@ func (en *Engine) Bootstrap(initialState []byte, members []string) error {
 	}
 	en.members = append([]string(nil), members...)
 	en.group = tuple.InitialGroup(members)
-	en.agreed = tuple.Initial(initialState)
-	en.agreedState = append([]byte(nil), initialState...)
+	en.agreedState = en.pageState(initialState)
+	en.agreed = tuple.InitialRoot(en.agreedState.Root())
 	en.current = en.agreed
 	en.currentState = en.agreedState
 	en.bootstrapped = true
@@ -363,19 +381,19 @@ func (en *Engine) Restore() error {
 	if chain[0].Delta {
 		return fmt.Errorf("coord: restoring %s: chain does not start at a full snapshot", en.cfg.Object)
 	}
-	state := append([]byte(nil), chain[0].State...)
-	if !chain[0].Tuple.Matches(state) {
+	state := en.pageState(chain[0].State)
+	if !chain[0].Tuple.MatchesRoot(state.Root()) {
 		return fmt.Errorf("coord: restoring %s: snapshot does not match its tuple", en.cfg.Object)
 	}
 	for _, cp := range chain[1:] {
 		if !cp.Delta {
 			return fmt.Errorf("coord: restoring %s: full snapshot mid-chain", en.cfg.Object)
 		}
-		state, err = en.cfg.Validator.ApplyUpdate(state, cp.Update)
+		state, err = en.applyUpdateOn(state, cp.Update)
 		if err != nil {
 			return fmt.Errorf("coord: restoring %s: replaying delta seq %d: %w", en.cfg.Object, cp.Tuple.Seq, err)
 		}
-		if !cp.Tuple.Matches(state) {
+		if !cp.Tuple.MatchesRoot(state.Root()) {
 			return fmt.Errorf("coord: restoring %s: delta seq %d does not yield its tuple's state", en.cfg.Object, cp.Tuple.Seq)
 		}
 	}
@@ -403,13 +421,14 @@ func (en *Engine) AdoptMembership(g tuple.Group, members []string, agreed tuple.
 	if en.bootstrapped {
 		return ErrAlreadySetup
 	}
-	if !agreed.Matches(state) {
+	paged := en.pageState(state)
+	if !agreed.MatchesRoot(paged.Root()) {
 		return fmt.Errorf("coord: welcome state does not match agreed tuple")
 	}
 	en.members = append([]string(nil), members...)
 	en.group = g
 	en.agreed = agreed
-	en.agreedState = append([]byte(nil), state...)
+	en.agreedState = paged
 	en.current = agreed
 	en.currentState = en.agreedState
 	en.seen.ObserveRecovered(agreed)
@@ -446,19 +465,44 @@ func (en *Engine) Unfreeze() {
 	en.frozen = false
 }
 
-// Agreed returns the agreed state tuple and a copy of the agreed state.
+// Agreed returns the agreed state tuple and a flat copy of the agreed state
+// (O(S) materialization — replica-sharing paths use AgreedPaged).
 func (en *Engine) Agreed() (tuple.State, []byte) {
-	en.mu.Lock()
-	defer en.mu.Unlock()
-	return en.agreed, append([]byte(nil), en.agreedState...)
+	t, p := en.AgreedPaged()
+	if p == nil {
+		return t, nil
+	}
+	return t, p.Bytes()
 }
 
-// Current returns the current state tuple and a copy of the current state
-// (differs from Agreed only at a proposer mid-run).
-func (en *Engine) Current() (tuple.State, []byte) {
+// AgreedPaged returns the agreed tuple and the paged agreed state itself.
+// The returned Paged is shared and immutable: readers may hash, page-walk or
+// Bytes() it freely, but must mutate only a Clone.
+func (en *Engine) AgreedPaged() (tuple.State, *pagestate.Paged) {
 	en.mu.Lock()
 	defer en.mu.Unlock()
-	return en.current, append([]byte(nil), en.currentState...)
+	return en.agreed, en.agreedState
+}
+
+// AgreedTuple returns just the agreed tuple — the accessor for callers that
+// need no state bytes (no O(S) materialization).
+func (en *Engine) AgreedTuple() tuple.State {
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	return en.agreed
+}
+
+// Current returns the current state tuple and a flat copy of the current
+// state (differs from Agreed only at a proposer mid-run).
+func (en *Engine) Current() (tuple.State, []byte) {
+	en.mu.Lock()
+	state := en.currentState
+	t := en.current
+	en.mu.Unlock()
+	if state == nil {
+		return t, nil
+	}
+	return t, state.Bytes()
 }
 
 // Group returns the group tuple and join-ordered membership.
@@ -471,8 +515,10 @@ func (en *Engine) Group() (tuple.Group, []string) {
 // Stats returns a snapshot of the engine's message counters.
 func (en *Engine) Stats() Stats {
 	en.mu.Lock()
-	defer en.mu.Unlock()
-	return en.stats
+	st := en.stats
+	en.mu.Unlock()
+	st.SigMemoHits, st.SigVerifies = en.memo.stats()
+	return st
 }
 
 // ActiveRuns reports runs this party answered as recipient that have not yet
@@ -513,11 +559,13 @@ func (en *Engine) recipientsLocked() []string {
 }
 
 // snapshotLocked builds a full checkpoint of the agreed state; en.mu held.
+// The O(S) materialization happens only here — once per SnapshotEvery
+// update-mode runs, or per overwrite — not per run.
 func (en *Engine) snapshotLocked() store.Checkpoint {
 	return store.Checkpoint{
 		Object:  en.cfg.Object,
 		Tuple:   en.agreed,
-		State:   append([]byte(nil), en.agreedState...),
+		State:   en.agreedState.Bytes(),
 		Group:   en.group,
 		Members: append([]string(nil), en.members...),
 		Time:    en.cfg.Clock.Now(),
@@ -671,15 +719,16 @@ func (en *Engine) forceSuffixLocked(run *proposerRun) {
 
 // syncCurrentLocked restores the proposer-view invariant: current is the
 // tail of the speculative pipeline, or the agreed state when no run is in
-// flight.
+// flight. Paged states are immutable once stored, so these are pointer
+// shares, not copies.
 func (en *Engine) syncCurrentLocked() {
 	if tail := en.tailLocked(); tail != nil {
 		en.current = tail.propose.Proposed
-		en.currentState = append([]byte(nil), tail.newState...)
+		en.currentState = tail.newState
 		return
 	}
 	en.current = en.agreed
-	en.currentState = append([]byte(nil), en.agreedState...)
+	en.currentState = en.agreedState
 }
 
 // completeLocked records a finished run's outcome, evicting the oldest
@@ -790,7 +839,8 @@ func (en *Engine) InstallCatchUp(t tuple.State, state []byte) error {
 		en.mu.Unlock()
 		return ErrNotBootstrapd
 	}
-	if !t.Matches(state) {
+	paged := en.pageState(state)
+	if !t.MatchesRoot(paged.Root()) {
 		en.mu.Unlock()
 		return fmt.Errorf("coord: catch-up state does not match its tuple")
 	}
@@ -803,24 +853,17 @@ func (en *Engine) InstallCatchUp(t tuple.State, state []byte) error {
 		return ErrRunInFlight
 	}
 	en.agreed = t
-	en.agreedState = append([]byte(nil), state...)
+	en.agreedState = paged
 	en.seen.ObserveRecovered(t)
 	en.syncCurrentLocked()
 	err := en.checkpointLocked()
-	installed := append([]byte(nil), en.agreedState...)
+	installed := en.agreedState
 	en.mu.Unlock()
 	if err != nil {
 		return err
 	}
-	en.cfg.Validator.Installed(installed, t)
+	en.notifyInstalled(installed, t)
 	return nil
-}
-
-// ApplyUpdateFn exposes the application's update fold for the transfer
-// plane: folding a served delta chain through the same ApplyUpdate recovery
-// uses keeps catch-up and crash recovery byte-identical.
-func (en *Engine) ApplyUpdateFn(current, update []byte) ([]byte, error) {
-	return en.cfg.Validator.ApplyUpdate(current, update)
 }
 
 // Reset returns a departed member's engine to the unbootstrapped state so

@@ -1,0 +1,98 @@
+package coord
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"b2b/internal/pagestate"
+	"b2b/internal/tuple"
+)
+
+// TestUpdateOverwriteEquivalence: coordinating an update and overwriting
+// with the state it produces must yield the same HashState — the paged
+// Merkle root is a pure function of content, not of how the content was
+// reached. The update is sized to straddle a page boundary, the case where
+// an incremental root rebind could plausibly diverge from a flat rebuild.
+func TestUpdateOverwriteEquivalence(t *testing.T) {
+	// Initial state ends 10 bytes before a page boundary; the 50-byte
+	// append crosses it.
+	initial := make([]byte, 2*pagestate.DefaultPageSize-10)
+	for i := range initial {
+		initial[i] = byte(i * 13)
+	}
+	update := bytes.Repeat([]byte("u"), 50)
+	expected := append(append([]byte(nil), initial...), update...)
+
+	c := newCluster(t, []string{"alice", "bob"}, initial)
+	ctx, cancel := ctxTO(5 * time.Second)
+	defer cancel()
+
+	out, err := c.node("alice").engine.ProposeUpdate(ctx, update)
+	if err != nil {
+		t.Fatalf("ProposeUpdate: %v", err)
+	}
+	if !out.Valid {
+		t.Fatalf("outcome invalid: %+v", out)
+	}
+	if err := c.waitAgreed(expected, 3*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"alice", "bob"} {
+		agreed, state := c.node(id).engine.Agreed()
+		if !bytes.Equal(state, expected) {
+			t.Fatalf("%s: state diverged", id)
+		}
+		// The update-built identity equals the overwrite identity of the
+		// same content, flat-hashed from scratch...
+		if want := pagestate.Root(expected, pagestate.DefaultPageSize); agreed.HashState != want {
+			t.Fatalf("%s: update-built HashState differs from flat rebuild", id)
+		}
+		// ... and what an overwrite proposal of the same bytes would bind.
+		if ov := tuple.NewState(agreed.Seq+1, []byte("r"), expected); ov.HashState != agreed.HashState {
+			t.Fatalf("%s: overwrite tuple binds a different HashState", id)
+		}
+	}
+
+	// Because the identities coincide, overwriting with the identical
+	// content is detectably the null transition of §4.4.
+	_, err = c.node("alice").engine.Propose(ctx, expected)
+	if err == nil || !errors.Is(err, ErrVetoed) {
+		t.Fatalf("identical overwrite after update: err = %v, want veto (null transition)", err)
+	}
+}
+
+// TestSigMemoSkipsCommitReverification: the recipient's own signed respond
+// reappears inside every commit's aggregated evidence; the verified-
+// signature memo must absorb those verifications instead of redoing the
+// ed25519 work.
+func TestSigMemoSkipsCommitReverification(t *testing.T) {
+	const runs = 8
+	c := newCluster(t, []string{"alice", "bob"}, []byte("v0"))
+	ctx, cancel := ctxTO(10 * time.Second)
+	defer cancel()
+
+	for i := 0; i < runs; i++ {
+		out, err := c.node("alice").engine.Propose(ctx, []byte{byte(i + 1)})
+		if err != nil || !out.Valid {
+			t.Fatalf("run %d: out=%+v err=%v", i, out, err)
+		}
+	}
+	if err := c.waitAgreed([]byte{runs}, 3*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := c.node("bob").engine.Stats()
+	if st.RunsCommitted != runs {
+		t.Fatalf("bob committed %d runs, want %d", st.RunsCommitted, runs)
+	}
+	// Every commit bob handled embeds exactly one respond — his own, seeded
+	// into the memo at signing time. All of them must be memo hits.
+	if st.SigMemoHits < runs {
+		t.Fatalf("bob's memo hits = %d, want >= %d (one own-respond per commit)", st.SigMemoHits, runs)
+	}
+	// The propose per run still verifies for real (first sight).
+	if st.SigVerifies < runs {
+		t.Fatalf("bob's real verifies = %d, want >= %d", st.SigVerifies, runs)
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"b2b/internal/crypto"
 	"b2b/internal/nrlog"
+	"b2b/internal/pagestate"
 	"b2b/internal/store"
 	"b2b/internal/tuple"
 	"b2b/internal/wire"
@@ -106,7 +107,7 @@ func (en *Engine) proposeAsync(ctx context.Context, mode wire.Mode, newState, up
 	}
 	var pred *proposerRun
 	var predTuple tuple.State
-	var baseState []byte
+	var baseState *pagestate.Paged
 	if tail := en.tailLocked(); tail != nil {
 		if tail.forced || tail.aborted {
 			// The pipeline is unwinding after a veto/abort; new runs must
@@ -124,13 +125,21 @@ func (en *Engine) proposeAsync(ctx context.Context, mode wire.Mode, newState, up
 		predTuple, baseState = en.agreed, en.currentState
 	}
 
+	// The proposed state lives as a copy-on-write paged value: an update
+	// clones the base (sharing unchanged pages) and rewrites only the touched
+	// ones, and the Merkle root that becomes HashState rebinds in
+	// O(delta · log S). An overwrite pays the one unavoidable O(S) paging of
+	// the caller's flat bytes.
+	var newPaged *pagestate.Paged
 	if mode == wire.ModeUpdate {
-		s, err := en.cfg.Validator.ApplyUpdate(baseState, update)
+		s, err := en.applyUpdateOn(baseState, update)
 		if err != nil {
 			en.mu.Unlock()
 			return nil, fmt.Errorf("coord: applying own update: %w", err)
 		}
-		newState = s
+		newPaged = s
+	} else {
+		newPaged = en.pageState(newState)
 	}
 
 	recips := en.recipientsLocked()
@@ -161,7 +170,7 @@ func (en *Engine) proposeAsync(ctx context.Context, mode wire.Mode, newState, up
 	}
 	seq++
 
-	proposed := tuple.NewState(seq, rnd, newState)
+	proposed := tuple.NewStateRoot(seq, rnd, newPaged.Root())
 	prop := wire.Propose{
 		RunID:      runID,
 		Proposer:   en.cfg.Ident.ID(),
@@ -187,7 +196,7 @@ func (en *Engine) proposeAsync(ctx context.Context, mode wire.Mode, newState, up
 	// The proposer is committed at initiation: current becomes the proposed
 	// state and cannot be unilaterally withdrawn (§4.3).
 	en.current = proposed
-	en.currentState = append([]byte(nil), newState...)
+	en.currentState = newPaged
 	if err := en.seen.Observe(proposed); err != nil {
 		// Fresh randomness makes this unreachable; treat as internal error.
 		en.syncCurrentLocked()
@@ -201,7 +210,7 @@ func (en *Engine) proposeAsync(ctx context.Context, mode wire.Mode, newState, up
 		signed:    signed,
 		raw:       raw,
 		auth:      auth,
-		newState:  append([]byte(nil), newState...),
+		newState:  newPaged,
 		responses: make(map[string]wire.Signed, len(recips)),
 		parsed:    make(map[string]wire.Respond, len(recips)),
 		recips:    recips,
@@ -433,7 +442,7 @@ func (en *Engine) finalizeRun(ctx context.Context, run *proposerRun) {
 		// state no recipient ever received the commit for.
 		prevAgreed, prevAgreedState := en.agreed, en.agreedState
 		en.agreed = run.propose.Proposed
-		en.agreedState = append([]byte(nil), run.newState...)
+		en.agreedState = run.newState
 		cpErr = en.commitCheckpointLocked(run.propose.Mode, run.propose.Update, run.predTuple)
 		if cpErr != nil {
 			en.agreed, en.agreedState = prevAgreed, prevAgreedState
@@ -458,9 +467,9 @@ func (en *Engine) finalizeRun(ctx context.Context, run *proposerRun) {
 	en.syncCurrentLocked()
 	pipelineEmpty := len(en.pipeline) == 0
 	installedTuple := run.propose.Proposed
-	installedState := append([]byte(nil), run.newState...)
+	installedState := run.newState
 	rolledTuple := en.agreed
-	rolledState := append([]byte(nil), en.agreedState...)
+	rolledState := en.agreedState
 	en.mu.Unlock()
 
 	run.outcome = out
@@ -495,10 +504,10 @@ func (en *Engine) finalizeRun(ctx context.Context, run *proposerRun) {
 		// it. With window 1 the pipeline is always empty here, preserving
 		// the paper's per-run install.
 		if pipelineEmpty {
-			en.cfg.Validator.Installed(installedState, installedTuple)
+			en.notifyInstalled(installedState, installedTuple)
 		}
 	} else {
-		en.cfg.Validator.RolledBack(rolledState, rolledTuple)
+		en.notifyRolledBack(rolledState, rolledTuple)
 	}
 	// The trailing records ride the next batch (or Close): a crash before
 	// they sync re-enters a completed run on recovery, which resolves as a
@@ -639,7 +648,12 @@ func (en *Engine) handlePropose(from string, payload []byte) {
 		return
 	}
 
-	decision, newState := en.evaluatePropose(from, signed, prop)
+	// The integrity assertion over the received content is computed once and
+	// serves both the respond message and evaluatePropose's tuple check (for
+	// overwrite mode it is the paged Merkle root of the received state — the
+	// only O(S) hash a recipient pays, and only when a full state travelled).
+	recvHash := en.receivedHash(prop)
+	decision, newState := en.evaluatePropose(from, signed, prop, recvHash)
 
 	en.mu.Lock()
 	if _, dup := en.responded[prop.RunID]; dup {
@@ -662,10 +676,13 @@ func (en *Engine) handlePropose(from string, payload []byte) {
 		Group:             en.group,
 		Proposed:          prop.Proposed,
 		Current:           en.current,
-		ReceivedStateHash: receivedHash(prop),
+		ReceivedStateHash: recvHash,
 		Decision:          decision,
 	}
 	signedResp := wire.Sign(wire.KindRespond, resp.Marshal(), en.cfg.Ident, en.cfg.TSA)
+	// Our own signature is valid by construction: seed the memo so this
+	// respond's reappearance inside the proposer's commit costs no verify.
+	en.memoOwnSigned(signedResp)
 	rr := &respondedRun{
 		runID:    prop.RunID,
 		proposer: prop.Proposer,
@@ -738,12 +755,15 @@ func (en *Engine) dispatchCommits(msgs []pendingMsg) {
 }
 
 // receivedHash computes the recipient's integrity assertion over the state
-// content actually received (§4.3: h(s') in the respond message).
-func receivedHash(prop wire.Propose) [32]byte {
+// content actually received (§4.3: h(s') in the respond message). In update
+// mode it is the flat hash of the update bytes (O(delta)); in overwrite mode
+// it is the paged Merkle root of the received state, matching the HashState
+// the proposer bound into the tuple.
+func (en *Engine) receivedHash(prop wire.Propose) [32]byte {
 	if prop.Mode == wire.ModeUpdate {
 		return crypto.Hash(prop.Update)
 	}
-	return crypto.Hash(prop.NewState)
+	return pagestate.Root(prop.NewState, en.pageSize())
 }
 
 // evaluatePropose performs all §4.2/§4.4 consistency checks plus the
@@ -752,8 +772,10 @@ func receivedHash(prop wire.Propose) [32]byte {
 // successor the checks run against the speculative chain: the predecessor
 // must be the agreed state or a pending answered proposal, and the
 // application validates against the state that predecessor would install.
-func (en *Engine) evaluatePropose(from string, signed wire.Signed, prop wire.Propose) (wire.Decision, []byte) {
-	if err := signed.Verify(en.cfg.Verifier); err != nil {
+// recvHash is the integrity hash of the received content (receivedHash), so
+// the O(S) overwrite-mode root is computed once per proposal.
+func (en *Engine) evaluatePropose(from string, signed wire.Signed, prop wire.Propose, recvHash [32]byte) (wire.Decision, *pagestate.Paged) {
+	if err := en.verifySigned(signed); err != nil {
 		return wire.Rejected(fmt.Sprintf("signature verification failed: %v", err)), nil
 	}
 	if signed.Signer() != prop.Proposer || from != prop.Proposer {
@@ -780,7 +802,7 @@ func (en *Engine) evaluatePropose(from string, signed wire.Signed, prop wire.Pro
 	if prop.Agreed.Seq > pred.Seq {
 		return wire.Rejected("proposal's agreed tuple is ahead of its predecessor"), nil
 	}
-	var base []byte
+	var base *pagestate.Paged
 	if pred == en.agreed {
 		// Invariant 1 in its original form: our current state is the agreed
 		// state, which is exactly the state the proposer builds on.
@@ -812,24 +834,25 @@ func (en *Engine) evaluatePropose(from string, signed wire.Signed, prop wire.Pro
 		return wire.Rejected("null state transition"), nil
 	}
 
-	var newState []byte
+	var newState *pagestate.Paged
 	switch prop.Mode {
 	case wire.ModeOverwrite:
-		if !prop.Proposed.Matches(prop.NewState) {
+		if !prop.Proposed.MatchesRoot(recvHash) {
 			return wire.Rejected("proposed state does not match its tuple hash"), nil
 		}
-		newState = append([]byte(nil), prop.NewState...)
+		newState = en.pageState(prop.NewState)
 	case wire.ModeUpdate:
 		if crypto.Hash(prop.Update) != prop.UpdateHash {
 			return wire.Rejected("update does not match its hash"), nil
 		}
-		applied, err := en.cfg.Validator.ApplyUpdate(base, prop.Update)
+		applied, err := en.applyUpdateOn(base, prop.Update)
 		if err != nil {
 			return wire.Rejected(fmt.Sprintf("update not applicable: %v", err)), nil
 		}
-		if !prop.Proposed.Matches(applied) {
+		if !prop.Proposed.MatchesRoot(applied.Root()) {
 			// §4.3.1: recipients verify that applying the agreed update
-			// yields a consistent new state.
+			// yields a consistent new state — with paged replicas the check
+			// is a root comparison, not a full-state rehash.
 			return wire.Rejected("applied update does not yield the proposed state"), nil
 		}
 		newState = applied
@@ -839,9 +862,9 @@ func (en *Engine) evaluatePropose(from string, signed wire.Signed, prop wire.Pro
 
 	var decision wire.Decision
 	if prop.Mode == wire.ModeUpdate {
-		decision = en.cfg.Validator.ValidateUpdate(prop.Proposer, base, prop.Update)
+		decision = en.validateUpdateOn(prop.Proposer, base, prop.Update)
 	} else {
-		decision = en.cfg.Validator.ValidateState(prop.Proposer, base, prop.NewState)
+		decision = en.validateStateOn(prop.Proposer, base, prop.NewState)
 	}
 	// The candidate state is retained even on an application-level veto:
 	// under majority termination (§7) a vetoing minority member still
@@ -883,7 +906,7 @@ func (en *Engine) handleRespond(from string, payload []byte) {
 	if err := en.logEvidenceStaged(resp.RunID, resp.Proposed.Seq, wire.KindRespond.String(), nrlog.DirReceived, payload); err != nil {
 		return
 	}
-	if err := signed.Verify(en.cfg.Verifier); err != nil {
+	if err := en.verifySigned(signed); err != nil {
 		// Unverifiable responses cannot contribute to a decision; keep the
 		// evidence and wait for a genuine response (retransmission).
 		_ = en.logEvidence(resp.RunID, "unverifiable-respond", nrlog.DirLocal, []byte(err.Error()))
@@ -1056,7 +1079,7 @@ func (en *Engine) handleCommit(from string, payload []byte) {
 	if verdict == commitValid {
 		prop, _ := wire.UnmarshalPropose(commit.Propose.Body)
 		en.agreed = prop.Proposed
-		en.agreedState = append([]byte(nil), rr.newState...)
+		en.agreedState = rr.newState
 		if len(en.pipeline) == 0 {
 			en.current = en.agreed
 			en.currentState = en.agreedState
@@ -1076,7 +1099,7 @@ func (en *Engine) handleCommit(from string, payload []byte) {
 	if verdict != commitValid {
 		rolled, wakeProps = en.cascadeLocked(rr.proposed, out.Diagnostic)
 	}
-	installedState := append([]byte(nil), en.agreedState...)
+	installedState := en.agreedState
 	installedTuple := en.agreed
 	en.mu.Unlock()
 
@@ -1088,7 +1111,7 @@ func (en *Engine) handleCommit(from string, payload []byte) {
 		// only the install (the group's decision stands; local durability
 		// failed, and the plane is fail-stop on real disk errors).
 		if cpErr == nil && en.barrier() == nil {
-			en.cfg.Validator.Installed(installedState, installedTuple)
+			en.notifyInstalled(installedState, installedTuple)
 		}
 	}
 	_ = en.logEvidenceStaged(commit.RunID, seq, "verdict", nrlog.DirLocal,
@@ -1145,7 +1168,10 @@ func (en *Engine) verifyCommit(from string, commit wire.Commit, rr *respondedRun
 		wantHash = prop.UpdateHash
 	}
 	for _, s := range commit.Responds {
-		if err := s.Verify(en.cfg.Verifier); err != nil {
+		// Responds this party verified at receipt — and its own signed
+		// respond, seeded at signing time — hit the memo; only evidence
+		// seen for the first time pays the two ed25519 operations.
+		if err := en.verifySigned(s); err != nil {
 			return commitInvalidSilent, fmt.Sprintf("embedded response fails verification: %v", err)
 		}
 		resp, err := wire.UnmarshalRespond(s.Body)
@@ -1242,7 +1268,7 @@ func (en *Engine) handleAbortCert(from string, payload []byte) {
 		_ = en.logEvidence(cert.RunID, "abort-cert-untrusted", nrlog.DirReceived, payload)
 		return
 	}
-	if err := signed.Verify(en.cfg.Verifier); err != nil {
+	if err := en.verifySigned(signed); err != nil {
 		_ = en.logEvidence(cert.RunID, "abort-cert-unverifiable", nrlog.DirReceived, payload)
 		return
 	}
@@ -1384,7 +1410,7 @@ func (en *Engine) RecoverPendingRuns(ctx context.Context) ([]Outcome, error) {
 	}
 	recipients := en.recipientsLocked()
 	expected := en.agreed
-	prevState := append([]byte(nil), en.agreedState...)
+	prevState := en.agreedState
 	var prev *proposerRun
 	var chain []*proposerRun
 	var dropped []pendingRec
@@ -1404,12 +1430,12 @@ func (en *Engine) RecoverPendingRuns(ctx context.Context) ([]Outcome, error) {
 		// The tuple's state hash authenticates the result either way, so a
 		// record whose state cannot be faithfully rebuilt is dropped like
 		// any other orphan.
-		var newState []byte
+		var newState *pagestate.Paged
 		switch r.prop.Mode {
 		case wire.ModeOverwrite:
-			newState = append([]byte(nil), r.prop.NewState...)
+			newState = en.pageState(r.prop.NewState)
 		case wire.ModeUpdate:
-			s, err := en.cfg.Validator.ApplyUpdate(prevState, r.prop.Update)
+			s, err := en.applyUpdateOn(prevState, r.prop.Update)
 			if err != nil {
 				dropped = append(dropped, r)
 				continue
@@ -1419,7 +1445,7 @@ func (en *Engine) RecoverPendingRuns(ctx context.Context) ([]Outcome, error) {
 			dropped = append(dropped, r)
 			continue
 		}
-		if !r.prop.Proposed.Matches(newState) {
+		if !r.prop.Proposed.MatchesRoot(newState.Root()) {
 			dropped = append(dropped, r)
 			continue
 		}

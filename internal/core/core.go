@@ -63,6 +63,11 @@ type Config struct {
 	// Transfer tunes the state-transfer plane (chunk size, flow-control
 	// window, Welcome inline cap). Zero selects the defaults.
 	Transfer xfer.Policy
+	// PageSize is the paged state identity's page granularity for every
+	// object this participant binds (zero: the pagestate default, 4 KiB).
+	// It is a protocol parameter — all members of a sharing group must
+	// configure the same value.
+	PageSize int
 }
 
 // shardDepth bounds each object's inbound queue; a full queue exerts
@@ -159,6 +164,7 @@ func (p *Participant) Bind(object string, v coord.Validator, mv group.Validator)
 		RetryInterval: p.cfg.RetryInterval,
 		TTP:           p.cfg.TTP,
 		SnapshotEvery: p.cfg.SnapshotEvery,
+		PageSize:      p.cfg.PageSize,
 	})
 	if err != nil {
 		return nil, nil, err

@@ -36,14 +36,19 @@ var (
 )
 
 // Hash is the protocol's secure hash (SHA-256) over the concatenation of the
-// given byte slices.
+// given byte slices. The single-slice form — the overwhelmingly common call —
+// takes the stdlib's allocation-free fast path; the variadic form sums into a
+// stack buffer instead of allocating through h.Sum(nil).
 func Hash(parts ...[]byte) [32]byte {
+	if len(parts) == 1 {
+		return sha256.Sum256(parts[0])
+	}
 	h := sha256.New()
 	for _, p := range parts {
 		h.Write(p)
 	}
 	var out [32]byte
-	copy(out[:], h.Sum(nil))
+	h.Sum(out[:0])
 	return out
 }
 

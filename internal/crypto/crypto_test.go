@@ -2,6 +2,7 @@ package crypto
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"testing"
 	"testing/quick"
 	"time"
@@ -261,6 +262,41 @@ func TestSignaturePropertyQuick(t *testing.T) {
 		return v.VerifySignature(mutated, sig, clk.Now()) != nil
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHashEquivalence pins the optimised Hash (sha256.Sum256 single-slice
+// fast path, allocation-free variadic sum) to the reference definition: one
+// SHA-256 over the concatenation of the parts, for every arity including
+// empty and nil slices.
+func TestHashEquivalence(t *testing.T) {
+	ref := func(parts ...[]byte) [32]byte {
+		var cat []byte
+		for _, p := range parts {
+			cat = append(cat, p...)
+		}
+		return sha256.Sum256(cat)
+	}
+	cases := [][][]byte{
+		{},
+		{nil},
+		{{}},
+		{[]byte("a")},
+		{[]byte("a"), []byte("b")},
+		{nil, []byte("xyz"), {}},
+		{make([]byte, 10000), []byte("tail")},
+		{[]byte("x"), nil, nil, []byte("y"), []byte("z")},
+	}
+	for i, parts := range cases {
+		if got, want := Hash(parts...), ref(parts...); got != want {
+			t.Fatalf("case %d: Hash diverged from reference", i)
+		}
+	}
+	f := func(a, b, c []byte) bool {
+		return Hash(a, b, c) == ref(a, b, c) && Hash(a) == ref(a) && Hash(a, b) == ref(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
 	}
 }

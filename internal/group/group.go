@@ -259,7 +259,7 @@ func (m *Manager) adoptWelcome(ctx context.Context, w *wire.Welcome) error {
 	if !w.Group.MatchesMembers(w.Members) {
 		return fmt.Errorf("%w: membership does not match group tuple", ErrBadEvidence)
 	}
-	if !w.StateDeferred && !w.AgreedTuple.Matches(w.AgreedState) {
+	if !w.StateDeferred && !w.AgreedTuple.MatchesSized(w.AgreedState, m.cfg.Engine.PageSize()) {
 		return fmt.Errorf("%w: agreed state does not match its tuple", ErrBadEvidence)
 	}
 	// Every member's signed response asserts its agreed-state tuple: all

@@ -233,8 +233,9 @@ func (m *Manager) sponsorConnection(reqSigned wire.Signed, req wire.ConnRequest)
 	// ride inline; past the inline cap the Welcome defers the state and the
 	// subject fetches it as a chunked transfer session (internal/xfer) —
 	// join latency is then bounded by link bandwidth, not by what a single
-	// frame may carry.
-	agreedTuple, agreedState := m.cfg.Engine.Agreed()
+	// frame may carry. The deferral decision reads only the paged size, so
+	// a large (always-deferred) state is never materialized flat here.
+	agreedTuple, agreedPaged := m.cfg.Engine.AgreedPaged()
 	var certs []crypto.Certificate
 	for _, member := range members {
 		if cert, ok := m.cfg.Verifier.Certificate(member); ok {
@@ -248,13 +249,13 @@ func (m *Manager) sponsorConnection(reqSigned wire.Signed, req wire.ConnRequest)
 		Members:     newMembers,
 		Group:       prop.NewGroup,
 		AgreedTuple: agreedTuple,
-		AgreedState: agreedState,
 		MemberCerts: certs,
 		Commit:      commit,
 	}
-	if m.deferWelcomeState(len(agreedState)) {
-		welcome.AgreedState = nil
+	if m.deferWelcomeState(agreedPaged.Size()) {
 		welcome.StateDeferred = true
+	} else {
+		welcome.AgreedState = agreedPaged.Bytes()
 	}
 	wsigned := wire.Sign(wire.KindWelcome, welcome.Marshal(), m.cfg.Ident, m.cfg.TSA)
 	if err := m.logEvidence(runID, wire.KindWelcome.String(), nrlog.DirSent, wsigned.Marshal()); err != nil {
@@ -351,7 +352,7 @@ func (m *Manager) evaluateConnPropose(from string, signed wire.Signed, prop wire
 // local coordination until commit.
 func (m *Manager) respondToGroupPropose(sponsor, runID string, curGroup, newGroup tuple.Group,
 	newMembers []string, subject string, proposeS wire.Signed, decision wire.Decision, isConnect bool) {
-	agreedTuple, _ := m.cfg.Engine.Agreed()
+	agreedTuple := m.cfg.Engine.AgreedTuple()
 	resp := wire.GroupRespond{
 		RunID:     runID,
 		Responder: m.cfg.Ident.ID(),
@@ -729,7 +730,7 @@ func (m *Manager) sponsorDisconnection(ctx context.Context, reqSigned wire.Signe
 	m.mu.Unlock()
 
 	if req.Voluntary {
-		agreedTuple, _ := m.cfg.Engine.Agreed()
+		agreedTuple := m.cfg.Engine.AgreedTuple()
 		notice := wire.DiscNotice{
 			RunID:       runID,
 			Sponsor:     self,

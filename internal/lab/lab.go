@@ -6,7 +6,9 @@
 package lab
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"path/filepath"
 	"time"
@@ -18,6 +20,7 @@ import (
 	"b2b/internal/faults"
 	"b2b/internal/group"
 	"b2b/internal/nrlog"
+	"b2b/internal/pagestate"
 	"b2b/internal/store"
 	"b2b/internal/transport"
 	"b2b/internal/tuple"
@@ -110,6 +113,10 @@ type Options struct {
 	SnapshotEvery int
 	// Transfer tunes the state-transfer plane (zero: defaults).
 	Transfer xfer.Policy
+	// PageSize sets the paged state identity's page granularity for every
+	// party (zero: the pagestate default, 4 KiB). The large-object benchmark
+	// sets it to the object size to reconstruct the flat-hash baseline.
+	PageSize int
 }
 
 // World is a lab deployment.
@@ -253,6 +260,7 @@ func NewWorld(opts Options, ids ...string) (*World, error) {
 			RetryInterval: opts.RetryInterval,
 			SnapshotEvery: snapEvery,
 			Transfer:      opts.Transfer,
+			PageSize:      opts.PageSize,
 		})
 		if err != nil {
 			return nil, err
@@ -384,6 +392,37 @@ func (patchAll) ApplyUpdate(current, update []byte) ([]byte, error) {
 func (patchAll) Installed([]byte, tuple.State)  {}
 func (patchAll) RolledBack([]byte, tuple.State) {}
 
+// The paged fast path (coord.PagedValidator): a patch clones the base —
+// sharing every unchanged page copy-on-write — and rewrites only the pages
+// the patch touches, so applying a 64-byte patch to a 16 MiB object costs
+// O(delta · log S) instead of a full-state copy. This is the validator the
+// large-object benchmarks (BenchmarkLargeObjectSmallUpdate, b2bbench -exp
+// E19) measure.
+func (patchAll) ApplyUpdatePaged(current *pagestate.Paged, update []byte) (*pagestate.Paged, error) {
+	if len(update) < 4 {
+		return nil, fmt.Errorf("lab: patch update too short: %d bytes", len(update))
+	}
+	off := int(binary.BigEndian.Uint32(update))
+	body := update[4:]
+	if off+len(body) > current.Size() {
+		return nil, fmt.Errorf("lab: patch [%d,%d) outside %d-byte state", off, off+len(body), current.Size())
+	}
+	out := current.Clone()
+	if err := out.WriteAt(off, body); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (patchAll) ValidateStatePaged(string, *pagestate.Paged, []byte) wire.Decision {
+	return wire.Accepted
+}
+func (patchAll) ValidateUpdatePaged(string, *pagestate.Paged, []byte) wire.Decision {
+	return wire.Accepted
+}
+func (patchAll) InstalledPaged(*pagestate.Paged, tuple.State)  {}
+func (patchAll) RolledBackPaged(*pagestate.Paged, tuple.State) {}
+
 // Patch encodes an in-place update for PatchValidator.
 func Patch(offset int, body []byte) []byte {
 	out := make([]byte, 4+len(body))
@@ -405,3 +444,86 @@ func (acceptAll) ApplyUpdate(current, update []byte) ([]byte, error) {
 }
 func (acceptAll) Installed([]byte, tuple.State)  {}
 func (acceptAll) RolledBack([]byte, tuple.State) {}
+
+// Paged fast path: append shares the whole prefix copy-on-write.
+func (acceptAll) ApplyUpdatePaged(current *pagestate.Paged, update []byte) (*pagestate.Paged, error) {
+	out := current.Clone()
+	if err := out.Append(update); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (acceptAll) ValidateStatePaged(string, *pagestate.Paged, []byte) wire.Decision {
+	return wire.Accepted
+}
+func (acceptAll) ValidateUpdatePaged(string, *pagestate.Paged, []byte) wire.Decision {
+	return wire.Accepted
+}
+func (acceptAll) InstalledPaged(*pagestate.Paged, tuple.State)  {}
+func (acceptAll) RolledBackPaged(*pagestate.Paged, tuple.State) {}
+
+// NewPatchWorld builds the canonical large-object patch workload fixture: a
+// two-party world ("org00" proposes, "org01" receives) bound to one
+// PatchValidator object of size bytes, bootstrapped and ready to drive.
+// Shared by BenchmarkLargeObjectSmallUpdate and b2bbench -exp E19 so the
+// benchmark and the CI bar always measure the same workload.
+func NewPatchWorld(opts Options, object string, size int) (*World, error) {
+	w, err := NewWorld(opts, "org00", "org01")
+	if err != nil {
+		return nil, err
+	}
+	if err := w.Bind(object, func(string) coord.Validator { return PatchValidator() }, nil); err != nil {
+		w.Close()
+		return nil, err
+	}
+	base := make([]byte, size)
+	for i := range base {
+		base[i] = byte(i * 31)
+	}
+	if err := w.Bootstrap(object, base, []string{"org00", "org01"}); err != nil {
+		w.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// DrivePatchRuns streams rounds pipelined update-mode coordination runs of
+// 64-byte patches (offset stride 64, wrapping) from org00 at the given
+// pipeline window, awaits every outcome in order, and waits for the
+// recipient to install the last commit. The other half of NewPatchWorld's
+// shared workload contract.
+func DrivePatchRuns(ctx context.Context, w *World, object string, size, rounds, window int) error {
+	en := w.Party("org00").Engine(object)
+	en.SetWindow(window)
+	var handles []*coord.RunHandle
+	collect := func() error {
+		h := handles[0]
+		handles = handles[1:]
+		_, err := h.Await(ctx)
+		return err
+	}
+	for i := 0; i < rounds; i++ {
+		upd := Patch((i*64)%(size-64), []byte(fmt.Sprintf("upd-%08d-%048d", i, i)))
+		for {
+			h, err := en.ProposeUpdateAsync(ctx, upd)
+			if errors.Is(err, coord.ErrRunInFlight) && len(handles) > 0 {
+				if err := collect(); err != nil {
+					return err
+				}
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			handles = append(handles, h)
+			break
+		}
+	}
+	for len(handles) > 0 {
+		if err := collect(); err != nil {
+			return err
+		}
+	}
+	return w.Party("org01").Engine(object).WaitQuiescent(ctx)
+}

@@ -1,0 +1,230 @@
+package pagestate
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// mutate applies one random mutation (in-place write, append or shrink) to
+// both a model flat buffer and the Paged under test.
+func mutate(t *testing.T, rng *rand.Rand, model []byte, p *Paged) []byte {
+	t.Helper()
+	switch op := rng.Intn(4); {
+	case op == 0 && len(model) > 0: // page-interior write
+		off := rng.Intn(len(model))
+		n := rng.Intn(len(model)-off) + 1
+		if n > 300 {
+			n = 300
+		}
+		data := make([]byte, n)
+		rng.Read(data)
+		copy(model[off:], data)
+		if err := p.WriteAt(off, data); err != nil {
+			t.Fatalf("WriteAt(%d, %d bytes): %v", off, n, err)
+		}
+	case op == 1: // append
+		data := make([]byte, rng.Intn(5000))
+		rng.Read(data)
+		model = append(model, data...)
+		if err := p.Append(data); err != nil {
+			t.Fatalf("Append(%d bytes): %v", len(data), err)
+		}
+	case op == 2 && len(model) > 0: // shrink
+		n := rng.Intn(len(model) + 1)
+		model = model[:n]
+		if err := p.Resize(n); err != nil {
+			t.Fatalf("Resize(%d): %v", n, err)
+		}
+	default: // boundary-straddling write
+		if len(model) == 0 {
+			break
+		}
+		ps := p.PageSize()
+		off := (rng.Intn(len(model)/ps+1))*ps - ps/2
+		if off < 0 {
+			off = 0
+		}
+		if off >= len(model) {
+			off = len(model) - 1
+		}
+		n := ps
+		if off+n > len(model) {
+			n = len(model) - off
+		}
+		data := make([]byte, n)
+		rng.Read(data)
+		copy(model[off:], data)
+		if err := p.WriteAt(off, data); err != nil {
+			t.Fatalf("straddling WriteAt(%d, %d): %v", off, n, err)
+		}
+	}
+	return model
+}
+
+// TestIncrementalRootMatchesRebuild drives random update histories — writes
+// that straddle page boundaries, appends, shrinks — and checks after every
+// step that the incrementally maintained root equals a from-scratch rebuild
+// of the same content: equal states yield equal roots regardless of update
+// history.
+func TestIncrementalRootMatchesRebuild(t *testing.T) {
+	for _, pageSize := range []int{1, 7, 64, 4096} {
+		rng := rand.New(rand.NewSource(int64(pageSize)))
+		model := make([]byte, rng.Intn(5*pageSize+100))
+		rng.Read(model)
+		p := FromBytes(model, pageSize)
+		for step := 0; step < 200; step++ {
+			model = mutate(t, rng, model, p)
+			if got, want := p.Root(), Root(model, pageSize); got != want {
+				t.Fatalf("pageSize %d step %d: incremental root diverged from rebuild (len %d)",
+					pageSize, step, len(model))
+			}
+			if p.Size() != len(model) {
+				t.Fatalf("size %d, want %d", p.Size(), len(model))
+			}
+			if !bytes.Equal(p.Bytes(), model) {
+				t.Fatalf("pageSize %d step %d: content diverged", pageSize, step)
+			}
+		}
+	}
+}
+
+// TestDivergenceDetection: any single-byte difference between two states
+// produces a different root — the property tuple invariants 1–4 stand on.
+func TestDivergenceDetection(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(3*DefaultPageSize) + 1
+		a := make([]byte, n)
+		rng.Read(a)
+		b := append([]byte(nil), a...)
+		i := rng.Intn(n)
+		b[i] ^= byte(rng.Intn(255) + 1)
+		if Root(a, DefaultPageSize) == Root(b, DefaultPageSize) {
+			t.Fatalf("trial %d: states differing at byte %d/%d share a root", trial, i, n)
+		}
+	}
+	// Length-extension shapes: trailing zeros, truncation, empty vs nil.
+	a := make([]byte, 2*DefaultPageSize)
+	if Root(a, DefaultPageSize) == Root(a[:len(a)-1], DefaultPageSize) {
+		t.Fatal("truncated state shares a root")
+	}
+	if Root(a, DefaultPageSize) == Root(append(append([]byte(nil), a...), 0), DefaultPageSize) {
+		t.Fatal("zero-extended state shares a root")
+	}
+	if Root(nil, DefaultPageSize) != Root([]byte{}, DefaultPageSize) {
+		t.Fatal("nil and empty must share the empty-state root")
+	}
+	// Leaf/interior confusion: a 64-byte single-page state whose content is
+	// exactly the concatenation of two leaf hashes must not collide with the
+	// two-page state those leaves identify.
+	x := bytes.Repeat([]byte{0xaa}, 64)
+	y := bytes.Repeat([]byte{0xbb}, 64)
+	two := append(append([]byte(nil), x...), y...)
+	l0 := leafHash(two[:64])
+	l1 := leafHash(two[64:])
+	crafted := append(append([]byte(nil), l0[:]...), l1[:]...)
+	if Root(crafted, 64) == Root(two, 64) {
+		t.Fatal("crafted single-page state collides with a two-page root")
+	}
+	// Page size is bound into the root: same bytes, different geometry,
+	// different identity.
+	if Root(two, 64) == Root(two, 128) {
+		t.Fatal("same bytes under different page sizes share a root")
+	}
+}
+
+// TestCloneIsolation: a clone's writes must never leak into its parent (or
+// siblings), and unchanged pages stay physically shared.
+func TestCloneIsolation(t *testing.T) {
+	base := make([]byte, 3*DefaultPageSize+123)
+	for i := range base {
+		base[i] = byte(i)
+	}
+	parent := FromBytes(base, DefaultPageSize)
+	c1 := parent.Clone()
+	c2 := parent.Clone()
+	if err := c1.WriteAt(5, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.WriteAt(DefaultPageSize+5, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(parent.Bytes(), base) {
+		t.Fatal("parent mutated through a clone")
+	}
+	if parent.Root() != Root(base, DefaultPageSize) {
+		t.Fatal("parent root mutated through a clone")
+	}
+	if c1.Root() == c2.Root() || c1.Root() == parent.Root() {
+		t.Fatal("distinct contents share roots")
+	}
+	// Untouched pages are shared, not copied.
+	if &parent.Page(2)[0] != &c1.Page(2)[0] {
+		t.Fatal("untouched page was copied on clone")
+	}
+	if &parent.Page(0)[0] == &c1.Page(0)[0] {
+		t.Fatal("touched page still shared after write")
+	}
+}
+
+// TestRootFromPageHashes binds a leaf vector back to the identity.
+func TestRootFromPageHashes(t *testing.T) {
+	state := make([]byte, 5*256+17)
+	for i := range state {
+		state[i] = byte(i * 7)
+	}
+	p := FromBytes(state, 256)
+	hashes := p.PageHashes()
+	got, err := RootFromPageHashes(hashes, len(state), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p.Root() {
+		t.Fatal("reconstructed root mismatch")
+	}
+	hashes[3][0] ^= 1
+	got, err = RootFromPageHashes(hashes, len(state), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == p.Root() {
+		t.Fatal("corrupt leaf vector still reaches the root")
+	}
+	if _, err := RootFromPageHashes(hashes[:4], len(state), 256); err == nil {
+		t.Fatal("short leaf vector accepted")
+	}
+	if _, err := RootFromPageHashes(nil, 10, 0); err == nil {
+		t.Fatal("invalid page size accepted")
+	}
+}
+
+// TestWriteAtBounds rejects out-of-range writes.
+func TestWriteAtBounds(t *testing.T) {
+	p := FromBytes(make([]byte, 100), 64)
+	if err := p.WriteAt(90, make([]byte, 20)); err == nil {
+		t.Fatal("out-of-bounds write accepted")
+	}
+	if err := p.WriteAt(-1, []byte{1}); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	if err := p.WriteAt(0, nil); err != nil {
+		t.Fatalf("empty write: %v", err)
+	}
+}
+
+// TestStatsCounters: a small write on a large state hashes and copies a few
+// pages, not the object.
+func TestStatsCounters(t *testing.T) {
+	const size = 1 << 20
+	p := FromBytes(make([]byte, size), DefaultPageSize)
+	c := p.Clone()
+	ResetStats()
+	if err := c.WriteAt(12345, []byte("tiny")); err != nil {
+		t.Fatal(err)
+	}
+	hashed, copied := Stats()
+	if hashed > 64<<10 || copied > 64<<10 {
+		t.Fatalf("64 B write cost hashed=%d copied=%d bytes — not O(delta)", hashed, copied)
+	}
+}

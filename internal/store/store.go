@@ -168,6 +168,26 @@ func copyCheckpoints(cps []Checkpoint) []Checkpoint {
 	return out
 }
 
+// Memory also implements Batched: staging and persisting coincide (there is
+// no disk), and Barrier is a no-op. Exposing the batched surface matters
+// beyond symmetry — the coordination engine persists update-mode commits as
+// delta checkpoints only through a Batched store, so in-memory deployments
+// (tests, benchmarks, caches) get the same O(delta)-per-run checkpoint
+// economics as the durability plane instead of a full state copy per run.
+var _ Batched = (*Memory)(nil)
+
+// SaveCheckpointDeferred implements Batched.
+func (s *Memory) SaveCheckpointDeferred(cp Checkpoint) error { return s.SaveCheckpoint(cp) }
+
+// SaveRunDeferred implements Batched.
+func (s *Memory) SaveRunDeferred(r RunRecord) error { return s.SaveRun(r) }
+
+// DeleteRunDeferred implements Batched.
+func (s *Memory) DeleteRunDeferred(runID string) error { return s.DeleteRun(runID) }
+
+// Barrier implements Batched (nothing to sync).
+func (s *Memory) Barrier() error { return nil }
+
 // SaveRun implements Store.
 func (s *Memory) SaveRun(r RunRecord) error {
 	s.mu.Lock()

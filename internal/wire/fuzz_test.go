@@ -57,8 +57,9 @@ func FuzzUnmarshal(f *testing.F) {
 	stReq := wire.StateRequest{SessionID: "s1", Requester: "c", Object: "o",
 		Have: pred, Resume: 4, Window: 8}
 	stOffer := wire.StateOffer{SessionID: "s1", Sponsor: "a", Object: "o",
-		Group: grp, Members: []string{"a", "b"}, Agreed: st, Mode: wire.XferDeltas,
-		DeltaFrom: 3, Chunks: 7, TotalLen: 1024, PayloadHash: h32}
+		Group: grp, Members: []string{"a", "b"}, Agreed: st, Mode: wire.XferSnapshot,
+		DeltaFrom: 3, Chunks: 7, ChunkLen: 160, TotalLen: 1024, PayloadHash: h32,
+		PageSize: 32, PageHashes: [][32]byte{h32, h32, h32}}
 	stChunk := wire.StateChunk{SessionID: "s1", Object: "o", Index: 4,
 		Payload: []byte("chunk-bytes"), CRC: 0xdeadbeef}
 	stAck := wire.StateAck{SessionID: "s1", Object: "o", Next: 5}

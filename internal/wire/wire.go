@@ -157,11 +157,11 @@ func Sign(kind Kind, body []byte, ident *crypto.Identity, tsa Stamper) Signed {
 }
 
 func signInput(kind Kind, body []byte) []byte {
-	e := canon.NewEncoder()
-	e.Struct("signed-input")
-	e.Uint64(uint64(kind))
-	e.Bytes(body)
-	return e.Out()
+	return canon.Marshal(func(e *canon.Encoder) {
+		e.Struct("signed-input")
+		e.Uint64(uint64(kind))
+		e.Bytes(body)
+	})
 }
 
 // Verify checks the signature (and timestamp, when present) against v. The
@@ -205,9 +205,9 @@ func DecodeSigned(d *canon.Decoder) Signed {
 
 // Marshal returns the standalone canonical bytes of the signed wrapper.
 func (s Signed) Marshal() []byte {
-	e := canon.NewEncoder()
-	s.Encode(e)
-	return e.Out()
+	return canon.Marshal(func(e *canon.Encoder) {
+		s.Encode(e)
+	})
 }
 
 // UnmarshalSigned parses a standalone Signed produced by Marshal.
@@ -234,15 +234,15 @@ type Envelope struct {
 
 // Marshal returns the canonical bytes of the envelope.
 func (env Envelope) Marshal() []byte {
-	e := canon.NewEncoder()
-	e.Struct("envelope")
-	e.String(env.MsgID)
-	e.String(env.From)
-	e.String(env.To)
-	e.String(env.Object)
-	e.Uint64(uint64(env.Kind))
-	e.Bytes(env.Payload)
-	return e.Out()
+	return canon.Marshal(func(e *canon.Encoder) {
+		e.Struct("envelope")
+		e.String(env.MsgID)
+		e.String(env.From)
+		e.String(env.To)
+		e.String(env.Object)
+		e.Uint64(uint64(env.Kind))
+		e.Bytes(env.Payload)
+	})
 }
 
 // UnmarshalEnvelope parses an envelope.
@@ -338,21 +338,21 @@ func (p Propose) Predecessor() tuple.State {
 
 // Marshal returns the canonical (signature input) bytes.
 func (p Propose) Marshal() []byte {
-	e := canon.NewEncoder()
-	e.Struct("propose")
-	e.String(p.RunID)
-	e.String(p.Proposer)
-	e.String(p.Object)
-	p.Group.Encode(e)
-	p.Agreed.Encode(e)
-	p.Pred.Encode(e)
-	p.Proposed.Encode(e)
-	e.Bytes32(p.AuthCommit)
-	e.Uint64(uint64(p.Mode))
-	e.Bytes(p.NewState)
-	e.Bytes(p.Update)
-	e.Bytes32(p.UpdateHash)
-	return e.Out()
+	return canon.Marshal(func(e *canon.Encoder) {
+		e.Struct("propose")
+		e.String(p.RunID)
+		e.String(p.Proposer)
+		e.String(p.Object)
+		p.Group.Encode(e)
+		p.Agreed.Encode(e)
+		p.Pred.Encode(e)
+		p.Proposed.Encode(e)
+		e.Bytes32(p.AuthCommit)
+		e.Uint64(uint64(p.Mode))
+		e.Bytes(p.NewState)
+		e.Bytes(p.Update)
+		e.Bytes32(p.UpdateHash)
+	})
 }
 
 // UnmarshalPropose parses a Propose.
@@ -396,17 +396,17 @@ type Respond struct {
 
 // Marshal returns the canonical (signature input) bytes.
 func (r Respond) Marshal() []byte {
-	e := canon.NewEncoder()
-	e.Struct("respond")
-	e.String(r.RunID)
-	e.String(r.Responder)
-	e.String(r.Object)
-	r.Group.Encode(e)
-	r.Proposed.Encode(e)
-	r.Current.Encode(e)
-	e.Bytes32(r.ReceivedStateHash)
-	r.Decision.Encode(e)
-	return e.Out()
+	return canon.Marshal(func(e *canon.Encoder) {
+		e.Struct("respond")
+		e.String(r.RunID)
+		e.String(r.Responder)
+		e.String(r.Object)
+		r.Group.Encode(e)
+		r.Proposed.Encode(e)
+		r.Current.Encode(e)
+		e.Bytes32(r.ReceivedStateHash)
+		r.Decision.Encode(e)
+	})
 }
 
 // UnmarshalRespond parses a Respond.
@@ -446,18 +446,18 @@ type Commit struct {
 
 // Marshal returns the canonical bytes.
 func (c Commit) Marshal() []byte {
-	e := canon.NewEncoder()
-	e.Struct("commit")
-	e.String(c.RunID)
-	e.String(c.Proposer)
-	e.String(c.Object)
-	e.Bytes(c.Auth)
-	c.Propose.Encode(e)
-	e.List(len(c.Responds))
-	for _, r := range c.Responds {
-		r.Encode(e)
-	}
-	return e.Out()
+	return canon.Marshal(func(e *canon.Encoder) {
+		e.Struct("commit")
+		e.String(c.RunID)
+		e.String(c.Proposer)
+		e.String(c.Object)
+		e.Bytes(c.Auth)
+		c.Propose.Encode(e)
+		e.List(len(c.Responds))
+		for _, r := range c.Responds {
+			r.Encode(e)
+		}
+	})
 }
 
 // UnmarshalCommit parses a Commit.
@@ -1045,9 +1045,17 @@ func UnmarshalStateRequest(buf []byte) (StateRequest, error) {
 // StateOffer is the sponsor's signed description of the transfer it is about
 // to stream: the agreed tuple the session converges to, the group view,
 // transfer mode, chunk geometry and the hash of the whole reassembled
-// payload. Every chunk is authenticated transitively — chunk CRCs catch
-// transport damage, and the payload hash inside this signed offer (and the
-// closing StateDone) catches everything else.
+// payload.
+//
+// Snapshot offers additionally carry the state's Merkle page-hash vector
+// (PageSize, PageHashes; see internal/pagestate): the requester first binds
+// the vector to the agreed tuple's HashState — the paged Merkle root — and
+// can then verify every arriving chunk page-by-page at receipt, rejecting a
+// corrupted or forged chunk immediately instead of at the final whole-payload
+// hash check. ChunkLen fixes the chunk geometry (a whole number of pages) so
+// chunk indexes map to page indexes. Delta-suffix offers leave the vector
+// empty: their payloads are small and remain covered by chunk CRCs plus the
+// signed payload hash.
 type StateOffer struct {
 	SessionID   string
 	Sponsor     string
@@ -1058,8 +1066,11 @@ type StateOffer struct {
 	Mode        XferMode
 	DeltaFrom   uint64 // sequence of the first delta step (deltas mode)
 	Chunks      uint64
+	ChunkLen    uint64 // payload bytes per chunk (last chunk may be short)
 	TotalLen    uint64
 	PayloadHash [32]byte
+	PageSize    uint64     // page granularity of PageHashes (snapshot mode)
+	PageHashes  [][32]byte // leaf hashes of the snapshot's pages
 }
 
 // Marshal returns the canonical (signature input) bytes.
@@ -1075,8 +1086,14 @@ func (o StateOffer) Marshal() []byte {
 	e.Uint64(uint64(o.Mode))
 	e.Uint64(o.DeltaFrom)
 	e.Uint64(o.Chunks)
+	e.Uint64(o.ChunkLen)
 	e.Uint64(o.TotalLen)
 	e.Bytes32(o.PayloadHash)
+	e.Uint64(o.PageSize)
+	e.List(len(o.PageHashes))
+	for _, h := range o.PageHashes {
+		e.Bytes32(h)
+	}
 	return e.Out()
 }
 
@@ -1095,8 +1112,25 @@ func UnmarshalStateOffer(buf []byte) (StateOffer, error) {
 	o.Mode = XferMode(d.Uint8())
 	o.DeltaFrom = d.Uint64()
 	o.Chunks = d.Uint64()
+	o.ChunkLen = d.Uint64()
 	o.TotalLen = d.Uint64()
 	o.PayloadHash = d.Bytes32()
+	o.PageSize = d.Uint64()
+	n := d.List()
+	// Each encoded hash costs 37 bytes; a count the input cannot hold is
+	// corrupt — checked before preallocation (cf. Decoder.Strings).
+	if d.Err() == nil && n > 0 {
+		if n > d.Remaining()/37+1 {
+			return StateOffer{}, fmt.Errorf("wire: implausible page-hash count %d", n)
+		}
+		o.PageHashes = make([][32]byte, 0, n)
+		for i := 0; i < n; i++ {
+			o.PageHashes = append(o.PageHashes, d.Bytes32())
+			if d.Err() != nil {
+				break
+			}
+		}
+	}
 	if err := d.Finish(); err != nil {
 		return StateOffer{}, err
 	}
@@ -1117,14 +1151,14 @@ type StateChunk struct {
 
 // Marshal returns the canonical bytes.
 func (c StateChunk) Marshal() []byte {
-	e := canon.NewEncoder()
-	e.Struct("state-chunk")
-	e.String(c.SessionID)
-	e.String(c.Object)
-	e.Uint64(c.Index)
-	e.Bytes(c.Payload)
-	e.Uint64(uint64(c.CRC))
-	return e.Out()
+	return canon.Marshal(func(e *canon.Encoder) {
+		e.Struct("state-chunk")
+		e.String(c.SessionID)
+		e.String(c.Object)
+		e.Uint64(c.Index)
+		e.Bytes(c.Payload)
+		e.Uint64(uint64(c.CRC))
+	})
 }
 
 // UnmarshalStateChunk parses a StateChunk.
@@ -1160,13 +1194,13 @@ type StateAck struct {
 
 // Marshal returns the canonical bytes.
 func (a StateAck) Marshal() []byte {
-	e := canon.NewEncoder()
-	e.Struct("state-ack")
-	e.String(a.SessionID)
-	e.String(a.Object)
-	e.Uint64(a.Next)
-	e.Bool(a.Cancel)
-	return e.Out()
+	return canon.Marshal(func(e *canon.Encoder) {
+		e.Struct("state-ack")
+		e.String(a.SessionID)
+		e.String(a.Object)
+		e.Uint64(a.Next)
+		e.Bool(a.Cancel)
+	})
 }
 
 // UnmarshalStateAck parses a StateAck.

@@ -9,6 +9,7 @@ import (
 
 	"b2b/internal/crypto"
 	"b2b/internal/nrlog"
+	"b2b/internal/pagestate"
 	"b2b/internal/tuple"
 	"b2b/internal/wire"
 )
@@ -34,6 +35,19 @@ func (m *Manager) handleOffer(from string, payload []byte) {
 		_ = m.logEvidence(offer.SessionID, "state-offer-oversized", nrlog.DirReceived, payload)
 		return
 	}
+	if err := validateOfferGeometry(&offer); err != nil {
+		_ = m.logEvidence(offer.SessionID, "state-offer-invalid", nrlog.DirReceived, []byte(err.Error()))
+		return
+	}
+	if err := validateOfferMerkle(&offer); err != nil {
+		// A snapshot offer must carry a page-hash vector whose Merkle root
+		// IS the agreed tuple's HashState: a sponsor cannot advertise page
+		// hashes for any state but the one the tuple identifies, however
+		// valid its signature. Rejecting here is what lets every later
+		// chunk be verified at receipt.
+		_ = m.logEvidence(offer.SessionID, "state-offer-merkle-mismatch", nrlog.DirReceived, []byte(err.Error()))
+		return
+	}
 	if err := m.logEvidence(offer.SessionID, wire.KindStateOffer.String(), nrlog.DirReceived, payload); err != nil {
 		return
 	}
@@ -47,7 +61,11 @@ func (m *Manager) handleOffer(from string, payload []byte) {
 	switch {
 	case s.offer == nil:
 		s.offer = &offer
-	case s.offer.PayloadHash != offer.PayloadHash || s.offer.Chunks != offer.Chunks:
+		// Chunks buffered before the offer arrived (unordered delivery)
+		// were held unverified under the reorder allowance; judge them now.
+		s.pruneInvalidChunksLocked()
+	case s.offer.PayloadHash != offer.PayloadHash || s.offer.Chunks != offer.Chunks ||
+		s.offer.ChunkLen != offer.ChunkLen:
 		// The sponsor rebuilt the session around a newer agreed state (its
 		// previous session was reaped): the held prefix no longer belongs to
 		// this payload. Restart the reassembly under the new offer; the
@@ -59,6 +77,107 @@ func (m *Manager) handleOffer(from string, payload []byte) {
 	}
 	signal(s.progress)
 	m.mu.Unlock()
+}
+
+// validateOfferGeometry checks an offer's chunk geometry (any mode).
+func validateOfferGeometry(o *wire.StateOffer) error {
+	if o.TotalLen > 0 || o.Chunks > 0 {
+		if o.ChunkLen == 0 || o.ChunkLen > maxPayloadBytes {
+			return fmt.Errorf("chunk length %d invalid", o.ChunkLen)
+		}
+		if o.Chunks != chunkCount(int(o.TotalLen), int(o.ChunkLen)) {
+			return fmt.Errorf("chunk count %d does not cover %d bytes at %d per chunk",
+				o.Chunks, o.TotalLen, o.ChunkLen)
+		}
+	}
+	return nil
+}
+
+// validateOfferMerkle binds a snapshot offer's Merkle page-hash vector to
+// the agreed tuple's HashState (the paged Merkle root — see
+// internal/pagestate). Non-snapshot offers carry no vector and pass.
+func validateOfferMerkle(o *wire.StateOffer) error {
+	if o.Mode != wire.XferSnapshot {
+		return nil
+	}
+	if len(o.PageHashes) == 0 {
+		// Legacy snapshot offer: the sponsor's page size exceeds
+		// MaxPageSize (pages cannot serve as deliverable chunk units), so
+		// chunks are not individually verifiable — the final payload-hash
+		// and agreed-tuple checks still gate installation.
+		if o.PageSize != 0 {
+			return fmt.Errorf("page size %d declared without page hashes", o.PageSize)
+		}
+		return nil
+	}
+	if o.PageSize == 0 || o.PageSize > pagestate.MaxPageSize {
+		return fmt.Errorf("snapshot offer page size %d outside (0, %d]", o.PageSize, pagestate.MaxPageSize)
+	}
+	if o.Chunks > 1 && o.ChunkLen%o.PageSize != 0 {
+		return fmt.Errorf("chunk length %d not page aligned (%d)", o.ChunkLen, o.PageSize)
+	}
+	root, err := pagestate.RootFromPageHashes(o.PageHashes, int(o.TotalLen), int(o.PageSize))
+	if err != nil {
+		return err
+	}
+	if !o.Agreed.MatchesRoot(root) {
+		return fmt.Errorf("page hashes do not reach the agreed tuple's Merkle root")
+	}
+	return nil
+}
+
+// checkChunkAgainstOffer verifies one chunk against the signed offer: exact
+// position-determined length, and — for snapshots — every page it carries
+// against the offer's Merkle page hashes. A corrupted chunk is therefore
+// rejected the moment it arrives, not at the final whole-payload hash check.
+func checkChunkAgainstOffer(o *wire.StateOffer, idx uint64, payload []byte) error {
+	if idx >= o.Chunks {
+		return fmt.Errorf("chunk %d outside offer (%d chunks)", idx, o.Chunks)
+	}
+	lo := idx * o.ChunkLen
+	want := o.ChunkLen
+	if lo+want > o.TotalLen {
+		want = o.TotalLen - lo
+	}
+	if uint64(len(payload)) != want {
+		return fmt.Errorf("chunk %d carries %d bytes, offer says %d", idx, len(payload), want)
+	}
+	if o.Mode != wire.XferSnapshot || len(o.PageHashes) == 0 {
+		return nil
+	}
+	pi := lo / o.PageSize
+	for off := uint64(0); off < want; off += o.PageSize {
+		end := off + o.PageSize
+		if end > want {
+			end = want
+		}
+		if pagestate.PageHash(payload[off:end]) != o.PageHashes[pi] {
+			return fmt.Errorf("chunk %d page %d fails Merkle verification", idx, pi)
+		}
+		pi++
+	}
+	return nil
+}
+
+// pruneInvalidChunksLocked re-judges pre-offer buffered chunks once the
+// offer's geometry and page hashes are known, dropping any that fail; the
+// cumulative-ack resume rule re-earns dropped indexes.
+func (s *clientSession) pruneInvalidChunksLocked() {
+	s.contig, s.received, s.bytes = 0, 0, 0
+	for idx, body := range s.chunks {
+		if checkChunkAgainstOffer(s.offer, idx, body) != nil {
+			delete(s.chunks, idx)
+			continue
+		}
+		s.received++
+		s.bytes += len(body)
+	}
+	for {
+		if _, have := s.chunks[s.contig]; !have {
+			break
+		}
+		s.contig++
+	}
 }
 
 // handleChunk buffers one payload slice and acknowledges cumulatively.
@@ -80,13 +199,20 @@ func (m *Manager) handleChunk(from string, payload []byte) {
 	if _, dup := s.chunks[c.Index]; !dup {
 		// The signed offer's geometry bounds what this session may buffer;
 		// the offer-size cap enforced in handleOffer must not be bypassable
-		// through the chunk stream itself. Before the offer arrives
-		// (unordered delivery) only a small reorder allowance is held —
-		// dropped chunks are re-earned through the resume rule.
+		// through the chunk stream itself. With the offer in hand every
+		// chunk is verified at receipt — position-exact length, and for
+		// snapshots its pages against the offer's Merkle hashes — so a
+		// corrupted chunk is rejected here, long before StateDone. Before
+		// the offer arrives (unordered delivery) only a small reorder
+		// allowance is held unverified; it is re-judged when the offer
+		// lands, and dropped chunks are re-earned through the resume rule.
 		if s.offer != nil {
-			if c.Index >= s.offer.Chunks || uint64(s.bytes+len(c.Payload)) > s.offer.TotalLen {
+			// Exact per-position lengths + the dup check above mean the
+			// buffered total can never exceed the offer's TotalLen — no
+			// separate cumulative-bytes guard is needed.
+			if err := checkChunkAgainstOffer(s.offer, c.Index, c.Payload); err != nil {
 				m.mu.Unlock()
-				_ = m.logEvidence(c.SessionID, "state-chunk-outside-offer", nrlog.DirReceived, nil)
+				_ = m.logEvidence(c.SessionID, "state-chunk-rejected", nrlog.DirReceived, []byte(err.Error()))
 				return
 			}
 		} else if s.bytes+len(c.Payload) > preOfferBufferCap || len(s.chunks) >= preOfferChunkCap {
@@ -159,14 +285,15 @@ func (m *Manager) Fetch(ctx context.Context, peer string, have, want tuple.State
 	m.mu.Unlock()
 
 	// Capture the fold base before requesting: a deltas-mode payload chains
-	// from our agreed state as of the request.
-	var baseState []byte
+	// from our agreed state as of the request. The paged view is shared with
+	// the engine (immutable; the fold only clones), so no state bytes move.
+	var basePaged *pagestate.Paged
 	if !have.Zero() {
-		baseT, bs := m.cfg.Engine.Agreed()
+		baseT, bp := m.cfg.Engine.AgreedPaged()
 		if baseT != have {
 			return nil, fmt.Errorf("xfer: have tuple is not the current agreed tuple")
 		}
-		baseState = bs
+		basePaged = bp
 	}
 
 	nonce, err := crypto.Nonce()
@@ -261,7 +388,7 @@ func (m *Manager) Fetch(ctx context.Context, peer string, have, want tuple.State
 			return nil, fmt.Errorf("xfer: session %s: %w", sessionID, ctx.Err())
 		}
 	}
-	res, err := m.verify(s, have, want, baseState)
+	res, err := m.verify(s, have, want, basePaged)
 	if err != nil {
 		return nil, err
 	}
@@ -277,7 +404,7 @@ func (m *Manager) Fetch(ctx context.Context, peer string, have, want tuple.State
 // snapshot hash against the agreed tuple, or every delta step folded through
 // the application's ApplyUpdate with its resulting state checked against its
 // tuple's hash, ending exactly at the offered agreed tuple.
-func (m *Manager) verify(s *clientSession, have, want tuple.State, baseState []byte) (*Result, error) {
+func (m *Manager) verify(s *clientSession, have, want tuple.State, basePaged *pagestate.Paged) (*Result, error) {
 	m.mu.Lock()
 	offer, done := *s.offer, *s.done
 	chunks := s.chunks
@@ -300,7 +427,7 @@ func (m *Manager) verify(s *clientSession, have, want tuple.State, baseState []b
 	if uint64(len(payload)) != offer.TotalLen || crypto.Hash(payload) != offer.PayloadHash {
 		return nil, fmt.Errorf("%w: payload hash mismatch", ErrBadPayload)
 	}
-	mode, state, deltas, err := decodePayload(payload)
+	mode, state, deltas, err := decodePayload(offer.Mode, payload)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadPayload, err)
 	}
@@ -319,15 +446,29 @@ func (m *Manager) verify(s *clientSession, have, want tuple.State, baseState []b
 	case wire.XferUpToDate:
 		return res, nil
 	case wire.XferSnapshot:
-		if !offer.Agreed.Matches(state) {
-			return nil, fmt.Errorf("%w: snapshot does not match agreed tuple", ErrBadPayload)
+		if len(offer.PageHashes) == 0 {
+			// Legacy offer (sponsor pages exceed MaxPageSize): bind the
+			// reassembled state to the agreed tuple under this member's own
+			// page size — the group-wide protocol parameter.
+			if !offer.Agreed.MatchesSized(state, m.cfg.Engine.PageSize()) {
+				return nil, fmt.Errorf("%w: snapshot does not match agreed tuple", ErrBadPayload)
+			}
 		}
+		// Otherwise every chunk was already verified at receipt against the
+		// offer's page hashes, whose Merkle root validateOffer bound to the
+		// agreed tuple's HashState — the payload-hash check above is the
+		// remaining defense-in-depth over the reassembly itself.
 		res.State = state
 	case wire.XferDeltas:
 		if have.Zero() {
 			return nil, fmt.Errorf("%w: delta payload without a base state", ErrBadPayload)
 		}
-		st := baseState
+		// The fold runs paged from the engine's shared (immutable) agreed
+		// state: each step clones copy-on-write and its tuple check is a
+		// Merkle-root comparison, so verifying a chain of small deltas over
+		// a large object costs O(deltas · log S), not O(deltas · S) — the
+		// same economics as live coordination.
+		st := basePaged
 		prev := have
 		for i, d := range deltas {
 			if d.Pred != prev {
@@ -336,11 +477,11 @@ func (m *Manager) verify(s *clientSession, have, want tuple.State, baseState []b
 			if d.Tuple.Seq <= prev.Seq {
 				return nil, fmt.Errorf("%w: delta %d sequence does not advance", ErrBadPayload, i)
 			}
-			next, err := m.cfg.Engine.ApplyUpdateFn(st, d.Update)
+			next, err := m.cfg.Engine.ApplyUpdatePagedFn(st, d.Update)
 			if err != nil {
 				return nil, fmt.Errorf("%w: folding delta %d: %v", ErrBadPayload, i, err)
 			}
-			if !d.Tuple.Matches(next) {
+			if !d.Tuple.MatchesRoot(next.Root()) {
 				return nil, fmt.Errorf("%w: delta %d does not yield its tuple's state", ErrBadPayload, i)
 			}
 			st, prev = next, d.Tuple
@@ -348,7 +489,7 @@ func (m *Manager) verify(s *clientSession, have, want tuple.State, baseState []b
 		if prev != offer.Agreed {
 			return nil, fmt.Errorf("%w: delta chain ends at %v, offer says %v", ErrBadPayload, prev, offer.Agreed)
 		}
-		res.State = st
+		res.State = st.Bytes()
 		res.Deltas = len(deltas)
 	default:
 		return nil, fmt.Errorf("%w: unknown transfer mode %v", ErrBadPayload, mode)
@@ -401,7 +542,7 @@ func (m *Manager) FetchAny(ctx context.Context, peers []string, have, want tuple
 // contradict that — they serve the same agreed chain).
 func (m *Manager) CatchUp(ctx context.Context) (bool, error) {
 	en := m.cfg.Engine
-	haveT, _ := en.Agreed()
+	haveT := en.AgreedTuple()
 	group, members := en.Group()
 	self := m.cfg.Ident.ID()
 	var lastErr error

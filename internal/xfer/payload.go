@@ -19,13 +19,19 @@ type delta struct {
 	Update []byte
 }
 
-// encodePayload builds the canonical transfer payload: a full snapshot
-// (state non-nil) or a delta chain suffix.
+// encodePayload builds the transfer payload. A snapshot payload is the raw
+// state bytes themselves — page-aligned, so the requester can verify each
+// chunk against the signed offer's Merkle page hashes as it arrives. Delta
+// and up-to-date payloads keep the canonical self-describing encoding (they
+// are small; chunk CRCs plus the signed payload hash cover them).
 func encodePayload(mode wire.XferMode, state []byte, deltas []store.Checkpoint) []byte {
+	if mode == wire.XferSnapshot {
+		return state
+	}
 	e := canon.NewEncoder()
 	e.Struct("xfer-payload")
 	e.Uint64(uint64(mode))
-	e.Bytes(state)
+	e.Bytes(nil)
 	e.List(len(deltas))
 	for _, cp := range deltas {
 		e.Struct("xfer-delta")
@@ -36,8 +42,11 @@ func encodePayload(mode wire.XferMode, state []byte, deltas []store.Checkpoint) 
 	return e.Out()
 }
 
-// decodePayload parses a transfer payload.
-func decodePayload(buf []byte) (mode wire.XferMode, state []byte, deltas []delta, err error) {
+// decodePayload parses a transfer payload under the signed offer's mode.
+func decodePayload(offerMode wire.XferMode, buf []byte) (mode wire.XferMode, state []byte, deltas []delta, err error) {
+	if offerMode == wire.XferSnapshot {
+		return wire.XferSnapshot, buf, nil, nil
+	}
 	d := canon.NewDecoder(buf)
 	d.Struct("xfer-payload")
 	mode = wire.XferMode(d.Uint8())

@@ -7,6 +7,7 @@ import (
 
 	"b2b/internal/crypto"
 	"b2b/internal/nrlog"
+	"b2b/internal/pagestate"
 	"b2b/internal/wire"
 )
 
@@ -111,11 +112,12 @@ func (m *Manager) handleRequest(from string, payload []byte) {
 // buildSession decides the transfer mode and materializes the payload plus
 // the signed offer/done frames for a fresh session.
 func (m *Manager) buildSession(req wire.StateRequest) (*serverSession, wire.XferMode) {
-	agreedT, agreedState := m.cfg.Engine.Agreed()
+	agreedT, agreedPaged := m.cfg.Engine.AgreedPaged()
 	group, members := m.cfg.Engine.Group()
 
 	mode := wire.XferSnapshot
 	var payload []byte
+	var pageHashes [][32]byte
 	var deltaFrom uint64
 	switch {
 	case !req.Have.Zero() && req.Have.Seq >= agreedT.Seq:
@@ -147,17 +149,40 @@ func (m *Manager) buildSession(req wire.StateRequest) (*serverSession, wire.Xfer
 		if payload == nil {
 			// The chain was compacted past the requester's tuple (or the
 			// history is overwrite-mode): fall back to a chunked snapshot.
-			payload = encodePayload(wire.XferSnapshot, agreedState, nil)
+			payload = agreedPaged.Bytes()
+			pageHashes = agreedPaged.PageHashes()
 		}
 	default:
-		payload = encodePayload(wire.XferSnapshot, agreedState, nil)
+		payload = agreedPaged.Bytes()
+		pageHashes = agreedPaged.PageHashes()
 	}
 
 	window := uint64(m.pol.Window)
 	if req.Window > 0 && req.Window < window {
 		window = req.Window
 	}
-	chunks := chunkCount(len(payload), m.pol.ChunkSize)
+	// Snapshot chunks align to page boundaries so the requester can map
+	// chunk indexes to page indexes and verify each chunk at receipt
+	// against the offer's Merkle page hashes. Pages beyond MaxPageSize
+	// cannot serve as chunk units (they would approach or exceed the
+	// transport frame cap), so such configurations fall back to plain
+	// chunking under legacy whole-payload verification.
+	chunkLen := m.pol.ChunkSize
+	var pageSize uint64
+	if pageHashes != nil && agreedPaged.PageSize() > pagestate.MaxPageSize {
+		pageHashes = nil
+	}
+	if pageHashes != nil {
+		ps := agreedPaged.PageSize()
+		pageSize = uint64(ps)
+		if chunkLen%ps != 0 {
+			chunkLen -= chunkLen % ps
+			if chunkLen < ps {
+				chunkLen = ps
+			}
+		}
+	}
+	chunks := chunkCount(len(payload), chunkLen)
 	offer := wire.StateOffer{
 		SessionID:   req.SessionID,
 		Sponsor:     m.cfg.Ident.ID(),
@@ -168,8 +193,11 @@ func (m *Manager) buildSession(req wire.StateRequest) (*serverSession, wire.Xfer
 		Mode:        mode,
 		DeltaFrom:   deltaFrom,
 		Chunks:      chunks,
+		ChunkLen:    uint64(chunkLen),
 		TotalLen:    uint64(len(payload)),
 		PayloadHash: crypto.Hash(payload),
+		PageSize:    pageSize,
+		PageHashes:  pageHashes,
 	}
 	done := wire.StateDone{
 		SessionID:   req.SessionID,
@@ -189,6 +217,7 @@ func (m *Manager) buildSession(req wire.StateRequest) (*serverSession, wire.Xfer
 		offerRaw:  offerS.Marshal(),
 		doneRaw:   doneS.Marshal(),
 		chunks:    chunks,
+		chunkLen:  chunkLen,
 		window:    window,
 		next:      min64(req.Resume, chunks),
 		acked:     min64(req.Resume, chunks),
@@ -240,7 +269,7 @@ func (m *Manager) serve(s *serverSession) {
 
 		if canSend {
 			idle = 0
-			body := chunkAt(s.payload, idx, m.pol.ChunkSize)
+			body := chunkAt(s.payload, idx, s.chunkLen)
 			chunk := wire.StateChunk{
 				SessionID: s.id,
 				Object:    m.cfg.Object,

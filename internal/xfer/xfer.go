@@ -164,6 +164,7 @@ type serverSession struct {
 	offerRaw  []byte
 	doneRaw   []byte
 	chunks    uint64
+	chunkLen  int // payload bytes per chunk (page-aligned for snapshots)
 	window    uint64
 	next      uint64 // next chunk index to send
 	acked     uint64 // cumulative: requester holds all chunks < acked

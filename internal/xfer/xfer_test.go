@@ -3,6 +3,7 @@ package xfer_test
 import (
 	"bytes"
 	"context"
+	"hash/crc32"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"b2b/internal/coord"
 	"b2b/internal/faults"
 	"b2b/internal/lab"
+	"b2b/internal/pagestate"
 	"b2b/internal/tuple"
 	"b2b/internal/wire"
 	"b2b/internal/xfer"
@@ -338,5 +340,164 @@ func TestRequesterRestartsSession(t *testing.T) {
 	}
 	if !bytes.Equal(res.State, initial) {
 		t.Fatal("fetched state differs")
+	}
+}
+
+// TestCorruptChunkRejectedAtReceipt: an on-path adversary corrupts a chunk's
+// payload and recomputes its CRC, so the transport-level checksum passes.
+// Under the flat-hash scheme this was only caught at the final whole-payload
+// hash check, after the entire transfer; with the Merkle page hashes inside
+// the signed offer the requester rejects the chunk the moment it arrives —
+// before StateDone — and the session completes through the resume rule once
+// the genuine bytes are re-earned.
+func TestCorruptChunkRejectedAtReceipt(t *testing.T) {
+	pol := xfer.Policy{ChunkSize: 8 << 10, Window: 2, RequestTimeout: 200 * time.Millisecond}
+	w, err := lab.NewWorld(lab.Options{Seed: 49, Transfer: pol}, "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Bind(obj, func(string) coord.Validator { return lab.AcceptAllValidator() }, nil); err != nil {
+		t.Fatal(err)
+	}
+	initial := bigState(64 << 10)
+	if err := w.Bootstrap(obj, initial, []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the first transmission of chunk 3: flip a payload byte and
+	// recompute the CRC so only end-to-end verification can catch it.
+	var corrupted atomic.Int32
+	w.Party("a").Interceptor.SetOnSend(func(to string, payload []byte) (faults.Action, []byte) {
+		env, err := wire.UnmarshalEnvelope(payload)
+		if err != nil || env.Kind != wire.KindStateChunk {
+			return faults.Pass, nil
+		}
+		c, err := wire.UnmarshalStateChunk(env.Payload)
+		if err != nil || c.Index != 3 || !corrupted.CompareAndSwap(0, 1) {
+			return faults.Pass, nil
+		}
+		c.Payload = append([]byte(nil), c.Payload...)
+		c.Payload[100] ^= 0xff
+		c.CRC = crc32.Checksum(c.Payload, crc32.MakeTable(crc32.Castagnoli))
+		env.Payload = c.Marshal()
+		return faults.Tamper, env.Marshal()
+	})
+
+	res, err := w.Party("b").Xfer(obj).Fetch(joinCtx(t), "a", tuple.State{}, tuple.State{})
+	if err != nil {
+		t.Fatalf("fetch despite transient corruption: %v", err)
+	}
+	if !bytes.Equal(res.State, initial) {
+		t.Fatal("fetched state differs")
+	}
+	if corrupted.Load() != 1 {
+		t.Fatal("fault injector never corrupted chunk 3")
+	}
+	// The rejection must have happened at chunk receipt (evidence kind
+	// state-chunk-rejected), not at the final payload-hash check.
+	entries, err := w.Party("b").Log.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range entries {
+		if e.Kind == "state-chunk-rejected" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no state-chunk-rejected evidence: corruption was not caught at receipt")
+	}
+}
+
+// TestForgedOfferRejected: a snapshot offer whose page hashes do not reach
+// the agreed tuple's Merkle root is discarded outright — a sponsor cannot
+// substitute a different state under its own valid signature.
+func TestForgedOfferRejected(t *testing.T) {
+	pol := xfer.Policy{ChunkSize: 8 << 10, RequestTimeout: 150 * time.Millisecond}
+	w, err := lab.NewWorld(lab.Options{Seed: 50, Transfer: pol}, "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Bind(obj, func(string) coord.Validator { return lab.AcceptAllValidator() }, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Bootstrap(obj, bigState(32<<10), []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one page hash in every outbound offer (and re-sign? The
+	// interceptor is the sponsor itself here — it can sign anything, which
+	// is exactly the attack the tuple-root binding defeats).
+	w.Party("a").Interceptor.SetOnSend(func(to string, payload []byte) (faults.Action, []byte) {
+		env, err := wire.UnmarshalEnvelope(payload)
+		if err != nil || env.Kind != wire.KindStateOffer {
+			return faults.Pass, nil
+		}
+		signed, err := wire.UnmarshalSigned(env.Payload)
+		if err != nil {
+			return faults.Pass, nil
+		}
+		offer, err := wire.UnmarshalStateOffer(signed.Body)
+		if err != nil || len(offer.PageHashes) == 0 {
+			return faults.Pass, nil
+		}
+		offer.PageHashes[0][0] ^= 0xff
+		resigned := wire.Sign(wire.KindStateOffer, offer.Marshal(), w.Party("a").Ident, w.TSA)
+		env.Payload = resigned.Marshal()
+		return faults.Tamper, env.Marshal()
+	})
+
+	shortCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if _, err := w.Party("b").Xfer(obj).Fetch(shortCtx, "a", tuple.State{}, tuple.State{}); err == nil {
+		t.Fatal("fetch completed under a forged offer")
+	}
+	entries, err := w.Party("b").Log.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range entries {
+		if e.Kind == "state-offer-merkle-mismatch" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("forged offer left no state-offer-merkle-mismatch evidence")
+	}
+}
+
+// TestOversizedPageSnapshotLegacyPath: a group configured with pages above
+// pagestate.MaxPageSize cannot verify snapshot chunks incrementally (pages
+// would not fit transport frames as chunk units); its offers omit the page
+// hashes and the transfer completes under legacy whole-payload + tuple
+// verification instead of stalling.
+func TestOversizedPageSnapshotLegacyPath(t *testing.T) {
+	pol := xfer.Policy{ChunkSize: 32 << 10, RequestTimeout: 200 * time.Millisecond}
+	w, err := lab.NewWorld(lab.Options{Seed: 51, Transfer: pol, PageSize: pagestate.MaxPageSize + 1}, "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Bind(obj, func(string) coord.Validator { return lab.AcceptAllValidator() }, nil); err != nil {
+		t.Fatal(err)
+	}
+	initial := bigState(128 << 10)
+	if err := w.Bootstrap(obj, initial, []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Party("b").Xfer(obj).Fetch(joinCtx(t), "a", tuple.State{}, tuple.State{})
+	if err != nil {
+		t.Fatalf("legacy-path fetch: %v", err)
+	}
+	if !bytes.Equal(res.State, initial) {
+		t.Fatal("fetched state differs")
+	}
+	if res.Chunks < 2 {
+		t.Fatalf("expected a multi-chunk session, got %d chunks", res.Chunks)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"b2b/internal/crypto"
 	"b2b/internal/group"
 	"b2b/internal/nrlog"
+	"b2b/internal/pagestate"
 	"b2b/internal/store"
 	"b2b/internal/transport"
 	"b2b/internal/wire"
@@ -112,6 +113,7 @@ type participantOpts struct {
 	durability      DurabilityPolicy
 	legacyStorage   bool
 	transfer        TransferPolicy
+	paging          PagingPolicy
 	retryInterval   time.Duration
 	responseTimeout time.Duration
 	opTimeout       time.Duration
@@ -180,6 +182,20 @@ type TransferPolicy = xfer.Policy
 // WithTransfer sets the state-transfer policy.
 func WithTransfer(p TransferPolicy) Option {
 	return func(o *participantOpts) { o.transfer = p }
+}
+
+// PagingPolicy tunes the paged Merkle state identity: the page granularity
+// object state is split into for hashing and copy-on-write replica sharing.
+// The zero value selects the defaults documented on the fields (4 KiB
+// pages). Unlike the transfer policy this is a protocol parameter, not a
+// local knob: HashState binds the page size, so every member of a sharing
+// group must configure the same value or its proposals are vetoed as state
+// integrity failures.
+type PagingPolicy = pagestate.Policy
+
+// WithPaging sets the paged state identity policy.
+func WithPaging(p PagingPolicy) Option {
+	return func(o *participantOpts) { o.paging = p }
 }
 
 // WithRetryInterval tunes the protocol-level retry period.
@@ -285,6 +301,7 @@ func NewParticipant(ident *crypto.Identity, td *TrustDomain, conn core.Conn, opt
 		ResponseTimeout: o.responseTimeout,
 		SnapshotEvery:   o.durability.SnapshotEvery,
 		Transfer:        o.transfer,
+		PageSize:        o.paging.PageSize,
 	})
 	if err != nil {
 		if plane != nil {
