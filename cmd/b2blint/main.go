@@ -1,0 +1,94 @@
+// Command b2blint machine-enforces the protocol's safety rules: it runs the
+// internal/analysis checker suite (verifybeforetrust, canondeterminism,
+// barrierdiscipline, cowaliasing, closecheck — see docs/ANALYZERS.md) over
+// the repository and exits non-zero on any unwaived finding.
+//
+// Usage:
+//
+//	go run ./cmd/b2blint ./...          # whole repository (the CI lint job)
+//	go run ./cmd/b2blint ./internal/coord
+//	go run ./cmd/b2blint -list          # describe the analyzers
+//
+// The checker is self-contained: it loads and type-checks packages itself
+// (standard library compiled from $GOROOT/src), so it needs no network, no
+// module proxy, and no installed tools. Findings print as
+// file:line:col: analyzer: message, one per line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"b2b/internal/analysis"
+	"b2b/internal/analysis/suite"
+)
+
+func main() {
+	list := flag.Bool("list", false, "describe the analyzers and exit")
+	only := flag.String("only", "", "run only the named analyzers (comma-separated)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: b2blint [-list] [-only analyzer[,analyzer...]] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := suite.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a := suite.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "b2blint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	findings, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fatal(err)
+	}
+	for _, f := range findings {
+		// Print paths relative to the module root for stable CI output.
+		if rel, err := filepath.Rel(loader.ModuleDir, f.Pos.Filename); err == nil {
+			f.Pos.Filename = rel
+		}
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "b2blint: %d finding(s) across %d package(s)\n", len(findings), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "b2blint:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"testing"
+
+	"b2b/internal/analysis"
+	"b2b/internal/analysis/suite"
+)
+
+// TestRepoClean runs the full b2blint suite over the whole module, exactly
+// as `go run ./cmd/b2blint ./...` does, and fails on any unsuppressed
+// finding. This folds the lint gate into `go test ./...`: a protocol-safety
+// violation fails the ordinary test job even before the dedicated lint job
+// runs.
+func TestRepoClean(t *testing.T) {
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	findings, err := analysis.Run(pkgs, suite.Analyzers())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,134 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis analyzer API, plus the package loader and
+// waiver machinery behind cmd/b2blint.
+//
+// The b2blint analyzers machine-enforce protocol safety rules that the
+// compiler cannot see (signature verification before trust, deterministic
+// canonical encoding, durability barriers before externalization, COW page
+// discipline, no swallowed fsync errors — see docs/ANALYZERS.md). They are
+// written against the same Analyzer/Pass shape as x/tools so they could be
+// ported to the upstream framework verbatim; the container this repository
+// builds in has no module proxy access, so the framework itself is vendored
+// here in miniature instead of depended upon.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one invariant checker. It mirrors
+// golang.org/x/tools/go/analysis.Analyzer (Name, Doc, Run) so analyzers
+// written here port to the upstream framework without modification.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and in
+	// //lint:ignore <name> <reason> waiver comments.
+	Name string
+
+	// Doc is the one-paragraph statement of the enforced invariant.
+	Doc string
+
+	// Run applies the analyzer to one type-checked package, reporting
+	// findings through pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Diagnostic is one finding at one source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Report records a finding.
+func (p *Pass) Report(d Diagnostic) { p.report(d) }
+
+// Reportf records a formatted finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// PkgIn reports whether the package import path denotes one of the named
+// packages: an exact match or a path whose last element matches. Matching by
+// final element lets the same analyzer recognize both the real package
+// ("b2b/internal/wire") and its analysistest fixture ("wire").
+func PkgIn(path string, names ...string) bool {
+	base := path
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		base = path[i+1:]
+	}
+	for _, n := range names {
+		if base == n || path == n {
+			return true
+		}
+	}
+	return false
+}
+
+// CalleeFunc resolves the *types.Func a call expression invokes, or nil for
+// calls through function values, built-ins, and type conversions.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return nil
+	}
+	f, _ := info.Uses[id].(*types.Func)
+	return f
+}
+
+// CalleeName returns the bare name a call expression invokes — the selector
+// or identifier text — or "" when the callee is not a name.
+func CalleeName(call *ast.CallExpr) string {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// NamedType unwraps pointers and aliases down to the *types.Named of t, or
+// nil when t has no named core.
+func NamedType(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Alias:
+			t = types.Unalias(u)
+		case *types.Named:
+			return u
+		default:
+			return nil
+		}
+	}
+}
+
+// IsNamed reports whether t (through pointers) is the named type
+// pkgNames.typeName, with the package matched via PkgIn.
+func IsNamed(t types.Type, typeName string, pkgNames ...string) bool {
+	n := NamedType(t)
+	if n == nil || n.Obj().Name() != typeName || n.Obj().Pkg() == nil {
+		return false
+	}
+	return PkgIn(n.Obj().Pkg().Path(), pkgNames...)
+}

@@ -1,0 +1,114 @@
+// Package analysistest runs an analyzer over golden fixture packages and
+// checks its diagnostics against // want comments, in the style of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixture layout: <testdata>/src/<pkg>/... — each fixture package is loaded
+// with bare import paths resolved against <testdata>/src, so a fixture can
+// ship its own miniature "wire" or "crypto" package and the analyzers
+// recognize them by path element exactly as they do the real ones.
+//
+// Expectations are trailing comments on the offending line:
+//
+//	en.send(ctx, to, payload) // want `staged .* barrier`
+//
+// The quoted text is a regular expression matched against the diagnostic
+// message; every diagnostic must be matched by a want and vice versa. Lines
+// without a want comment must produce no diagnostics.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"b2b/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile("//\\s*want\\s+((`[^`]*`|\"[^\"]*\")(\\s+(`[^`]*`|\"[^\"]*\"))*)")
+
+var wantArgRE = regexp.MustCompile("`[^`]*`|\"[^\"]*\"")
+
+// Run loads the fixture packages and applies the analyzer, failing t on any
+// mismatch between diagnostics and // want expectations. It returns the
+// surfaced findings for additional assertions.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, patterns ...string) []analysis.Finding {
+	t.Helper()
+	loader, err := analysis.NewFixtureLoader(testdata + "/src")
+	if err != nil {
+		t.Fatalf("fixture loader: %v", err)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures %v: %v", patterns, err)
+	}
+	findings, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	wantText := map[key][]string{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					k := key{pos.Filename, pos.Line}
+					for _, arg := range wantArgRE.FindAllString(m[1], -1) {
+						pat := arg[1 : len(arg)-1]
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+						}
+						wants[k] = append(wants[k], re)
+						wantText[k] = append(wantText[k], pat)
+					}
+				}
+			}
+		}
+	}
+
+	matched := map[key][]bool{}
+	for k, res := range wants {
+		matched[k] = make([]bool, len(res))
+	}
+	for _, f := range findings {
+		k := key{f.Pos.Filename, f.Pos.Line}
+		ok := false
+		for i, re := range wants[k] {
+			if re.MatchString(f.Message) {
+				matched[k][i] = true
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", f.Pos.Filename, f.Pos.Line, f.Message)
+		}
+	}
+	for k, ms := range matched {
+		for i, hit := range ms {
+			if !hit {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, wantText[k][i])
+			}
+		}
+	}
+	return findings
+}
+
+// Describe renders findings for debugging failed fixture runs.
+func Describe(findings []analysis.Finding) string {
+	var b strings.Builder
+	for _, f := range findings {
+		fmt.Fprintf(&b, "  %s\n", f)
+	}
+	return b.String()
+}

@@ -1,0 +1,80 @@
+// Package barrierdiscipline enforces the PR 3 durability contract in coord,
+// store, and nrlog: once a run record, checkpoint, or evidence entry has
+// been *staged* (an AppendDeferred/Save*Deferred/logEvidenceStaged-style
+// call whose bytes are not yet fsynced), no wire send may externalize the
+// outcome until a group-commit barrier (barrier()/Barrier()) has made the
+// staged records durable. A send that races ahead of the barrier hands
+// another organisation a signed message whose supporting evidence can still
+// be lost to a crash — exactly the failure the durability plane exists to
+// prevent.
+//
+// The check is per function, in source order: a send-class call while a
+// stage-class call is pending without an intervening barrier is reported.
+// Cross-function sequences (stage in a helper, send in the caller) are the
+// caller's responsibility and are covered where the staging helper and the
+// send appear together; a deliberate exception carries a
+// //lint:ignore barrierdiscipline <reason> waiver.
+package barrierdiscipline
+
+import (
+	"go/ast"
+
+	"b2b/internal/analysis"
+)
+
+// Analyzer is the barrierdiscipline invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "barrierdiscipline",
+	Doc: "wire send while staged durability records await a group-commit " +
+		"barrier (stage -> barrier -> send, in that order)",
+	Run: run,
+}
+
+// Call classes, matched by bare callee name. Staging is any deferral of a
+// durability write; barrier is the group-commit fsync; send is anything
+// that externalizes bytes to another party.
+var (
+	stageNames = map[string]bool{
+		"logEvidenceStaged": true, "saveRun": true, "deleteRun": true,
+		"commitCheckpointLocked": true, "SaveCheckpointDeferred": true,
+		"SaveRunDeferred": true, "DeleteRunDeferred": true,
+		"AppendDeferred": true, "stage": true, "stageRun": true, "stageDelete": true,
+	}
+	barrierNames = map[string]bool{"barrier": true, "Barrier": true}
+	sendNames    = map[string]bool{
+		"send": true, "Send": true, "SendBatch": true, "SendStream": true,
+		"broadcast": true, "SendTo": true,
+	}
+)
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PkgIn(pass.Pkg.Path(), "coord", "store", "nrlog") {
+		return nil
+	}
+	analysis.InspectFuncs(pass.Files, func(fd *ast.FuncDecl) {
+		type staged struct {
+			name string
+			line int
+		}
+		var pending *staged
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := analysis.CalleeName(call)
+			switch {
+			case stageNames[name]:
+				pending = &staged{name: name, line: pass.Fset.Position(call.Pos()).Line}
+			case barrierNames[name]:
+				pending = nil
+			case sendNames[name] && pending != nil:
+				pass.Reportf(call.Pos(),
+					"wire send %s while records staged by %s (line %d) await a durability barrier: call barrier() before externalizing",
+					name, pending.name, pending.line)
+			}
+			return true
+		})
+	})
+	return nil
+}

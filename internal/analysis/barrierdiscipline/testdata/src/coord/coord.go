@@ -1,0 +1,39 @@
+// Package coord is a barrierdiscipline fixture: a wire send racing ahead of
+// the group-commit barrier fires, the stage -> barrier -> send order passes,
+// and a deliberate unbarriered probe carries a waiver.
+package coord
+
+type engine struct{}
+
+func (e *engine) logEvidenceStaged(kind string, b []byte) error { return nil }
+func (e *engine) barrier() error                                { return nil }
+func (e *engine) send(to string, b []byte) error                { return nil }
+
+func (e *engine) raceAhead(to string, b []byte) error {
+	if err := e.logEvidenceStaged("propose", b); err != nil {
+		return err
+	}
+	return e.send(to, b) // want `wire send send while records staged by logEvidenceStaged`
+}
+
+func (e *engine) disciplined(to string, b []byte) error {
+	if err := e.logEvidenceStaged("propose", b); err != nil {
+		return err
+	}
+	if err := e.barrier(); err != nil {
+		return err
+	}
+	return e.send(to, b)
+}
+
+func (e *engine) sendOnly(to string, b []byte) error {
+	return e.send(to, b)
+}
+
+func (e *engine) waived(to string, b []byte) error {
+	if err := e.logEvidenceStaged("probe", b); err != nil {
+		return err
+	}
+	//lint:ignore barrierdiscipline fixture: probe message carries no durable claim
+	return e.send(to, b)
+}

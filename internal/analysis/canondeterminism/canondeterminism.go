@@ -1,0 +1,126 @@
+// Package canondeterminism enforces that canonical encoding and hash-input
+// construction are deterministic. All organisations must compute the same
+// bytes for the same logical state — HashState, signature inputs, and
+// Merkle leaves are only meaningful if every member agrees on them — so no
+// map-range iteration, time.Now/Since/Until, or math/rand use may be
+// reachable (within the package) from a canonical root: a Marshal*/Encode*/
+// signInput/hash-input function in canon, wire, tuple, pagestate, or coord.
+//
+// Reachability is intra-package over statically resolved calls, with
+// function literals analyzed as part of their enclosing declaration. A
+// deliberately ordered use (e.g. collecting map keys and sorting before
+// encoding) carries a //lint:ignore canondeterminism <reason> waiver.
+package canondeterminism
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"b2b/internal/analysis"
+)
+
+// Analyzer is the canondeterminism invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "canondeterminism",
+	Doc: "nondeterminism (map range, time.Now, math/rand) reachable from " +
+		"canonical-marshal or hash-input code in canon/wire/tuple/pagestate/coord",
+	Run: run,
+}
+
+// rootName selects the canonical roots by name: marshalling, encoding,
+// signature-input, and hash/Merkle construction functions.
+var rootName = regexp.MustCompile(`(?i)^(marshal|encode|signinput|sigmemokey|appendframe)|hash|^(root|rootfrompagehashes|mth|mthof|buildlevels|setleaf|wraproot)$`)
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PkgIn(pass.Pkg.Path(), "canon", "wire", "tuple", "pagestate", "coord") {
+		return nil
+	}
+
+	// Map every declared function object to its declaration, and build the
+	// intra-package static call graph.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	analysis.InspectFuncs(pass.Files, func(fd *ast.FuncDecl) {
+		if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+			decls[fn] = fd
+		}
+	})
+	calls := map[*types.Func][]*types.Func{}
+	for fn, fd := range decls {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := analysis.CalleeFunc(pass.TypesInfo, call)
+			if callee != nil && decls[callee] != nil {
+				calls[fn] = append(calls[fn], callee)
+			}
+			return true
+		})
+	}
+
+	// BFS from the roots; remember one call-path entry point per function
+	// so the report can say which root reaches the violation.
+	via := map[*types.Func]*types.Func{}
+	var queue []*types.Func
+	for fn := range decls {
+		if rootName.MatchString(fn.Name()) {
+			via[fn] = fn
+			queue = append(queue, fn)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, callee := range calls[fn] {
+			if _, seen := via[callee]; !seen {
+				via[callee] = via[fn]
+				queue = append(queue, callee)
+			}
+		}
+	}
+
+	for fn, fd := range decls {
+		root, reachable := via[fn]
+		if !reachable {
+			continue
+		}
+		checkBody(pass, fd, fn, root)
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, fd *ast.FuncDecl, fn, root *types.Func) {
+	where := func() string {
+		if fn == root {
+			return "in canonical root " + fn.Name()
+		}
+		return "in " + fn.Name() + ", reachable from canonical root " + root.Name()
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(node.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					pass.Reportf(node.Pos(),
+						"map iteration order is nondeterministic %s: encodings must be identical at every organisation", where())
+				}
+			}
+		case *ast.SelectorExpr:
+			obj := pass.TypesInfo.Uses[node.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				if n := obj.Name(); n == "Now" || n == "Since" || n == "Until" {
+					pass.Reportf(node.Pos(), "time.%s %s: canonical bytes must not depend on the local clock", n, where())
+				}
+			case "math/rand", "math/rand/v2":
+				pass.Reportf(node.Pos(), "math/rand use %s: canonical bytes must be deterministic", where())
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package canondeterminism_test
+
+import (
+	"testing"
+
+	"b2b/internal/analysis/analysistest"
+	"b2b/internal/analysis/canondeterminism"
+)
+
+func TestCanondeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", canondeterminism.Analyzer, "canon")
+}

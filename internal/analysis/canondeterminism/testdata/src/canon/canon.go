@@ -1,0 +1,58 @@
+// Package canon is a canondeterminism fixture: nondeterminism reachable
+// from canonical roots fires, sorted iteration carries a waiver, and the
+// same constructs outside any root's reach stay silent.
+package canon
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func Marshal(m map[string]int) []byte {
+	var out []byte
+	for k := range m { // want `map iteration order is nondeterministic in canonical root Marshal`
+		out = append(out, k...)
+	}
+	return out
+}
+
+func Encode(v int) []byte {
+	return helper(v)
+}
+
+// helper is not itself a root, but Encode reaches it.
+func helper(v int) []byte {
+	now := time.Now() // want `time.Now in helper, reachable from canonical root Encode`
+	return []byte{byte(v), byte(now.Second())}
+}
+
+func HashLeaves(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(rand.Intn(256)) // want `math/rand use in canonical root HashLeaves`
+	}
+	return b
+}
+
+// MarshalSorted iterates a map deliberately ordered: keys are collected and
+// sorted before any byte is emitted, so the encoding is deterministic.
+func MarshalSorted(m map[string]int) []byte {
+	keys := make([]string, 0, len(m))
+	//lint:ignore canondeterminism keys are collected then sorted before encoding
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []byte
+	for _, k := range keys {
+		out = append(out, k...)
+	}
+	return out
+}
+
+// Stamp is not a canonical root and nothing canonical reaches it: wall-clock
+// use here is allowed.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}

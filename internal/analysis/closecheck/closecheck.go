@@ -1,0 +1,117 @@
+// Package closecheck flags dropped error returns on Close, Sync, and Flush
+// in the durability-bearing packages (store, nrlog, transport). A swallowed
+// fsync error silently voids the PR 3 durability contract: the caller
+// proceeds as if the barrier held when the kernel may have discarded the
+// write (close can surface deferred write-back errors, exactly like fsync).
+// Both bare call statements and blank-assign discards (_ = f.Close()) are
+// reported: in these packages an ignored close is a durability decision, so
+// it must be propagated, logged-and-degraded, or justified in place with a
+// //lint:ignore closecheck <reason> waiver.
+//
+// The blank-assign form is only reported for durable media — receivers
+// whose method set also offers Sync() error (os.File, store.SegmentFile).
+// Discarding the close error of a socket or in-memory endpoint is not a
+// durability decision and stays allowed.
+package closecheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"b2b/internal/analysis"
+)
+
+// Analyzer is the closecheck invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "closecheck",
+	Doc: "dropped error from Close/Sync/Flush in store, nrlog, or transport: " +
+		"a swallowed fsync error voids durability",
+	Run: run,
+}
+
+// methodNames are the durability-relevant calls whose error must be looked at.
+var methodNames = map[string]bool{"Close": true, "Sync": true, "Flush": true}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PkgIn(pass.Pkg.Path(), "store", "nrlog", "transport") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			how := "dropped"
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = stmt.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = stmt.Call
+			case *ast.GoStmt:
+				call = stmt.Call
+			case *ast.AssignStmt:
+				if len(stmt.Rhs) == 1 && allBlank(stmt.Lhs) {
+					call, _ = ast.Unparen(stmt.Rhs[0]).(*ast.CallExpr)
+					how = "discarded"
+				}
+			}
+			if call == nil {
+				return true
+			}
+			name := analysis.CalleeName(call)
+			if !methodNames[name] {
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || !returnsError(fn) {
+				return true
+			}
+			if how == "discarded" && !syncable(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"error from %s is %s: a swallowed %s failure silently voids durability (propagate, log-and-degrade, or waive with //lint:ignore closecheck <reason>)",
+				fn.FullName(), how, name)
+			return true
+		})
+	}
+	return nil
+}
+
+// syncable reports whether the call's receiver also offers Sync() error —
+// the marker of a durable, file-backed handle.
+func syncable(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, "Sync")
+	m, ok := obj.(*types.Func)
+	return ok && returnsError(m)
+}
+
+func allBlank(lhs []ast.Expr) bool {
+	for _, l := range lhs {
+		id, ok := l.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return len(lhs) > 0
+}
+
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if named, ok := res.At(i).Type().(*types.Named); ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package closecheck_test
+
+import (
+	"testing"
+
+	"b2b/internal/analysis/analysistest"
+	"b2b/internal/analysis/closecheck"
+)
+
+func TestClosecheck(t *testing.T) {
+	analysistest.Run(t, "testdata", closecheck.Analyzer, "store", "other")
+}

@@ -1,0 +1,9 @@
+// Package other is outside closecheck's scope (store, nrlog, transport):
+// the same dropped close must produce no findings here.
+package other
+
+import "os"
+
+func dropped(f *os.File) {
+	f.Close()
+}

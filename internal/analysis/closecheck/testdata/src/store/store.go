@@ -1,0 +1,47 @@
+// Package store is a closecheck fixture: durable file handles whose
+// Close/Sync/Flush errors are dropped, discarded, propagated, or waived.
+package store
+
+import "os"
+
+func dropped(f *os.File) {
+	f.Close() // want `error from \(\*os.File\).Close is dropped`
+}
+
+func droppedSync(f *os.File) {
+	f.Sync() // want `error from \(\*os.File\).Sync is dropped`
+}
+
+func deferred(f *os.File) {
+	defer f.Close() // want `error from \(\*os.File\).Close is dropped`
+}
+
+func discarded(f *os.File) {
+	_ = f.Close() // want `error from \(\*os.File\).Close is discarded`
+}
+
+func propagated(f *os.File) error {
+	return f.Close()
+}
+
+func handled(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func waived(f *os.File) {
+	//lint:ignore closecheck fixture: handle is read-only, close cannot surface write-back errors
+	_ = f.Close()
+}
+
+// conn has Close but no Sync: discarding its close error is not a
+// durability decision, so the blank-assign form stays allowed.
+type conn struct{}
+
+func (conn) Close() error { return nil }
+
+func socket(c conn) {
+	_ = c.Close()
+}

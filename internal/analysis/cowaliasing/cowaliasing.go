@@ -1,0 +1,155 @@
+// Package cowaliasing protects the PR 5 copy-on-write page sharing. A
+// pagestate.Paged is an immutable-once-published value whose page contents
+// are physically shared between every clone descending from one build, so:
+//
+//   - inside pagestate, the page table, hash levels, and cached root may be
+//     reassigned only in the sanctioned construct/clone/apply paths
+//     (FromBytes, Clone, WriteAt, setLeaf, Resize, Append) — any other
+//     method mutating them would corrupt siblings sharing the tree;
+//   - nowhere, inside or out, may code write *into* a page's backing array
+//     (p.pages[i][j] = v, copy(p.pages[i], ...)): pages are shared, and the
+//     copy-on-write contract is copy-the-page-then-write, never in place;
+//   - outside pagestate, the slice returned by Page(i) aliases internal
+//     storage and is read-only: writing through it (p.Page(i)[j] = v,
+//     copy(p.Page(i), ...)) mutates every replica state sharing the page.
+//
+// A sanctioned new mutation path is added to the allowlist here (reviewed
+// friction, on purpose) or carries //lint:ignore cowaliasing <reason>.
+package cowaliasing
+
+import (
+	"go/ast"
+
+	"b2b/internal/analysis"
+)
+
+// Analyzer is the cowaliasing invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "cowaliasing",
+	Doc: "mutation of shared pagestate.Paged pages or page tables outside " +
+		"the sanctioned clone/apply paths",
+	Run: run,
+}
+
+// mutators are the sanctioned pagestate functions that may reassign the
+// page table, hash levels, and root of the Paged they own.
+var mutators = map[string]bool{
+	"FromBytes": true, "Clone": true, "WriteAt": true,
+	"setLeaf": true, "Resize": true, "Append": true,
+}
+
+// pagedFields are the Paged fields covered by the table-mutation rule.
+var pagedFields = map[string]bool{
+	"pages": true, "levels": true, "root": true, "size": true, "pageSize": true,
+}
+
+func run(pass *analysis.Pass) error {
+	inPagestate := analysis.PkgIn(pass.Pkg.Path(), "pagestate")
+	analysis.InspectFuncs(pass.Files, func(fd *ast.FuncDecl) {
+		sanctioned := inPagestate && mutators[fd.Name.Name]
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range node.Lhs {
+					checkWrite(pass, lhs, sanctioned, inPagestate)
+				}
+			case *ast.IncDecStmt:
+				checkWrite(pass, node.X, sanctioned, inPagestate)
+			case *ast.CallExpr:
+				if name, ok := ast.Unparen(node.Fun).(*ast.Ident); ok && name.Name == "copy" && len(node.Args) > 0 {
+					checkCopyDst(pass, node.Args[0])
+				}
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+// strip removes index and slice layers, returning the base expression and
+// how many layers were removed.
+func strip(e ast.Expr) (ast.Expr, int) {
+	depth := 0
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			e = x.X
+			depth++
+		case *ast.SliceExpr:
+			e = x.X
+			depth++
+		default:
+			return x, depth
+		}
+	}
+}
+
+// pagedField matches a selector on a Paged value against the protected
+// fields, returning the field name or "".
+func pagedField(pass *analysis.Pass, e ast.Expr) string {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || !pagedFields[sel.Sel.Name] {
+		return ""
+	}
+	if t := pass.TypesInfo.TypeOf(sel.X); t != nil && analysis.IsNamed(t, "Paged", "pagestate") {
+		return sel.Sel.Name
+	}
+	return ""
+}
+
+// pageCall matches an expression that is a Page(i) call on a Paged value.
+func pageCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || analysis.CalleeName(call) != "Page" {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(sel.X)
+	return t != nil && analysis.IsNamed(t, "Paged", "pagestate")
+}
+
+func checkWrite(pass *analysis.Pass, lhs ast.Expr, sanctioned, inPagestate bool) {
+	base, depth := strip(lhs)
+	if pageCall(pass, base) && depth >= 1 {
+		pass.Reportf(lhs.Pos(),
+			"write through Page(i), which aliases page storage shared by every COW clone: mutate via Clone+WriteAt, never in place")
+		return
+	}
+	field := pagedField(pass, base)
+	if field == "" {
+		return
+	}
+	if field == "pages" && depth >= 2 {
+		pass.Reportf(lhs.Pos(),
+			"write into page contents (%s[i][j]): pages are shared copy-on-write, copy the page before writing", field)
+		return
+	}
+	if !inPagestate {
+		return // fields are unexported; only pagestate code can reach them
+	}
+	if !sanctioned {
+		pass.Reportf(lhs.Pos(),
+			"mutation of Paged.%s outside the sanctioned clone/apply paths (%s): published Paged values are immutable",
+			field, mutatorList())
+	}
+}
+
+func checkCopyDst(pass *analysis.Pass, dst ast.Expr) {
+	base, depth := strip(dst)
+	if pageCall(pass, base) {
+		pass.Reportf(dst.Pos(),
+			"copy into Page(i), which aliases page storage shared by every COW clone: mutate via Clone+WriteAt, never in place")
+		return
+	}
+	if field := pagedField(pass, base); field == "pages" && depth >= 1 {
+		pass.Reportf(dst.Pos(),
+			"copy into page contents (pages[i]): pages are shared copy-on-write, copy the page before writing")
+	}
+}
+
+func mutatorList() string {
+	return "FromBytes/Clone/WriteAt/setLeaf/Resize/Append"
+}

@@ -1,0 +1,12 @@
+package cowaliasing_test
+
+import (
+	"testing"
+
+	"b2b/internal/analysis/analysistest"
+	"b2b/internal/analysis/cowaliasing"
+)
+
+func TestCowaliasing(t *testing.T) {
+	analysistest.Run(t, "testdata", cowaliasing.Analyzer, "pagestate", "replica")
+}

@@ -1,0 +1,47 @@
+// Package pagestate is a cowaliasing fixture: a miniature of the real COW
+// page store. Sanctioned mutators reassign the table freely; any other
+// method mutating the table or writing into shared page contents fires.
+package pagestate
+
+type Paged struct {
+	pages    [][]byte
+	levels   [][][32]byte
+	root     [32]byte
+	size     int
+	pageSize int
+}
+
+func (p *Paged) Page(i int) []byte { return p.pages[i] }
+
+// WriteAt is sanctioned: it copies the page before writing.
+func (p *Paged) WriteAt(off int, b []byte) {
+	i := off / p.pageSize
+	page := make([]byte, len(p.pages[i]))
+	copy(page, p.pages[i])
+	copy(page[off%p.pageSize:], b)
+	p.pages[i] = page
+}
+
+// Clone is sanctioned: it shares pages and copies only the table.
+func (p *Paged) Clone() *Paged {
+	q := *p
+	q.pages = append([][]byte(nil), p.pages...)
+	return &q
+}
+
+// Poke writes into a shared page in place: every clone sharing the page
+// sees the mutation.
+func (p *Paged) Poke(i int, b byte) {
+	p.pages[i][0] = b // want `write into page contents`
+}
+
+// Retag mutates the table outside the sanctioned paths.
+func (p *Paged) Retag(n int) {
+	p.size = n // want `mutation of Paged\.size outside the sanctioned clone/apply paths`
+}
+
+// reset carries a waiver: the Paged it zeroes is a private scratch value.
+func reset(p *Paged) {
+	//lint:ignore cowaliasing fixture: p is an unpublished scratch value owned by this function
+	p.root = [32]byte{}
+}

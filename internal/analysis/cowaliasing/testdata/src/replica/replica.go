@@ -1,0 +1,22 @@
+// Package replica is a cowaliasing fixture consumer: the slice Page(i)
+// returns aliases storage shared by every COW clone, so writing through it
+// fires while reading stays allowed.
+package replica
+
+import "pagestate"
+
+func smash(p *pagestate.Paged) {
+	p.Page(0)[0] = 1 // want `write through Page\(i\)`
+}
+
+func overwrite(p *pagestate.Paged, b []byte) {
+	copy(p.Page(0), b) // want `copy into Page\(i\)`
+}
+
+func read(p *pagestate.Paged) byte {
+	return p.Page(0)[0]
+}
+
+func readInto(p *pagestate.Paged, dst []byte) {
+	copy(dst, p.Page(0))
+}

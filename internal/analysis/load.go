@@ -1,0 +1,309 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path ("b2b/internal/wire", or "wire" in fixtures)
+	Dir   string // directory the files were read from
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages without the go tool: module
+// packages resolve against the module root, fixture packages against extra
+// source roots (analysistest's testdata/src), and everything else falls back
+// to compiling the standard library from $GOROOT/src. This keeps b2blint
+// self-contained — it needs no module proxy, no export data, and no
+// golang.org/x/tools dependency.
+type Loader struct {
+	ModuleDir  string // directory containing go.mod
+	ModulePath string // module path from go.mod ("b2b")
+	Roots      []string
+	// Roots are extra source roots searched for bare import paths, in
+	// order; analysistest points one at its testdata/src tree.
+
+	fset  *token.FileSet
+	std   types.ImporterFrom
+	cache map[string]*Package
+}
+
+// NewLoader builds a loader for the module containing dir (searched upward
+// for go.mod). The standard library is type-checked from source with cgo
+// disabled, so packages like net resolve to their pure-Go form.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modDir := abs
+	for {
+		if _, err := os.Stat(filepath.Join(modDir, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(modDir)
+		if parent == modDir {
+			return nil, fmt.Errorf("analysis: no go.mod at or above %s", abs)
+		}
+		modDir = parent
+	}
+	raw, err := os.ReadFile(filepath.Join(modDir, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(raw), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("analysis: no module directive in %s/go.mod", modDir)
+	}
+	build.Default.CgoEnabled = false
+	l := &Loader{
+		ModuleDir:  modDir,
+		ModulePath: modPath,
+		fset:       token.NewFileSet(),
+		cache:      map[string]*Package{},
+	}
+	l.std = importer.ForCompiler(l.fset, "source", nil).(types.ImporterFrom)
+	return l, nil
+}
+
+// NewFixtureLoader builds a loader rooted at a testdata/src tree, for
+// analysistest: bare import paths ("wire", "coord") resolve against root.
+// The module mapping is disabled so fixtures never leak into real packages.
+func NewFixtureLoader(root string) (*Loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	build.Default.CgoEnabled = false
+	l := &Loader{
+		ModulePath: "\x00none", // unmatchable
+		Roots:      []string{abs},
+		fset:       token.NewFileSet(),
+		cache:      map[string]*Package{},
+	}
+	l.std = importer.ForCompiler(l.fset, "source", nil).(types.ImporterFrom)
+	return l, nil
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Load resolves patterns to packages and type-checks them. Patterns are
+// import paths; "./..." (or "...") expands to every package under the
+// module root, "./x/y" to the package in that directory, and a bare path to
+// a module or root-relative package.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	var paths []string
+	seen := map[string]bool{}
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			paths = append(paths, p)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			if l.ModuleDir == "" {
+				return nil, fmt.Errorf("analysis: pattern %q needs a module root", pat)
+			}
+			dirs, err := l.walkModule()
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range dirs {
+				add(d)
+			}
+		case strings.HasPrefix(pat, "./"):
+			rel := filepath.ToSlash(strings.TrimPrefix(pat, "./"))
+			if rel == "" || rel == "." {
+				add(l.ModulePath)
+			} else {
+				add(l.ModulePath + "/" + rel)
+			}
+		default:
+			add(pat)
+		}
+	}
+	pkgs := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := l.check(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// walkModule lists the import path of every package directory under the
+// module root, skipping testdata, hidden directories, and fileless dirs.
+func (l *Loader) walkModule() ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(l.ModuleDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.ModuleDir && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if !hasGoFiles(path) {
+			return nil
+		}
+		rel, err := filepath.Rel(l.ModuleDir, path)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			out = append(out, l.ModulePath)
+		} else {
+			out = append(out, l.ModulePath+"/"+filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	sort.Strings(out)
+	return out, err
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		n := e.Name()
+		if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// dirFor maps an import path to its source directory, or "" if the path is
+// not provided by the module or the extra roots.
+func (l *Loader) dirFor(path string) string {
+	if path == l.ModulePath {
+		return l.ModuleDir
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+		return filepath.Join(l.ModuleDir, filepath.FromSlash(rest))
+	}
+	for _, root := range l.Roots {
+		dir := filepath.Join(root, filepath.FromSlash(path))
+		if hasGoFiles(dir) {
+			return dir
+		}
+	}
+	return ""
+}
+
+// check parses and type-checks the package at an import path, caching the
+// result. Module and fixture packages recurse through the loader itself;
+// everything else is standard library, delegated to the source importer.
+func (l *Loader) check(path string) (*Package, error) {
+	if pkg, ok := l.cache[path]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("analysis: import cycle through %s", path)
+		}
+		return pkg, nil
+	}
+	dir := l.dirFor(path)
+	if dir == "" {
+		return nil, fmt.Errorf("analysis: package %s not found in module or roots", path)
+	}
+	l.cache[path] = nil // cycle marker
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no buildable Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: importerFunc(l.importDep)}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.cache[path] = pkg
+	return pkg, nil
+}
+
+// importDep resolves one import during type-checking.
+func (l *Loader) importDep(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if l.dirFor(path) != "" {
+		pkg, err := l.check(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// parseDir parses every non-test .go file in dir, with comments (waiver
+// scanning needs them), in deterministic name order.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") || strings.HasPrefix(n, ".") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, n := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

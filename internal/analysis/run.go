@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one surfaced (unsuppressed) diagnostic.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String formats the finding in the conventional file:line:col style.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Run applies every analyzer to every package and returns the surfaced
+// findings, sorted by position. Diagnostics carrying a valid waiver comment
+// (see Suppressed) are filtered out; a waiver with no stated reason does not
+// suppress — the invariant documentation is the point of the waiver.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var out []Finding
+	for _, pkg := range pkgs {
+		waivers := collectWaivers(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.report = func(d Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if waivers.suppressed(a.Name, pos) {
+					return
+				}
+				out = append(out, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// Waiver comment forms. Both require a non-empty reason:
+//
+//	//lint:ignore <analyzer> <reason>   — waives <analyzer> here
+//	//b2b:unverified <reason>           — waives verifybeforetrust here
+//
+// A waiver suppresses diagnostics on its own line and on the line directly
+// below it (so it can sit on the offending line or alone just above it).
+type waiverSet struct {
+	// byLine maps file:line to the analyzer names waived there ("*" in the
+	// set waives verifybeforetrust via the b2b:unverified form).
+	byLine map[string]map[string]bool
+}
+
+const unverifiedWaiver = "verifybeforetrust"
+
+func collectWaivers(pkg *Package) *waiverSet {
+	w := &waiverSet{byLine: map[string]map[string]bool{}}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				var name, rest string
+				switch {
+				case strings.HasPrefix(text, "lint:ignore "):
+					fields := strings.Fields(strings.TrimPrefix(text, "lint:ignore "))
+					if len(fields) >= 2 { // name + at least one reason word
+						name, rest = fields[0], fields[1]
+					}
+				case strings.HasPrefix(text, "b2b:unverified "):
+					name = unverifiedWaiver
+					rest = strings.TrimSpace(strings.TrimPrefix(text, "b2b:unverified "))
+				default:
+					continue
+				}
+				if name == "" || rest == "" {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					key := fmt.Sprintf("%s:%d", pos.Filename, line)
+					if w.byLine[key] == nil {
+						w.byLine[key] = map[string]bool{}
+					}
+					w.byLine[key][name] = true
+				}
+			}
+		}
+	}
+	return w
+}
+
+func (w *waiverSet) suppressed(analyzer string, pos token.Position) bool {
+	names := w.byLine[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)]
+	return names[analyzer]
+}
+
+// InspectFuncs walks every function body in the package — declared
+// functions and methods — calling fn with the declaration. Function
+// literals are part of their enclosing declaration's body and are not
+// visited separately.
+func InspectFuncs(files []*ast.File, fn func(decl *ast.FuncDecl)) {
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd)
+			}
+		}
+	}
+}

@@ -1,0 +1,34 @@
+// Package suite assembles the b2blint analyzer set. cmd/b2blint and the
+// seeded-violation CI tests share this list so "what the lint job enforces"
+// has exactly one definition.
+package suite
+
+import (
+	"b2b/internal/analysis"
+	"b2b/internal/analysis/barrierdiscipline"
+	"b2b/internal/analysis/canondeterminism"
+	"b2b/internal/analysis/closecheck"
+	"b2b/internal/analysis/cowaliasing"
+	"b2b/internal/analysis/verifybeforetrust"
+)
+
+// Analyzers returns the full b2blint suite, in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		barrierdiscipline.Analyzer,
+		canondeterminism.Analyzer,
+		closecheck.Analyzer,
+		cowaliasing.Analyzer,
+		verifybeforetrust.Analyzer,
+	}
+}
+
+// ByName returns the named analyzer, or nil.
+func ByName(name string) *analysis.Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+// Package handlers is a verifybeforetrust fixture consumer: unverified field
+// reads fire, verification or whole-value delegation passes, verifier
+// functions are exempt, and a documented probe carries a waiver.
+package handlers
+
+import "wire"
+
+type node struct {
+	v *wire.Verifier
+}
+
+func (n *node) handleForged(payload []byte) []byte {
+	signed, err := wire.UnmarshalSigned(payload) // want `wire.UnmarshalSigned result signed of type wire.Signed is field-read but never signature-verified`
+	if err != nil {
+		return nil
+	}
+	return signed.Body
+}
+
+func (n *node) handleVerified(payload []byte) []byte {
+	signed, err := wire.UnmarshalSigned(payload)
+	if err != nil {
+		return nil
+	}
+	if err := signed.Verify(n.v); err != nil {
+		return nil
+	}
+	return signed.Body
+}
+
+func (n *node) record(s wire.Signed) {}
+
+// handleDelegated hands the whole Signed to record: the obligation moves
+// with the value, so this function is not reported.
+func (n *node) handleDelegated(payload []byte) {
+	signed, err := wire.UnmarshalSigned(payload)
+	if err != nil {
+		return
+	}
+	n.record(signed)
+	_ = signed.Body
+}
+
+func inspect(s wire.Signed) int { // want `parameter s of type wire.Signed is field-read but never signature-verified`
+	return len(s.Body)
+}
+
+// verifyEnvelope is exempt by name: functions containing "verify" are the
+// checkers themselves.
+func verifyEnvelope(s wire.Signed) error {
+	if len(s.Body) == 0 {
+		return nil
+	}
+	return nil
+}
+
+func sniff(payload []byte) int {
+	//b2b:unverified fixture: length probe only, no field content is trusted
+	signed, _ := wire.UnmarshalSigned(payload)
+	return len(signed.Body)
+}

@@ -1,0 +1,22 @@
+// Package wire is a verifybeforetrust fixture: a miniature of the real
+// signed-envelope type, recognized by the analyzer through its path element.
+package wire
+
+type Signature struct {
+	Signer string
+	Sig    []byte
+}
+
+type Signed struct {
+	Kind int
+	Body []byte
+	Sig  Signature
+}
+
+type Verifier struct{}
+
+func (s Signed) Verify(v *Verifier) error { return nil }
+
+func UnmarshalSigned(buf []byte) (Signed, error) {
+	return Signed{Body: buf}, nil
+}

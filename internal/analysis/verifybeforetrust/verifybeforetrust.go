@@ -1,0 +1,201 @@
+// Package verifybeforetrust enforces the protocol's first safety rule: a
+// signed wire payload must pass signature verification before any of its
+// fields is trusted. The PR 4 forged-offer fix and the PR 5 signature-memo
+// hardening were both instances of this class — an inbound wire.Signed whose
+// body was acted on before (or without) Signed.Verify.
+//
+// For every wire.Signed value a function obtains — from
+// wire.UnmarshalSigned/DecodeSigned or as a parameter — the function must
+// either verify it (the value reaches a call whose name contains "verify":
+// Signed.Verify, Engine.verifySigned, ...), hand it off whole (passing,
+// storing, or returning the Signed delegates the obligation to code that is
+// itself analyzed), or carry an explicit //b2b:unverified <reason> waiver.
+// A value whose only uses are field reads (.Body, .Kind, .Sig, ...) is
+// reported: those are exactly the reads a forged message controls.
+//
+// Functions whose own name contains "verify" are exempt — they are the
+// checkers — as are the wire and crypto packages themselves.
+package verifybeforetrust
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"b2b/internal/analysis"
+)
+
+// Analyzer is the verifybeforetrust invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "verifybeforetrust",
+	Doc: "fields of a wire.Signed read without signature verification: " +
+		"verify before trusting any field, or waive with //b2b:unverified <reason>",
+	Run: run,
+}
+
+var verifyName = regexp.MustCompile(`(?i)verify`)
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	if analysis.PkgIn(path, "wire", "crypto") || strings.Contains(path, "analysis") {
+		return nil
+	}
+	analysis.InspectFuncs(pass.Files, func(fd *ast.FuncDecl) {
+		if verifyName.MatchString(fd.Name.Name) {
+			return // the function is a verifier
+		}
+		checkFunc(pass, fd)
+	})
+	return nil
+}
+
+// tracked is one wire.Signed value under observation in a function.
+type tracked struct {
+	obj      types.Object
+	pos      ast.Node // where it entered (unmarshal assign or parameter)
+	what     string
+	verified bool
+	escaped  bool
+	read     bool
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	byObj := map[types.Object]*tracked{}
+
+	// Parameters of type wire.Signed.
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				obj := pass.TypesInfo.Defs[name]
+				if obj != nil && analysis.IsNamed(obj.Type(), "Signed", "wire") {
+					byObj[obj] = &tracked{obj: obj, pos: name, what: "parameter " + name.Name}
+				}
+			}
+		}
+	}
+
+	// Results of wire.UnmarshalSigned / wire.DecodeSigned.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.CalleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || !analysis.PkgIn(fn.Pkg().Path(), "wire") {
+			return true
+		}
+		if fn.Name() != "UnmarshalSigned" && fn.Name() != "DecodeSigned" {
+			return true
+		}
+		if id, ok := assign.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj != nil {
+				byObj[obj] = &tracked{obj: obj, pos: assign, what: "wire." + fn.Name() + " result " + id.Name}
+			}
+		}
+		return true
+	})
+	if len(byObj) == 0 {
+		return
+	}
+
+	parents := parentMap(fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		tr := byObj[obj]
+		if tr == nil {
+			return true
+		}
+		classify(pass, tr, id, parents)
+		return true
+	})
+
+	for _, tr := range byObj {
+		if tr.verified || tr.escaped || !tr.read {
+			continue
+		}
+		pass.Reportf(tr.pos.Pos(),
+			"%s of type wire.Signed is field-read but never signature-verified: "+
+				"verify (Signed.Verify / a verify* helper) before trusting any field, or waive with //b2b:unverified <reason>",
+			tr.what)
+	}
+}
+
+// classify inspects one use of a tracked value and updates its flags:
+// verified when it reaches a verify-named call, read when a field or
+// non-verify method is selected from it, escaped for every other use
+// (argument, store, return — the whole value leaves this function's hands,
+// and wherever it lands is itself subject to this analyzer).
+func classify(pass *analysis.Pass, tr *tracked, id *ast.Ident, parents map[ast.Node]ast.Node) {
+	node := ast.Node(id)
+	parent := parents[node]
+	if u, ok := parent.(*ast.UnaryExpr); ok {
+		node, parent = u, parents[u] // &v behaves as v
+	}
+
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		if p.X != node {
+			return // v is the selected name, not the base
+		}
+		if call, ok := parents[p].(*ast.CallExpr); ok && call.Fun == p {
+			if verifyName.MatchString(p.Sel.Name) {
+				tr.verified = true
+				return
+			}
+		}
+		tr.read = true
+	case *ast.CallExpr:
+		for _, arg := range p.Args {
+			if ast.Unparen(arg) == node || arg == node {
+				if verifyName.MatchString(analysis.CalleeName(p)) {
+					tr.verified = true
+				} else {
+					tr.escaped = true
+				}
+				return
+			}
+		}
+	case *ast.AssignStmt:
+		for _, l := range p.Lhs {
+			if l == node {
+				return // (re)definition, not a use of interest
+			}
+		}
+		tr.escaped = true
+	default:
+		// Return, composite literal, channel send, comparison, ...: the
+		// whole value flows onward; treat as delegation, not a raw read.
+		tr.escaped = true
+	}
+}
+
+// parentMap records each node's parent within root.
+func parentMap(root ast.Node) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

@@ -1,0 +1,12 @@
+package verifybeforetrust_test
+
+import (
+	"testing"
+
+	"b2b/internal/analysis/analysistest"
+	"b2b/internal/analysis/verifybeforetrust"
+)
+
+func TestVerifybeforetrust(t *testing.T) {
+	analysistest.Run(t, "testdata", verifybeforetrust.Analyzer, "handlers")
+}

@@ -1230,6 +1230,7 @@ func (en *Engine) verifyCommit(from string, commit wire.Commit, rr *respondedRun
 	return commitInvalid, diag
 }
 
+//b2b:unverified byte-equality membership probe only: want's fields are compared, never trusted; every embedded respond is verified in verifyCommit before use
 func commitContains(responds []wire.Signed, want wire.Signed) (wire.Signed, bool) {
 	for _, s := range responds {
 		if bytes.Equal(s.Body, want.Body) && bytes.Equal(s.Sig.Sig, want.Sig.Sig) {

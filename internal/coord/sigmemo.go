@@ -39,6 +39,8 @@ func newSigMemo() *sigMemo {
 // sigMemoKey digests every field Signed.Verify inspects. Every
 // variable-length field's length is bound into the prefix, so no two
 // distinct messages can concatenate to the same key input.
+//
+//b2b:unverified key derivation: the digest feeds the memo lookup, and memo entries are only written after Signed.Verify has succeeded on the same key
 func sigMemoKey(s wire.Signed) [32]byte {
 	var meta [41]byte
 	meta[0] = byte(s.Kind)

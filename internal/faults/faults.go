@@ -177,6 +177,7 @@ func TamperSignedBody(payload []byte) []byte {
 	if err != nil {
 		return payload
 	}
+	//b2b:unverified fault injection: this helper deliberately corrupts the signed body so receivers' verification must catch it
 	signed, err := wire.UnmarshalSigned(env.Payload)
 	if err != nil || len(signed.Body) == 0 {
 		return payload
@@ -358,6 +359,8 @@ func (a *Adversary) ForgedCommit(ctx context.Context, spec ProposalSpec, state [
 
 // ReplayRun re-sends a captured signed proposal verbatim (invariant 4 must
 // reject the replayed tuple).
+//
+//b2b:unverified adversary harness: replays a captured proposal verbatim; the receiving nodes' verification is the system under test
 func (a *Adversary) ReplayRun(ctx context.Context, signedPropose wire.Signed, recipients []string) error {
 	for _, r := range recipients {
 		if err := a.send(ctx, r, wire.KindPropose, signedPropose.Marshal()); err != nil {

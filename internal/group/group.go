@@ -119,6 +119,7 @@ type joinWait struct {
 
 type joinResult struct {
 	welcome  *wire.Welcome
+	signed   wire.Signed // the sponsor's envelope around welcome, verified in adoptWelcome
 	rejectBy string
 	reason   string
 	err      error
@@ -184,7 +185,7 @@ func (m *Manager) Join(ctx context.Context, contact string) error {
 			return err
 		}
 		if res.welcome != nil {
-			return m.adoptWelcome(ctx, res.welcome)
+			return m.adoptWelcome(ctx, res.welcome, res.signed)
 		}
 		if strings.HasPrefix(res.reason, redirectPrefix) {
 			contact = strings.TrimPrefix(res.reason, redirectPrefix)
@@ -238,12 +239,21 @@ func (m *Manager) joinOnce(ctx context.Context, contact string) (joinResult, err
 // transfer plane — from the sponsor, failing over to any other member — and
 // verifies the received bytes against the agreed tuple the membership
 // evidence has already authenticated.
-func (m *Manager) adoptWelcome(ctx context.Context, w *wire.Welcome) error {
+func (m *Manager) adoptWelcome(ctx context.Context, w *wire.Welcome, signed wire.Signed) error {
 	// Register the members' certificates first so signatures verify.
 	for _, cert := range w.MemberCerts {
 		if err := m.cfg.Verifier.AddCertificate(cert); err != nil {
 			return fmt.Errorf("%w: member certificate %s: %v", ErrBadEvidence, cert.Subject, err)
 		}
+	}
+	// The outer envelope must carry the sponsor's own signature: without
+	// this check any member whose certificate appears in MemberCerts could
+	// replay a captured Welcome body under its own wrapper.
+	if err := signed.Verify(m.cfg.Verifier); err != nil {
+		return fmt.Errorf("%w: welcome envelope: %v", ErrBadEvidence, err)
+	}
+	if signed.Signer() != w.Sponsor {
+		return fmt.Errorf("%w: welcome signed by %s, not sponsor %s", ErrBadEvidence, signed.Signer(), w.Sponsor)
 	}
 	// The commit must verify exactly as members verified it.
 	prop, err := verifyGroupCommitEvidence(m.cfg.Verifier, w.Commit, true)

@@ -580,6 +580,41 @@ func TestIllegitimateSponsorRejected(t *testing.T) {
 	}
 }
 
+func TestWelcomeEnvelopeMustBeSponsorSigned(t *testing.T) {
+	// A Welcome names alice as sponsor, but the outer envelope is signed by
+	// bob — a certified member replaying a captured (or fabricated) Welcome
+	// body under its own wrapper. The subject must reject it before looking
+	// at any of the welcome's contents.
+	c := newGCluster(t, []string{"alice", "bob", "carol"},
+		[]string{"alice", "bob"}, []byte("v0"))
+
+	w := wire.Welcome{
+		RunID:   "forged-welcome",
+		Sponsor: "alice",
+		Object:  "obj",
+		MemberCerts: []crypto.Certificate{
+			c.node("alice").ident.Certificate(),
+			c.node("bob").ident.Certificate(),
+		},
+	}
+	signed := wire.Sign(wire.KindWelcome, w.Marshal(), c.node("bob").ident, c.tsa)
+	err := c.node("carol").manager.adoptWelcome(context.Background(), &w, signed)
+	if !errors.Is(err, ErrBadEvidence) {
+		t.Fatalf("welcome wrapped by a non-sponsor adopted: err=%v", err)
+	}
+
+	// An envelope whose signer is not certified at all fails verification.
+	outsider, err := crypto.NewIdentity("mallory")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Sponsor = "mallory"
+	signed = wire.Sign(wire.KindWelcome, w.Marshal(), outsider, c.tsa)
+	if err := c.node("carol").manager.adoptWelcome(context.Background(), &w, signed); !errors.Is(err, ErrBadEvidence) {
+		t.Fatalf("welcome with unverifiable envelope adopted: err=%v", err)
+	}
+}
+
 func TestGroupSequenceMustAdvance(t *testing.T) {
 	// A membership proposal with a non-advancing group sequence is vetoed.
 	c := newGCluster(t, []string{"alice", "bob", "carol"},

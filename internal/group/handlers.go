@@ -534,13 +534,14 @@ func (m *Manager) handleWelcome(from string, payload []byte) {
 		return
 	}
 	select {
-	case wait.ch <- joinResult{welcome: &w}:
+	case wait.ch <- joinResult{welcome: &w, signed: signed}:
 	default:
 	}
 }
 
 // handleReject completes a pending Join with a rejection (or redirect).
 func (m *Manager) handleReject(from string, payload []byte) {
+	//b2b:unverified an outsider being rejected cannot yet verify member signatures (no certificates); a forged reject only delays the join (liveness, not safety)
 	signed, err := wire.UnmarshalSigned(payload)
 	if err != nil {
 		_ = m.logEvidence("", "malformed-reject", nrlog.DirReceived, payload)

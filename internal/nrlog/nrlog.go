@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
@@ -195,6 +196,16 @@ func (l *Memory) Len() int {
 	return len(l.entries)
 }
 
+// closeJoin closes c with err already in hand, folding a close-time failure
+// in rather than swallowing it (closecheck: close can surface deferred
+// write-back errors exactly like fsync).
+func closeJoin(err error, c io.Closer) error {
+	if cerr := c.Close(); cerr != nil {
+		return errors.Join(err, cerr)
+	}
+	return err
+}
+
 func verifyChain(entries []Entry) error {
 	var prev [32]byte
 	for i := range entries {
@@ -314,29 +325,24 @@ func OpenFile(path string, clk Clock) (*File, error) {
 		}
 		var fe fileEntry
 		if err := json.Unmarshal(line, &fe); err != nil {
-			_ = f.Close()
-			return nil, fmt.Errorf("nrlog: corrupt entry in %s: %w", path, err)
+			return nil, closeJoin(fmt.Errorf("nrlog: corrupt entry in %s: %w", path, err), f)
 		}
 		e, err := fromFileEntry(fe)
 		if err != nil {
-			_ = f.Close()
-			return nil, err
+			return nil, closeJoin(err, f)
 		}
 		l.byRun[e.RunID] = append(l.byRun[e.RunID], len(l.entries))
 		l.entries = append(l.entries, e)
 		l.tail = e.Hash
 	}
 	if err := scanner.Err(); err != nil {
-		_ = f.Close()
-		return nil, fmt.Errorf("nrlog: reading %s: %w", path, err)
+		return nil, closeJoin(fmt.Errorf("nrlog: reading %s: %w", path, err), f)
 	}
 	if err := verifyChain(l.entries); err != nil {
-		_ = f.Close()
-		return nil, fmt.Errorf("nrlog: %s failed verification on open: %w", path, err)
+		return nil, closeJoin(fmt.Errorf("nrlog: %s failed verification on open: %w", path, err), f)
 	}
 	if _, err := f.Seek(0, 2); err != nil {
-		_ = f.Close()
-		return nil, fmt.Errorf("nrlog: seeking %s: %w", path, err)
+		return nil, closeJoin(fmt.Errorf("nrlog: seeking %s: %w", path, err), f)
 	}
 	return l, nil
 }

@@ -473,19 +473,16 @@ func (l *Segmented) writeArchiveLocked(entries []Entry) (string, error) {
 	for _, e := range entries {
 		line, err := marshalFileEntry(e)
 		if err != nil {
-			_ = f.Close()
-			return "", err
+			return "", closeJoin(err, f)
 		}
 		buf = append(buf, line...)
 		buf = append(buf, '\n')
 	}
 	if _, err := f.Write(buf); err != nil {
-		_ = f.Close()
-		return "", err
+		return "", closeJoin(err, f)
 	}
 	if err := f.Sync(); err != nil {
-		_ = f.Close()
-		return "", err
+		return "", closeJoin(err, f)
 	}
 	if err := f.Close(); err != nil {
 		return "", err

@@ -3,6 +3,7 @@ package store
 import (
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -146,8 +147,18 @@ func (osFS) SyncDir(dir string) error {
 	if err != nil {
 		return err
 	}
-	defer func() { _ = d.Close() }()
-	return d.Sync()
+	return errors.Join(d.Sync(), d.Close())
+}
+
+// closeJoin closes c with err already in hand, folding a close-time failure
+// in rather than swallowing it: close can surface deferred write-back
+// errors exactly like fsync, and the durability contract (closecheck) says
+// those never vanish silently.
+func closeJoin(err error, c io.Closer) error {
+	if cerr := c.Close(); cerr != nil {
+		return errors.Join(err, cerr)
+	}
+	return err
 }
 
 // OS is the real filesystem.
@@ -380,8 +391,7 @@ func (p *Plane) Start() error {
 		return fmt.Errorf("store: opening active segment: %w", err)
 	}
 	if err := p.fs.SyncDir(p.dir); err != nil {
-		_ = f.Close()
-		return fmt.Errorf("store: syncing plane dir: %w", err)
+		return closeJoin(fmt.Errorf("store: syncing plane dir: %w", err), f)
 	}
 	p.active = f
 	p.segs = append(p.segs, segmentInfo{index: next})
@@ -480,7 +490,13 @@ func (p *Plane) rotateLocked() error {
 	// enough rotations have passed that no capture can be outstanding.
 	p.retired = append(p.retired, p.active)
 	if len(p.retired) > 2 {
-		_ = p.retired[0].Close()
+		if err := p.retired[0].Close(); err != nil {
+			// A close-time failure can be deferred write-back of bytes a
+			// barrier already acknowledged: fail the plane, exactly as a
+			// failed fsync would.
+			p.retired = p.retired[1:]
+			return p.failLocked(fmt.Errorf("store: closing retired segment: %w", err))
+		}
 		p.retired = p.retired[1:]
 	}
 
@@ -546,13 +562,11 @@ func (p *Plane) compactLocked() error {
 		return p.failLocked(fmt.Errorf("store: creating compacted segment: %w", err))
 	}
 	if _, err := f.Write(buf); err != nil {
-		_ = f.Close()
-		return p.failLocked(fmt.Errorf("store: writing compacted segment: %w", err))
+		return p.failLocked(closeJoin(fmt.Errorf("store: writing compacted segment: %w", err), f))
 	}
 	p.stats.BytesWritten += uint64(len(buf))
 	if err := f.Sync(); err != nil {
-		_ = f.Close()
-		return p.failLocked(fmt.Errorf("store: syncing compacted segment: %w", err))
+		return p.failLocked(closeJoin(fmt.Errorf("store: syncing compacted segment: %w", err), f))
 	}
 	p.stats.Fsyncs++
 	if err := f.Close(); err != nil {
@@ -725,11 +739,11 @@ func (p *Plane) Close() error {
 	lsn := p.lsn
 	p.closed = true
 	for _, f := range p.retired {
-		_ = f.Close()
+		err = closeJoin(err, f)
 	}
 	p.retired = nil
 	if p.active != nil {
-		_ = p.active.Close()
+		err = closeJoin(err, p.active)
 	}
 	p.mu.Unlock()
 

@@ -357,12 +357,14 @@ func (s *File) SaveCheckpoint(cp Checkpoint) error {
 	if err != nil {
 		return fmt.Errorf("store: opening checkpoint file: %w", err)
 	}
-	defer func() { _ = f.Close() }()
 	if _, err := f.Write(append(line, '\n')); err != nil {
-		return fmt.Errorf("store: writing checkpoint: %w", err)
+		return closeJoin(fmt.Errorf("store: writing checkpoint: %w", err), f)
 	}
 	if err := f.Sync(); err != nil {
-		return fmt.Errorf("store: syncing checkpoint: %w", err)
+		return closeJoin(fmt.Errorf("store: syncing checkpoint: %w", err), f)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: closing checkpoint: %w", err)
 	}
 	return nil
 }

@@ -4,11 +4,23 @@ import (
 	"bufio"
 	"encoding/base64"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
 )
+
+// closeJoin closes c with err already in hand, folding a close-time failure
+// in rather than swallowing it (closecheck: close can surface deferred
+// write-back errors exactly like fsync).
+func closeJoin(err error, c io.Closer) error {
+	if cerr := c.Close(); cerr != nil {
+		return errors.Join(err, cerr)
+	}
+	return err
+}
 
 // FileJournal is a durable Journal: an append-only JSON-lines file replayed
 // on open. Records are tombstoned rather than rewritten, so appends stay
@@ -53,15 +65,13 @@ func OpenFileJournal(path string) (*FileJournal, error) {
 		}
 		var jl journalLine
 		if err := json.Unmarshal(line, &jl); err != nil {
-			_ = f.Close()
-			return nil, fmt.Errorf("transport: corrupt journal line: %w", err)
+			return nil, closeJoin(fmt.Errorf("transport: corrupt journal line: %w", err), f)
 		}
 		switch jl.Op {
 		case "out":
 			payload, err := base64.StdEncoding.DecodeString(jl.Payload)
 			if err != nil {
-				_ = f.Close()
-				return nil, fmt.Errorf("transport: corrupt journal payload: %w", err)
+				return nil, closeJoin(fmt.Errorf("transport: corrupt journal payload: %w", err), f)
 			}
 			j.out[jl.MsgID] = JournalRecord{MsgID: jl.MsgID, To: jl.To, Payload: payload}
 		case "del":
@@ -71,12 +81,10 @@ func OpenFileJournal(path string) (*FileJournal, error) {
 		}
 	}
 	if err := scanner.Err(); err != nil {
-		_ = f.Close()
-		return nil, fmt.Errorf("transport: reading journal: %w", err)
+		return nil, closeJoin(fmt.Errorf("transport: reading journal: %w", err), f)
 	}
 	if _, err := f.Seek(0, 2); err != nil {
-		_ = f.Close()
-		return nil, fmt.Errorf("transport: seeking journal: %w", err)
+		return nil, closeJoin(fmt.Errorf("transport: seeking journal: %w", err), f)
 	}
 	return j, nil
 }
@@ -252,23 +260,19 @@ func (j *FileJournal) Compact() error {
 			Op: "out", MsgID: r.MsgID, To: r.To,
 			Payload: base64.StdEncoding.EncodeToString(r.Payload),
 		}); err != nil {
-			_ = nf.Close()
-			return err
+			return closeJoin(err, nf)
 		}
 	}
 	for k := range j.seen {
 		if err := writeLine(journalLine{Op: "seen", Key: k}); err != nil {
-			_ = nf.Close()
-			return err
+			return closeJoin(err, nf)
 		}
 	}
 	if err := w.Flush(); err != nil {
-		_ = nf.Close()
-		return err
+		return closeJoin(err, nf)
 	}
 	if err := nf.Sync(); err != nil {
-		_ = nf.Close()
-		return err
+		return closeJoin(err, nf)
 	}
 	if err := nf.Close(); err != nil {
 		return err
@@ -276,6 +280,7 @@ func (j *FileJournal) Compact() error {
 	if err := os.Rename(tmp, j.path); err != nil {
 		return fmt.Errorf("transport: installing compacted journal: %w", err)
 	}
+	//lint:ignore closecheck superseded handle: its contents were rewritten, synced, and renamed into place above
 	_ = j.f.Close()
 	f, err := os.OpenFile(j.path, os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
