@@ -1,0 +1,100 @@
+// b2bsoak is the chaos-soak entry point over the scenario factory
+// (internal/scenario): it derives a matrix of randomized end-to-end
+// scenarios from a root seed, runs each one against a real multi-party
+// world with fault injection, and checks the five global invariants after
+// every run. Any failure prints the scenario's seed — replaying is
+//
+//	b2bsoak -run-seed <seed>
+//	go test ./internal/scenario -run TestRunSeed -run-seed <seed>
+//
+// and is exact: the same seed regenerates the byte-identical scenario.
+//
+// Usage:
+//
+//	b2bsoak -seeds 100                 # run 100 scenarios from the time-derived root
+//	b2bsoak -root 42 -seeds 100        # ... from a pinned root (reproducible matrix)
+//	b2bsoak -run-seed 0xdeadbeef       # replay exactly one scenario
+//	b2bsoak -seeds 50 -out fails.txt   # append failing seeds to a file (CI artifact)
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"b2b/internal/scenario"
+)
+
+func main() {
+	var (
+		root    = flag.Uint64("root", 0, "root seed for the matrix (0 = derive from the clock)")
+		seeds   = flag.Int("seeds", 20, "number of scenarios to derive and run")
+		runSeed = flag.Uint64("run-seed", 0, "replay exactly one scenario by seed and exit")
+		timeout = flag.Duration("timeout", 2*time.Minute, "per-scenario budget")
+		out     = flag.String("out", "", "append failing seeds to this file (one per line)")
+		verbose = flag.Bool("v", false, "per-scenario fault narration")
+	)
+	flag.Parse()
+
+	if *runSeed != 0 {
+		if err := runOne(scenario.Generate(*runSeed), *timeout, *out, true); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *root == 0 {
+		*root = uint64(time.Now().UnixNano())
+	}
+	fmt.Printf("soak: %d scenarios from root seed %#016x\n", *seeds, *root)
+	failed := 0
+	for i, s := range scenario.Matrix(*root, *seeds) {
+		start := time.Now()
+		err := runOne(s, *timeout, *out, *verbose)
+		status := "ok"
+		if err != nil {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Printf("[%3d/%d] %-4s seed=%#016x workload=%-12s parties=%d faults=%d (%.1fs)\n",
+			i+1, *seeds, status, s.Seed, s.Workload, s.Parties, len(s.Faults), time.Since(start).Seconds())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "  %v\n  replay: b2bsoak -run-seed %d\n", err, s.Seed)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "soak: %d/%d scenarios FAILED\n", failed, *seeds)
+		os.Exit(1)
+	}
+	fmt.Printf("soak: all %d scenarios passed\n", *seeds)
+}
+
+// runOne executes a single scenario in a throwaway storage directory and,
+// on failure, appends its seed to the -out file so CI can upload the list
+// as an artifact for replay.
+func runOne(s scenario.Scenario, timeout time.Duration, out string, verbose bool) error {
+	dir, err := os.MkdirTemp("", "b2bsoak-*")
+	if err != nil {
+		return fmt.Errorf("temp storage: %w", err)
+	}
+	defer os.RemoveAll(dir)
+
+	cfg := scenario.Config{Dir: dir, Timeout: timeout}
+	if verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Printf("  "+format+"\n", args...)
+		}
+	}
+	_, runErr := scenario.Run(context.Background(), cfg, s)
+	if runErr != nil && out != "" {
+		f, ferr := os.OpenFile(out, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if ferr == nil {
+			fmt.Fprintf(f, "%d\n", s.Seed)
+			f.Close()
+		}
+	}
+	return runErr
+}

@@ -203,6 +203,16 @@ func hasGoFiles(dir string) bool {
 	return false
 }
 
+// includedInBuild reports whether the default build context would compile
+// the file: //go:build constraints (and GOOS/GOARCH filename suffixes) are
+// honoured, so tag-gated files — e.g. the scenario package's deliberately
+// broken mutation-smoke validator — do not collide with their default
+// counterparts during type-checking, exactly as `go build` sees the tree.
+func includedInBuild(dir, name string) bool {
+	ok, err := build.Default.MatchFile(dir, name)
+	return err == nil && ok
+}
+
 // dirFor maps an import path to its source directory, or "" if the path is
 // not provided by the module or the extra roots.
 func (l *Loader) dirFor(path string) string {
@@ -288,6 +298,9 @@ func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 	for _, e := range ents {
 		n := e.Name()
 		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") || strings.HasPrefix(n, ".") {
+			continue
+		}
+		if !includedInBuild(dir, n) {
 			continue
 		}
 		names = append(names, n)

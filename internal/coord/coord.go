@@ -277,6 +277,13 @@ type Engine struct {
 	propBuffered map[string]bool // runID currently buffered in waitProps
 	propWaited   map[string]bool // runID already waited once: evaluate regardless
 
+	// changed is closed and replaced on every externally observable
+	// coordination transition (agreed tuple change, responded-run
+	// resolution): the event-driven wait primitive behind Watch,
+	// WaitQuiescent and the lab's WaitAgreed — randomized harness runs
+	// must not rely on padded sleeps or polling loops.
+	changed chan struct{}
+
 	stats Stats
 }
 
@@ -301,6 +308,7 @@ func New(cfg Config) (*Engine, error) {
 		waitCommits:  make(map[tuple.State][]pendingMsg),
 		propBuffered: make(map[string]bool),
 		propWaited:   make(map[string]bool),
+		changed:      make(chan struct{}),
 	}
 	en.blog, _ = cfg.Log.(nrlog.Batched)
 	en.bstore, _ = cfg.Store.(store.Batched)
@@ -355,6 +363,7 @@ func (en *Engine) Bootstrap(initialState []byte, members []string) error {
 	en.current = en.agreed
 	en.currentState = en.agreedState
 	en.bootstrapped = true
+	en.notifyChangedLocked()
 	return en.checkpointLocked()
 }
 
@@ -409,6 +418,7 @@ func (en *Engine) Restore() error {
 		en.seen.ObserveRecovered(cp.Tuple)
 	}
 	en.bootstrapped = true
+	en.notifyChangedLocked()
 	return nil
 }
 
@@ -433,6 +443,7 @@ func (en *Engine) AdoptMembership(g tuple.Group, members []string, agreed tuple.
 	en.currentState = en.agreedState
 	en.seen.ObserveRecovered(agreed)
 	en.bootstrapped = true
+	en.notifyChangedLocked()
 	return en.checkpointLocked()
 }
 
@@ -490,6 +501,27 @@ func (en *Engine) AgreedTuple() tuple.State {
 	en.mu.Lock()
 	defer en.mu.Unlock()
 	return en.agreed
+}
+
+// Watch returns a channel that is closed at the engine's next observable
+// coordination transition (agreed tuple change or resolution of an
+// answered-but-uncommitted run). Callers wanting to wait for a condition
+// grab the channel FIRST, then read the state they care about, then select
+// on the channel: a transition between the read and the select has already
+// closed the returned channel, so no wakeup is ever missed. Each returned
+// channel fires once; re-arm by calling Watch again.
+func (en *Engine) Watch() <-chan struct{} {
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	return en.changed
+}
+
+// notifyChangedLocked wakes every watcher; en.mu must be held. Closing and
+// replacing the channel makes notification O(1) and watchers race-free
+// (see Watch).
+func (en *Engine) notifyChangedLocked() {
+	close(en.changed)
+	en.changed = make(chan struct{})
 }
 
 // Current returns the current state tuple and a flat copy of the current
@@ -742,6 +774,10 @@ func (en *Engine) completeLocked(runID string, out Outcome) {
 		delete(en.completed, en.completedQ[0])
 		en.completedQ = en.completedQ[1:]
 	}
+	// Every run resolution is an observable transition: agreed advances
+	// (finalize/commit-install) and responded-run removals (cascade, abort
+	// cert) all pass through here inside the same critical section.
+	en.notifyChangedLocked()
 }
 
 // closeDoneLocked closes a run's done channel exactly once.
@@ -856,6 +892,7 @@ func (en *Engine) InstallCatchUp(t tuple.State, state []byte) error {
 	en.agreedState = paged
 	en.seen.ObserveRecovered(t)
 	en.syncCurrentLocked()
+	en.notifyChangedLocked()
 	err := en.checkpointLocked()
 	installed := en.agreedState
 	en.mu.Unlock()
@@ -888,4 +925,5 @@ func (en *Engine) Reset() {
 	en.waitCommits = make(map[tuple.State][]pendingMsg)
 	en.propBuffered = make(map[string]bool)
 	en.propWaited = make(map[string]bool)
+	en.notifyChangedLocked()
 }

@@ -1338,7 +1338,11 @@ func (en *Engine) pendingGrace() time.Duration {
 // runs, or ctx expires.
 func (en *Engine) waitNoPending(ctx context.Context) error {
 	for {
+		// Grab the change channel before reading state: a transition that
+		// lands between the read and the select has already closed this
+		// channel, so the wakeup cannot be missed.
 		en.mu.Lock()
+		ch := en.changed
 		n := len(en.responded)
 		en.mu.Unlock()
 		if n == 0 {
@@ -1347,7 +1351,7 @@ func (en *Engine) waitNoPending(ctx context.Context) error {
 		select {
 		case <-ctx.Done():
 			return fmt.Errorf("%w: %d uncommitted runs pending: %v", ErrBlocked, n, ctx.Err())
-		case <-time.After(2 * time.Millisecond):
+		case <-ch:
 		}
 	}
 }

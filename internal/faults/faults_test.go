@@ -65,6 +65,28 @@ func evidenceOf(t *testing.T, w *lab.World, party, runID string) bool {
 	return len(entries) > 0
 }
 
+// assertAttackContained asserts the full containment contract at EVERY
+// recipient of an attack run: the final agreed state is unchanged, the
+// recipient's evidence chain still verifies, and the chain holds evidence
+// of the attack itself (the paper's non-repudiation guarantee: misbehaviour
+// leaves signed traces at everyone it touched).
+func assertAttackContained(t *testing.T, w *lab.World, runID string, recipients ...string) {
+	t.Helper()
+	time.Sleep(100 * time.Millisecond) // allow any (incorrect) installs to surface
+	for _, id := range recipients {
+		_, s := w.Party(id).Engine("obj").Agreed()
+		if !bytes.Equal(s, []byte("v0")) {
+			t.Fatalf("SAFETY VIOLATION: %s installed %q", id, s)
+		}
+		if err := w.Party(id).Log.Verify(); err != nil {
+			t.Fatalf("%s evidence chain: %v", id, err)
+		}
+		if !evidenceOf(t, w, id, runID) {
+			t.Fatalf("%s holds no evidence of attack run %s", id, runID)
+		}
+	}
+}
+
 func TestNullTransitionRejected(t *testing.T) {
 	w, adv := safetyWorld(t)
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -74,10 +96,7 @@ func TestNullTransitionRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	assertHonestUnchanged(t, w)
-	if !evidenceOf(t, w, "alice", runID) {
-		t.Fatal("no evidence of the null-transition attempt at alice")
-	}
+	assertAttackContained(t, w, runID, "alice", "bob")
 }
 
 func TestSelectiveSendNeverInstalls(t *testing.T) {
@@ -93,10 +112,7 @@ func TestSelectiveSendNeverInstalls(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	assertHonestUnchanged(t, w)
-	if !evidenceOf(t, w, "alice", runID) || !evidenceOf(t, w, "bob", runID) {
-		t.Fatal("selective send left no evidence")
-	}
+	assertAttackContained(t, w, runID, "alice", "bob")
 }
 
 func TestOmittedCommitLeavesActiveRunEvidence(t *testing.T) {
@@ -110,8 +126,7 @@ func TestOmittedCommitLeavesActiveRunEvidence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(100 * time.Millisecond)
-	assertHonestUnchanged(t, w)
+	assertAttackContained(t, w, runID, "alice", "bob")
 
 	for _, id := range []string{"alice", "bob"} {
 		active := w.Party(id).Engine("obj").ActiveRuns()
@@ -126,20 +141,22 @@ func TestOmittedCommitLeavesActiveRunEvidence(t *testing.T) {
 }
 
 func TestForgedCommitRejected(t *testing.T) {
-	// Mallory fabricates responses and a bad authenticator. Alice must not
-	// install and must hold evidence of the rejected commit.
+	// Mallory fabricates responses and a bad authenticator, targeting each
+	// honest party in turn. No victim may install, and every victim must
+	// hold evidence of the forged commit it rejected.
 	w, adv := safetyWorld(t)
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 
-	runID, err := adv.ForgedCommit(ctx, spec(w, "obj"), []byte("forged-state"), "alice", []string{"bob"})
-	if err != nil {
-		t.Fatal(err)
+	other := map[string]string{"alice": "bob", "bob": "alice"}
+	for _, victim := range []string{"alice", "bob"} {
+		runID, err := adv.ForgedCommit(ctx, spec(w, "obj"), []byte("forged-state"), victim, []string{other[victim]})
+		if err != nil {
+			t.Fatalf("forging at %s: %v", victim, err)
+		}
+		assertAttackContained(t, w, runID, victim)
 	}
 	assertHonestUnchanged(t, w)
-	if !evidenceOf(t, w, "alice", runID) {
-		t.Fatal("no evidence of forged commit at alice")
-	}
 }
 
 func TestReplayRejected(t *testing.T) {
@@ -182,11 +199,21 @@ func TestReplayRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	time.Sleep(100 * time.Millisecond)
-	// State stays at v1 (replay does not re-install or advance).
+	// At EVERY recipient: state stays at v1 (replay does not re-install or
+	// advance), the evidence chain verifies, and the run's evidence is held.
 	for _, id := range []string{"alice", "bob"} {
-		_, s := w.Party(id).Engine("obj").Agreed()
+		agreed, s := w.Party(id).Engine("obj").Agreed()
 		if !bytes.Equal(s, []byte("v1")) {
 			t.Fatalf("%s state after replay = %q", id, s)
+		}
+		if agreed.Seq != 1 {
+			t.Fatalf("%s sequence advanced by replay: %d", id, agreed.Seq)
+		}
+		if err := w.Party(id).Log.Verify(); err != nil {
+			t.Fatalf("%s evidence chain: %v", id, err)
+		}
+		if !evidenceOf(t, w, id, out.RunID) {
+			t.Fatalf("%s holds no evidence of the replayed run", id)
 		}
 	}
 }
@@ -195,20 +222,22 @@ func TestStaleSequenceRejected(t *testing.T) {
 	w, adv := safetyWorld(t)
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	if _, err := adv.StaleSequence(ctx, spec(w, "obj"), []byte("stale"), []string{"alice", "bob"}); err != nil {
+	runID, err := adv.StaleSequence(ctx, spec(w, "obj"), []byte("stale"), []string{"alice", "bob"})
+	if err != nil {
 		t.Fatal(err)
 	}
-	assertHonestUnchanged(t, w)
+	assertAttackContained(t, w, runID, "alice", "bob")
 }
 
 func TestWrongGroupRejected(t *testing.T) {
 	w, adv := safetyWorld(t)
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	if _, err := adv.WrongGroup(ctx, spec(w, "obj"), []byte("wrong-group"), []string{"alice", "bob"}); err != nil {
+	runID, err := adv.WrongGroup(ctx, spec(w, "obj"), []byte("wrong-group"), []string{"alice", "bob"})
+	if err != nil {
 		t.Fatal(err)
 	}
-	assertHonestUnchanged(t, w)
+	assertAttackContained(t, w, runID, "alice", "bob")
 }
 
 func TestMismatchedStateRejected(t *testing.T) {
@@ -216,10 +245,11 @@ func TestMismatchedStateRejected(t *testing.T) {
 	w, adv := safetyWorld(t)
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	if _, err := adv.MismatchedState(ctx, spec(w, "obj"), []string{"alice", "bob"}); err != nil {
+	runID, err := adv.MismatchedState(ctx, spec(w, "obj"), []string{"alice", "bob"})
+	if err != nil {
 		t.Fatal(err)
 	}
-	assertHonestUnchanged(t, w)
+	assertAttackContained(t, w, runID, "alice", "bob")
 }
 
 func TestDolevYaoTamperedBodyRejected(t *testing.T) {

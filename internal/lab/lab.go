@@ -6,11 +6,13 @@
 package lab
 
 import (
+	"bytes"
 	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"b2b/internal/clock"
@@ -43,6 +45,11 @@ type Party struct {
 	// the plane-backed evidence log (anchor/archive inspection).
 	Plane  *store.Plane
 	SegLog *nrlog.Segmented
+	// Disk is the fault-injecting filesystem under the party's plane when
+	// the world was built with an Options.DiskFaults entry for it (or the
+	// party was restarted): the handle for scheduling fsync failures and
+	// torn writes mid-run. Nil otherwise.
+	Disk *faults.DiskFS
 }
 
 // Engine returns the coordination engine for object (panics if unbound:
@@ -100,9 +107,19 @@ type Options struct {
 	Durability store.Policy
 	// LegacyStorage selects store.File + nrlog.File under StorageDir.
 	LegacyStorage bool
-	// FS injects a filesystem under a party's plane (disk fault
-	// injection); parties not in the map use the real filesystem.
+	// FS injects a filesystem under a party's plane; parties not in the
+	// map use the real filesystem. For disk-fault injection prefer
+	// DiskFaults, which wraps this (or the real filesystem) in a
+	// faults.DiskFS and exposes the handle as Party.Disk.
 	FS map[string]store.FS
+	// DiskFaults installs a fault-injecting filesystem (faults.DiskFS)
+	// under the named parties' durability planes as a first-class knob: the
+	// schedule's counters are armed at construction and the handle is
+	// exposed as Party.Disk for mid-run injection. A zero DiskSchedule
+	// installs a clean handle (faults injectable later). This is the single
+	// injection surface shared by hand-written tests and the scenario
+	// generator.
+	DiskFaults map[string]DiskSchedule
 	// DeterministicKeys derives every identity (and the CA/TSA) from Seed,
 	// so a world re-created over the same StorageDir can verify signatures
 	// and anchors made by its previous incarnation — the crash-recovery
@@ -119,6 +136,23 @@ type Options struct {
 	PageSize int
 }
 
+// DiskSchedule arms a party's faults.DiskFS at world construction (both
+// counters 1-based; zero never fires). The zero schedule installs a clean
+// fault-injection handle.
+type DiskSchedule struct {
+	FailSyncAt  int // n-th fsync (across all files) fails and crashes the FS
+	TornWriteAt int // n-th write persists only its first half, then crashes
+}
+
+func (s DiskSchedule) arm(d *faults.DiskFS) {
+	if s.FailSyncAt > 0 {
+		d.FailSyncAt(s.FailSyncAt)
+	}
+	if s.TornWriteAt > 0 {
+		d.TornWriteAt(s.TornWriteAt)
+	}
+}
+
 // World is a lab deployment.
 type World struct {
 	Net     *transport.Network
@@ -127,6 +161,22 @@ type World struct {
 	TSA     *crypto.TSA
 	Parties map[string]*Party
 	order   []string
+
+	opts   Options
+	idents map[string]*crypto.Identity
+
+	// mu guards Parties (Restart swaps entries while scenario drivers read
+	// concurrently) and binders. Access parties through Party(), not the
+	// map, when a restart can race.
+	mu      sync.Mutex
+	binders map[string]binder // object -> validator factories, for Restart
+}
+
+// binder remembers how an object was bound so a restarted party can rebind
+// it without the test re-supplying the factories.
+type binder struct {
+	mkV  func(id string) coord.Validator
+	mkMV func(id string) group.Validator
 }
 
 // NewWorld creates parties with the given ids; every party trusts the shared
@@ -174,9 +224,11 @@ func NewWorld(opts Options, ids ...string) (*World, error) {
 		TSA:     tsa,
 		Parties: make(map[string]*Party),
 		order:   append([]string(nil), ids...),
+		opts:    opts,
+		idents:  make(map[string]*crypto.Identity, len(ids)),
+		binders: make(map[string]binder),
 	}
 
-	idents := make(map[string]*crypto.Identity, len(ids))
 	for _, id := range ids {
 		var ident *crypto.Identity
 		if opts.DeterministicKeys {
@@ -188,87 +240,108 @@ func NewWorld(opts Options, ids ...string) (*World, error) {
 			return nil, err
 		}
 		ca.Issue(ident)
-		idents[id] = ident
+		w.idents[id] = ident
 	}
 	for _, id := range ids {
-		v := crypto.NewVerifier(ca, tsa)
-		for _, other := range ids {
-			if err := v.AddCertificate(idents[other].Certificate()); err != nil {
-				return nil, err
-			}
+		var disk *faults.DiskFS
+		fs := opts.FS[id]
+		if sched, ok := opts.DiskFaults[id]; ok {
+			disk = faults.NewDiskFS(fs)
+			sched.arm(disk)
+			fs = disk
 		}
-		relOpts := []transport.ReliableOption{transport.WithRetryInterval(5 * time.Millisecond)}
-		if opts.Batching {
-			window := opts.BatchWindow
-			if window == 0 {
-				window = 200 * time.Microsecond
-			}
-			relOpts = append(relOpts, transport.WithBatching(window, 0))
-		}
-		rel, err := transport.NewReliable(w.Net.Endpoint(id), relOpts...)
+		p, err := w.buildParty(id, fs, disk)
 		if err != nil {
 			return nil, err
 		}
-		ic := faults.NewInterceptor(rel)
-		p := &Party{
-			ID:          id,
-			Ident:       idents[id],
-			Verifier:    v,
-			Rel:         rel,
-			Interceptor: ic,
-		}
-		switch {
-		case opts.StorageDir != "" && opts.LegacyStorage:
-			fl, err := nrlog.OpenFile(filepath.Join(opts.StorageDir, id, "evidence.nrlog"), clk)
-			if err != nil {
-				return nil, err
-			}
-			fs, err := store.OpenFile(filepath.Join(opts.StorageDir, id, "store"))
-			if err != nil {
-				return nil, err
-			}
-			p.Log, p.Store = fl, fs
-		case opts.StorageDir != "":
-			pl, err := store.OpenPlane(filepath.Join(opts.StorageDir, id), opts.Durability, opts.FS[id])
-			if err != nil {
-				return nil, err
-			}
-			p.Store = store.NewSegmented(pl)
-			p.SegLog = nrlog.OpenSegmented(pl, clk, idents[id])
-			p.Log = p.SegLog
-			if err := pl.Start(); err != nil {
-				return nil, err
-			}
-			p.Plane = pl
-		default:
-			p.Log, p.Store = nrlog.NewMemory(clk), store.NewMemory()
-		}
-		snapEvery := opts.SnapshotEvery
-		if snapEvery == 0 {
-			snapEvery = opts.Durability.SnapshotEvery
-		}
-		part, err := core.New(core.Config{
-			Ident:         idents[id],
-			Verifier:      v,
-			TSA:           tsa,
-			Conn:          &interceptedConn{Interceptor: ic, rel: rel},
-			Log:           p.Log,
-			Store:         p.Store,
-			Clock:         clk,
-			Termination:   opts.Termination,
-			TTP:           opts.TTP,
-			RetryInterval: opts.RetryInterval,
-			SnapshotEvery: snapEvery,
-			Transfer:      opts.Transfer,
-			PageSize:      opts.PageSize,
-		})
-		if err != nil {
-			return nil, err
-		}
-		p.Part = part
 		w.Parties[id] = p
 	}
 	return w, nil
+}
+
+// buildParty assembles one organisation's full stack: endpoint, reliable
+// layer, interceptor, storage (over fs when non-nil) and participant. It is
+// the single construction path shared by NewWorld and Restart — a restarted
+// party is a fresh stack over the same storage directory and identity.
+func (w *World) buildParty(id string, fs store.FS, disk *faults.DiskFS) (*Party, error) {
+	opts := w.opts
+	v := crypto.NewVerifier(w.CA, w.TSA)
+	for _, other := range w.order {
+		if err := v.AddCertificate(w.idents[other].Certificate()); err != nil {
+			return nil, err
+		}
+	}
+	relOpts := []transport.ReliableOption{transport.WithRetryInterval(5 * time.Millisecond)}
+	if opts.Batching {
+		window := opts.BatchWindow
+		if window == 0 {
+			window = 200 * time.Microsecond
+		}
+		relOpts = append(relOpts, transport.WithBatching(window, 0))
+	}
+	rel, err := transport.NewReliable(w.Net.Endpoint(id), relOpts...)
+	if err != nil {
+		return nil, err
+	}
+	ic := faults.NewInterceptor(rel)
+	p := &Party{
+		ID:          id,
+		Ident:       w.idents[id],
+		Verifier:    v,
+		Rel:         rel,
+		Interceptor: ic,
+		Disk:        disk,
+	}
+	switch {
+	case opts.StorageDir != "" && opts.LegacyStorage:
+		fl, err := nrlog.OpenFile(filepath.Join(opts.StorageDir, id, "evidence.nrlog"), w.Clk)
+		if err != nil {
+			return nil, err
+		}
+		fst, err := store.OpenFile(filepath.Join(opts.StorageDir, id, "store"))
+		if err != nil {
+			return nil, err
+		}
+		p.Log, p.Store = fl, fst
+	case opts.StorageDir != "":
+		pl, err := store.OpenPlane(filepath.Join(opts.StorageDir, id), opts.Durability, fs)
+		if err != nil {
+			return nil, err
+		}
+		p.Store = store.NewSegmented(pl)
+		p.SegLog = nrlog.OpenSegmented(pl, w.Clk, w.idents[id])
+		p.Log = p.SegLog
+		if err := pl.Start(); err != nil {
+			return nil, err
+		}
+		p.Plane = pl
+	default:
+		p.Log, p.Store = nrlog.NewMemory(w.Clk), store.NewMemory()
+	}
+	snapEvery := opts.SnapshotEvery
+	if snapEvery == 0 {
+		snapEvery = opts.Durability.SnapshotEvery
+	}
+	part, err := core.New(core.Config{
+		Ident:         w.idents[id],
+		Verifier:      v,
+		TSA:           w.TSA,
+		Conn:          &interceptedConn{Interceptor: ic, rel: rel},
+		Log:           p.Log,
+		Store:         p.Store,
+		Clock:         w.Clk,
+		Termination:   opts.Termination,
+		TTP:           opts.TTP,
+		RetryInterval: opts.RetryInterval,
+		SnapshotEvery: snapEvery,
+		Transfer:      opts.Transfer,
+		PageSize:      opts.PageSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.Part = part
+	return p, nil
 }
 
 // interceptedConn routes outbound traffic through the party's interceptor
@@ -284,15 +357,25 @@ func (c *interceptedConn) SetHandler(h transport.Handler) {
 
 func (c *interceptedConn) Close() error { return c.rel.Close() }
 
-// Party returns the named party.
-func (w *World) Party(id string) *Party { return w.Parties[id] }
+// Party returns the named party (the current incarnation, after restarts).
+func (w *World) Party(id string) *Party {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.Parties[id]
+}
 
 // IDs returns party ids in creation order.
 func (w *World) IDs() []string { return append([]string(nil), w.order...) }
 
 // Close shuts the world down.
 func (w *World) Close() {
+	w.mu.Lock()
+	parties := make([]*Party, 0, len(w.Parties))
 	for _, p := range w.Parties {
+		parties = append(parties, p)
+	}
+	w.mu.Unlock()
+	for _, p := range parties {
 		_ = p.Part.Close()
 		if p.Plane != nil {
 			_ = p.Plane.Close()
@@ -304,25 +387,96 @@ func (w *World) Close() {
 	w.Net.Close()
 }
 
-// Bind binds object at every party using per-party validators.
+// Bind binds object at every party using per-party validators. The
+// factories are remembered so a restarted party rebinds the same objects.
 func (w *World) Bind(object string, mkV func(id string) coord.Validator, mkMV func(id string) group.Validator) error {
+	w.mu.Lock()
+	w.binders[object] = binder{mkV: mkV, mkMV: mkMV}
+	w.mu.Unlock()
 	for _, id := range w.order {
-		var mv group.Validator
-		if mkMV != nil {
-			mv = mkMV(id)
-		}
-		if _, _, err := w.Parties[id].Part.Bind(object, mkV(id), mv); err != nil {
+		if err := w.BindAt(id, object); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
+// BindAt binds a previously Bind-registered object at one party (the
+// restart path, or staggered world assembly).
+func (w *World) BindAt(id, object string) error {
+	w.mu.Lock()
+	b, ok := w.binders[object]
+	w.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("lab: object %q was never bound via Bind", object)
+	}
+	var mv group.Validator
+	if b.mkMV != nil {
+		mv = b.mkMV(id)
+	}
+	_, _, err := w.Party(id).Part.Bind(object, b.mkV(id), mv)
+	return err
+}
+
+// Crash fail-stops a party: its stack closes (dropping queued traffic and
+// in-flight runs exactly as a process death would), its endpoint leaves the
+// network, and its durability plane closes. State on disk survives; Restart
+// brings the party back over it.
+func (w *World) Crash(id string) {
+	p := w.Party(id)
+	_ = p.Part.Close()
+	if p.Plane != nil {
+		_ = p.Plane.Close()
+	}
+	if fl, ok := p.Log.(*nrlog.File); ok {
+		_ = fl.Close()
+	}
+}
+
+// Restart rebuilds a crashed party over its storage directory: fresh stack,
+// fresh network endpoint, same identity, clean disk (a new faults.DiskFS
+// handle replaces any tripped one — the crashed process's file descriptors
+// died with it). Every Bind-registered object is rebound and restored from
+// the WAL; an object with no checkpoint on disk (crashed before bootstrap)
+// is left bound but unbootstrapped. The caller resumes protocol
+// participation via RecoverPendingRuns / CatchUp.
+func (w *World) Restart(id string) (*Party, error) {
+	var fs store.FS
+	var disk *faults.DiskFS
+	if w.opts.StorageDir != "" && !w.opts.LegacyStorage {
+		disk = faults.NewDiskFS(nil)
+		fs = disk
+	}
+	p, err := w.buildParty(id, fs, disk)
+	if err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	w.Parties[id] = p
+	objects := make([]string, 0, len(w.binders))
+	for object := range w.binders {
+		objects = append(objects, object)
+	}
+	w.mu.Unlock()
+	for _, object := range objects {
+		if err := w.BindAt(id, object); err != nil {
+			return nil, err
+		}
+		if err := p.Engine(object).Restore(); err != nil {
+			if errors.Is(err, store.ErrNoCheckpoint) {
+				continue
+			}
+			return nil, fmt.Errorf("lab: restarting %s: %w", id, err)
+		}
+	}
+	return p, nil
+}
+
 // Bootstrap initialises the founding members of object with the initial
 // state. Members not in founding are left unbootstrapped (they may Join).
 func (w *World) Bootstrap(object string, initial []byte, founding []string) error {
 	for _, id := range founding {
-		if err := w.Parties[id].Engine(object).Bootstrap(initial, founding); err != nil {
+		if err := w.Party(id).Engine(object).Bootstrap(initial, founding); err != nil {
 			return fmt.Errorf("lab: bootstrapping %s: %w", id, err)
 		}
 	}
@@ -330,31 +484,81 @@ func (w *World) Bootstrap(object string, initial []byte, founding []string) erro
 }
 
 // WaitAgreed blocks until every listed party's agreed state for object
-// equals want, or the deadline passes.
+// equals want, or the deadline passes. The wait is event-driven: it parks
+// on the first non-matching engine's change notification (coord.Watch)
+// instead of polling, so randomized soaks aren't timing-sensitive under
+// the race detector. The watch channel is grabbed before the state is
+// read — a transition landing between read and park has already closed
+// that channel, so wakeups cannot be missed.
 func (w *World) WaitAgreed(object string, parties []string, want []byte, d time.Duration) error {
-	deadline := time.Now().Add(d)
-	for time.Now().Before(deadline) {
-		all := true
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	for {
+		var waitCh <-chan struct{}
 		for _, id := range parties {
-			_, s := w.Parties[id].Engine(object).Agreed()
-			if string(s) != string(want) {
-				all = false
+			en := w.Party(id).Engine(object)
+			ch := en.Watch()
+			if _, s := en.Agreed(); !bytes.Equal(s, want) {
+				waitCh = ch
 				break
 			}
 		}
-		if all {
+		if waitCh == nil {
 			return nil
 		}
-		time.Sleep(2 * time.Millisecond)
+		select {
+		case <-timer.C:
+			return fmt.Errorf("lab: replicas did not converge to %d-byte state within %v", len(want), d)
+		case <-waitCh:
+		}
 	}
-	return fmt.Errorf("lab: replicas did not converge to %q", want)
+}
+
+// WaitConverged blocks until every listed party's agreed tuple and state
+// for object are identical (whatever the value — the global-invariant
+// form of WaitAgreed) and returns the common state. Event-driven like
+// WaitAgreed.
+func (w *World) WaitConverged(object string, parties []string, d time.Duration) ([]byte, error) {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	for {
+		// When parties 0 and i disagree, one of the two must transition
+		// before the group can be equal — parking on both channels is a
+		// sufficient wake condition.
+		var waitCh, refCh <-chan struct{}
+		var first tuple.State
+		var firstState []byte
+		for i, id := range parties {
+			en := w.Party(id).Engine(object)
+			ch := en.Watch()
+			t, s := en.Agreed()
+			if i == 0 {
+				first, firstState = t, s
+				refCh = ch
+				continue
+			}
+			if t != first || !bytes.Equal(s, firstState) {
+				waitCh = ch
+				break
+			}
+		}
+		if waitCh == nil {
+			return firstState, nil
+		}
+		select {
+		case <-timer.C:
+			return nil, fmt.Errorf("lab: %d replicas did not converge within %v", len(parties), d)
+		case <-waitCh:
+		case <-refCh:
+		}
+	}
 }
 
 // Adversary compromises a party: returns a message-crafting adversary bound
 // to its identity and connection. The party's honest engines keep running;
 // the adversary speaks alongside them (a corrupted process).
 func (w *World) Adversary(id, object string) *faults.Adversary {
-	p := w.Parties[id]
+	p := w.Party(id)
 	return &faults.Adversary{
 		Ident:  p.Ident,
 		TSA:    w.TSA,

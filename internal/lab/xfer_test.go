@@ -9,7 +9,6 @@ import (
 
 	"b2b/internal/coord"
 	"b2b/internal/faults"
-	"b2b/internal/store"
 	"b2b/internal/wire"
 	"b2b/internal/xfer"
 )
@@ -116,22 +115,27 @@ func TestPartitionEvictRejoinChunked(t *testing.T) {
 // TestCrashMidTransferDiskFault: the requester's durability plane dies
 // (injected fsync failure) while it is catching up; the party restarts over
 // the same WAL, restores, and completes catch-up from the surviving peers.
+// Uses the first-class injection knobs: Options.DiskFaults arms the party's
+// faults.DiskFS (exposed as Party.Disk), and World.Crash/Restart replace
+// the whole-world teardown-and-rebuild the original test needed — the
+// surviving peers keep running throughout.
 func TestCrashMidTransferDiskFault(t *testing.T) {
 	dir := t.TempDir()
 	pol := xfer.Policy{RequestTimeout: 150 * time.Millisecond}
-	cFS := faults.NewDiskFS(nil)
 	opts := Options{
 		Seed:              72,
 		Transfer:          pol,
 		StorageDir:        dir,
 		DeterministicKeys: true,
 		SnapshotEvery:     1024,
-		FS:                map[string]store.FS{"c": cFS},
+		DiskFaults:        map[string]DiskSchedule{"c": {}},
 	}
 	w, err := NewWorld(opts, "a", "b", "c")
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer w.Close()
+	cFS := w.Party("c").Disk
 	if err := w.Bind(xferObj, func(string) coord.Validator { return PatchValidator() }, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -176,35 +180,26 @@ func TestCrashMidTransferDiskFault(t *testing.T) {
 	if _, got := w.Party("c").Engine(xferObj).Agreed(); !bytes.Equal(got, initial) {
 		t.Fatal("a failed catch-up must not move the agreed state")
 	}
-	w.Close()
 
-	// Restart: same WAL, clean disk. Every party restores, then c catches
-	// up for real.
-	opts.FS = nil
-	w2, err := NewWorld(opts, "a", "b", "c")
+	// Crash only c and bring it back: same WAL, clean disk, fresh stack and
+	// endpoint. Restart rebinds and restores; then c catches up for real
+	// from the still-running peers.
+	w.Crash("c")
+	c, err := w.Restart("c")
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("restart: %v", err)
 	}
-	defer w2.Close()
-	if err := w2.Bind(xferObj, func(string) coord.Validator { return PatchValidator() }, nil); err != nil {
-		t.Fatal(err)
-	}
-	for _, id := range []string{"a", "b", "c"} {
-		if err := w2.Party(id).Engine(xferObj).Restore(); err != nil {
-			t.Fatalf("restore %s: %v", id, err)
-		}
-	}
-	if _, got := w2.Party("c").Engine(xferObj).Agreed(); !bytes.Equal(got, initial) {
+	if _, got := c.Engine(xferObj).Agreed(); !bytes.Equal(got, initial) {
 		t.Fatal("c restored to an unexpected state")
 	}
-	advanced, err = w2.Party("c").Xfer(xferObj).CatchUp(ctx)
+	advanced, err = c.Xfer(xferObj).CatchUp(ctx)
 	if err != nil {
 		t.Fatalf("catch-up after restart: %v", err)
 	}
 	if !advanced {
 		t.Fatal("catch-up after restart made no progress")
 	}
-	if _, got := w2.Party("c").Engine(xferObj).Agreed(); !bytes.Equal(got, state) {
+	if _, got := c.Engine(xferObj).Agreed(); !bytes.Equal(got, state) {
 		t.Fatal("c did not converge after restart")
 	}
 	if errors.Is(err, context.DeadlineExceeded) {

@@ -1,0 +1,113 @@
+package scenario
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+)
+
+// checkInvariants verifies the five global invariants after the end phase
+// has healed and quiesced the world. They hold for EVERY generated
+// scenario — the checker knows nothing about which faults fired:
+//
+//  1. Convergence: every live party holds the identical agreed tuple and
+//     state (the end phase waited for this; re-asserted here).
+//  2. Evidence: every party's non-repudiation chain verifies, and for every
+//     valid run the proposer and every decider hold evidence of it.
+//  3. Durability bound: no party's plane exceeds the policy-derived disk
+//     budget (2x(object + 1 MiB live slack) + CompactAt + a segment).
+//  4. Recovery: every restarted or rejoined party converged to the same
+//     agreed tuple as the parties that never failed.
+//  5. Containment: no adversary-crafted state was ever installed — the
+//     marker payload all generated attacks carry appears in no agreed
+//     state.
+func (ex *executor) checkInvariants() error {
+	var errs []error
+
+	// Invariant 1: agreed-state convergence across all parties.
+	ref := ex.w.Party(ex.ids[0]).Engine(scenarioObject)
+	refTuple, refState := ref.Agreed()
+	ex.rep.FinalSeq = refTuple.Seq
+	for _, id := range ex.ids[1:] {
+		t, s := ex.w.Party(id).Engine(scenarioObject).Agreed()
+		if t != refTuple || !bytes.Equal(s, refState) {
+			errs = append(errs, fmt.Errorf(
+				"invariant 1 (convergence): %s holds seq=%d (%d bytes), %s holds seq=%d (%d bytes)",
+				ex.ids[0], refTuple.Seq, len(refState), id, t.Seq, len(s)))
+		}
+	}
+
+	// Invariant 2: every evidence chain verifies and covers every valid run
+	// at its proposer and every recorded decider (the durability barrier:
+	// a decision that externalized implies evidence on disk).
+	for _, id := range ex.ids {
+		if err := ex.w.Party(id).Log.Verify(); err != nil {
+			errs = append(errs, fmt.Errorf("invariant 2 (evidence): %s chain broken: %w", id, err))
+		}
+	}
+	ex.mu.Lock()
+	outcomes := append([]recordedRun(nil), ex.outcomes...)
+	ex.mu.Unlock()
+	for _, rec := range outcomes {
+		if !rec.out.Valid {
+			continue
+		}
+		holders := map[string]bool{rec.proposer: true}
+		for party := range rec.out.Decisions {
+			holders[party] = true
+		}
+		for _, id := range ex.ids {
+			if !holders[id] {
+				continue
+			}
+			entries, err := ex.w.Party(id).Log.ByRun(rec.out.RunID)
+			if err != nil {
+				errs = append(errs, fmt.Errorf("invariant 2 (evidence): reading %s's log: %w", id, err))
+				continue
+			}
+			if len(entries) == 0 {
+				errs = append(errs, fmt.Errorf(
+					"invariant 2 (evidence): %s decided run %s but holds no evidence of it", id, rec.out.RunID))
+			}
+		}
+	}
+
+	// Invariant 3: bounded disk usage under the durability policy.
+	bound := 2*(int64(ex.s.ObjectSize)+1<<20) + ex.s.CompactAt + int64(ex.s.SegmentSize)
+	for _, id := range ex.ids {
+		p := ex.w.Party(id)
+		if p.Plane == nil {
+			continue
+		}
+		if use := p.Plane.DiskUsage(); use > bound {
+			errs = append(errs, fmt.Errorf(
+				"invariant 3 (durability bound): %s uses %d bytes on disk, budget %d", id, use, bound))
+		}
+	}
+
+	// Invariant 4: recovered parties rejoined the agreed tuple.
+	ex.mu.Lock()
+	var recovered []string
+	for id := range ex.restarted {
+		recovered = append(recovered, id)
+	}
+	ex.mu.Unlock()
+	for _, id := range recovered {
+		t, s := ex.w.Party(id).Engine(scenarioObject).Agreed()
+		if t != refTuple || !bytes.Equal(s, refState) {
+			errs = append(errs, fmt.Errorf(
+				"invariant 4 (recovery): recovered party %s holds seq=%d, the group agreed seq=%d", id, t.Seq, refTuple.Seq))
+		}
+	}
+
+	// Invariant 5: no adversary injection was ever installed.
+	marker := []byte(adversaryMarker)
+	for _, id := range ex.ids {
+		if _, s := ex.w.Party(id).Engine(scenarioObject).Agreed(); bytes.Contains(s, marker) {
+			errs = append(errs, fmt.Errorf(
+				"invariant 5 (containment): %s installed an adversary-crafted state", id))
+		}
+	}
+
+	return errors.Join(errs...)
+}

@@ -1,0 +1,12 @@
+//go:build !mutation
+
+package scenario
+
+import "b2b/internal/coord"
+
+// mutationBroken reports whether this binary carries the deliberately
+// broken validator (see mutation_on.go). Honest builds do not: wrapMutation
+// is the identity and the invariant checker must pass every scenario.
+const mutationBroken = false
+
+func wrapMutation(v coord.Validator) coord.Validator { return v }

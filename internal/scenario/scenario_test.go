@@ -1,0 +1,187 @@
+package scenario
+
+import (
+	"context"
+	"flag"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+var runSeed = flag.Uint64("run-seed", 0, "replay one generated scenario by seed (TestRunSeed)")
+
+// TestGenerateDeterministic: the same seed yields the byte-identical
+// scenario — the property every failure report relies on.
+func TestGenerateDeterministic(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 42, 0xdeadbeef, 1<<63 + 12345} {
+		a, b := Generate(seed), Generate(seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %#x: two generations differ", seed)
+		}
+		if a.Describe() != b.Describe() {
+			t.Fatalf("seed %#x: descriptions differ", seed)
+		}
+	}
+	var m1, m2 strings.Builder
+	for _, s := range Matrix(7, 32) {
+		m1.WriteString(s.Describe())
+	}
+	for _, s := range Matrix(7, 32) {
+		m2.WriteString(s.Describe())
+	}
+	if m1.String() != m2.String() {
+		t.Fatal("the same seed produced two different scenario matrices")
+	}
+}
+
+// TestMatrixDiversity: a modest seed range yields hundreds of structurally
+// distinct, structurally valid scenarios (identity compared modulo the seed
+// itself, which would trivially distinguish them).
+func TestMatrixDiversity(t *testing.T) {
+	distinct := make(map[string]bool)
+	for seed := uint64(0); seed < 300; seed++ {
+		s := Generate(seed)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("seed %d generated an invalid scenario: %v\n%s", seed, err, s.Describe())
+		}
+		d := s.Describe()
+		distinct[d[strings.Index(d, "workload="):]] = true
+	}
+	if len(distinct) < 200 {
+		t.Fatalf("only %d distinct scenarios from 300 seeds", len(distinct))
+	}
+}
+
+// TestScenarioMatrix is the fixed-seed CI matrix: every scenario derived
+// from the pinned seed must satisfy all five global invariants under -race.
+func TestScenarioMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario matrix is not a -short test")
+	}
+	for _, s := range Matrix(0xb2bfacade, 20) {
+		s := s
+		t.Run(s.Workload.String()+"/"+seedName(s.Seed), func(t *testing.T) {
+			t.Parallel()
+			rep, err := Run(context.Background(), Config{Dir: t.TempDir(), Timeout: 120 * time.Second}, s)
+			if err != nil {
+				t.Fatalf("%v\nreplay: go test ./internal/scenario -run TestRunSeed -run-seed %d\n%s", err, s.Seed, s.Describe())
+			}
+			t.Logf("valid=%d invalid=%d skippedSteps=%d attacks=%d crashes=%d restarts=%d evictions=%d skippedFaults=%d finalSeq=%d",
+				rep.ValidRuns, rep.InvalidRuns, rep.SkippedSteps, rep.Attacks,
+				rep.Crashes, rep.Restarts, rep.Evictions, rep.SkippedFaults, rep.FinalSeq)
+			if rep.ValidRuns == 0 {
+				t.Fatal("scenario made no progress at all")
+			}
+		})
+	}
+}
+
+func seedName(seed uint64) string {
+	s := Scenario{Seed: seed}
+	d := s.Describe()
+	return strings.Fields(d)[1] // "seed=0x..."
+}
+
+// TestRunSeed replays exactly one generated scenario:
+//
+//	go test ./internal/scenario -run TestRunSeed -run-seed <seed>
+//
+// This is the reproduction path every soak failure message points at.
+func TestRunSeed(t *testing.T) {
+	if *runSeed == 0 {
+		t.Skip("pass -run-seed <seed> to replay a scenario")
+	}
+	s := Generate(*runSeed)
+	t.Logf("replaying scenario:\n%s", s.Describe())
+	rep, err := Run(context.Background(), Config{Dir: t.TempDir(), Timeout: 3 * time.Minute, Logf: t.Logf}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("report: %+v", *rep)
+}
+
+// TestAttackCalibration runs each of the six adversary attacks as the sole
+// fault of an otherwise honest scenario and requires (a) the attack landed,
+// (b) the invariant checker — which verifies EVERY recipient's final state
+// and evidence chain — still passes, and (c) honest progress continued.
+func TestAttackCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("not a -short test")
+	}
+	for k := AttackKind(0); k < NumAttacks; k++ {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			t.Parallel()
+			s := Scenario{
+				Seed:           uint64(0xa11ac0de00) + uint64(k),
+				Parties:        3,
+				Window:         1,
+				PageSize:       1024,
+				ObjectSize:     4 << 10,
+				SnapshotEvery:  4,
+				CompactAt:      1 << 20,
+				SegmentSize:    256 << 10,
+				RetainEntries:  1 << 14,
+				InlineStateCap: 16 << 10,
+				ChunkSize:      4 << 10,
+				Workload:       Auction,
+				Steps: []Step{
+					{A: auctionReserve + 10, B: 0},
+					{A: auctionReserve + 20, B: 1},
+					{A: auctionReserve + 30, B: 2},
+					{A: auctionReserve + 40, B: 3},
+				},
+				Faults: []Fault{{Step: 2, Kind: FaultAdversary, Party: 2, Attack: k}},
+			}
+			rep, err := Run(context.Background(), Config{Dir: t.TempDir(), Timeout: 60 * time.Second, Logf: t.Logf}, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Attacks != 1 {
+				t.Fatalf("attack %s did not land (attacks=%d skippedFaults=%d)", k, rep.Attacks, rep.SkippedFaults)
+			}
+			if rep.ValidRuns < 3 {
+				t.Fatalf("honest progress stalled after the attack: %d valid runs", rep.ValidRuns)
+			}
+		})
+	}
+}
+
+// TestMutationSmoke runs one honest patch-storm scenario. In the default
+// build it must pass. Under `go test -tags mutation` one party carries a
+// deliberately broken validator that mutates installed state in place
+// (mutation_on.go) — the invariant checker MUST flag the divergence, or the
+// checker itself is broken.
+func TestMutationSmoke(t *testing.T) {
+	// Window 1 on purpose: the broken validator corrupts the installed
+	// agreed state, and without pipelining that exact object is the base
+	// the next proposal validates against — the divergence is structural,
+	// not a race with speculative clones.
+	s := Scenario{
+		Seed:           0x5eedf00d,
+		Parties:        2,
+		Window:         1,
+		PageSize:       1024,
+		ObjectSize:     16 << 10,
+		SnapshotEvery:  4,
+		CompactAt:      1 << 20,
+		SegmentSize:    256 << 10,
+		RetainEntries:  1 << 14,
+		InlineStateCap: 1 << 10,
+		ChunkSize:      4 << 10,
+		Workload:       PatchStorm,
+	}
+	for i := 0; i < 8; i++ {
+		s.Steps = append(s.Steps, Step{A: i * 128, B: 32})
+	}
+	_, err := Run(context.Background(), Config{Dir: t.TempDir(), Timeout: 30 * time.Second}, s)
+	if mutationBroken {
+		if err == nil {
+			t.Fatal("the mutation build must fail the invariant checker — it did not")
+		}
+		t.Logf("invariant checker correctly flagged the mutation: %v", err)
+	} else if err != nil {
+		t.Fatalf("honest build failed: %v", err)
+	}
+}

@@ -1,0 +1,214 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+
+	"b2b/internal/apps"
+	"b2b/internal/coord"
+	"b2b/internal/lab"
+	"b2b/internal/tuple"
+	"b2b/internal/wire"
+)
+
+// scenarioObject is the single shared object every scenario coordinates.
+const scenarioObject = "scenario-object"
+
+// adversaryMarker is the payload every generated adversary proposal (and the
+// build-tagged mutation) carries: invariant 5 asserts it never appears in an
+// installed agreed state.
+const adversaryMarker = "b2b-adversary-divergent-state"
+
+// errSkipStep marks a workload step that cannot be taken from the current
+// agreed state (e.g. the replica is still behind after a fault window); the
+// executor records and skips it rather than failing the scenario.
+var errSkipStep = errors.New("scenario: step not applicable")
+
+// runtime is the executable half of a scenario's workload: validator
+// factories for Bind, the bootstrap state, the proposer rotation and the
+// step-to-proposal translation over live application replicas.
+type runtime struct {
+	initial []byte
+	actors  []string
+	mkV     func(id string) coord.Validator
+	// propose turns step i into the proposer-local next full state, after
+	// the executor has confirmed the actor's replica holds agreed. Nil for
+	// PatchStorm (driven in update mode, not overwrite mode).
+	propose func(actor string, i int, st Step, agreed []byte) ([]byte, error)
+	// resync re-aligns one party's application replica with an agreed state
+	// (after restarts, rejoins and vetoed proposals). No-op for PatchStorm.
+	resync func(id string, agreed []byte)
+}
+
+// appObject is the b2b.Object surface shared by the three paper apps.
+type appObject interface {
+	GetState() ([]byte, error)
+	ApplyState(state []byte) error
+	ValidateState(proposer string, state []byte) error
+}
+
+// appValidator adapts an application object to coord.Validator (overwrite
+// mode only), exactly like the Fig 5/Fig 7 scenario drivers.
+type appValidator struct {
+	obj appObject
+}
+
+func (v *appValidator) ValidateState(proposer string, _, proposed []byte) wire.Decision {
+	if err := v.obj.ValidateState(proposer, proposed); err != nil {
+		return wire.Rejected(err.Error())
+	}
+	return wire.Accepted
+}
+
+func (v *appValidator) ValidateUpdate(string, []byte, []byte) wire.Decision {
+	return wire.Rejected("updates not used by this workload")
+}
+
+func (v *appValidator) ApplyUpdate([]byte, []byte) ([]byte, error) {
+	return nil, errors.New("updates not used by this workload")
+}
+
+func (v *appValidator) Installed(state []byte, _ tuple.State)  { _ = v.obj.ApplyState(state) }
+func (v *appValidator) RolledBack(state []byte, _ tuple.State) { _ = v.obj.ApplyState(state) }
+
+// buildRuntime materialises the workload for the given party ids.
+func buildRuntime(s Scenario, ids []string) (*runtime, error) {
+	switch s.Workload {
+	case PatchStorm:
+		// wrapMutation is identity in honest builds; under -tags mutation it
+		// installs the deliberately broken validator at the LAST party — the
+		// invariant checker must flag the divergence it causes.
+		last := ids[len(ids)-1]
+		return &runtime{
+			initial: deterministicBytes(s.ObjectSize, s.Seed),
+			actors:  ids[:1],
+			mkV: func(id string) coord.Validator {
+				v := lab.PatchValidator()
+				if id == last {
+					return wrapMutation(v)
+				}
+				return v
+			},
+			resync: func(string, []byte) {},
+		}, nil
+
+	case TicTacToe:
+		players := map[string]byte{ids[0]: apps.X, ids[1]: apps.O}
+		games := make(map[string]*apps.TicTacToe, len(ids))
+		for _, id := range ids {
+			games[id] = apps.NewTicTacToe(players)
+		}
+		initial, err := apps.NewTicTacToe(players).GetState()
+		if err != nil {
+			return nil, err
+		}
+		marks := []byte{apps.X, apps.O}
+		return &runtime{
+			initial: initial,
+			actors:  []string{ids[0], ids[1]},
+			mkV: func(id string) coord.Validator {
+				return &appValidator{obj: games[id]}
+			},
+			propose: func(actor string, i int, st Step, agreed []byte) ([]byte, error) {
+				g := games[actor]
+				if err := g.ApplyState(agreed); err != nil {
+					return nil, err
+				}
+				if err := g.Move(st.A, marks[i%2]); err != nil {
+					return nil, fmt.Errorf("%w: %v", errSkipStep, err)
+				}
+				return g.GetState()
+			},
+			resync: func(id string, agreed []byte) { _ = games[id].ApplyState(agreed) },
+		}, nil
+
+	case Auction:
+		auctions := make(map[string]*apps.Auction, len(ids))
+		for _, id := range ids {
+			auctions[id] = apps.NewAuction("amphora", auctionReserve, ids)
+		}
+		initial, err := apps.NewAuction("amphora", auctionReserve, ids).GetState()
+		if err != nil {
+			return nil, err
+		}
+		return &runtime{
+			initial: initial,
+			actors:  []string{ids[0], ids[1]},
+			mkV: func(id string) coord.Validator {
+				return &appValidator{obj: auctions[id]}
+			},
+			propose: func(actor string, _ int, st Step, agreed []byte) ([]byte, error) {
+				a := auctions[actor]
+				if err := a.ApplyState(agreed); err != nil {
+					return nil, err
+				}
+				client := fmt.Sprintf("client%02d", st.B)
+				if err := a.PlaceBid(actor, client, st.A); err != nil {
+					return nil, fmt.Errorf("%w: %v", errSkipStep, err)
+				}
+				return a.GetState()
+			},
+			resync: func(id string, agreed []byte) { _ = auctions[id].ApplyState(agreed) },
+		}, nil
+
+	case OrderProcessing:
+		roles := map[string]apps.Role{ids[0]: apps.Customer, ids[1]: apps.Supplier}
+		orders := make(map[string]*apps.Order, len(ids))
+		for _, id := range ids {
+			orders[id] = apps.NewOrder(roles)
+		}
+		initial, err := apps.NewOrder(roles).GetState()
+		if err != nil {
+			return nil, err
+		}
+		return &runtime{
+			initial: initial,
+			actors:  []string{ids[0], ids[1]},
+			mkV: func(id string) coord.Validator {
+				return &appValidator{obj: orders[id]}
+			},
+			propose: func(actor string, i int, st Step, agreed []byte) ([]byte, error) {
+				o := orders[actor]
+				if err := o.ApplyState(agreed); err != nil {
+					return nil, err
+				}
+				item := fmt.Sprintf("widget%02d", i/2)
+				if i%2 == 0 {
+					o.AddItem(item, st.A)
+				} else if err := o.SetPrice(item, st.A); err != nil {
+					return nil, fmt.Errorf("%w: %v", errSkipStep, err)
+				}
+				return o.GetState()
+			},
+			resync: func(id string, agreed []byte) { _ = orders[id].ApplyState(agreed) },
+		}, nil
+	}
+	return nil, fmt.Errorf("scenario: unknown workload %d", s.Workload)
+}
+
+// deterministicBytes derives the patch-storm bootstrap object from the seed
+// (xorshift stream, like the lab's transfer fixtures).
+func deterministicBytes(n int, seed uint64) []byte {
+	out := make([]byte, n)
+	x := seed | 1
+	for i := range out {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		out[i] = byte(x)
+	}
+	return out
+}
+
+// patchBody derives the body of patch-storm update i deterministically.
+func patchBody(seed uint64, i, n int) []byte {
+	out := make([]byte, n)
+	x := seed ^ (uint64(i+1) * 0x9e3779b97f4a7c15)
+	for j := range out {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		out[j] = byte(x)
+	}
+	return out
+}

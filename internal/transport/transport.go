@@ -94,11 +94,14 @@ func NewNetwork(seed uint64) *Network {
 	}
 }
 
-// Endpoint creates (or returns) the endpoint with the given id.
+// Endpoint creates (or returns) the endpoint with the given id. A closed
+// endpoint is replaced by a fresh one: a crashed party that restarts
+// re-attaches to the network under the same id (its predecessor's queued,
+// undelivered messages stay lost — they died with the process).
 func (n *Network) Endpoint(id string) *MemEndpoint {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if ep, ok := n.eps[id]; ok {
+	if ep, ok := n.eps[id]; ok && !ep.isClosed() {
 		return ep
 	}
 	ep := &MemEndpoint{id: id, net: n}
@@ -288,6 +291,12 @@ func (ep *MemEndpoint) Close() error {
 	ep.closed = true
 	ep.cond.Broadcast()
 	return nil
+}
+
+func (ep *MemEndpoint) isClosed() bool {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return ep.closed
 }
 
 func (ep *MemEndpoint) enqueue(from string, payload []byte) {
