@@ -24,9 +24,10 @@
 //
 // Control clients use the same binary:
 //
-//	b2bnode -call get    -control 127.0.0.1:7101
-//	b2bnode -call set    -control 127.0.0.1:7101 -value '{"hello":"world"}'
+//	b2bnode -call get     -control 127.0.0.1:7101
+//	b2bnode -call set     -control 127.0.0.1:7101 -value '{"hello":"world"}'
 //	b2bnode -call members -control 127.0.0.1:7101
+//	b2bnode -call metrics -control 127.0.0.1:7101
 //
 // NOTE: the generated trust file contains every party's key seed; it is a
 // single-trust-domain DEMO deployment aid, not a production PKI. In
@@ -35,6 +36,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"crypto/sha256"
 	"encoding/base64"
@@ -77,7 +79,7 @@ func main() {
 		genTrust = flag.Bool("gen-trust", false, "generate demo trust material")
 		parties  = flag.String("parties", "", "comma-separated party ids for -gen-trust")
 		cfgPath  = flag.String("config", "", "node configuration file")
-		call     = flag.String("call", "", "control call: get | set | members | evidence")
+		call     = flag.String("call", "", "control call: get | set | members | evidence | metrics")
 		control  = flag.String("control", "", "control address of a running node")
 		value    = flag.String("value", "", "value for -call set")
 	)
@@ -310,6 +312,12 @@ func runNode(cfgPath string) error {
 			}
 			return []byte(fmt.Sprintf(`{"entries":%d,"chain_ok":%t}`,
 				len(entries), part.Log().Verify() == nil)), nil
+		case "metrics":
+			var buf bytes.Buffer
+			if err := part.DumpMetrics(&buf); err != nil {
+				return nil, err
+			}
+			return buf.Bytes(), nil
 		default:
 			return nil, fmt.Errorf("unknown method %q", method)
 		}

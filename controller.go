@@ -51,6 +51,7 @@ type Controller struct {
 	mode      Mode
 	cb        Callback
 	opTimeout time.Duration
+	admit     func(context.Context) error // quota admission control (nil: none)
 
 	mu       sync.Mutex
 	depth    int
@@ -238,6 +239,9 @@ func (c *Controller) LeaveContext(ctx context.Context) error {
 		// on top of it; Restore (or a later successful install) clears this.
 		return err
 	}
+	if err := c.admitScope(ctx); err != nil {
+		return err
+	}
 
 	// The state (or update) is captured synchronously — each Leave proposes
 	// exactly the state its scope produced, even when later scopes mutate
@@ -338,6 +342,21 @@ func (c *Controller) LeaveContext(ctx context.Context) error {
 	return nil
 }
 
+// admitScope applies the participant's quota admission control before a
+// locally initiated coordination run: a group over its resident-page or
+// pending-bytes caps is refused with ErrQuotaExceeded, a group whose peer
+// links are backlogged is throttled until they drain (backpressure on the
+// flooding tenant only). Bounded by the operation timeout so a stuck peer
+// link surfaces as an error rather than a hang.
+func (c *Controller) admitScope(ctx context.Context) error {
+	if c.admit == nil {
+		return nil
+	}
+	actx, cancel := context.WithTimeout(ctx, c.opTimeout)
+	defer cancel()
+	return c.admit(actx)
+}
+
 // CoordCommit blocks until the oldest uncollected deferred coordination
 // completes (paper §5). With a pipeline window above 1, outcomes are
 // collected in Leave order: one CoordCommit per deferred Leave.
@@ -411,6 +430,9 @@ func (c *Controller) CatchUp(ctx context.Context) error {
 // Enter/Leave scope (the paper's syncCoord operation).
 func (c *Controller) SyncCoord(ctx context.Context) error {
 	if err := c.adapter.divergence(); err != nil {
+		return err
+	}
+	if err := c.admitScope(ctx); err != nil {
 		return err
 	}
 	state, err := c.obj.GetState()

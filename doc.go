@@ -132,6 +132,33 @@
 // one-file-per-record, fsync-per-event layout as a measured baseline
 // (cmd/b2bbench -exp E17). See docs/ARCHITECTURE.md, "Durability plane".
 //
+// # Multi-tenant quotas and runtime introspection
+//
+// One Participant hosts many objects: bindings are lazily materialized and
+// idle objects hold no goroutine and almost no memory, so an endpoint
+// scales to tens of thousands of bound objects (cmd/b2bbench -exp E20). A
+// shared worker pool schedules only objects with pending traffic,
+// preserving per-object serial execution while isolating tenants from each
+// other's backlogs. WithQuotas arms per-group resource caps and admission
+// control:
+//
+//	p, _ := b2b.NewParticipant(ident, td, conn,
+//		b2b.WithQuotas(b2b.QuotaPolicy{
+//			MaxResidentPages: 4096,    // agreed-state footprint per group
+//			MaxPendingBytes:  1 << 20, // inbound queue bytes per group
+//			MaxSessions:      2,       // transfer sessions per group
+//			MaxTotalSessions: 16,      // transfer sessions per endpoint
+//		}))
+//
+// Inbound traffic past MaxPendingBytes is shed with a "quota-shed"
+// evidence entry (the protocol's retransmission recovers liveness);
+// Controller scopes that would start new coordination on an over-cap group
+// fail with ErrQuotaExceeded. Participant.RuntimeStats and
+// Participant.GroupUsage report scheduler and per-group usage;
+// Participant.MetricsSnapshot and DumpMetrics unify coordination,
+// transfer, storage and runtime counters behind one registry. See
+// docs/ARCHITECTURE.md, "Multi-tenant runtime".
+//
 // # Module layout
 //
 // The public API lives in this root package (Participant, Controller,
@@ -151,9 +178,10 @@
 //   - internal/xfer — the state-transfer/anti-entropy plane: chunked,
 //     flow-controlled sessions serving delta suffixes or snapshots, behind
 //     deferred Welcomes and Controller.CatchUp.
-//   - internal/core — the participant runtime; inbound traffic is dispatched
-//     through per-object shards, so independent objects coordinate
-//     concurrently over one shared connection.
+//   - internal/core — the multi-tenant participant runtime: a shared
+//     worker pool schedules only active objects (serially per object,
+//     concurrently across objects) over one shared connection, with lazy
+//     binding materialization, per-group quotas and admission control.
 //   - internal/crypto, internal/nrlog, internal/store, internal/clock,
 //     internal/tuple, internal/canon — identities and signing, the
 //     non-repudiation log, checkpoint store, time, state tuples, encoding.

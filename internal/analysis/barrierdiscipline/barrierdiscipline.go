@@ -48,7 +48,7 @@ var (
 )
 
 func run(pass *analysis.Pass) error {
-	if !analysis.PkgIn(pass.Pkg.Path(), "coord", "store", "nrlog") {
+	if !analysis.PkgIn(pass.Pkg.Path(), "coord", "store", "nrlog", "core") {
 		return nil
 	}
 	analysis.InspectFuncs(pass.Files, func(fd *ast.FuncDecl) {

@@ -24,7 +24,7 @@ import (
 // Analyzer is the closecheck invariant checker.
 var Analyzer = &analysis.Analyzer{
 	Name: "closecheck",
-	Doc: "dropped error from Close/Sync/Flush in store, nrlog, or transport: " +
+	Doc: "dropped error from Close/Sync/Flush in store, nrlog, transport, or core: " +
 		"a swallowed fsync error voids durability",
 	Run: run,
 }
@@ -33,7 +33,7 @@ var Analyzer = &analysis.Analyzer{
 var methodNames = map[string]bool{"Close": true, "Sync": true, "Flush": true}
 
 func run(pass *analysis.Pass) error {
-	if !analysis.PkgIn(pass.Pkg.Path(), "store", "nrlog", "transport") {
+	if !analysis.PkgIn(pass.Pkg.Path(), "store", "nrlog", "transport", "core") {
 		return nil
 	}
 	for _, f := range pass.Files {

@@ -553,6 +553,25 @@ func (en *Engine) Stats() Stats {
 	return st
 }
 
+// ResidentPages reports how many pagestate pages this engine holds resident
+// for its object: the agreed state plus — at a proposer mid-run — the current
+// pipeline tip when it is a distinct Paged. Copy-on-write sharing means the
+// two mostly overlap, so this is a deliberate upper bound on distinct pages;
+// it is the accounting unit the core runtime's per-group memory quotas
+// (QuotaPolicy.MaxResidentPages) are expressed in.
+func (en *Engine) ResidentPages() int {
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	n := 0
+	if en.agreedState != nil {
+		n += en.agreedState.Pages()
+	}
+	if en.currentState != nil && en.currentState != en.agreedState {
+		n += en.currentState.Pages()
+	}
+	return n
+}
+
 // ActiveRuns reports runs this party answered as recipient that have not yet
 // committed — the evidence that a protocol run is active/blocked (§4.4).
 func (en *Engine) ActiveRuns() []string {

@@ -32,8 +32,11 @@ type sigMemo struct {
 	misses  uint64
 }
 
+// newSigMemo leaves the entry map unallocated: an engine that never verifies
+// a signature (an idle bound object in a multi-tenant process) must not pay
+// the memo's ~2048-slot bucket array. The map is created on the first add.
 func newSigMemo() *sigMemo {
-	return &sigMemo{entries: make(map[[32]byte]struct{}, sigMemoCap)}
+	return &sigMemo{}
 }
 
 // sigMemoKey digests every field Signed.Verify inspects. Every
@@ -71,6 +74,9 @@ func (m *sigMemo) add(k [32]byte) {
 	defer m.mu.Unlock()
 	if _, dup := m.entries[k]; dup {
 		return
+	}
+	if m.entries == nil {
+		m.entries = make(map[[32]byte]struct{}, sigMemoCap)
 	}
 	m.entries[k] = struct{}{}
 	m.order = append(m.order, k)

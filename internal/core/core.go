@@ -5,6 +5,14 @@
 // right engine (state coordination, package coord) or membership manager
 // (package group). The public root package b2b wraps this runtime in the
 // paper's API (Fig 4).
+//
+// Dispatch is multi-tenant: a shared worker pool sized to GOMAXPROCS
+// schedules only *active* bindings (see runtime.go), so a process hosting
+// tens of thousands of mostly-idle objects pays O(active) — an idle object
+// costs zero goroutines and, when bound lazily (BindLazy), no protocol
+// engines either until traffic or an accessor materialises them. Per-group
+// quotas and admission control (QuotaPolicy, Admit) bound what any single
+// tenant can consume.
 package core
 
 import (
@@ -68,28 +76,83 @@ type Config struct {
 	// It is a protocol parameter — all members of a sharing group must
 	// configure the same value.
 	PageSize int
+	// Quotas caps what any single group may consume on this endpoint and
+	// enables admission control (zero: no quotas, see QuotaPolicy).
+	Quotas QuotaPolicy
+	// LegacyDispatch selects the pre-runtime dispatch: one dedicated
+	// goroutine and a 1024-slot inbox channel per bound object, with the
+	// transport's delivery goroutine blocking on a full inbox. It exists
+	// only as the measured baseline for the E20 experiment
+	// (cmd/b2bbench); quota shedding and per-sender parking are not
+	// applied on this path.
+	LegacyDispatch bool
 }
 
-// shardDepth bounds each object's inbound queue; a full queue exerts
-// backpressure on the transport's delivery goroutine rather than dropping
-// (loss is the Reliable layer's business, not ours).
+// shardDepth bounds each object's inbound queue in legacy dispatch mode; a
+// full queue exerts backpressure on the transport's delivery goroutine
+// (head-of-line-blocking every object on the connection — the behaviour the
+// multi-tenant runtime replaces with per-sender parking).
 const shardDepth = 1024
 
-// inboundEnv is one routed protocol message awaiting its object's worker.
+// inboundEnv is one routed protocol message awaiting its object's turn.
 type inboundEnv struct {
 	from string
 	env  wire.Envelope
 }
 
-// binding is one coordinated object's machinery plus its dispatch shard:
-// a serial inbox drained by a dedicated worker, so traffic for one object
-// keeps its arrival order while independent objects proceed in parallel
-// over the one shared connection.
+// binding is one coordinated object's machinery plus its scheduler state.
+// The protocol trio (engine/manager/xfer) is nil for a lazily bound object
+// until traffic or an accessor materialises it — an idle tenant is a stub of
+// a few hundred bytes. Scheduler fields (run state, queues, accounting) are
+// guarded by the participant's sched.mu; the trio is written once under the
+// participant's mu before any enqueue and read-only afterwards.
 type binding struct {
+	object string
+	v      coord.Validator
+	mv     group.Validator
+
 	engine  *coord.Engine
 	manager *group.Manager
 	xfer    *xfer.Manager
-	inbox   chan inboundEnv
+
+	// Legacy dispatch only: dedicated inbox drained by runShard.
+	inbox chan inboundEnv
+
+	// handleFn is what the scheduler invokes per message — b.handle once
+	// materialized. Indirect so scheduler tests can drive the sched with
+	// stub handlers.
+	handleFn func(inboundEnv)
+
+	// Scheduler state — see runtime.go. q is the direct FIFO (lazily
+	// allocated, released when the binding goes idle), qh its head index.
+	state       int
+	q           []inboundEnv
+	qh          int
+	qBytes      int64
+	parkedFrom  map[string]*parkedQueue
+	parkOrder   []string
+	parkedMsgs  int
+	parkedBytes int64
+	sessions    int
+	handled     uint64
+	shed        uint64
+}
+
+// handle routes one message to the binding's engine, transfer manager or
+// membership manager. Handlers complete locally or hand multi-round work to
+// their own goroutines (sponsoring a join, serving a transfer session), so a
+// shared worker is never parked on another tenant's network round-trip — the
+// property that makes pooled dispatch safe.
+func (b *binding) handle(msg inboundEnv) {
+	switch msg.env.Kind {
+	case wire.KindPropose, wire.KindRespond, wire.KindCommit, wire.KindAbortCert:
+		b.engine.HandleEnvelope(msg.from, msg.env)
+	case wire.KindStateRequest, wire.KindStateOffer, wire.KindStateChunk,
+		wire.KindStateAck, wire.KindStateDone:
+		b.xfer.HandleEnvelope(msg.from, msg.env)
+	default:
+		b.manager.HandleEnvelope(msg.from, msg.env)
+	}
 }
 
 // Participant is one organisation's middleware runtime.
@@ -99,6 +162,8 @@ type Participant struct {
 	mu      sync.Mutex
 	objects map[string]*binding
 	closed  bool
+
+	sched *sched
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -121,6 +186,7 @@ func New(cfg Config) (*Participant, error) {
 		objects: make(map[string]*binding),
 		stop:    make(chan struct{}),
 	}
+	p.sched = newSched(cfg.Log, cfg.Ident.ID(), cfg.Quotas, !cfg.LegacyDispatch)
 	cfg.Conn.SetHandler(p.dispatch)
 	return p, nil
 }
@@ -147,19 +213,78 @@ func (p *Participant) Store() store.Store { return p.cfg.Store }
 func (p *Participant) Bind(object string, v coord.Validator, mv group.Validator) (*coord.Engine, *group.Manager, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	b, err := p.registerLocked(object, v, mv)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := p.materializeLocked(b, false); err != nil {
+		delete(p.objects, object)
+		return nil, nil, err
+	}
+	return b.engine, b.manager, nil
+}
+
+// BindLazy attaches a coordinated object without constructing its protocol
+// machinery: the binding is an idle stub until inbound traffic or an
+// accessor (Engine, Manager, Xfer) materialises it — at which point any
+// persisted checkpoint is restored, so a previously bootstrapped object
+// resumes exactly where Bind+Restore would put it. This is the multi-tenant
+// fast path: a process can host tens of thousands of bound-but-idle objects
+// at a few hundred bytes each.
+func (p *Participant) BindLazy(object string, v coord.Validator, mv group.Validator) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	b, err := p.registerLocked(object, v, mv)
+	if err != nil {
+		return err
+	}
+	if p.cfg.LegacyDispatch {
+		// The legacy baseline has no lazy path: materialise eagerly so the
+		// E20 comparison charges it the per-object goroutine and inbox.
+		if err := p.materializeLocked(b, false); err != nil {
+			delete(p.objects, object)
+			return err
+		}
+	}
+	return nil
+}
+
+// registerLocked records a binding stub; p.mu must be held.
+func (p *Participant) registerLocked(object string, v coord.Validator, mv group.Validator) (*binding, error) {
+	if p.closed {
+		return nil, errors.New("core: participant closed")
+	}
 	if _, dup := p.objects[object]; dup {
-		return nil, nil, fmt.Errorf("%w: %s", ErrObjectBound, object)
+		return nil, fmt.Errorf("%w: %s", ErrObjectBound, object)
+	}
+	if mv == nil {
+		mv = group.AcceptAll{}
+	}
+	b := &binding{object: object, v: v, mv: mv}
+	p.objects[object] = b
+	return b, nil
+}
+
+// materializeLocked constructs a binding's engine/manager/xfer trio (and, in
+// legacy dispatch mode, its inbox goroutine). With restore set — the lazy
+// paths — a persisted checkpoint is restored into the fresh engine;
+// ErrNoCheckpoint (never bootstrapped) leaves it unbootstrapped, any other
+// restore failure is recorded as evidence and surfaces on an explicit
+// Restore. p.mu must be held.
+func (p *Participant) materializeLocked(b *binding, restore bool) error {
+	if b.engine != nil {
+		return nil
 	}
 	en, err := coord.New(coord.Config{
 		Ident:         p.cfg.Ident,
-		Object:        object,
+		Object:        b.object,
 		Verifier:      p.cfg.Verifier,
 		TSA:           p.cfg.TSA,
 		Conn:          p.cfg.Conn,
 		Log:           p.cfg.Log,
 		Store:         p.cfg.Store,
 		Clock:         p.cfg.Clock,
-		Validator:     v,
+		Validator:     b.v,
 		Termination:   p.cfg.Termination,
 		RetryInterval: p.cfg.RetryInterval,
 		TTP:           p.cfg.TTP,
@@ -167,14 +292,11 @@ func (p *Participant) Bind(object string, v coord.Validator, mv group.Validator)
 		PageSize:      p.cfg.PageSize,
 	})
 	if err != nil {
-		return nil, nil, err
-	}
-	if mv == nil {
-		mv = group.AcceptAll{}
+		return err
 	}
 	xm, err := xfer.New(xfer.Config{
 		Ident:    p.cfg.Ident,
-		Object:   object,
+		Object:   b.object,
 		Verifier: p.cfg.Verifier,
 		TSA:      p.cfg.TSA,
 		Conn:     p.cfg.Conn,
@@ -182,50 +304,49 @@ func (p *Participant) Bind(object string, v coord.Validator, mv group.Validator)
 		Clock:    p.cfg.Clock,
 		Engine:   en,
 		Policy:   p.cfg.Transfer,
+		Gate:     &sessionGate{s: p.sched, b: b},
 	})
 	if err != nil {
-		return nil, nil, err
+		return err
 	}
 	mgr, err := group.New(group.Config{
 		Ident:           p.cfg.Ident,
-		Object:          object,
+		Object:          b.object,
 		Verifier:        p.cfg.Verifier,
 		TSA:             p.cfg.TSA,
 		Conn:            p.cfg.Conn,
 		Log:             p.cfg.Log,
 		Clock:           p.cfg.Clock,
 		Engine:          en,
-		Validator:       mv,
+		Validator:       b.mv,
 		ResponseTimeout: p.cfg.ResponseTimeout,
 		Xfer:            xm,
 		InlineStateCap:  p.cfg.Transfer.InlineStateCap,
 	})
 	if err != nil {
-		return nil, nil, err
+		return err
 	}
-	b := &binding{engine: en, manager: mgr, xfer: xm, inbox: make(chan inboundEnv, shardDepth)}
-	p.objects[object] = b
-	p.wg.Add(1)
-	go p.runShard(b)
-	return en, mgr, nil
-}
-
-// runShard serially drains one object's inbound queue. Engines and managers
-// lock internally, so different objects' shards run their handlers truly
-// concurrently.
-func (p *Participant) runShard(b *binding) {
-	defer p.wg.Done()
-	handle := func(msg inboundEnv) {
-		switch msg.env.Kind {
-		case wire.KindPropose, wire.KindRespond, wire.KindCommit, wire.KindAbortCert:
-			b.engine.HandleEnvelope(msg.from, msg.env)
-		case wire.KindStateRequest, wire.KindStateOffer, wire.KindStateChunk,
-			wire.KindStateAck, wire.KindStateDone:
-			b.xfer.HandleEnvelope(msg.from, msg.env)
-		default:
-			b.manager.HandleEnvelope(msg.from, msg.env)
+	if restore {
+		if rerr := en.Restore(); rerr != nil && !errors.Is(rerr, store.ErrNoCheckpoint) {
+			_, _ = p.cfg.Log.Append("", b.object, "lazy-restore-failed", p.cfg.Ident.ID(), nrlog.DirLocal, []byte(rerr.Error()))
 		}
 	}
+	b.xfer = xm
+	b.manager = mgr
+	b.engine = en
+	b.handleFn = b.handle
+	if p.cfg.LegacyDispatch {
+		b.inbox = make(chan inboundEnv, shardDepth)
+		p.wg.Add(1)
+		go p.runShard(b)
+	}
+	return nil
+}
+
+// runShard serially drains one object's inbound queue (legacy dispatch mode
+// only — the E20 baseline).
+func (p *Participant) runShard(b *binding) {
+	defer p.wg.Done()
 	for {
 		select {
 		case <-p.stop:
@@ -237,48 +358,113 @@ func (p *Participant) runShard(b *binding) {
 			for {
 				select {
 				case msg := <-b.inbox:
-					handle(msg)
+					b.handle(msg)
 				default:
 					return
 				}
 			}
 		case msg := <-b.inbox:
-			handle(msg)
+			b.handle(msg)
 		}
 	}
 }
 
-// Engine returns the coordination engine for a bound object.
-func (p *Participant) Engine(object string) (*coord.Engine, error) {
+// materialized returns the binding for object with its protocol machinery
+// constructed, materialising (with checkpoint restore) on first use.
+func (p *Participant) materialized(object string) (*binding, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	b, ok := p.objects[object]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrObjectUnknown, object)
+	}
+	if err := p.materializeLocked(b, true); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Engine returns the coordination engine for a bound object, materialising a
+// lazy binding on first use.
+func (p *Participant) Engine(object string) (*coord.Engine, error) {
+	b, err := p.materialized(object)
+	if err != nil {
+		return nil, err
 	}
 	return b.engine, nil
 }
 
 // Manager returns the membership manager for a bound object.
 func (p *Participant) Manager(object string) (*group.Manager, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	b, ok := p.objects[object]
-	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrObjectUnknown, object)
+	b, err := p.materialized(object)
+	if err != nil {
+		return nil, err
 	}
 	return b.manager, nil
 }
 
 // Xfer returns the state-transfer manager for a bound object.
 func (p *Participant) Xfer(object string) (*xfer.Manager, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	b, ok := p.objects[object]
-	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrObjectUnknown, object)
+	b, err := p.materialized(object)
+	if err != nil {
+		return nil, err
 	}
 	return b.xfer, nil
+}
+
+// CoordStats sums the coordination engines' counters across all
+// materialized bindings. Unlike Engine it never materializes a lazy binding
+// — an idle stub has no counters and stays a stub, so metric scrapes are
+// free on a mostly-idle multi-tenant endpoint.
+func (p *Participant) CoordStats() coord.Stats {
+	p.mu.Lock()
+	engines := make([]*coord.Engine, 0, len(p.objects))
+	for _, b := range p.objects {
+		if b.engine != nil {
+			engines = append(engines, b.engine)
+		}
+	}
+	p.mu.Unlock()
+	var sum coord.Stats
+	for _, en := range engines {
+		s := en.Stats()
+		sum.ProposesSent += s.ProposesSent
+		sum.RespondsSent += s.RespondsSent
+		sum.CommitsSent += s.CommitsSent
+		sum.RunsProposed += s.RunsProposed
+		sum.RunsValid += s.RunsValid
+		sum.RunsInvalid += s.RunsInvalid
+		sum.RunsCommitted += s.RunsCommitted
+		sum.SigMemoHits += s.SigMemoHits
+		sum.SigVerifies += s.SigVerifies
+	}
+	return sum
+}
+
+// XferStats sums the transfer plane's counters across all materialized
+// bindings, without materializing lazy ones.
+func (p *Participant) XferStats() xfer.Stats {
+	p.mu.Lock()
+	managers := make([]*xfer.Manager, 0, len(p.objects))
+	for _, b := range p.objects {
+		if b.xfer != nil {
+			managers = append(managers, b.xfer)
+		}
+	}
+	p.mu.Unlock()
+	var sum xfer.Stats
+	for _, xm := range managers {
+		s := xm.Stats()
+		sum.SessionsServed += s.SessionsServed
+		sum.DeltaSessions += s.DeltaSessions
+		sum.SnapshotSessions += s.SnapshotSessions
+		sum.UpToDateReplies += s.UpToDateReplies
+		sum.ChunksSent += s.ChunksSent
+		sum.BytesSent += s.BytesSent
+		sum.SessionsFetched += s.SessionsFetched
+		sum.BytesFetched += s.BytesFetched
+	}
+	return sum
 }
 
 // Objects lists bound object names.
@@ -292,10 +478,12 @@ func (p *Participant) Objects() []string {
 	return out
 }
 
-// dispatch routes an inbound payload to its object's shard. The shard queue
-// decouples the transport's delivery goroutine from protocol handling, so
-// coordination runs for different objects proceed in parallel over one
-// shared connection instead of serially.
+// dispatch routes an inbound payload to its object's binding. The scheduler
+// queue decouples the transport's delivery goroutine from protocol handling
+// without ever blocking it: an idle object is scheduled onto the shared
+// worker pool, a saturated one parks the sender's overflow per sender, and a
+// group over its pending-bytes quota sheds (see sched.enqueue). Traffic for
+// a lazily bound object materialises it here.
 func (p *Participant) dispatch(from string, payload []byte) {
 	env, err := wire.UnmarshalEnvelope(payload)
 	if err != nil {
@@ -305,6 +493,13 @@ func (p *Participant) dispatch(from string, payload []byte) {
 	p.mu.Lock()
 	b, ok := p.objects[env.Object]
 	closed := p.closed
+	if ok && !closed && b.engine == nil {
+		if merr := p.materializeLocked(b, true); merr != nil {
+			p.mu.Unlock()
+			_, _ = p.cfg.Log.Append("", env.Object, "materialize-failed", p.cfg.Ident.ID(), nrlog.DirReceived, payload)
+			return
+		}
+	}
 	p.mu.Unlock()
 	if closed {
 		return
@@ -313,14 +508,19 @@ func (p *Participant) dispatch(from string, payload []byte) {
 		_, _ = p.cfg.Log.Append("", env.Object, "unbound-object", p.cfg.Ident.ID(), nrlog.DirReceived, payload)
 		return
 	}
-	select {
-	case b.inbox <- inboundEnv{from: from, env: env}:
-	case <-p.stop:
+	if b.inbox != nil {
+		// Legacy baseline: blocking enqueue onto the object's own goroutine.
+		select {
+		case b.inbox <- inboundEnv{from: from, env: env}:
+		case <-p.stop:
+		}
+		return
 	}
+	p.sched.enqueue(b, from, env)
 }
 
-// Close shuts the participant down (the connection is closed, shard workers
-// stop; engines keep their persisted state for recovery).
+// Close shuts the participant down (the connection is closed, the worker
+// pool drains and stops; engines keep their persisted state for recovery).
 func (p *Participant) Close() error {
 	p.mu.Lock()
 	if p.closed {
@@ -334,10 +534,14 @@ func (p *Participant) Close() error {
 	}
 	p.mu.Unlock()
 	for _, b := range objs {
-		b.xfer.Close()
+		if b.xfer != nil {
+			b.xfer.Close()
+		}
 	}
 	close(p.stop)
+	p.sched.stop(objs)
 	err := p.cfg.Conn.Close()
 	p.wg.Wait()
+	p.sched.wait()
 	return err
 }

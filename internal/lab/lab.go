@@ -134,6 +134,13 @@ type Options struct {
 	// party (zero: the pagestate default, 4 KiB). The large-object benchmark
 	// sets it to the object size to reconstruct the flat-hash baseline.
 	PageSize int
+	// Quotas applies per-group resource quotas and admission control to
+	// every party (zero: uncapped).
+	Quotas core.QuotaPolicy
+	// LegacyDispatch selects the pre-runtime per-object-goroutine dispatch
+	// in every party — the measured baseline for the E20 multi-tenant
+	// runtime experiment.
+	LegacyDispatch bool
 }
 
 // DiskSchedule arms a party's faults.DiskFS at world construction (both
@@ -323,19 +330,21 @@ func (w *World) buildParty(id string, fs store.FS, disk *faults.DiskFS) (*Party,
 		snapEvery = opts.Durability.SnapshotEvery
 	}
 	part, err := core.New(core.Config{
-		Ident:         w.idents[id],
-		Verifier:      v,
-		TSA:           w.TSA,
-		Conn:          &interceptedConn{Interceptor: ic, rel: rel},
-		Log:           p.Log,
-		Store:         p.Store,
-		Clock:         w.Clk,
-		Termination:   opts.Termination,
-		TTP:           opts.TTP,
-		RetryInterval: opts.RetryInterval,
-		SnapshotEvery: snapEvery,
-		Transfer:      opts.Transfer,
-		PageSize:      opts.PageSize,
+		Ident:          w.idents[id],
+		Verifier:       v,
+		TSA:            w.TSA,
+		Conn:           &interceptedConn{Interceptor: ic, rel: rel},
+		Log:            p.Log,
+		Store:          p.Store,
+		Clock:          w.Clk,
+		Termination:    opts.Termination,
+		TTP:            opts.TTP,
+		RetryInterval:  opts.RetryInterval,
+		SnapshotEvery:  snapEvery,
+		Transfer:       opts.Transfer,
+		PageSize:       opts.PageSize,
+		Quotas:         opts.Quotas,
+		LegacyDispatch: opts.LegacyDispatch,
 	})
 	if err != nil {
 		return nil, err
@@ -401,6 +410,14 @@ func (w *World) Bind(object string, mkV func(id string) coord.Validator, mkMV fu
 	return nil
 }
 
+// RegisterBinder records an object's validator factories without binding it
+// anywhere — pair with BindAt/BindLazyAt for staggered or lazy assembly.
+func (w *World) RegisterBinder(object string, mkV func(id string) coord.Validator, mkMV func(id string) group.Validator) {
+	w.mu.Lock()
+	w.binders[object] = binder{mkV: mkV, mkMV: mkMV}
+	w.mu.Unlock()
+}
+
 // BindAt binds a previously Bind-registered object at one party (the
 // restart path, or staggered world assembly).
 func (w *World) BindAt(id, object string) error {
@@ -416,6 +433,23 @@ func (w *World) BindAt(id, object string) error {
 	}
 	_, _, err := w.Party(id).Part.Bind(object, b.mkV(id), mv)
 	return err
+}
+
+// BindLazyAt is BindAt through the runtime's lazy path: the binding stays an
+// idle stub (no engines, no goroutines, near-zero memory) until traffic or
+// an accessor materializes it — the multi-tenant fast path E20 measures.
+func (w *World) BindLazyAt(id, object string) error {
+	w.mu.Lock()
+	b, ok := w.binders[object]
+	w.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("lab: object %q was never bound via Bind", object)
+	}
+	var mv group.Validator
+	if b.mkMV != nil {
+		mv = b.mkMV(id)
+	}
+	return w.Party(id).Part.BindLazy(object, b.mkV(id), mv)
 }
 
 // Crash fail-stops a party: its stack closes (dropping queued traffic and

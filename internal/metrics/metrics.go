@@ -1,0 +1,143 @@
+// Package metrics is a minimal operator-metrics registry: named counters
+// and gauges with atomic, allocation-free mutation on the hot path, plus
+// callback gauges sampled at snapshot time. It unifies the per-plane stat
+// surfaces (coord.Stats, xfer.Stats, the durability plane's disk usage and
+// the core runtime's RuntimeStats) behind one snapshot API so operators read
+// a single flat name space instead of four shapes of struct.
+//
+// The design follows the expvar model rather than a full Prometheus client:
+// registration returns a pointer that callers retain and mutate directly
+// (one atomic add, no map lookup, no allocation), and Snapshot/Dump
+// materialise the whole registry as sorted "name value" pairs. cmd/b2bnode
+// exposes Dump over its control socket.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready to
+// use; Add and Inc are lock-free and allocation-free.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a set-to-current-value metric. The zero value is ready to use;
+// Set and Add are lock-free and allocation-free.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value reads the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Registry maps names to metrics. Registration (Counter/Gauge/SetFunc) takes
+// the registry lock; mutation through the returned pointers does not.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	funcs    map[string]func() int64
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		funcs:    make(map[string]func() int64),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Callers
+// should retain the pointer: mutating through it is the allocation-free
+// hot path.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// SetFunc registers (or replaces) a callback gauge: fn is invoked at every
+// Snapshot/Dump. Use it to project an existing stats surface into the
+// registry without double-counting state.
+func (r *Registry) SetFunc(name string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.funcs[name] = fn
+}
+
+// Snapshot materialises every metric as a flat name→value map. Callback
+// gauges are sampled outside the registry lock (they may take other locks).
+func (r *Registry) Snapshot() map[string]int64 {
+	r.mu.Lock()
+	out := make(map[string]int64, len(r.counters)+len(r.gauges)+len(r.funcs))
+	for name, c := range r.counters {
+		out[name] = int64(c.Value())
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	funcs := make(map[string]func() int64, len(r.funcs))
+	for name, fn := range r.funcs {
+		funcs[name] = fn
+	}
+	r.mu.Unlock()
+	for name, fn := range funcs {
+		out[name] = fn()
+	}
+	return out
+}
+
+// Dump writes the snapshot as expvar-style "name value" lines, sorted by
+// name (a stable text format for control sockets and debugging).
+func (r *Registry) Dump(w io.Writer) error {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, snap[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("runs")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("runs") != c {
+		t.Fatal("Counter is not idempotent")
+	}
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	r.SetFunc("sampled", func() int64 { return 42 })
+
+	snap := r.Snapshot()
+	if snap["runs"] != 5 || snap["depth"] != 5 || snap["sampled"] != 42 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}
+
+func TestDumpSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.second").Add(2)
+	r.Counter("a.first").Add(1)
+	r.SetFunc("c.third", func() int64 { return 3 })
+	var sb strings.Builder
+	if err := r.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "a.first 1\nb.second 2\nc.third 3\n"
+	if sb.String() != want {
+		t.Fatalf("dump = %q, want %q", sb.String(), want)
+	}
+}
+
+// The registry's whole point is that mutation through retained pointers is
+// allocation-free: protocol hot paths may bump counters per message.
+func TestHotPathAllocationFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hot")
+	g := r.Gauge("depth")
+	if allocs := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(9)
+		g.Add(-1)
+	}); allocs != 0 {
+		t.Fatalf("hot path allocates: %v allocs/op", allocs)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("shared").Inc()
+				r.Gauge("g").Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 8000 {
+		t.Fatalf("shared = %d, want 8000", got)
+	}
+	if got := r.Gauge("g").Value(); got != 8000 {
+		t.Fatalf("g = %d, want 8000", got)
+	}
+}

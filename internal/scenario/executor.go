@@ -42,6 +42,7 @@ type Report struct {
 	Restarts      int
 	Evictions     int
 	SkippedFaults int
+	SiblingRuns   int // valid runs on co-resident sibling objects
 	FinalSeq      uint64
 }
 
@@ -132,6 +133,18 @@ func run(ctx context.Context, cfg Config, s Scenario) (*Report, error) {
 	if err := w.Bootstrap(scenarioObject, rt.initial, ids); err != nil {
 		return ex.rep, err
 	}
+	// Sibling tenants: separate accept-all groups on the same endpoints so
+	// the scenario's faults also land on a multi-object dispatch path.
+	for i := 1; i < s.objectCount(); i++ {
+		sib := siblingObject(i)
+		if err := w.Bind(sib, func(string) coord.Validator { return lab.AcceptAllValidator() }, nil); err != nil {
+			return ex.rep, err
+		}
+		if err := w.Bootstrap(sib, []byte(fmt.Sprintf("%s-v0", sib)), ids); err != nil {
+			return ex.rep, err
+		}
+		ex.siblings = append(ex.siblings, sib)
+	}
 	if s.Workload == PatchStorm {
 		w.Party(ex.writer()).Engine(scenarioObject).SetWindow(s.Window)
 	}
@@ -155,12 +168,13 @@ func run(ctx context.Context, cfg Config, s Scenario) (*Report, error) {
 // single-threaded; fault reverts run on timers and touch only
 // mutex-protected state.
 type executor struct {
-	cfg Config
-	s   Scenario
-	w   *lab.World
-	rt  *runtime
-	ids []string
-	rep *Report
+	cfg      Config
+	s        Scenario
+	w        *lab.World
+	rt       *runtime
+	ids      []string
+	rep      *Report
+	siblings []string // co-resident tenant objects (Objects > 1)
 
 	mu        sync.Mutex
 	outcomes  []recordedRun
@@ -324,6 +338,9 @@ func (ex *executor) drive(ctx context.Context) error {
 		} else {
 			ex.driveAppStep(ctx, i, st)
 		}
+		if len(ex.siblings) > 0 && i%2 == 0 {
+			ex.driveSiblingStep(ctx, i)
+		}
 	}
 	// Drain the pipeline (patch storm).
 	for len(ex.handles) > 0 {
@@ -365,6 +382,30 @@ func (ex *executor) drivePatchStep(ctx context.Context, i int, st Step) error {
 		ex.handles = append(ex.handles, h)
 		return nil
 	}
+}
+
+// driveSiblingStep issues one synchronous run on a sibling tenant object,
+// rotating through the siblings. Sibling groups terminate unanimously, so
+// the step is skipped outright while any party is down — the point is to
+// interleave multi-object traffic through healthy dispatch windows, not to
+// burn the scenario budget on runs that can only time out.
+func (ex *executor) driveSiblingStep(ctx context.Context, i int) {
+	ex.mu.Lock()
+	busy := len(ex.crashed) > 0 || len(ex.evicted) > 0
+	ex.mu.Unlock()
+	if busy {
+		ex.rep.SkippedSteps++
+		return
+	}
+	sib := ex.siblings[(i/2)%len(ex.siblings)]
+	sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	out, err := ex.w.Party(ex.writer()).Engine(sib).Propose(sctx, []byte(fmt.Sprintf("%s step %d", sib, i)))
+	if err != nil || !out.Valid {
+		ex.rep.SkippedSteps++
+		return
+	}
+	ex.rep.SiblingRuns++
 }
 
 func (ex *executor) collectHandle(ctx context.Context) {
@@ -596,6 +637,10 @@ func (ex *executor) restart(id string) {
 	defer cancel()
 	_, _ = p.Engine(scenarioObject).RecoverPendingRuns(rctx)
 	_, _ = p.Xfer(scenarioObject).CatchUp(rctx)
+	for _, sib := range ex.siblings {
+		_, _ = p.Engine(sib).RecoverPendingRuns(rctx)
+		_, _ = p.Xfer(sib).CatchUp(rctx)
+	}
 }
 
 // attack fires one adversary injection from the attacker at EVERY other
@@ -745,9 +790,11 @@ func (ex *executor) endPhase(ctx context.Context) error {
 		deadline = d.Add(-2 * time.Second)
 	}
 	var lastErr error
-	for time.Now().Before(deadline) {
+	converged := false
+	for !converged && time.Now().Before(deadline) {
 		if _, err := ex.w.WaitConverged(scenarioObject, ex.ids, 2*time.Second); err == nil {
-			return nil
+			converged = true
+			break
 		} else {
 			lastErr = err
 		}
@@ -764,7 +811,32 @@ func (ex *executor) endPhase(ctx context.Context) error {
 			cancel()
 		}
 	}
-	return fmt.Errorf("invariant 1 (convergence after quiesce+heal) violated: %w", lastErr)
+	if !converged {
+		return fmt.Errorf("invariant 1 (convergence after quiesce+heal) violated: %w", lastErr)
+	}
+	// Sibling tenants converge too: their groups never change membership,
+	// so only parties that crashed mid-run can be behind, and catch-up
+	// nudges close that gap.
+	for _, sib := range ex.siblings {
+		sibDone := false
+		for !sibDone && time.Now().Before(deadline) {
+			if _, err := ex.w.WaitConverged(sib, ex.ids, 2*time.Second); err == nil {
+				sibDone = true
+				break
+			} else {
+				lastErr = err
+			}
+			for _, id := range ex.ids {
+				cctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+				_, _ = ex.w.Party(id).Xfer(sib).CatchUp(cctx)
+				cancel()
+			}
+		}
+		if !sibDone {
+			return fmt.Errorf("invariant 1 (sibling %s convergence after quiesce+heal) violated: %w", sib, lastErr)
+		}
+	}
+	return nil
 }
 
 // detectSilentDivergence reports an error when all parties agree on the

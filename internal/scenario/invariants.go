@@ -24,16 +24,20 @@ import (
 func (ex *executor) checkInvariants() error {
 	var errs []error
 
-	// Invariant 1: agreed-state convergence across all parties.
+	// Invariant 1: agreed-state convergence across all parties, for the
+	// primary object and every co-resident sibling tenant.
 	ref := ex.w.Party(ex.ids[0]).Engine(scenarioObject)
 	refTuple, refState := ref.Agreed()
 	ex.rep.FinalSeq = refTuple.Seq
-	for _, id := range ex.ids[1:] {
-		t, s := ex.w.Party(id).Engine(scenarioObject).Agreed()
-		if t != refTuple || !bytes.Equal(s, refState) {
-			errs = append(errs, fmt.Errorf(
-				"invariant 1 (convergence): %s holds seq=%d (%d bytes), %s holds seq=%d (%d bytes)",
-				ex.ids[0], refTuple.Seq, len(refState), id, t.Seq, len(s)))
+	for _, object := range append([]string{scenarioObject}, ex.siblings...) {
+		t0, s0 := ex.w.Party(ex.ids[0]).Engine(object).Agreed()
+		for _, id := range ex.ids[1:] {
+			t, s := ex.w.Party(id).Engine(object).Agreed()
+			if t != t0 || !bytes.Equal(s, s0) {
+				errs = append(errs, fmt.Errorf(
+					"invariant 1 (convergence, %s): %s holds seq=%d (%d bytes), %s holds seq=%d (%d bytes)",
+					object, ex.ids[0], t0.Seq, len(s0), id, t.Seq, len(s)))
+			}
 		}
 	}
 
@@ -100,12 +104,14 @@ func (ex *executor) checkInvariants() error {
 		}
 	}
 
-	// Invariant 5: no adversary injection was ever installed.
+	// Invariant 5: no adversary injection was ever installed, on any object.
 	marker := []byte(adversaryMarker)
 	for _, id := range ex.ids {
-		if _, s := ex.w.Party(id).Engine(scenarioObject).Agreed(); bytes.Contains(s, marker) {
-			errs = append(errs, fmt.Errorf(
-				"invariant 5 (containment): %s installed an adversary-crafted state", id))
+		for _, object := range append([]string{scenarioObject}, ex.siblings...) {
+			if _, s := ex.w.Party(id).Engine(object).Agreed(); bytes.Contains(s, marker) {
+				errs = append(errs, fmt.Errorf(
+					"invariant 5 (containment): %s installed an adversary-crafted state on %s", id, object))
+			}
 		}
 	}
 

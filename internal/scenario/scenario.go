@@ -191,9 +191,24 @@ type Scenario struct {
 	RetainEntries  int
 	InlineStateCap int // transfer: Welcome above this defers to chunked session
 	ChunkSize      int
-	Workload       Workload
-	Steps          []Step
-	Faults         []Fault
+	// Objects is the number of co-resident objects hosted by every party
+	// (1..3; 0 means 1 for hand-written scenarios). The workload script
+	// drives the first; the siblings are separate groups on the same
+	// endpoints receiving a light interleaved workload, so every scenario
+	// also exercises the multi-tenant dispatch path under its faults.
+	Objects  int
+	Workload Workload
+	Steps    []Step
+	Faults   []Fault
+}
+
+// objectCount normalizes the Objects knob (zero means the legacy single
+// object).
+func (s Scenario) objectCount() int {
+	if s.Objects < 1 {
+		return 1
+	}
+	return s.Objects
 }
 
 // actorCount is the number of proposing parties: patch-storm has a single
@@ -244,6 +259,7 @@ func Generate(seed uint64) Scenario {
 	s.RetainEntries = 1 << 14
 	s.ChunkSize = []int{4 << 10, 16 << 10, 64 << 10}[rng.IntN(3)]
 	s.InlineStateCap = []int{1 << 10, 16 << 10, 1 << 20}[rng.IntN(3)]
+	s.Objects = 1 + rng.IntN(3)
 	s.Steps = generateSteps(rng, &s)
 	s.Faults = generateFaults(rng, &s)
 	return s
@@ -384,9 +400,9 @@ func (s Scenario) Describe() string {
 	if s.Majority {
 		term = "majority"
 	}
-	fmt.Fprintf(&b, "scenario seed=%#016x workload=%s parties=%d term=%s w=%d page=%d obj=%d snap=%d compact=%d seg=%d retain=%d inline=%d chunk=%d\n",
+	fmt.Fprintf(&b, "scenario seed=%#016x workload=%s parties=%d term=%s w=%d page=%d obj=%d snap=%d compact=%d seg=%d retain=%d inline=%d chunk=%d objects=%d\n",
 		s.Seed, s.Workload, s.Parties, term, s.Window, s.PageSize, s.ObjectSize,
-		s.SnapshotEvery, s.CompactAt, s.SegmentSize, s.RetainEntries, s.InlineStateCap, s.ChunkSize)
+		s.SnapshotEvery, s.CompactAt, s.SegmentSize, s.RetainEntries, s.InlineStateCap, s.ChunkSize, s.objectCount())
 	for i, st := range s.Steps {
 		fmt.Fprintf(&b, "step %d a=%d b=%d\n", i, st.A, st.B)
 	}
@@ -414,6 +430,9 @@ func (s Scenario) Validate() error {
 	}
 	if s.Majority && s.Parties < 3 {
 		return errors.New("majority termination needs >= 3 parties")
+	}
+	if s.Objects < 0 || s.Objects > 3 {
+		return fmt.Errorf("objects %d outside [0,3]", s.Objects)
 	}
 	if len(s.Steps) == 0 {
 		return errors.New("no workload steps")

@@ -11,8 +11,13 @@ import (
 	"b2b/internal/wire"
 )
 
-// scenarioObject is the single shared object every scenario coordinates.
+// scenarioObject is the primary object every scenario's workload script
+// drives. Scenarios with Objects > 1 add siblingObject(1..) groups on the
+// same endpoints.
 const scenarioObject = "scenario-object"
+
+// siblingObject names the i-th co-resident tenant object (i >= 1).
+func siblingObject(i int) string { return fmt.Sprintf("scenario-sibling-%02d", i) }
 
 // adversaryMarker is the payload every generated adversary proposal (and the
 // build-tagged mutation) carries: invariant 5 asserts it never appears in an

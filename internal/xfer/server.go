@@ -77,16 +77,31 @@ func (m *Manager) handleRequest(from string, payload []byte) {
 		return
 	}
 	m.mu.Unlock()
+	if m.cfg.Gate != nil && !m.cfg.Gate.TryAcquire() {
+		// The runtime's shared session quota (this group's cap, or the
+		// endpoint-wide cap across all objects) is exhausted: defer exactly
+		// like a full local table — the requester re-issues the request once
+		// a slot frees up.
+		_ = m.logEvidence(req.SessionID, "state-request-deferred", nrlog.DirLocal, nil)
+		return
+	}
+	release := func() {
+		if m.cfg.Gate != nil {
+			m.cfg.Gate.Release()
+		}
+	}
 
 	s, mode := m.buildSession(req)
 
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
+		release()
 		return
 	}
 	if _, dup := m.serving[req.SessionID]; dup {
 		m.mu.Unlock()
+		release()
 		return
 	}
 	m.serving[req.SessionID] = s
@@ -334,8 +349,15 @@ func (m *Manager) serve(s *serverSession) {
 
 func (m *Manager) dropServer(id string) {
 	m.mu.Lock()
+	_, present := m.serving[id]
 	delete(m.serving, id)
 	m.mu.Unlock()
+	// The gate slot travels with the serving entry: acquired before the
+	// session was built, released exactly once when the entry leaves the
+	// table (dropServer is called from several exit paths).
+	if present && m.cfg.Gate != nil {
+		m.cfg.Gate.Release()
+	}
 }
 
 // handleAck advances a served session's cumulative window.

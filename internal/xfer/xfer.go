@@ -109,6 +109,17 @@ const (
 // castagnoli is the chunk CRC table (CRC-32C, matching the WAL framing).
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// SessionGate arbitrates serving-session slots across the many objects
+// sharing one runtime: TryAcquire reserves a slot before a session is built,
+// Release returns it when the session is dropped. The core runtime implements
+// it over its per-group and global quota caps, so a single hot tenant cannot
+// monopolise the transfer plane of a multi-tenant endpoint. A nil gate leaves
+// only the per-manager MaxSessions policy in force.
+type SessionGate interface {
+	TryAcquire() bool
+	Release()
+}
+
 // Config assembles a transfer manager's dependencies.
 type Config struct {
 	Ident    *crypto.Identity
@@ -120,6 +131,8 @@ type Config struct {
 	Clock    clock.Clock
 	Engine   *coord.Engine
 	Policy   Policy
+	// Gate shares serving-session slots with the owning runtime (optional).
+	Gate SessionGate
 }
 
 // streamSender is the transport's backpressured bulk path

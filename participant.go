@@ -1,8 +1,10 @@
 package b2b
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"io"
 	"path/filepath"
 	"time"
 
@@ -11,6 +13,7 @@ import (
 	"b2b/internal/core"
 	"b2b/internal/crypto"
 	"b2b/internal/group"
+	"b2b/internal/metrics"
 	"b2b/internal/nrlog"
 	"b2b/internal/pagestate"
 	"b2b/internal/store"
@@ -33,6 +36,10 @@ var (
 	// matches what the sharing group agreed. Coordination is refused until
 	// Restore re-installs the agreed state.
 	ErrDivergent = errors.New("b2b: replica divergent: agreed state not installed")
+	// ErrQuotaExceeded: a group configured with WithQuotas is over one of its
+	// caps — admission control refused a coordination run, or inbound traffic
+	// was shed. Inspect with errors.Is.
+	ErrQuotaExceeded = core.ErrQuotaExceeded
 )
 
 // Mode selects the communication mode of a Controller (paper §5).
@@ -118,6 +125,7 @@ type participantOpts struct {
 	responseTimeout time.Duration
 	opTimeout       time.Duration
 	peerCerts       []crypto.Certificate
+	quotas          core.QuotaPolicy
 }
 
 // WithClock substitutes the time source (tests use a simulated clock).
@@ -198,6 +206,28 @@ func WithPaging(p PagingPolicy) Option {
 	return func(o *participantOpts) { o.paging = p }
 }
 
+// QuotaPolicy caps what any single sharing group may consume on this
+// endpoint — resident pagestate pages, pending inbound bytes, served
+// transfer sessions, peer backlog — and enables admission control. Every cap
+// is per group; zero fields are uncapped. See the core runtime's field docs.
+type QuotaPolicy = core.QuotaPolicy
+
+// RuntimeStats snapshots the multi-tenant runtime: worker pool, active vs
+// bound objects, queue depths, quota shedding.
+type RuntimeStats = core.RuntimeStats
+
+// GroupUsage is one sharing group's resource accounting in quota units.
+type GroupUsage = core.GroupUsage
+
+// WithQuotas sets per-group resource quotas and enables admission control.
+// Coordination initiated on a group over its caps fails with
+// ErrQuotaExceeded; inbound traffic beyond MaxPendingBytes is shed (and
+// recorded as "quota-shed" evidence — the peer's protocol retry restores
+// liveness once the backlog drains).
+func WithQuotas(q QuotaPolicy) Option {
+	return func(o *participantOpts) { o.quotas = q }
+}
+
 // WithRetryInterval tunes the protocol-level retry period.
 func WithRetryInterval(d time.Duration) Option {
 	return func(o *participantOpts) { o.retryInterval = d }
@@ -226,6 +256,7 @@ type Participant struct {
 	conn   core.Conn
 	plane  *store.Plane     // nil unless plane-backed file storage
 	segLog *nrlog.Segmented // nil unless plane-backed file storage
+	reg    *metrics.Registry
 }
 
 // NewParticipant assembles a participant from an identity issued by the
@@ -302,6 +333,7 @@ func NewParticipant(ident *crypto.Identity, td *TrustDomain, conn core.Conn, opt
 		SnapshotEvery:   o.durability.SnapshotEvery,
 		Transfer:        o.transfer,
 		PageSize:        o.paging.PageSize,
+		Quotas:          o.quotas,
 	})
 	if err != nil {
 		if plane != nil {
@@ -309,7 +341,7 @@ func NewParticipant(ident *crypto.Identity, td *TrustDomain, conn core.Conn, opt
 		}
 		return nil, err
 	}
-	return &Participant{
+	p := &Participant{
 		ident:  ident,
 		part:   part,
 		opts:   o,
@@ -318,7 +350,53 @@ func NewParticipant(ident *crypto.Identity, td *TrustDomain, conn core.Conn, opt
 		conn:   conn,
 		plane:  plane,
 		segLog: segLog,
-	}, nil
+		reg:    metrics.NewRegistry(),
+	}
+	p.registerMetrics()
+	return p, nil
+}
+
+// registerMetrics publishes the participant's planes into its metrics
+// registry as callback gauges: coordination counters summed across bound
+// objects, transfer-plane counters likewise, durability-plane disk usage,
+// and the multi-tenant runtime's scheduler/quota state. Sampled only when a
+// snapshot or dump is taken — zero cost on the protocol hot path.
+func (p *Participant) registerMetrics() {
+	sumCoord := func(pick func(coord.Stats) uint64) func() int64 {
+		return func() int64 { return int64(pick(p.part.CoordStats())) }
+	}
+	p.reg.SetFunc("coord.runs_proposed", sumCoord(func(s coord.Stats) uint64 { return s.RunsProposed }))
+	p.reg.SetFunc("coord.runs_valid", sumCoord(func(s coord.Stats) uint64 { return s.RunsValid }))
+	p.reg.SetFunc("coord.runs_invalid", sumCoord(func(s coord.Stats) uint64 { return s.RunsInvalid }))
+	p.reg.SetFunc("coord.runs_committed", sumCoord(func(s coord.Stats) uint64 { return s.RunsCommitted }))
+	p.reg.SetFunc("coord.sig_verifies", sumCoord(func(s coord.Stats) uint64 { return s.SigVerifies }))
+	p.reg.SetFunc("coord.sig_memo_hits", sumCoord(func(s coord.Stats) uint64 { return s.SigMemoHits }))
+
+	sumXfer := func(pick func(xfer.Stats) uint64) func() int64 {
+		return func() int64 { return int64(pick(p.part.XferStats())) }
+	}
+	p.reg.SetFunc("xfer.sessions_served", sumXfer(func(s xfer.Stats) uint64 { return s.SessionsServed }))
+	p.reg.SetFunc("xfer.bytes_sent", sumXfer(func(s xfer.Stats) uint64 { return s.BytesSent }))
+	p.reg.SetFunc("xfer.sessions_fetched", sumXfer(func(s xfer.Stats) uint64 { return s.SessionsFetched }))
+	p.reg.SetFunc("xfer.bytes_fetched", sumXfer(func(s xfer.Stats) uint64 { return s.BytesFetched }))
+
+	p.reg.SetFunc("storage.disk_bytes", p.StorageUsage)
+
+	rt := func(pick func(RuntimeStats) int64) func() int64 {
+		return func() int64 { return pick(p.part.RuntimeStats()) }
+	}
+	p.reg.SetFunc("runtime.workers", rt(func(s RuntimeStats) int64 { return int64(s.Workers) }))
+	p.reg.SetFunc("runtime.bound", rt(func(s RuntimeStats) int64 { return int64(s.Bound) }))
+	p.reg.SetFunc("runtime.materialized", rt(func(s RuntimeStats) int64 { return int64(s.Materialized) }))
+	p.reg.SetFunc("runtime.active", rt(func(s RuntimeStats) int64 { return int64(s.Active) }))
+	p.reg.SetFunc("runtime.pending_msgs", rt(func(s RuntimeStats) int64 { return int64(s.PendingMsgs) }))
+	p.reg.SetFunc("runtime.pending_bytes", rt(func(s RuntimeStats) int64 { return s.PendingBytes }))
+	p.reg.SetFunc("runtime.parked_msgs", rt(func(s RuntimeStats) int64 { return int64(s.ParkedMsgs) }))
+	p.reg.SetFunc("runtime.parked_bytes", rt(func(s RuntimeStats) int64 { return s.ParkedBytes }))
+	p.reg.SetFunc("runtime.sessions", rt(func(s RuntimeStats) int64 { return int64(s.Sessions) }))
+	p.reg.SetFunc("runtime.handled", rt(func(s RuntimeStats) int64 { return int64(s.Handled) }))
+	p.reg.SetFunc("runtime.parked", rt(func(s RuntimeStats) int64 { return int64(s.Parked) }))
+	p.reg.SetFunc("runtime.shed", rt(func(s RuntimeStats) int64 { return int64(s.Shed) }))
 }
 
 // ID returns the participant's identity name.
@@ -340,7 +418,7 @@ func (p *Participant) Bind(object string, obj Object, cb Callback) (*Controller,
 	if err != nil {
 		return nil, err
 	}
-	return &Controller{
+	c := &Controller{
 		object:    object,
 		obj:       obj,
 		adapter:   adapter,
@@ -350,7 +428,11 @@ func (p *Participant) Bind(object string, obj Object, cb Callback) (*Controller,
 		mode:      p.opts.mode,
 		cb:        cb,
 		opTimeout: p.opts.opTimeout,
-	}, nil
+	}
+	if p.opts.quotas != (core.QuotaPolicy{}) {
+		c.admit = func(ctx context.Context) error { return p.part.Admit(ctx, object) }
+	}
+	return c, nil
 }
 
 // TransferStats reports the state-transfer plane's counters for a bound
@@ -362,6 +444,38 @@ func (p *Participant) TransferStats(object string) (xfer.Stats, error) {
 		return xfer.Stats{}, err
 	}
 	return xm.Stats(), nil
+}
+
+// RuntimeStats snapshots the multi-tenant runtime: worker-pool size, bound
+// vs materialized vs active objects, queue depths in messages and bytes,
+// parked (per-sender waiting) traffic, served transfer sessions, and
+// messages handled/parked/shed since start.
+func (p *Participant) RuntimeStats() RuntimeStats {
+	return p.part.RuntimeStats()
+}
+
+// GroupUsage reports one bound object's sharing-group resource accounting in
+// the units quotas are expressed in (resident pagestate pages, pending and
+// parked inbound bytes, served transfer sessions, traffic shed).
+func (p *Participant) GroupUsage(object string) (GroupUsage, error) {
+	return p.part.GroupUsage(object)
+}
+
+// MetricsSnapshot returns a point-in-time view of every metric the
+// participant exposes, keyed by dotted name: coordination counters
+// ("coord.runs_proposed", ...), transfer-plane counters
+// ("xfer.sessions_served", ...), durability-plane usage
+// ("storage.disk_bytes") and the multi-tenant runtime
+// ("runtime.active", "runtime.shed", ...) — the one API unifying what
+// Stats, TransferStats, StorageUsage and RuntimeStats report separately.
+func (p *Participant) MetricsSnapshot() map[string]int64 {
+	return p.reg.Snapshot()
+}
+
+// DumpMetrics writes the metrics snapshot to w in expvar-style text form,
+// one "name value" line per metric, sorted by name.
+func (p *Participant) DumpMetrics(w io.Writer) error {
+	return p.reg.Dump(w)
 }
 
 // Close shuts the participant down.
