@@ -24,6 +24,7 @@ import (
 	"runtime/debug"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"b2b/internal/coord"
@@ -44,7 +45,7 @@ type experiment struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (E1, E2, E5, E7, E8, E9, E10, E11, E13, E14, E15, E16, E17, E18, E19, E20) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (E1, E2, E5, E7, E8, E9, E10, E11, E13, E14, E15, E16, E17, E18, E19, E20, E21) or 'all'")
 	list := flag.Bool("list", false, "list experiments")
 	soak := flag.Bool("soak", false, "E17 soak mode: >=10k runs on the durability plane, failing unless disk stays bounded and evidence verifies")
 	flag.Parse()
@@ -67,6 +68,7 @@ func main() {
 		{id: "E18", desc: "state transfer: delta catch-up bytes and chunked join vs the frame cap", run: expE18},
 		{id: "E19", desc: "paged Merkle state identity: O(delta) runs on large objects (emits BENCH_5.json)", run: expE19},
 		{id: "E20", desc: "multi-tenant runtime: 10k objects per endpoint, O(active) scheduling (emits BENCH_8.json)", run: expE20},
+		{id: "E21", desc: "contention: N proposers on one object, lease fast path vs tie-break slow path (emits BENCH_9.json)", run: expE21},
 	}
 
 	if *list {
@@ -1614,5 +1616,230 @@ func expE20() error {
 		return fmt.Errorf("E20 bars failed: %s", strings.Join(failures, "; "))
 	}
 	fmt.Println("E20: PASS — 10k idle tenants are near-free; scheduling is O(active)")
+	return nil
+}
+
+// ---- E21: contention — proposer lease fast path vs tie-break slow path ----
+
+// e21Fixture measures one mode: N parties proposing in synchronized rounds
+// (every party fires at the same instant, so every round is a head-on N-way
+// collision on one predecessor) against ONE object for a fixed window, then
+// the world driven to convergence. "lease" is the full contest plane
+// (non-holders defer while contention is live, and each commit hands the
+// slot to the next holder); "tiebreak" disables the lease so every commit
+// race is settled by evidence gossip and the deterministic tie-break alone.
+type e21Fixture struct {
+	Mode          string  `json:"mode"` // "lease" or "tiebreak"
+	Parties       int     `json:"parties"`
+	Seconds       float64 `json:"seconds"`
+	Rounds        int     `json:"rounds"`
+	Attempts      int     `json:"attempts"`
+	ValidRuns     int     `json:"valid_runs"`
+	InvalidRuns   int     `json:"invalid_runs"`
+	Rejected      int     `json:"rejected"` // structurally rejected or timed out
+	CommitsPerSec float64 `json:"commits_per_sec"`
+	// CommitsPerRound is commits landed per head-on N-way collision — the
+	// structural measure of how well a mode resolves a contention round,
+	// independent of how fast the host scheduler fires the rotation timers.
+	CommitsPerRound float64 `json:"commits_per_round"`
+	FinalSeq        uint64  `json:"final_seq"`
+	Converged       bool    `json:"converged"`
+}
+
+// e21Report is the BENCH_9.json artefact: both fixtures plus the acceptance
+// bars the CI bench-smoke job enforces. LeaseSpeedup compares per-ROUND
+// commit rates (commits landed per head-on collision), not wall-clock
+// commits/s: the lease mode spends real time in bounded rotation waits, so
+// its wall-clock rate varies with host timer latency while its per-round
+// resolution is structural. LeaseSpeedup is -1 when the tie-break-only
+// fixture committed nothing at all (the speedup is then unbounded, which
+// trivially satisfies the >= 2x bar).
+type e21Report struct {
+	Experiment   string       `json:"experiment"`
+	Description  string       `json:"description"`
+	Fixtures     []e21Fixture `json:"fixtures"`
+	LeaseSpeedup float64      `json:"lease_over_tiebreak_commits_per_round"`
+	BarsPass     bool         `json:"bars_pass"`
+}
+
+// e21Measure drives one fixture: for dur, every party proposes once per
+// round at a shared barrier — the worst-case contention shape, where all N
+// proposals race for the same slot — each proposal a unique overwrite (so
+// rival proposals are never null transitions), majority termination so
+// dueling runs can BOTH go vote-valid — the divergence shape the contest
+// plane resolves.
+func e21Measure(mode string, lease bool, parties int, dur time.Duration) (e21Fixture, error) {
+	const object = "contested"
+	ids := make([]string, parties)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("org%02d", i)
+	}
+	w, err := lab.NewWorld(lab.Options{
+		Seed:          21,
+		Termination:   coord.Majority,
+		RetryInterval: 5 * time.Millisecond,
+	}, ids...)
+	if err != nil {
+		return e21Fixture{}, err
+	}
+	defer w.Close()
+	if err := w.Bind(object, func(string) coord.Validator { return lab.AcceptAllValidator() }, nil); err != nil {
+		return e21Fixture{}, err
+	}
+	if err := w.Bootstrap(object, []byte("v0"), ids); err != nil {
+		return e21Fixture{}, err
+	}
+	for _, id := range ids {
+		w.Party(id).Engine(object).SetLease(lease)
+	}
+
+	type counts struct{ attempts, valid, invalid, rejected int }
+	perParty := make([]counts, parties)
+	start := time.Now()
+	rounds := 0
+	for time.Since(start) < dur {
+		var wg sync.WaitGroup
+		for i, id := range ids {
+			wg.Add(1)
+			go func(i int, id string) {
+				defer wg.Done()
+				en := w.Party(id).Engine(object)
+				pctx, pcancel := context.WithTimeout(context.Background(), 2*time.Second)
+				out, err := en.Propose(pctx, []byte(fmt.Sprintf("%s/%s round %d", mode, id, rounds)))
+				pcancel()
+				perParty[i].attempts++
+				switch {
+				case err != nil:
+					perParty[i].rejected++ // structurally rejected, or force-resolved
+				case out.Valid:
+					perParty[i].valid++
+				default:
+					perParty[i].invalid++
+				}
+			}(i, id)
+		}
+		wg.Wait()
+		rounds++
+	}
+	elapsed := time.Since(start)
+
+	// Quiesce: stop proposing and let the contest plane (and state-transfer
+	// catch-up nudges for anyone structurally behind) drive every replica to
+	// one branch. Convergence here IS the experiment's safety claim.
+	converged := false
+	healCtx, healCancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer healCancel()
+	for healCtx.Err() == nil {
+		if _, err := w.WaitConverged(object, ids, time.Second); err == nil {
+			converged = true
+			break
+		}
+		for _, id := range ids {
+			cctx, ccancel := context.WithTimeout(healCtx, time.Second)
+			_, _ = w.Party(id).Xfer(object).CatchUp(cctx)
+			ccancel()
+		}
+	}
+
+	fx := e21Fixture{
+		Mode:      mode,
+		Parties:   parties,
+		Seconds:   elapsed.Seconds(),
+		Rounds:    rounds,
+		FinalSeq:  w.Party(ids[0]).Engine(object).AgreedTuple().Seq,
+		Converged: converged,
+	}
+	for _, c := range perParty {
+		fx.Attempts += c.attempts
+		fx.ValidRuns += c.valid
+		fx.InvalidRuns += c.invalid
+		fx.Rejected += c.rejected
+	}
+	fx.CommitsPerSec = float64(fx.ValidRuns) / elapsed.Seconds()
+	if rounds > 0 {
+		fx.CommitsPerRound = float64(fx.ValidRuns) / float64(rounds)
+	}
+	return fx, nil
+}
+
+// expE21: the contention experiment (BENCH_9). Four proposers fire at a
+// shared barrier every round, all racing for the same slot, under majority
+// termination. With the proposer lease the group serializes voluntarily
+// (contention arms the lease; non-holders defer, and each commit hands the
+// slot to the next holder) so nearly every proposal commits; with the lease
+// disabled every round is a commit race the evidence-gossip tie-break must
+// settle, which burns most proposals on structural rejection and rollback.
+// Bars: both modes converge, the lease mode makes aggregate forward
+// progress, and its per-round commit rate (commits landed per head-on
+// collision) is >= 2x the tie-break-only rate. The bar is per-round rather
+// than per-second because the lease mode's wall-clock rate includes bounded
+// rotation waits whose length tracks host timer latency, not the protocol.
+func expE21() error {
+	const (
+		parties = 4
+		window  = 3 * time.Second
+	)
+	report := e21Report{
+		Experiment:  "E21",
+		Description: "N=4 proposers contend for one object under majority termination: proposer-lease fast path vs evidence-gossip tie-break slow path",
+	}
+	fmt.Printf("%-9s %8s %7s %9s %8s %8s %9s %14s %12s %9s %10s\n",
+		"mode", "parties", "rounds", "attempts", "valid", "invalid", "rejected", "commits/s", "commits/rd", "final", "converged")
+	var fixtures []e21Fixture
+	for _, c := range []struct {
+		mode  string
+		lease bool
+	}{
+		{"lease", true},
+		{"tiebreak", false},
+	} {
+		fx, err := e21Measure(c.mode, c.lease, parties, window)
+		if err != nil {
+			return fmt.Errorf("%s: %w", c.mode, err)
+		}
+		fixtures = append(fixtures, fx)
+		report.Fixtures = append(report.Fixtures, fx)
+		fmt.Printf("%-9s %8d %7d %9d %8d %8d %9d %14.1f %12.2f %9d %10t\n",
+			fx.Mode, fx.Parties, fx.Rounds, fx.Attempts, fx.ValidRuns, fx.InvalidRuns,
+			fx.Rejected, fx.CommitsPerSec, fx.CommitsPerRound, fx.FinalSeq, fx.Converged)
+	}
+
+	leaseFx, tbFx := fixtures[0], fixtures[1]
+	report.LeaseSpeedup = -1
+	if tbFx.CommitsPerRound > 0 {
+		report.LeaseSpeedup = leaseFx.CommitsPerRound / tbFx.CommitsPerRound
+	}
+
+	var failures []string
+	if !leaseFx.Converged || !tbFx.Converged {
+		failures = append(failures, fmt.Sprintf("convergence: lease=%t tiebreak=%t, want both", leaseFx.Converged, tbFx.Converged))
+	}
+	if leaseFx.ValidRuns == 0 || leaseFx.FinalSeq == 0 {
+		failures = append(failures, "lease mode made no aggregate forward progress")
+	}
+	if tbFx.CommitsPerRound > 0 && report.LeaseSpeedup < 2 {
+		failures = append(failures, fmt.Sprintf("lease per-round commit rate only %.2fx the tie-break-only rate, want >= 2x", report.LeaseSpeedup))
+	}
+	report.BarsPass = len(failures) == 0
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_9.json", append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	if report.LeaseSpeedup > 0 {
+		fmt.Printf("E21: lease %.2f commits/round vs tie-break %.2f commits/round (%.1fx)\n",
+			leaseFx.CommitsPerRound, tbFx.CommitsPerRound, report.LeaseSpeedup)
+	} else {
+		fmt.Printf("E21: lease %.2f commits/round; tie-break-only mode committed nothing (speedup unbounded)\n",
+			leaseFx.CommitsPerRound)
+	}
+	fmt.Println("E21: wrote BENCH_9.json")
+	if len(failures) > 0 {
+		return fmt.Errorf("E21 bars failed: %s", strings.Join(failures, "; "))
+	}
+	fmt.Println("E21: PASS — contention serializes on the lease fast path; the tie-break stays a convergent slow path")
 	return nil
 }

@@ -1,7 +1,7 @@
 // b2bsoak is the chaos-soak entry point over the scenario factory
 // (internal/scenario): it derives a matrix of randomized end-to-end
 // scenarios from a root seed, runs each one against a real multi-party
-// world with fault injection, and checks the five global invariants after
+// world with fault injection, and checks the global invariants after
 // every run. Any failure prints the scenario's seed — replaying is
 //
 //	b2bsoak -run-seed <seed>

@@ -1,0 +1,154 @@
+package clock
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Timer is a scheduled callback that can be cancelled. Stop reports whether
+// the call was prevented from firing (false: it already fired or was
+// stopped before).
+type Timer interface {
+	Stop() bool
+}
+
+// Scheduler is the optional scheduling extension of Clock: a clock that can
+// run callbacks after a delay on its own notion of time. Components that
+// need delayed work (grace waits, reorder-buffer expiry) schedule through
+// After/WithTimeout below, so a deterministic clock that implements
+// Scheduler drives them by explicit Advance calls instead of the process
+// clock — seed-reproducible replays of timing-dependent schedules.
+type Scheduler interface {
+	Clock
+	AfterFunc(d time.Duration, f func()) Timer
+}
+
+// After schedules f to run once after d: on clk itself when it implements
+// Scheduler, otherwise on the process clock. This is the single dispatch
+// point protocol code uses for delayed work, so tests and replay harnesses
+// substitute time by substituting the clock.
+func After(clk Clock, d time.Duration, f func()) Timer {
+	if s, ok := clk.(Scheduler); ok {
+		return s.AfterFunc(d, f)
+	}
+	return wallTimer{time.AfterFunc(d, f)}
+}
+
+// WithTimeout derives a context cancelled after d on clk's scheduler (or
+// the process clock when clk does not schedule). The returned cancel must
+// be called to release the timer, exactly as with context.WithTimeout.
+func WithTimeout(parent context.Context, clk Clock, d time.Duration) (context.Context, context.CancelFunc) {
+	if _, ok := clk.(Scheduler); !ok {
+		return context.WithTimeout(parent, d)
+	}
+	ctx, cancel := context.WithCancelCause(parent)
+	t := After(clk, d, func() { cancel(context.DeadlineExceeded) })
+	return ctx, func() {
+		t.Stop()
+		cancel(context.Canceled)
+	}
+}
+
+type wallTimer struct{ t *time.Timer }
+
+func (w wallTimer) Stop() bool { return w.t.Stop() }
+
+// Virtual is a simulated clock with a scheduler: timers fire only when
+// Advance moves the clock past their deadline, on the advancing goroutine.
+// Unlike Sim — whose timers (via After's fallback) run on real time so
+// existing harnesses that never advance their clock keep working — a
+// Virtual clock gives a replay harness complete control over when delayed
+// work runs.
+type Virtual struct {
+	mu      sync.Mutex
+	now     time.Time
+	nextID  int
+	pending []*virtualTimer
+}
+
+// NewVirtual returns a scheduled simulated clock starting at t.
+func NewVirtual(t time.Time) *Virtual { return &Virtual{now: t} }
+
+// Now returns the simulated instant.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// AfterFunc schedules f at Now()+d; it fires during the Advance call that
+// reaches the deadline, in deadline order (insertion order on ties).
+func (v *Virtual) AfterFunc(d time.Duration, f func()) Timer {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	t := &virtualTimer{v: v, id: v.nextID, when: v.now.Add(d), f: f}
+	v.nextID++
+	v.pending = append(v.pending, t)
+	return t
+}
+
+// Advance moves the clock forward by d, firing every timer whose deadline
+// is reached (in deadline order), and returns the new instant. Callbacks
+// run without the clock lock held, so they may schedule further timers.
+func (v *Virtual) Advance(d time.Duration) time.Time {
+	v.mu.Lock()
+	v.now = v.now.Add(d)
+	now := v.now
+	var due []*virtualTimer
+	var keep []*virtualTimer
+	for _, t := range v.pending {
+		if !t.when.After(now) {
+			due = append(due, t)
+		} else {
+			keep = append(keep, t)
+		}
+	}
+	v.pending = keep
+	sort.SliceStable(due, func(i, j int) bool {
+		if !due[i].when.Equal(due[j].when) {
+			return due[i].when.Before(due[j].when)
+		}
+		return due[i].id < due[j].id
+	})
+	v.mu.Unlock()
+	for _, t := range due {
+		t.fire()
+	}
+	return now
+}
+
+type virtualTimer struct {
+	v    *Virtual
+	id   int
+	when time.Time
+	f    func()
+
+	mu      sync.Mutex
+	stopped bool
+	fired   bool
+}
+
+func (t *virtualTimer) fire() {
+	t.mu.Lock()
+	if t.stopped || t.fired {
+		t.mu.Unlock()
+		return
+	}
+	t.fired = true
+	f := t.f
+	t.mu.Unlock()
+	f()
+}
+
+// Stop cancels the timer; it reports whether the callback was prevented.
+func (t *virtualTimer) Stop() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.fired || t.stopped {
+		return false
+	}
+	t.stopped = true
+	return true
+}

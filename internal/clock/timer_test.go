@@ -1,0 +1,77 @@
+package clock
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestVirtualAfterFuncFiresOnAdvance(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	var order []int
+	v.AfterFunc(30*time.Millisecond, func() { order = append(order, 3) })
+	v.AfterFunc(10*time.Millisecond, func() { order = append(order, 1) })
+	v.AfterFunc(20*time.Millisecond, func() { order = append(order, 2) })
+
+	v.Advance(5 * time.Millisecond)
+	if len(order) != 0 {
+		t.Fatalf("timer fired before its deadline: %v", order)
+	}
+	v.Advance(20 * time.Millisecond) // now 25ms: timers 1 and 2 due, in order
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("want [1 2] after 25ms, got %v", order)
+	}
+	v.Advance(time.Hour)
+	if len(order) != 3 || order[2] != 3 {
+		t.Fatalf("want [1 2 3], got %v", order)
+	}
+}
+
+func TestVirtualStopPreventsFire(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	fired := false
+	tm := v.AfterFunc(time.Millisecond, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop before firing must report true")
+	}
+	v.Advance(time.Second)
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop must report false")
+	}
+}
+
+func TestAfterFallsBackToProcessClock(t *testing.T) {
+	// Sim does not implement Scheduler: After must use a real timer so
+	// harnesses that never advance their clock still make progress.
+	s := NewSim(time.Unix(0, 0))
+	ch := make(chan struct{})
+	After(s, time.Millisecond, func() { close(ch) })
+	select {
+	case <-ch:
+	case <-time.After(5 * time.Second):
+		t.Fatal("fallback timer never fired")
+	}
+}
+
+func TestWithTimeoutOnVirtualClock(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	ctx, cancel := WithTimeout(context.Background(), v, 50*time.Millisecond)
+	defer cancel()
+	select {
+	case <-ctx.Done():
+		t.Fatal("context expired before the virtual clock advanced")
+	default:
+	}
+	v.Advance(100 * time.Millisecond)
+	select {
+	case <-ctx.Done():
+	default:
+		t.Fatal("context not cancelled after the deadline passed")
+	}
+	if context.Cause(ctx) != context.DeadlineExceeded {
+		t.Fatalf("cause = %v, want DeadlineExceeded", context.Cause(ctx))
+	}
+}

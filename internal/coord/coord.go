@@ -284,6 +284,16 @@ type Engine struct {
 	// must not rely on padded sleeps or polling loops.
 	changed chan struct{}
 
+	// Contest plane (contest.go): convergent evidence sets for contested
+	// predecessor tuples, the recent-install records that let a late
+	// competing commit reopen a decided window, and the proposer lease
+	// that keeps the tie-break a slow path.
+	contests    map[tuple.State]*contest
+	contestQ    []tuple.State // contest creation order (FIFO eviction)
+	recent      []installRecord
+	leaseOff    bool
+	contendedAt time.Time // zero: no contention observed recently
+
 	stats Stats
 }
 
@@ -308,6 +318,7 @@ func New(cfg Config) (*Engine, error) {
 		waitCommits:  make(map[tuple.State][]pendingMsg),
 		propBuffered: make(map[string]bool),
 		propWaited:   make(map[string]bool),
+		contests:     make(map[tuple.State]*contest),
 		changed:      make(chan struct{}),
 	}
 	en.blog, _ = cfg.Log.(nrlog.Batched)
@@ -944,5 +955,9 @@ func (en *Engine) Reset() {
 	en.waitCommits = make(map[tuple.State][]pendingMsg)
 	en.propBuffered = make(map[string]bool)
 	en.propWaited = make(map[string]bool)
+	en.contests = make(map[tuple.State]*contest)
+	en.contestQ = nil
+	en.recent = nil
+	en.contendedAt = time.Time{}
 	en.notifyChangedLocked()
 }

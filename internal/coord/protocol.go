@@ -8,6 +8,7 @@ import (
 	"sort"
 	"time"
 
+	"b2b/internal/clock"
 	"b2b/internal/crypto"
 	"b2b/internal/nrlog"
 	"b2b/internal/pagestate"
@@ -87,10 +88,13 @@ func (en *Engine) proposeAsync(ctx context.Context, mode wire.Mode, newState, up
 		// stop honest parties from further coordination, so after the grace
 		// period we proceed — a stale proposal is merely vetoed and retried.
 		// Mid-pipeline the wait is skipped: the burst already owns the chain.
-		graceCtx, cancel := context.WithTimeout(ctx, en.pendingGrace())
+		// The deadline runs on the configured clock's scheduler when it has
+		// one, so seed-driven replays control the contention window.
+		graceCtx, cancel := clock.WithTimeout(ctx, en.cfg.Clock, en.pendingGrace())
 		_ = en.waitNoPending(graceCtx)
 		cancel()
 	}
+	en.leaseDefer(ctx)
 
 	en.mu.Lock()
 	if !en.bootstrapped {
@@ -347,6 +351,7 @@ func (en *Engine) finalizeRun(ctx context.Context, run *proposerRun) {
 	predInvalid := run.pred != nil && !run.pred.outcome.Valid
 	out := Outcome{RunID: run.runID, Decisions: make(map[string]wire.Decision, len(run.parsed))}
 	sendCommit := true
+	selfContested := false
 	switch {
 	case run.aborted:
 		out.Valid = false
@@ -371,15 +376,17 @@ func (en *Engine) finalizeRun(ctx context.Context, run *proposerRun) {
 		// finalization: the base state is gone. The commit is still
 		// broadcast — it is the evidence that closes the run — and each
 		// recipient resolves it against its own agreed state at arrival
-		// time. Two vote-valid commits racing for the same predecessor can
-		// therefore resolve differently at different parties; see the known
-		// limitation in docs/ARCHITECTURE.md (present in the serialized
-		// engine too, and widest under Majority termination).
+		// time. If this run's own response set is nevertheless vote-valid,
+		// two genuine commits are competing for one predecessor: the
+		// contest plane (contest.go) merges both into a convergent evidence
+		// set and every party installs the same deterministic tie-break
+		// winner, so the race no longer splits the group.
 		out.Valid = false
 		out.Diagnostic = "predecessor state no longer agreed"
 		for responder, resp := range run.parsed {
 			out.Decisions[responder] = resp.Decision
 		}
+		selfContested = en.voteTallyLocked(run)
 	default:
 		accepts := 1 // proposer is committed to acceptance by definition
 		consistent := true
@@ -452,8 +459,18 @@ func (en *Engine) finalizeRun(ctx context.Context, run *proposerRun) {
 			recips = nil
 		} else {
 			en.stats.RunsValid++
+			// Remember the install: a late vote-valid rival for the same
+			// predecessor reopens this window through the contest plane.
+			en.recordInstallLocked(run.predTuple, run.propose.Proposed, payload, prevAgreedState)
 		}
 	}
+	if selfContested {
+		// Our vote-valid commit lost the predecessor race locally: enter it
+		// into the contest set now (the gossip fan-out happens after the
+		// commit broadcast below).
+		selfContested = en.contestAddLocked(run.predTuple, payload, run.propose)
+	}
+	contestPred := run.predTuple
 	if !out.Valid {
 		en.stats.RunsInvalid++
 		// Force the suffix down with this run; successors finalize (in
@@ -496,7 +513,6 @@ func (en *Engine) finalizeRun(ctx context.Context, run *proposerRun) {
 			return
 		}
 	}
-
 	if out.Valid {
 		// Install into the application only when the burst has drained:
 		// mid-pipeline the application object already holds the newer
@@ -508,6 +524,12 @@ func (en *Engine) finalizeRun(ctx context.Context, run *proposerRun) {
 		}
 	} else {
 		en.notifyRolledBack(rolledState, rolledTuple)
+	}
+	if selfContested {
+		// The commit (competing evidence) is broadcast and durable, and the
+		// local rollback has been surfaced; now converge the group on one
+		// winner for the contested predecessor.
+		en.afterContest(contestPred)
 	}
 	// The trailing records ride the next batch (or Close): a crash before
 	// they sync re-enters a completed run on recovery, which resolves as a
@@ -549,6 +571,10 @@ func (en *Engine) HandleEnvelope(from string, env wire.Envelope) {
 		en.handleCommit(from, env.Payload)
 	case wire.KindAbortCert:
 		en.handleAbortCert(from, env.Payload)
+	case wire.KindGossipDigest:
+		en.handleGossipDigest(from, env.Payload)
+	case wire.KindGossipDelta:
+		en.handleGossipDelta(from, env.Payload)
 	default:
 		_ = en.logEvidence("", "unknown-kind", nrlog.DirReceived, env.Marshal())
 	}
@@ -619,7 +645,7 @@ func (en *Engine) handlePropose(from string, payload []byte) {
 		en.waitProps[pred] = append(en.waitProps[pred], pendingMsg{from: from, payload: payload, runID: prop.RunID})
 		en.mu.Unlock()
 		runID := prop.RunID
-		time.AfterFunc(en.pendingGrace(), func() {
+		clock.After(en.cfg.Clock, en.pendingGrace(), func() {
 			// Expire only this proposal: others buffered on the same tuple
 			// keep their own full grace period.
 			en.mu.Lock()
@@ -802,6 +828,10 @@ func (en *Engine) evaluatePropose(from string, signed wire.Signed, prop wire.Pro
 	if prop.Agreed.Seq > pred.Seq {
 		return wire.Rejected("proposal's agreed tuple is ahead of its predecessor"), nil
 	}
+	// A second proposer extending a predecessor this party already answered
+	// for someone else is the earliest contention signal: arm the proposer
+	// lease before any commit race can even start.
+	en.rivalProposeLocked(pred, prop.Proposer)
 	var base *pagestate.Paged
 	if pred == en.agreed {
 		// Invariant 1 in its original form: our current state is the agreed
@@ -1052,8 +1082,12 @@ func (en *Engine) handleCommit(from string, payload []byte) {
 	if verdict == commitInvalidSilent {
 		// Forged or inconsistent commit: evidence kept, no state change, and
 		// the run stays active — a correct proposer's genuine commit can
-		// still arrive.
+		// still arrive. A commit this party never answered (or structurally
+		// rejected) can nevertheless carry a vote-valid verdict another
+		// majority produced: hand it to the contest plane, which re-verifies
+		// it standalone and, if genuine, converges the group on one winner.
 		_ = en.logEvidence(commit.RunID, "commit-rejected", nrlog.DirLocal, []byte(diag))
+		en.noteContestedCommit(payload)
 		return
 	}
 
@@ -1066,10 +1100,14 @@ func (en *Engine) handleCommit(from string, payload []byte) {
 		en.mu.Unlock()
 		return
 	}
+	contested := false
 	if verdict == commitValid && rr.pred != en.agreed {
 		// The chain moved underneath us while verifying: never install a
-		// state whose predecessor is not our agreed state.
+		// state whose predecessor is not our agreed state. The refused
+		// commit is still vote-valid competing evidence — the contest plane
+		// resolves the race deterministically below, outside the lock.
 		verdict, diag = commitInvalid, "predecessor state no longer agreed"
+		contested = true
 	}
 	out := Outcome{RunID: commit.RunID, Valid: verdict == commitValid, Diagnostic: diag,
 		Decisions: decisionsOf(commit)}
@@ -1078,6 +1116,10 @@ func (en *Engine) handleCommit(from string, payload []byte) {
 	var cpErr error
 	if verdict == commitValid {
 		prop, _ := wire.UnmarshalPropose(commit.Propose.Body)
+		// Remember the install (with the pre-install base): a late
+		// vote-valid rival for the same predecessor reopens this window
+		// through the contest plane.
+		en.recordInstallLocked(rr.pred, prop.Proposed, payload, en.agreedState)
 		en.agreed = prop.Proposed
 		en.agreedState = rr.newState
 		if len(en.pipeline) == 0 {
@@ -1117,6 +1159,9 @@ func (en *Engine) handleCommit(from string, payload []byte) {
 	_ = en.logEvidenceStaged(commit.RunID, seq, "verdict", nrlog.DirLocal,
 		[]byte(fmt.Sprintf("valid=%t %s", out.Valid, out.Diagnostic)))
 	en.finishRollbacks(rolled)
+	if contested {
+		en.noteContestedCommit(payload)
+	}
 	en.dispatchProps(wakeProps)
 	en.dispatchCommits(wakeCommits)
 }

@@ -145,7 +145,8 @@ type binding struct {
 // property that makes pooled dispatch safe.
 func (b *binding) handle(msg inboundEnv) {
 	switch msg.env.Kind {
-	case wire.KindPropose, wire.KindRespond, wire.KindCommit, wire.KindAbortCert:
+	case wire.KindPropose, wire.KindRespond, wire.KindCommit, wire.KindAbortCert,
+		wire.KindGossipDigest, wire.KindGossipDelta:
 		b.engine.HandleEnvelope(msg.from, msg.env)
 	case wire.KindStateRequest, wire.KindStateOffer, wire.KindStateChunk,
 		wire.KindStateAck, wire.KindStateDone:

@@ -1,0 +1,141 @@
+package lab
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"b2b/internal/coord"
+	"b2b/internal/faults"
+	"b2b/internal/wire"
+)
+
+// TestDuelingProposersConverge reproduces the dueling-proposer divergence
+// the contest plane exists to close, then proves it heals.
+//
+// Under majority termination two proposers can both assemble vote-valid
+// runs over the same predecessor tuple when their commits cross in the
+// propagation window: each proposer installs its own outcome, every other
+// party installs whichever commit reaches it first, and the refused rival
+// commit used to be dropped on the floor ("predecessor state no longer
+// agreed"). Without the evidence-gossip contest plane the two sides of the
+// split never reconcile — this exact scenario ended with {a,b} and {c,d}
+// disagreeing forever.
+//
+// The window is manufactured deterministically: both proposers' commit
+// messages are swallowed in transit (captured by the interceptor), so run
+// 1 (proposer a) and run 2 (proposer c) both complete against predecessor
+// tuple 0. Replaying the captured commits then delivers every party the
+// rival evidence; the contest plane must gossip the full evidence set,
+// apply the deterministic tie-break, roll the losers back and leave all
+// four parties on one branch.
+func TestDuelingProposersConverge(t *testing.T) {
+	const obj = "contract"
+	ids := []string{"a", "b", "c", "d"}
+	w, err := NewWorld(Options{
+		Seed:          902,
+		Termination:   coord.Majority,
+		RetryInterval: 5 * time.Millisecond,
+	}, ids...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	if err := w.Bind(obj, func(string) coord.Validator { return AcceptAllValidator() }, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Bootstrap(obj, []byte("v0"), ids); err != nil {
+		t.Fatal(err)
+	}
+
+	// Swallow (but capture) both proposers' commit broadcasts: proposes and
+	// responds still flow, so both runs go vote-valid, but no other party
+	// learns either outcome yet — the commit-propagation window, held open.
+	pa, pc := w.Party("a"), w.Party("c")
+	dropCommits := faults.DropEnvelopeKinds("", wire.KindCommit)
+	pa.Interceptor.SetOnSend(dropCommits)
+	pc.Interceptor.SetOnSend(dropCommits)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	h1, err := pa.Engine(obj).ProposeAsync(ctx, []byte("alpha"))
+	if err != nil {
+		t.Fatalf("propose run 1: %v", err)
+	}
+	// c must answer run 1 before proposing run 2, so run 2 extends the same
+	// predecessor (tuple 0) at sequence 2 — the dueling shape.
+	deadline := time.Now().Add(10 * time.Second)
+	for len(pc.Engine(obj).ActiveRuns()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("c never answered run 1")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	out1, err := h1.Await(ctx)
+	if err != nil || !out1.Valid {
+		t.Fatalf("run 1 outcome: valid=%v err=%v", out1.Valid, err)
+	}
+	out2, err := pc.Engine(obj).Propose(ctx, []byte("omega"))
+	if err != nil || !out2.Valid {
+		t.Fatalf("run 2 outcome: valid=%v err=%v (needs majority 3-of-4: c, b, d)", out2.Valid, err)
+	}
+
+	// The divergent window is real: each proposer installed its own run.
+	ta := pa.Engine(obj).AgreedTuple()
+	tc := pc.Engine(obj).AgreedTuple()
+	if ta == tc {
+		t.Fatalf("expected divergence between proposers, both agreed on %v", ta)
+	}
+
+	// Heal the network and deliver every swallowed commit. Pre-fix this is
+	// where the run ended: a and b on alpha, c and d on omega, the rival
+	// commits refused with "predecessor state no longer agreed" and no
+	// mechanism left to reconcile.
+	pa.Interceptor.SetOnSend(nil)
+	pc.Interceptor.SetOnSend(nil)
+	replayCommits := func(ic *faults.Interceptor) {
+		for i, cap := range ic.Captured() {
+			env, err := wire.UnmarshalEnvelope(cap.Payload)
+			if err == nil && env.Kind == wire.KindCommit {
+				if err := ic.Replay(ctx, i); err != nil {
+					t.Fatalf("replay commit to %s: %v", cap.To, err)
+				}
+			}
+		}
+	}
+	replayCommits(pa.Interceptor)
+	replayCommits(pc.Interceptor)
+
+	final, err := w.WaitConverged(obj, ids, 15*time.Second)
+	if err != nil {
+		t.Fatalf("contest plane did not converge the split: %v", err)
+	}
+	if !bytes.Equal(final, []byte("alpha")) && !bytes.Equal(final, []byte("omega")) {
+		t.Fatalf("converged on neither contested run's state: %q", final)
+	}
+
+	// The refusal is evidence, not silence: at least one party must hold a
+	// signed "contested-commit-refused" entry in its non-repudiation log,
+	// and every log must still verify as a chain.
+	refused := 0
+	for _, id := range ids {
+		entries, err := w.Party(id).Log.Entries()
+		if err != nil {
+			t.Fatalf("%s: log entries: %v", id, err)
+		}
+		for _, e := range entries {
+			if e.Kind == "contested-commit-refused" {
+				refused++
+				break
+			}
+		}
+		if err := w.Party(id).Log.Verify(); err != nil {
+			t.Fatalf("%s: evidence log no longer verifies: %v", id, err)
+		}
+	}
+	if refused == 0 {
+		t.Fatal("no party logged contested-commit-refused evidence")
+	}
+}

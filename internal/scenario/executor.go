@@ -331,11 +331,14 @@ func (ex *executor) drive(ctx context.Context) error {
 				ex.applyFault(ctx, f)
 			}
 		}
-		if ex.s.Workload == PatchStorm {
+		switch ex.s.Workload {
+		case PatchStorm:
 			if err := ex.drivePatchStep(ctx, i, st); err != nil {
 				return err
 			}
-		} else {
+		case Contention:
+			ex.driveContentionStep(ctx, i, st)
+		default:
 			ex.driveAppStep(ctx, i, st)
 		}
 		if len(ex.siblings) > 0 && i%2 == 0 {
@@ -460,6 +463,44 @@ func (ex *executor) driveAppStep(ctx context.Context, i int, st Step) {
 		_, agreed := en.Agreed()
 		ex.rt.resync(actor, agreed)
 		ex.rep.InvalidRuns++
+	}
+}
+
+// driveContentionStep fires one proposal from EVERY party at once — the
+// dueling-proposer shape. Losing a tie-break or a vote is expected here;
+// what must hold is the new convergence invariant: the group ends on one
+// branch and made aggregate forward progress.
+func (ex *executor) driveContentionStep(ctx context.Context, i int, st Step) {
+	type result struct {
+		out   coord.Outcome
+		err   error
+		actor string
+	}
+	results := make(chan result, len(ex.rt.actors))
+	for k, actor := range ex.rt.actors {
+		go func(k int, actor string) {
+			en := ex.w.Party(actor).Engine(scenarioObject)
+			pctx, cancel := context.WithTimeout(ctx, 15*time.Second)
+			defer cancel()
+			out, err := en.Propose(pctx, contentionState(ex.s.Seed, i, k, st.A))
+			results <- result{out: out, err: err, actor: actor}
+		}(k, actor)
+	}
+	for range ex.rt.actors {
+		r := <-results
+		if r.err != nil {
+			// A contended proposal that could not even complete its run
+			// (e.g. rejected structurally mid-race) is a skipped step, not a
+			// scenario failure.
+			ex.rep.SkippedSteps++
+			continue
+		}
+		ex.record(r.out, r.actor)
+		if r.out.Valid {
+			ex.rep.ValidRuns++
+		} else {
+			ex.rep.InvalidRuns++
+		}
 	}
 }
 

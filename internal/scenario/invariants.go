@@ -6,7 +6,7 @@ import (
 	"fmt"
 )
 
-// checkInvariants verifies the five global invariants after the end phase
+// checkInvariants verifies the six global invariants after the end phase
 // has healed and quiesced the world. They hold for EVERY generated
 // scenario — the checker knows nothing about which faults fired:
 //
@@ -21,6 +21,9 @@ import (
 //  5. Containment: no adversary-crafted state was ever installed — the
 //     marker payload all generated attacks carry appears in no agreed
 //     state.
+//  6. Contention convergence: the many-writer workload made aggregate
+//     forward progress — dueling proposers ending converged on the genesis
+//     state would satisfy invariant 1 while the group livelocked.
 func (ex *executor) checkInvariants() error {
 	var errs []error
 
@@ -112,6 +115,18 @@ func (ex *executor) checkInvariants() error {
 				errs = append(errs, fmt.Errorf(
 					"invariant 5 (containment): %s installed an adversary-crafted state on %s", id, object))
 			}
+		}
+	}
+
+	// Invariant 6: under contention, convergence alone is not enough — the
+	// proposer lease and tie-break must leave room for commits to land, so
+	// the final agreed sequence must have advanced and at least one run
+	// must have gone vote-valid.
+	if ex.s.Workload == Contention {
+		if ex.rep.ValidRuns == 0 || refTuple.Seq == 0 {
+			errs = append(errs, fmt.Errorf(
+				"invariant 6 (contention progress): %d valid runs, final agreed seq=%d — the contested group made no forward progress",
+				ex.rep.ValidRuns, refTuple.Seq))
 		}
 	}
 

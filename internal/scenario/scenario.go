@@ -47,6 +47,15 @@ const (
 	OrderProcessing
 
 	numWorkloads
+
+	// Contention is the many-writer workload: EVERY party proposes a
+	// distinct overwrite at every step, concurrently — the dueling-proposer
+	// shape the contest plane (evidence gossip + deterministic tie-break +
+	// proposer lease) must keep convergent. It sits after numWorkloads on
+	// purpose: the random draw never emits it (existing seeds keep their
+	// scenarios byte-identical), the fixed-seed contention matrix derives it
+	// through GenerateContention.
+	Contention
 )
 
 // String names the workload canonically (part of the scenario identity).
@@ -60,6 +69,8 @@ func (w Workload) String() string {
 		return "auction"
 	case OrderProcessing:
 		return "order"
+	case Contention:
+		return "contention"
 	}
 	return fmt.Sprintf("workload(%d)", uint8(w))
 }
@@ -212,12 +223,17 @@ func (s Scenario) objectCount() int {
 }
 
 // actorCount is the number of proposing parties: patch-storm has a single
-// designated writer; the apps serialize two actors in rotation. Keeping
-// non-actors as the only heavy-fault victims avoids the documented
-// dueling-proposer window and keeps the workload drivable through faults.
+// designated writer; the apps serialize two actors in rotation; the
+// contention workload makes every party a proposer. Keeping non-actors as
+// the only heavy-fault victims keeps the workload drivable through faults —
+// for contention there are no non-actors, so only light faults are drawn
+// and the dueling-proposer window itself is the thing under test.
 func (s Scenario) actorCount() int {
-	if s.Workload == PatchStorm {
+	switch s.Workload {
+	case PatchStorm:
 		return 1
+	case Contention:
+		return s.Parties
 	}
 	return 2
 }
@@ -228,8 +244,24 @@ func PartyID(i int) string { return fmt.Sprintf("org%02d", i) }
 // Generate deterministically derives the scenario for a seed.
 func Generate(seed uint64) Scenario {
 	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	return generate(rng, seed, Workload(rng.IntN(int(numWorkloads))))
+}
+
+// GenerateContention derives the many-writer contention scenario for a
+// seed: the same deterministic derivation as Generate (one draw consumed to
+// keep the streams aligned) with the workload pinned to Contention. The
+// fixed-seed contention matrix and CI replay drive scenarios through this.
+func GenerateContention(seed uint64) Scenario {
+	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	_ = rng.IntN(int(numWorkloads)) // discard: workload is pinned
+	return generate(rng, seed, Contention)
+}
+
+// generate is the shared derivation body behind Generate and
+// GenerateContention.
+func generate(rng *rand.Rand, seed uint64, w Workload) Scenario {
 	s := Scenario{Seed: seed}
-	s.Workload = Workload(rng.IntN(int(numWorkloads)))
+	s.Workload = w
 	s.Parties = 2 + rng.IntN(7) // 2..8
 	// Mostly the paper's unanimous rule; majority needs a real quorum.
 	s.Majority = s.Parties >= 3 && rng.IntN(4) == 0
@@ -320,6 +352,15 @@ func generateSteps(rng *rand.Rand, s *Scenario) []Step {
 		for i := range steps {
 			amount += 1 + rng.IntN(50)
 			steps[i] = Step{A: amount, B: rng.IntN(8)}
+		}
+		return steps
+	case Contention:
+		// One step = every party proposes concurrently, so total run count
+		// is steps x parties; keep the script short enough for -race CI.
+		n := 3 + rng.IntN(4) // 3..6
+		steps := make([]Step, n)
+		for i := range steps {
+			steps[i] = Step{A: rng.IntN(1 << 20)}
 		}
 		return steps
 	default: // OrderProcessing
@@ -419,7 +460,7 @@ func (s Scenario) Validate() error {
 	if s.Parties < 2 || s.Parties > 8 {
 		return fmt.Errorf("parties %d outside [2,8]", s.Parties)
 	}
-	if s.Workload >= numWorkloads {
+	if s.Workload >= numWorkloads && s.Workload != Contention {
 		return fmt.Errorf("unknown workload %d", s.Workload)
 	}
 	if s.Window < 1 {

@@ -9,7 +9,10 @@ import (
 	"time"
 )
 
-var runSeed = flag.Uint64("run-seed", 0, "replay one generated scenario by seed (TestRunSeed)")
+var (
+	runSeed       = flag.Uint64("run-seed", 0, "replay one generated scenario by seed (TestRunSeed)")
+	runContention = flag.Bool("contention", false, "replay the seed through GenerateContention instead of Generate")
+)
 
 // TestGenerateDeterministic: the same seed yields the byte-identical
 // scenario — the property every failure report relies on.
@@ -21,6 +24,18 @@ func TestGenerateDeterministic(t *testing.T) {
 		}
 		if a.Describe() != b.Describe() {
 			t.Fatalf("seed %#x: descriptions differ", seed)
+		}
+	}
+	for _, seed := range []uint64{0, 1, 42, 0xdeadbeef} {
+		a, b := GenerateContention(seed), GenerateContention(seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %#x: two contention generations differ", seed)
+		}
+		if a.Workload != Contention {
+			t.Fatalf("seed %#x: GenerateContention produced workload %s", seed, a.Workload)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("seed %#x: contention scenario invalid: %v", seed, err)
 		}
 	}
 	var m1, m2 strings.Builder
@@ -54,7 +69,7 @@ func TestMatrixDiversity(t *testing.T) {
 }
 
 // TestScenarioMatrix is the fixed-seed CI matrix: every scenario derived
-// from the pinned seed must satisfy all five global invariants under -race.
+// from the pinned seed must satisfy the global invariants under -race.
 func TestScenarioMatrix(t *testing.T) {
 	if testing.Short() {
 		t.Skip("scenario matrix is not a -short test")
@@ -77,6 +92,31 @@ func TestScenarioMatrix(t *testing.T) {
 	}
 }
 
+// TestContentionMatrix is the fixed-seed many-writer matrix: every party
+// proposes at every step, so dueling-proposer commit races are the norm,
+// not the exception. Each scenario must satisfy all global invariants —
+// including invariant 6 (aggregate forward progress) — under -race. A
+// failing seed replays with:
+//
+//	go test ./internal/scenario -run TestRunSeed -run-seed <seed> -contention
+func TestContentionMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("contention matrix is not a -short test")
+	}
+	for i := uint64(0); i < 20; i++ {
+		s := GenerateContention(0xc027e57ed + i)
+		t.Run(seedName(s.Seed), func(t *testing.T) {
+			t.Parallel()
+			rep, err := Run(context.Background(), Config{Dir: t.TempDir(), Timeout: 120 * time.Second}, s)
+			if err != nil {
+				t.Fatalf("%v\nreplay: go test ./internal/scenario -run TestRunSeed -run-seed %d -contention\n%s", err, s.Seed, s.Describe())
+			}
+			t.Logf("valid=%d invalid=%d skippedSteps=%d attacks=%d finalSeq=%d",
+				rep.ValidRuns, rep.InvalidRuns, rep.SkippedSteps, rep.Attacks, rep.FinalSeq)
+		})
+	}
+}
+
 func seedName(seed uint64) string {
 	s := Scenario{Seed: seed}
 	d := s.Describe()
@@ -93,6 +133,9 @@ func TestRunSeed(t *testing.T) {
 		t.Skip("pass -run-seed <seed> to replay a scenario")
 	}
 	s := Generate(*runSeed)
+	if *runContention {
+		s = GenerateContention(*runSeed)
+	}
 	t.Logf("replaying scenario:\n%s", s.Describe())
 	rep, err := Run(context.Background(), Config{Dir: t.TempDir(), Timeout: 3 * time.Minute, Logf: t.Logf}, s)
 	if err != nil {

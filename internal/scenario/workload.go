@@ -156,6 +156,21 @@ func buildRuntime(s Scenario, ids []string) (*runtime, error) {
 			resync: func(id string, agreed []byte) { _ = auctions[id].ApplyState(agreed) },
 		}, nil
 
+	case Contention:
+		// Every party is an actor; the executor drives all of them
+		// concurrently per step (driveContentionStep), so there is no
+		// turn-taking propose translation here. States are derived, not
+		// application-driven — the contest plane's convergence is the thing
+		// under test, not an app's validation rules.
+		return &runtime{
+			initial: deterministicBytes(256, s.Seed),
+			actors:  append([]string(nil), ids...),
+			mkV: func(string) coord.Validator {
+				return lab.AcceptAllValidator()
+			},
+			resync: func(string, []byte) {},
+		}, nil
+
 	case OrderProcessing:
 		roles := map[string]apps.Role{ids[0]: apps.Customer, ids[1]: apps.Supplier}
 		orders := make(map[string]*apps.Order, len(ids))
@@ -203,6 +218,14 @@ func deterministicBytes(n int, seed uint64) []byte {
 		out[i] = byte(x)
 	}
 	return out
+}
+
+// contentionState derives actor k's proposal for contention step i: unique
+// per (seed, step, actor, step randomizer) so rival proposals are never
+// null transitions of the agreed state or of each other.
+func contentionState(seed uint64, i, k, a int) []byte {
+	head := fmt.Sprintf("contention step=%d actor=%d a=%d ", i, k, a)
+	return append([]byte(head), deterministicBytes(64, seed^uint64(i*997+k*31+a))...)
 }
 
 // patchBody derives the body of patch-storm update i deterministically.

@@ -65,6 +65,10 @@ func FuzzUnmarshal(f *testing.F) {
 	stAck := wire.StateAck{SessionID: "s1", Object: "o", Next: 5}
 	stDone := wire.StateDone{SessionID: "s1", Sponsor: "a", Object: "o",
 		Agreed: st, StateHash: h32, PayloadHash: h32, Chunks: 7}
+	gDigest := wire.GossipDigest{Object: "o", Pred: pred,
+		Hashes: [][32]byte{h32}}
+	gDelta := wire.GossipDelta{Object: "o", Pred: pred,
+		Commits: [][]byte{commit.Marshal()}}
 
 	seeds := [][]byte{
 		signed.Marshal(),
@@ -95,6 +99,8 @@ func FuzzUnmarshal(f *testing.F) {
 		stChunk.Marshal(),
 		stAck.Marshal(),
 		stDone.Marshal(),
+		gDigest.Marshal(),
+		gDelta.Marshal(),
 	}
 	for i, s := range seeds {
 		f.Add(uint8(i), s)
@@ -110,7 +116,7 @@ func FuzzUnmarshal(f *testing.F) {
 	}
 
 	f.Fuzz(func(t *testing.T, which uint8, data []byte) {
-		switch which % 24 {
+		switch which % 26 {
 		case 0:
 			v, err := wire.UnmarshalSigned(data)
 			roundtrip(t, data, err, v.Marshal)
@@ -191,6 +197,12 @@ func FuzzUnmarshal(f *testing.F) {
 			roundtrip(t, data, err, v.Marshal)
 		case 23:
 			v, err := wire.UnmarshalStateDone(data)
+			roundtrip(t, data, err, v.Marshal)
+		case 24:
+			v, err := wire.UnmarshalGossipDigest(data)
+			roundtrip(t, data, err, v.Marshal)
+		case 25:
+			v, err := wire.UnmarshalGossipDelta(data)
 			roundtrip(t, data, err, v.Marshal)
 		}
 	})

@@ -1,0 +1,131 @@
+// Evidence-gossip messages: the anti-entropy exchange that makes the signed
+// commit evidence for a contested predecessor tuple an eventually
+// convergent (grow-only) set at every party. Two proposers racing inside
+// the commit-propagation window can both assemble vote-valid commits for
+// the same predecessor; the gossip plane spreads both commits to every
+// party, and a deterministic tie-break over the converged set picks one
+// winner everywhere (see docs/ARCHITECTURE.md, "Convergent commit
+// resolution").
+//
+// The exchange is digest-then-delta: a digest advertises the sorted hashes
+// of the sender's entry set for one contested tuple; a peer answers with a
+// delta carrying exactly the raw commits the digest was missing. Entries
+// are self-authenticating — every commit carries its signed proposal and
+// signed responses, verified before merging — so the gossip messages
+// themselves need no signature.
+package wire
+
+import (
+	"errors"
+
+	"b2b/internal/canon"
+	"b2b/internal/tuple"
+)
+
+// Gossip bounds: a contest set holds at most a handful of vote-valid
+// commits (one per racing proposer), so a message claiming more is hostile
+// and rejected before any allocation proportional to the claim.
+const (
+	// MaxGossipEntries caps both a digest's hash list and a delta's commit
+	// list. It comfortably exceeds the largest group size (8 in the lab,
+	// one racing commit per member) while keeping decode allocation small.
+	MaxGossipEntries = 64
+)
+
+// Errors of the gossip codecs.
+var errGossipTooLarge = errors.New("wire: gossip entry list exceeds bound")
+
+// GossipDigest advertises the sender's evidence set for one contested
+// predecessor tuple: the sorted (ascending) hashes of the raw commit
+// encodings it holds. A receiver replies with a GossipDelta carrying the
+// commits the sender lacks, and gossips its own digest back when the
+// sender advertises entries the receiver has not seen.
+type GossipDigest struct {
+	Object string
+	Pred   tuple.State // the contested predecessor tuple
+	Hashes [][32]byte  // sorted ascending; hash of each raw Commit encoding
+}
+
+// Marshal returns the canonical bytes.
+func (g GossipDigest) Marshal() []byte {
+	return canon.Marshal(func(e *canon.Encoder) {
+		e.Struct("gdigest")
+		e.String(g.Object)
+		g.Pred.Encode(e)
+		e.List(len(g.Hashes))
+		for _, h := range g.Hashes {
+			e.Bytes32(h)
+		}
+	})
+}
+
+// UnmarshalGossipDigest parses a GossipDigest. The hash list is bounded:
+// a count above MaxGossipEntries fails before allocation.
+func UnmarshalGossipDigest(buf []byte) (GossipDigest, error) {
+	d := canon.NewDecoder(buf)
+	d.Struct("gdigest")
+	g := GossipDigest{Object: d.String(), Pred: tuple.DecodeState(d)}
+	n := d.List()
+	if d.Err() == nil {
+		if n > MaxGossipEntries {
+			return GossipDigest{}, errGossipTooLarge
+		}
+		for i := 0; i < n; i++ {
+			g.Hashes = append(g.Hashes, d.Bytes32())
+			if d.Err() != nil {
+				break
+			}
+		}
+	}
+	if err := d.Finish(); err != nil {
+		return GossipDigest{}, err
+	}
+	return g, nil
+}
+
+// GossipDelta carries the raw commit encodings a peer's digest was missing
+// for one contested predecessor tuple. Each entry is a complete Commit —
+// signed proposal, signed responses, authenticator preimage — and the
+// receiver verifies every one before merging it into its set.
+type GossipDelta struct {
+	Object  string
+	Pred    tuple.State
+	Commits [][]byte // raw Commit encodings, sorted by hash ascending
+}
+
+// Marshal returns the canonical bytes.
+func (g GossipDelta) Marshal() []byte {
+	return canon.Marshal(func(e *canon.Encoder) {
+		e.Struct("gdelta")
+		e.String(g.Object)
+		g.Pred.Encode(e)
+		e.List(len(g.Commits))
+		for _, c := range g.Commits {
+			e.Bytes(c)
+		}
+	})
+}
+
+// UnmarshalGossipDelta parses a GossipDelta with the same entry bound as
+// the digest; per-commit allocation is bounded by the input length.
+func UnmarshalGossipDelta(buf []byte) (GossipDelta, error) {
+	d := canon.NewDecoder(buf)
+	d.Struct("gdelta")
+	g := GossipDelta{Object: d.String(), Pred: tuple.DecodeState(d)}
+	n := d.List()
+	if d.Err() == nil {
+		if n > MaxGossipEntries {
+			return GossipDelta{}, errGossipTooLarge
+		}
+		for i := 0; i < n; i++ {
+			g.Commits = append(g.Commits, d.Bytes())
+			if d.Err() != nil {
+				break
+			}
+		}
+	}
+	if err := d.Finish(); err != nil {
+		return GossipDelta{}, err
+	}
+	return g, nil
+}

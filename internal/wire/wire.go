@@ -42,6 +42,8 @@ const (
 	KindStateChunk
 	KindStateAck
 	KindStateDone
+	KindGossipDigest
+	KindGossipDelta
 )
 
 var kindNames = map[Kind]string{
@@ -67,6 +69,8 @@ var kindNames = map[Kind]string{
 	KindStateChunk:   "state-chunk",
 	KindStateAck:     "state-ack",
 	KindStateDone:    "state-done",
+	KindGossipDigest: "gossip-digest",
+	KindGossipDelta:  "gossip-delta",
 }
 
 // String names the kind for logs and evidence records.
