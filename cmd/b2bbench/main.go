@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"b2b/internal/coord"
+	"b2b/internal/core"
 	"b2b/internal/faults"
 	"b2b/internal/lab"
 	"b2b/internal/pagestate"
@@ -45,7 +46,7 @@ type experiment struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (E1, E2, E5, E7, E8, E9, E10, E11, E13, E14, E15, E16, E17, E18, E19, E20, E21) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (E1, E2, E5, E7, E8, E9, E10, E11, E13, E14, E15, E16, E17, E18, E19, E20, E21, E22) or 'all'")
 	list := flag.Bool("list", false, "list experiments")
 	soak := flag.Bool("soak", false, "E17 soak mode: >=10k runs on the durability plane, failing unless disk stays bounded and evidence verifies")
 	flag.Parse()
@@ -69,6 +70,7 @@ func main() {
 		{id: "E19", desc: "paged Merkle state identity: O(delta) runs on large objects (emits BENCH_5.json)", run: expE19},
 		{id: "E20", desc: "multi-tenant runtime: 10k objects per endpoint, O(active) scheduling (emits BENCH_8.json)", run: expE20},
 		{id: "E21", desc: "contention: N proposers on one object, lease fast path vs tie-break slow path (emits BENCH_9.json)", run: expE21},
+		{id: "E22", desc: "relay plane: reconnect-drain amplification and offline-member throughput (emits BENCH_10.json)", run: expE22},
 	}
 
 	if *list {
@@ -1841,5 +1843,366 @@ func expE21() error {
 		return fmt.Errorf("E21 bars failed: %s", strings.Join(failures, "; "))
 	}
 	fmt.Println("E21: PASS — contention serializes on the lease fast path; the tie-break stays a convergent slow path")
+	return nil
+}
+
+// ---- E22: relay plane — reconnect drain and offline-member throughput ----
+
+// e22Drain measures the reconnect-drain of a parked backlog: a member
+// sleeps behind a full cut while a peer deposits `backlog` sealed envelopes
+// into its relay mailbox, then the partition heals and the member drains.
+// DeliveredBytes counts EVERY payload byte the network delivered during the
+// drain window — batches, polls, transport-level acks and any
+// retransmissions — so Amplification is the true network cost of moving one
+// parked byte to its recipient. A retransmit storm (the failure mode the
+// capped-backoff retransmission path exists to prevent) shows up directly
+// as amplification above the 2x bar.
+type e22Drain struct {
+	Backlog        int     `json:"backlog_msgs"`
+	PayloadBytes   int     `json:"payload_bytes"`
+	DepositedMsgs  int     `json:"deposited_msgs"`
+	DepositedBytes int64   `json:"deposited_bytes"` // sealed bytes parked at the relay
+	DrainedMsgs    int     `json:"drained_msgs"`
+	DeliveredBytes uint64  `json:"delivered_bytes"` // network bytes delivered during the drain
+	DrainSeconds   float64 `json:"drain_seconds"`
+	Amplification  float64 `json:"amplification"` // delivered / deposited
+	MailboxEmpty   bool    `json:"mailbox_empty"`
+}
+
+// e22Throughput measures one fixture of the throughput pair: one proposer
+// drives `runs` pipelined update runs (window W) through a majority-
+// termination group. In the "offline" fixture one member is behind a full
+// cut the whole time: the §7 response deadline concludes each run one retry
+// round after a verified majority, the pipeline overlaps those rounds, and
+// the traffic toward the sleeper spills — past the per-peer pending quota —
+// into its sealed relay mailbox instead of pinning the proposer's memory.
+type e22Throughput struct {
+	Mode           string  `json:"mode"` // "all-online" or "offline-member"
+	Parties        int     `json:"parties"`
+	Window         int     `json:"window"`
+	Runs           int     `json:"runs"`
+	Seconds        float64 `json:"seconds"`
+	RunsPerSec     float64 `json:"runs_per_sec"`
+	ParkedMsgs     int     `json:"parked_msgs"` // mailbox depth when the run window closed
+	FinalSeq       uint64  `json:"final_seq"`
+	Converged      bool    `json:"converged"`
+	MailboxDrained bool    `json:"mailbox_drained"`
+}
+
+// e22Report is the BENCH_10.json artefact: the drain fixture, the
+// throughput pair, and the acceptance bars the CI bench-smoke job enforces
+// (drain amplification <= 2x, offline-member throughput >= 0.8x the
+// all-online baseline, full convergence and empty mailboxes afterwards).
+type e22Report struct {
+	Experiment      string          `json:"experiment"`
+	Description     string          `json:"description"`
+	Drain           e22Drain        `json:"drain"`
+	Throughput      []e22Throughput `json:"throughput"`
+	ThroughputRatio float64         `json:"offline_over_online_runs_per_sec"`
+	BarsPass        bool            `json:"bars_pass"`
+}
+
+const e22Object = "relay-ledger"
+
+func e22RelayOptions(seed uint64) lab.Options {
+	return lab.Options{
+		Seed:             seed,
+		Termination:      coord.Majority,
+		RetryInterval:    2 * time.Millisecond,
+		ResponseDeadline: 2 * time.Millisecond,
+		Relay:            "hub",
+		RelayMaxMsgs:     4096,
+		RelayMaxBytes:    8 << 20,
+		// The quota must sit above the pipeline's in-flight burst toward a
+		// HEALTHY peer (acks lag by under a millisecond), so only a peer
+		// that stops acking altogether — the cut-off member — spills.
+		Quotas: core.QuotaPolicy{MaxPendingToPeer: 64},
+	}
+}
+
+// e22MeasureDrain deposits a 1k-envelope backlog for a cut-off member and
+// measures the byte cost of draining it after the heal.
+func e22MeasureDrain(backlog, payloadBytes int) (e22Drain, error) {
+	ids := []string{"a", "b", "c", "d"}
+	w, err := lab.NewWorld(e22RelayOptions(220), append(ids, "hub")...)
+	if err != nil {
+		return e22Drain{}, err
+	}
+	defer w.Close()
+	if err := w.Bind(e22Object, func(string) coord.Validator { return lab.AcceptAllValidator() }, nil); err != nil {
+		return e22Drain{}, err
+	}
+	if err := w.Bootstrap(e22Object, []byte("genesis;"), ids); err != nil {
+		return e22Drain{}, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// Prekey publications ride the network like any other frame: wait for
+	// a to have learned d's sealing key before cutting d off.
+	for {
+		if _, _, ok := w.Party("a").Relay.Directory().Lookup("d"); ok {
+			break
+		}
+		if ctx.Err() != nil {
+			return e22Drain{}, fmt.Errorf("d's prekey never reached a")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// d goes dark; a parks the backlog. Each deposit is a well-formed
+	// envelope addressed to d (the drain path unseals, checks the address
+	// and hands it to d's inbound dispatch, which rejects the opaque
+	// payload the same way it rejects any unverifiable frame).
+	w.Net.Partition([]string{"a", "b", "c", "hub"}, []string{"d"})
+	pad := bytes.Repeat([]byte{0x5a}, payloadBytes)
+	for i := 0; i < backlog; i++ {
+		env := wire.Envelope{
+			MsgID:   fmt.Sprintf("e22-%04d", i),
+			From:    "a",
+			To:      "d",
+			Object:  e22Object,
+			Kind:    wire.KindPropose,
+			Payload: pad,
+		}
+		if err := w.Party("a").Relay.Deposit(ctx, "d", env.Marshal()); err != nil {
+			return e22Drain{}, fmt.Errorf("deposit %d: %w", i, err)
+		}
+	}
+	// Deposits ride the reliable transport: wait until every one has landed
+	// (and its ack settled) so the drain window measures ONLY the drain.
+	hub := w.Party("hub").RelayServer
+	for hub.Depth("d") < backlog {
+		if ctx.Err() != nil {
+			return e22Drain{}, fmt.Errorf("only %d of %d deposits landed", hub.Depth("d"), backlog)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(200 * time.Millisecond)
+	depMsgs, depBytes := hub.TotalParked()
+	fx := e22Drain{
+		Backlog:        backlog,
+		PayloadBytes:   payloadBytes,
+		DepositedMsgs:  depMsgs,
+		DepositedBytes: depBytes,
+	}
+
+	// Reconnect and drain. Everything the network delivers from here until
+	// the mailbox is empty is the cost of the drain.
+	w.Net.Heal()
+	w.Net.ResetStats()
+	start := time.Now()
+	n, err := w.Party("d").Relay.Drain(ctx)
+	if err != nil {
+		return fx, fmt.Errorf("drain: %w", err)
+	}
+	fx.DrainSeconds = time.Since(start).Seconds()
+	fx.DrainedMsgs = n
+	fx.DeliveredBytes = w.Net.Stats().DeliveredBytes
+	if depBytes > 0 {
+		fx.Amplification = float64(fx.DeliveredBytes) / float64(depBytes)
+	}
+	fx.MailboxEmpty = hub.Depth("d") == 0
+	return fx, nil
+}
+
+// e22MeasureThroughput drives one throughput fixture. With offline set, d
+// is behind a full cut for the whole proposing window and the world is then
+// healed, drained and converged before the fixture reports.
+func e22MeasureThroughput(offline bool, runs, window int) (e22Throughput, error) {
+	ids := []string{"a", "b", "c", "d"}
+	seed := uint64(221)
+	mode := "all-online"
+	if offline {
+		seed, mode = 222, "offline-member"
+	}
+	w, err := lab.NewWorld(e22RelayOptions(seed), append(ids, "hub")...)
+	if err != nil {
+		return e22Throughput{}, err
+	}
+	defer w.Close()
+	if err := w.Bind(e22Object, func(string) coord.Validator { return lab.AcceptAllValidator() }, nil); err != nil {
+		return e22Throughput{}, err
+	}
+	if err := w.Bootstrap(e22Object, []byte("genesis;"), ids); err != nil {
+		return e22Throughput{}, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if offline {
+		w.Net.Partition([]string{"a", "b", "c", "hub"}, []string{"d"})
+	}
+
+	// Windowed driver (the pipelined-coordination shape): keep up to W runs
+	// in flight, collecting the oldest outcome before opening another past
+	// the window. Outcomes resolve in initiation order.
+	en := w.Party("a").Engine(e22Object)
+	en.SetWindow(window)
+	var handles []*coord.RunHandle
+	collect := func() error {
+		h := handles[0]
+		handles = handles[1:]
+		out, err := h.Await(ctx)
+		if err != nil {
+			return err
+		}
+		if !out.Valid {
+			return fmt.Errorf("run went invalid: %+v", out)
+		}
+		return nil
+	}
+	start := time.Now()
+	for i := 0; i < runs; i++ {
+		upd := []byte(fmt.Sprintf("u-%04d;", i))
+		for {
+			h, err := en.ProposeUpdateAsync(ctx, upd)
+			if errors.Is(err, coord.ErrRunInFlight) && len(handles) > 0 {
+				if err := collect(); err != nil {
+					return e22Throughput{}, err
+				}
+				continue
+			}
+			if err != nil {
+				return e22Throughput{}, fmt.Errorf("run %d: %w", i, err)
+			}
+			handles = append(handles, h)
+			break
+		}
+	}
+	for len(handles) > 0 {
+		if err := collect(); err != nil {
+			return e22Throughput{}, err
+		}
+	}
+	elapsed := time.Since(start)
+
+	hub := w.Party("hub").RelayServer
+	fx := e22Throughput{
+		Mode:       mode,
+		Parties:    len(ids),
+		Window:     window,
+		Runs:       runs,
+		Seconds:    elapsed.Seconds(),
+		RunsPerSec: float64(runs) / elapsed.Seconds(),
+		ParkedMsgs: hub.Depth("d"),
+		FinalSeq:   en.AgreedTuple().Seq,
+	}
+
+	// Heal and converge: the sleeper comes back, drains its mailbox
+	// (polling until it stays empty — the live proposer's backed-off
+	// retransmissions may spill a few more frames) and catches up from the
+	// survivors. Convergence and an empty mailbox are part of the fixture's
+	// claim: store-and-forward must not strand traffic.
+	w.Net.Heal()
+	healCtx, healCancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer healCancel()
+	for healCtx.Err() == nil && !fx.Converged {
+		if offline {
+			dctx, dcancel := context.WithTimeout(healCtx, 5*time.Second)
+			_, _ = w.Party("d").Relay.Drain(dctx)
+			_, _ = w.Party("d").Xfer(e22Object).CatchUp(dctx)
+			dcancel()
+		}
+		if _, err := w.WaitConverged(e22Object, ids, time.Second); err == nil {
+			fx.Converged = true
+		}
+	}
+	for healCtx.Err() == nil {
+		if hub.Depth("d") == 0 {
+			fx.MailboxDrained = true
+			break
+		}
+		dctx, dcancel := context.WithTimeout(healCtx, 2*time.Second)
+		_, _ = w.Party("d").Relay.Drain(dctx)
+		dcancel()
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fx, nil
+}
+
+// expE22: the relay-plane experiment (BENCH_10). First the reconnect-drain
+// fixture: a 1k-envelope sealed backlog parks at the relay for a cut-off
+// member and is drained after the heal; the bar is delivered network bytes
+// <= 2x the parked bytes — store-and-forward must not decay into a
+// retransmit storm. Then the throughput pair: the same pipelined update
+// workload against an all-online group and against a group with one member
+// behind a full cut; with the §7 response deadline concluding each run one
+// retry round after a verified majority and the overflow spilling to the
+// relay, the offline-member group must sustain >= 0.8x the all-online rate.
+func expE22() error {
+	const (
+		backlog      = 1024
+		payloadBytes = 512
+		runs         = 300
+		window       = 16
+	)
+	report := e22Report{
+		Experiment:  "E22",
+		Description: "relay store-and-forward: reconnect-drain byte amplification of a 1k backlog, and pipelined group throughput with one member offline vs all online",
+	}
+
+	drain, err := e22MeasureDrain(backlog, payloadBytes)
+	if err != nil {
+		return fmt.Errorf("drain fixture: %w", err)
+	}
+	report.Drain = drain
+	fmt.Printf("drain: deposited %d msgs (%d sealed bytes), drained %d msgs, delivered %d network bytes in %.2fs -> amplification %.2fx\n",
+		drain.DepositedMsgs, drain.DepositedBytes, drain.DrainedMsgs,
+		drain.DeliveredBytes, drain.DrainSeconds, drain.Amplification)
+
+	fmt.Printf("%-15s %8s %7s %6s %9s %11s %8s %10s %8s\n",
+		"mode", "parties", "window", "runs", "seconds", "runs/s", "parked", "converged", "drained")
+	var tps []e22Throughput
+	for _, offline := range []bool{false, true} {
+		fx, err := e22MeasureThroughput(offline, runs, window)
+		if err != nil {
+			return fmt.Errorf("throughput fixture (offline=%t): %w", offline, err)
+		}
+		tps = append(tps, fx)
+		report.Throughput = append(report.Throughput, fx)
+		fmt.Printf("%-15s %8d %7d %6d %9.2f %11.1f %8d %10t %8t\n",
+			fx.Mode, fx.Parties, fx.Window, fx.Runs, fx.Seconds, fx.RunsPerSec,
+			fx.ParkedMsgs, fx.Converged, fx.MailboxDrained)
+	}
+	online, off := tps[0], tps[1]
+	if online.RunsPerSec > 0 {
+		report.ThroughputRatio = off.RunsPerSec / online.RunsPerSec
+	}
+
+	var failures []string
+	if drain.DrainedMsgs != drain.DepositedMsgs {
+		failures = append(failures, fmt.Sprintf("drain delivered %d of %d deposits", drain.DrainedMsgs, drain.DepositedMsgs))
+	}
+	if !drain.MailboxEmpty {
+		failures = append(failures, "mailbox not empty after the drain")
+	}
+	if drain.Amplification > 2 {
+		failures = append(failures, fmt.Sprintf("drain amplification %.2fx, want <= 2x", drain.Amplification))
+	}
+	if report.ThroughputRatio < 0.8 {
+		failures = append(failures, fmt.Sprintf("offline-member throughput only %.2fx the all-online baseline, want >= 0.8x", report.ThroughputRatio))
+	}
+	if !online.Converged || !off.Converged {
+		failures = append(failures, fmt.Sprintf("convergence: all-online=%t offline-member=%t, want both", online.Converged, off.Converged))
+	}
+	if !off.MailboxDrained {
+		failures = append(failures, "offline member's mailbox never drained empty after the heal")
+	}
+	report.BarsPass = len(failures) == 0
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_10.json", append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("E22: amplification %.2fx (bar <= 2x); offline-member throughput %.2fx the all-online baseline (bar >= 0.8x)\n",
+		drain.Amplification, report.ThroughputRatio)
+	fmt.Println("E22: wrote BENCH_10.json")
+	if len(failures) > 0 {
+		return fmt.Errorf("E22 bars failed: %s", strings.Join(failures, "; "))
+	}
+	fmt.Println("E22: PASS — reconnect drain moves the backlog without a retransmit storm; an offline member does not drag group throughput")
 	return nil
 }

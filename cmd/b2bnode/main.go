@@ -72,6 +72,13 @@ type nodeConfig struct {
 	Members    []string          `json:"members"`
 	StorageDir string            `json:"storage_dir"`
 	TrustFile  string            `json:"trust_file"`
+	// Relay names the peer hosting the relay mailbox service: traffic for
+	// unreachable peers parks there (sealed — the relay cannot read it) and
+	// this node drains its own mailbox on startup and during catch-up.
+	Relay string `json:"relay"`
+	// RelayHost makes this node host the relay mailbox service, durable
+	// under <storage_dir>/relay. Relay metrics appear in -call metrics.
+	RelayHost bool `json:"relay_host"`
 }
 
 func main() {
@@ -254,14 +261,41 @@ func runNode(cfgPath string) error {
 	for _, other := range idents {
 		peerCerts = append(peerCerts, other.Certificate())
 	}
-	part, err := b2b.NewParticipant(ident, td, rel,
+	popts := []b2b.Option{
 		b2b.WithPeerCertificates(peerCerts...),
 		b2b.WithFileStorage(cfg.StorageDir),
-		b2b.WithOperationTimeout(30*time.Second))
+		b2b.WithOperationTimeout(30 * time.Second),
+	}
+	if cfg.Relay != "" {
+		popts = append(popts, b2b.WithRelay(cfg.Relay))
+	}
+	if cfg.RelayHost {
+		popts = append(popts, b2b.WithRelayHost(cfg.StorageDir+"/relay"))
+	}
+	part, err := b2b.NewParticipant(ident, td, rel, popts...)
 	if err != nil {
 		return err
 	}
 	defer func() { _ = part.Close() }()
+
+	if cfg.Relay != "" {
+		// Announce our sealing prekey so peers can park traffic for us, then
+		// collect whatever was parked while this node was down.
+		var peers []string
+		for id := range cfg.Peers {
+			peers = append(peers, id)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		if err := part.RelayPublishPrekey(ctx, peers...); err != nil {
+			fmt.Printf("%s: relay prekey publication incomplete: %v\n", cfg.ID, err)
+		}
+		if n, err := part.RelayDrain(ctx); err != nil {
+			fmt.Printf("%s: relay drain: %v\n", cfg.ID, err)
+		} else if n > 0 {
+			fmt.Printf("%s: drained %d parked envelopes from relay %s\n", cfg.ID, n, cfg.Relay)
+		}
+		cancel()
+	}
 
 	obj := &blobObject{state: []byte("{}")}
 	ctrl, err := part.Bind(cfg.Object, obj, nil)

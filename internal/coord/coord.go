@@ -109,6 +109,16 @@ type Config struct {
 	// and commits of in-flight runs (defence against receiver crash between
 	// transport ack and processing). Zero disables re-broadcast.
 	RetryInterval time.Duration
+	// ResponseDeadline, under Majority termination, is the §7 deadline: a
+	// proposer that has waited this long (measured in RetryInterval
+	// re-broadcast rounds, so it needs RetryInterval > 0) concludes the run
+	// with the responses at hand, provided they form a strict majority of
+	// the group with the proposer — an unreachable minority can no longer
+	// block the group. Recipients accept majority commits symmetrically.
+	// Zero keeps the paper's behaviour of waiting for every response.
+	// Ignored under unanimous termination, which cannot conclude without
+	// the full response set.
+	ResponseDeadline time.Duration
 	// TTP, when set, names the trusted third party whose signed abort
 	// certificates the engine honours (§7 deadline extension). The TTP's
 	// certificate must be registered in Verifier.
@@ -178,6 +188,7 @@ type proposerRun struct {
 	responses map[string]wire.Signed
 	parsed    map[string]wire.Respond
 	recips    []string
+	started   time.Time     // when the propose was broadcast (§7 deadline anchor)
 	done      chan struct{} // closed when all responses are in (or the run is force-resolved)
 	aborted   bool          // TTP-certified abort
 	forced    bool          // predecessor rolled back: this run can never commit

@@ -1,0 +1,77 @@
+package coord
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// These tests pin the §7 response-deadline semantics: under majority
+// termination a proposer that has waited ResponseDeadline concludes the run
+// with the responses at hand — provided they form a strict majority with the
+// proposer — and recipients accept the resulting partial commit. Unanimous
+// termination and minority proposers are unaffected.
+
+func withResponseDeadline(d time.Duration) clusterOpt {
+	return func(c *Config) { c.ResponseDeadline = d }
+}
+
+func TestResponseDeadlineConcludesWithMajority(t *testing.T) {
+	c := newCluster(t, []string{"a", "b", "c", "d"}, []byte("v0"),
+		withTermination(Majority), withResponseDeadline(100*time.Millisecond))
+	defer c.close()
+
+	// d is unreachable; a, b and c are a strict majority of four.
+	c.net.Partition([]string{"a", "b", "c"}, []string{"d"})
+
+	ctx, cancel := ctxTO(5 * time.Second)
+	defer cancel()
+	out, err := c.node("a").engine.Propose(ctx, []byte("v1"))
+	if err != nil {
+		t.Fatalf("Propose with an unreachable minority: %v", err)
+	}
+	if !out.Valid {
+		t.Fatalf("majority outcome invalid: %+v", out)
+	}
+
+	// The commit legitimately omits d's response. Once the partition heals,
+	// the transport retransmits the run to d, whose verifyCommit must accept
+	// the partial response set and install the same state.
+	c.net.Heal()
+	if err := c.waitAgreed([]byte("v1"), 3*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResponseDeadlineIgnoredUnderUnanimous(t *testing.T) {
+	// Unanimous termination cannot conclude without the full response set;
+	// the deadline must not override that.
+	c := newCluster(t, []string{"alice", "bob"}, []byte("v0"),
+		withResponseDeadline(50*time.Millisecond))
+	defer c.close()
+	c.net.Partition([]string{"alice"}, []string{"bob"})
+
+	ctx, cancel := ctxTO(300 * time.Millisecond)
+	defer cancel()
+	_, err := c.node("alice").engine.Propose(ctx, []byte("v1"))
+	if !errors.Is(err, ErrBlocked) {
+		t.Fatalf("err = %v, want ErrBlocked", err)
+	}
+}
+
+func TestResponseDeadlineMinorityCannotConclude(t *testing.T) {
+	// A proposer cut off with less than a strict majority keeps waiting: the
+	// deadline only relaxes *which* responses are required, never the
+	// majority itself.
+	c := newCluster(t, []string{"a", "b", "c", "d"}, []byte("v0"),
+		withTermination(Majority), withResponseDeadline(50*time.Millisecond))
+	defer c.close()
+	c.net.Partition([]string{"a"}, []string{"b", "c", "d"})
+
+	ctx, cancel := ctxTO(400 * time.Millisecond)
+	defer cancel()
+	_, err := c.node("a").engine.Propose(ctx, []byte("v1"))
+	if !errors.Is(err, ErrBlocked) {
+		t.Fatalf("err = %v, want ErrBlocked", err)
+	}
+}

@@ -218,6 +218,7 @@ func (en *Engine) proposeAsync(ctx context.Context, mode wire.Mode, newState, up
 		responses: make(map[string]wire.Signed, len(recips)),
 		parsed:    make(map[string]wire.Respond, len(recips)),
 		recips:    recips,
+		started:   time.Now(),
 		done:      make(chan struct{}),
 		pred:      pred,
 		predTuple: predTuple,
@@ -289,11 +290,40 @@ func (en *Engine) proposeAsync(ctx context.Context, mode wire.Mode, newState, up
 // commit, installs or rolls back.
 func (en *Engine) awaitRun(ctx context.Context, run *proposerRun) (Outcome, error) {
 	var retryC <-chan time.Time
+	var deadline time.Duration
 	if en.cfg.RetryInterval > 0 {
 		ticker := time.NewTicker(en.cfg.RetryInterval)
 		defer ticker.Stop()
 		retryC = ticker.C
+		if en.cfg.Termination == Majority && en.cfg.ResponseDeadline > 0 {
+			deadline = en.cfg.ResponseDeadline
+			// Every recipient gets at least one retry round to answer
+			// before the run may conclude without it.
+			if deadline < en.cfg.RetryInterval {
+				deadline = en.cfg.RetryInterval
+			}
+		}
 	}
+	// §7 response deadline: under majority termination the run concludes
+	// with the responses at hand once the deadline — measured from the
+	// propose broadcast, NOT from this Await — has passed and a strict
+	// majority of the group (proposer included) has answered: an
+	// unreachable minority cannot hold the group's coordination hostage.
+	// The missing responses stay missing in the commit; recipients verify
+	// the majority the same way. Anchoring at the broadcast matters for a
+	// pipelined proposer, which often collects an outcome long after the
+	// deadline already lapsed and must not wait out a fresh retry round.
+	tryConclude := func() {
+		if deadline == 0 || time.Since(run.started) < deadline {
+			return
+		}
+		en.mu.Lock()
+		if (len(run.responses)+1)*2 > len(en.members) {
+			en.closeDoneLocked(run)
+		}
+		en.mu.Unlock()
+	}
+	tryConclude()
 	for {
 		select {
 		case <-run.done:
@@ -311,6 +341,7 @@ func (en *Engine) awaitRun(ctx context.Context, run *proposerRun) (Outcome, erro
 			}
 			aborted := run.aborted
 			en.mu.Unlock()
+			tryConclude()
 			if aborted {
 				return en.finishRun(ctx, run)
 			}
@@ -1246,21 +1277,26 @@ func (en *Engine) verifyCommit(from string, commit wire.Commit, rr *respondedRun
 			diag = fmt.Sprintf("%s asserts state integrity failure", resp.Responder)
 		}
 	}
-	// Completeness: one response per recipient.
-	for _, m := range members {
-		if m == prop.Proposer {
-			continue
+	// Completeness: one response per recipient, and this party's own
+	// response unmodified. Under the §7 majority extension a commit
+	// legitimately omits stragglers — including this party, if its answer
+	// came after the proposer's deadline — so both checks relax to the
+	// vote below, which still demands a strict verified majority. A
+	// *tampered* response can never reach here in either mode: every
+	// embedded response already passed signature verification above.
+	if termination != Majority {
+		for _, m := range members {
+			if m == prop.Proposer {
+				continue
+			}
+			if _, ok := seen[m]; !ok {
+				return commitInvalidSilent, fmt.Sprintf("commit missing response from %s", m)
+			}
 		}
-		if _, ok := seen[m]; !ok {
-			return commitInvalidSilent, fmt.Sprintf("commit missing response from %s", m)
+		if _, ok := commitContains(commit.Responds, rr.respond); !ok {
+			return commitInvalidSilent, "commit misrepresents this party's response"
 		}
 	}
-	// Our own response must appear unmodified.
-	own, ok := commitContains(commit.Responds, rr.respond)
-	if !ok {
-		return commitInvalidSilent, "commit misrepresents this party's response"
-	}
-	_ = own
 
 	var valid bool
 	switch termination {
@@ -1510,6 +1546,7 @@ func (en *Engine) RecoverPendingRuns(ctx context.Context) ([]Outcome, error) {
 			responses: make(map[string]wire.Signed),
 			parsed:    make(map[string]wire.Respond),
 			recips:    recipients,
+			started:   time.Now(), // recovered: deadline restarts post-crash
 			done:      make(chan struct{}),
 			pred:      prev,
 			predTuple: pred,

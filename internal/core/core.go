@@ -65,6 +65,11 @@ type Config struct {
 	RetryInterval time.Duration
 	// ResponseTimeout bounds membership decision waits (default 10s).
 	ResponseTimeout time.Duration
+	// ResponseDeadline, under Majority termination, is the §7 deadline
+	// after which a proposer concludes a run with a strict majority of
+	// responses instead of waiting for stragglers (zero: wait for all).
+	// See coord.Config.ResponseDeadline.
+	ResponseDeadline time.Duration
 	// SnapshotEvery bounds each engine's delta checkpoint chain (zero:
 	// the coord default).
 	SnapshotEvery int
@@ -79,6 +84,13 @@ type Config struct {
 	// Quotas caps what any single group may consume on this endpoint and
 	// enables admission control (zero: no quotas, see QuotaPolicy).
 	Quotas QuotaPolicy
+	// Prekeys is the relay plane's prekey directory (optional): sponsors
+	// snapshot it into Welcomes, joiners learn carried publications.
+	Prekeys group.PrekeyDirectory
+	// Drain, when set, empties this member's relay mailbox (relay client's
+	// Drain); the transfer plane invokes it at the start of a catch-up so
+	// parked traffic lands before state transfer decides what is missing.
+	Drain func(ctx context.Context) (int, error)
 	// LegacyDispatch selects the pre-runtime dispatch: one dedicated
 	// goroutine and a 1024-slot inbox channel per bound object, with the
 	// transport's delivery goroutine blocking on a full inbox. It exists
@@ -159,10 +171,16 @@ func (b *binding) handle(msg inboundEnv) {
 // Participant is one organisation's middleware runtime.
 type Participant struct {
 	cfg Config
+	// sendConn is what the protocol engines send through: cfg.Conn wrapped
+	// with the per-peer spill bound (see spillConn). Inbound still arrives
+	// on cfg.Conn's handler.
+	sendConn Conn
 
 	mu      sync.Mutex
 	objects map[string]*binding
 	closed  bool
+	relayFn func(from string, env wire.Envelope)
+	deposit DepositFn
 
 	sched *sched
 
@@ -187,6 +205,7 @@ func New(cfg Config) (*Participant, error) {
 		objects: make(map[string]*binding),
 		stop:    make(chan struct{}),
 	}
+	p.sendConn = &spillConn{Conn: cfg.Conn, p: p}
 	p.sched = newSched(cfg.Log, cfg.Ident.ID(), cfg.Quotas, !cfg.LegacyDispatch)
 	cfg.Conn.SetHandler(p.dispatch)
 	return p, nil
@@ -277,20 +296,21 @@ func (p *Participant) materializeLocked(b *binding, restore bool) error {
 		return nil
 	}
 	en, err := coord.New(coord.Config{
-		Ident:         p.cfg.Ident,
-		Object:        b.object,
-		Verifier:      p.cfg.Verifier,
-		TSA:           p.cfg.TSA,
-		Conn:          p.cfg.Conn,
-		Log:           p.cfg.Log,
-		Store:         p.cfg.Store,
-		Clock:         p.cfg.Clock,
-		Validator:     b.v,
-		Termination:   p.cfg.Termination,
-		RetryInterval: p.cfg.RetryInterval,
-		TTP:           p.cfg.TTP,
-		SnapshotEvery: p.cfg.SnapshotEvery,
-		PageSize:      p.cfg.PageSize,
+		Ident:            p.cfg.Ident,
+		Object:           b.object,
+		Verifier:         p.cfg.Verifier,
+		TSA:              p.cfg.TSA,
+		Conn:             p.sendConn,
+		Log:              p.cfg.Log,
+		Store:            p.cfg.Store,
+		Clock:            p.cfg.Clock,
+		Validator:        b.v,
+		Termination:      p.cfg.Termination,
+		RetryInterval:    p.cfg.RetryInterval,
+		ResponseDeadline: p.cfg.ResponseDeadline,
+		TTP:              p.cfg.TTP,
+		SnapshotEvery:    p.cfg.SnapshotEvery,
+		PageSize:         p.cfg.PageSize,
 	})
 	if err != nil {
 		return err
@@ -300,12 +320,13 @@ func (p *Participant) materializeLocked(b *binding, restore bool) error {
 		Object:   b.object,
 		Verifier: p.cfg.Verifier,
 		TSA:      p.cfg.TSA,
-		Conn:     p.cfg.Conn,
+		Conn:     p.sendConn,
 		Log:      p.cfg.Log,
 		Clock:    p.cfg.Clock,
 		Engine:   en,
 		Policy:   p.cfg.Transfer,
 		Gate:     &sessionGate{s: p.sched, b: b},
+		Drain:    p.cfg.Drain,
 	})
 	if err != nil {
 		return err
@@ -315,7 +336,7 @@ func (p *Participant) materializeLocked(b *binding, restore bool) error {
 		Object:          b.object,
 		Verifier:        p.cfg.Verifier,
 		TSA:             p.cfg.TSA,
-		Conn:            p.cfg.Conn,
+		Conn:            p.sendConn,
 		Log:             p.cfg.Log,
 		Clock:           p.cfg.Clock,
 		Engine:          en,
@@ -323,6 +344,7 @@ func (p *Participant) materializeLocked(b *binding, restore bool) error {
 		ResponseTimeout: p.cfg.ResponseTimeout,
 		Xfer:            xm,
 		InlineStateCap:  p.cfg.Transfer.InlineStateCap,
+		Prekeys:         p.cfg.Prekeys,
 	})
 	if err != nil {
 		return err
@@ -491,6 +513,12 @@ func (p *Participant) dispatch(from string, payload []byte) {
 		_, _ = p.cfg.Log.Append("", "", "malformed-envelope", p.cfg.Ident.ID(), nrlog.DirReceived, payload)
 		return
 	}
+	if relayKind(env.Kind) {
+		// Connection-scoped relay traffic (Object is empty): handled by the
+		// co-hosted relay client/server, never by binding dispatch.
+		p.handleRelay(from, env, payload)
+		return
+	}
 	p.mu.Lock()
 	b, ok := p.objects[env.Object]
 	closed := p.closed
@@ -519,6 +547,12 @@ func (p *Participant) dispatch(from string, payload []byte) {
 	}
 	p.sched.enqueue(b, from, env)
 }
+
+// Inject feeds one marshalled envelope into inbound dispatch exactly as if
+// it had arrived on the connection. The relay client's drain path uses it:
+// unsealed mailbox entries re-enter through the same routing, quota and
+// verification pipeline as live traffic.
+func (p *Participant) Inject(from string, payload []byte) { p.dispatch(from, payload) }
 
 // Close shuts the participant down (the connection is closed, the worker
 // pool drains and stops; engines keep their persisted state for recovery).

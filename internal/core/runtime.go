@@ -48,6 +48,14 @@ type QuotaPolicy struct {
 	// this many frames: Admit blocks until the link drains or the caller's
 	// context expires.
 	MaxPeerBacklog int
+	// MaxPendingToPeer bounds the outbound transport backlog to any single
+	// peer. A send that would grow a peer's un-acked retransmission queue
+	// past this many frames is instead parked at the relay (when one is
+	// configured — SetRelayDeposit — the peer drains it on reconnect) or
+	// shed with a "pending-shed" evidence entry; protocol retries and
+	// state-transfer catch-up restore liveness. This cap is endpoint-wide,
+	// not per group: the outbox it bounds is shared.
+	MaxPendingToPeer int
 	// Workers overrides the scheduler's worker-pool size (default
 	// GOMAXPROCS).
 	Workers int

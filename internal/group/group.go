@@ -86,6 +86,23 @@ type Config struct {
 	// InlineStateCap overrides the transfer plane's inline threshold
 	// (0: the policy default; negative: always inline).
 	InlineStateCap int
+	// Prekeys, when set, is the relay plane's prekey directory
+	// (relay.Directory): the sponsor snapshots it into each Welcome so the
+	// joiner can immediately seal relay deposits to every member, and the
+	// joiner learns the carried publications on adoption — each entry is
+	// individually signed by the member it names, so nothing here extends
+	// the sponsor's authority.
+	Prekeys PrekeyDirectory
+}
+
+// PrekeyDirectory is the slice of the relay plane's prekey directory the
+// membership protocol touches (satisfied by relay.Directory).
+type PrekeyDirectory interface {
+	// Snapshot returns every retained signed prekey publication, verbatim.
+	Snapshot() [][]byte
+	// Learn verifies and admits one signed publication; stale epochs
+	// return (false, nil) so carrying old Welcomes around stays harmless.
+	Learn(raw []byte) (bool, error)
 }
 
 // sponsorRun tracks an in-flight membership change at the sponsor.
@@ -285,6 +302,14 @@ func (m *Manager) adoptWelcome(ctx context.Context, w *wire.Welcome, signed wire
 	}
 	if err := m.logEvidence(w.RunID, wire.KindWelcome.String(), nrlog.DirReceived, w.Marshal()); err != nil {
 		return err
+	}
+	if m.cfg.Prekeys != nil {
+		// Each publication is individually signed by the member it names;
+		// Learn verifies and skips anything stale or forged, so a bad entry
+		// cannot poison the join.
+		for _, raw := range w.Prekeys {
+			_, _ = m.cfg.Prekeys.Learn(raw)
+		}
 	}
 	state := w.AgreedState
 	agreed := w.AgreedTuple

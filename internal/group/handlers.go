@@ -257,6 +257,13 @@ func (m *Manager) sponsorConnection(reqSigned wire.Signed, req wire.ConnRequest)
 	} else {
 		welcome.AgreedState = agreedPaged.Bytes()
 	}
+	if m.cfg.Prekeys != nil {
+		// Bounded by the wire cap; a directory can only exceed it with more
+		// members than any group this protocol targets.
+		if pks := m.cfg.Prekeys.Snapshot(); len(pks) <= wire.MaxWelcomePrekeys {
+			welcome.Prekeys = pks
+		}
+	}
 	wsigned := wire.Sign(wire.KindWelcome, welcome.Marshal(), m.cfg.Ident, m.cfg.TSA)
 	if err := m.logEvidence(runID, wire.KindWelcome.String(), nrlog.DirSent, wsigned.Marshal()); err != nil {
 		return

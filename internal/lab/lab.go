@@ -23,6 +23,7 @@ import (
 	"b2b/internal/group"
 	"b2b/internal/nrlog"
 	"b2b/internal/pagestate"
+	"b2b/internal/relay"
 	"b2b/internal/store"
 	"b2b/internal/transport"
 	"b2b/internal/tuple"
@@ -50,6 +51,12 @@ type Party struct {
 	// party was restarted): the handle for scheduling fsync failures and
 	// torn writes mid-run. Nil otherwise.
 	Disk *faults.DiskFS
+	// Relay is the party's relay client when the world was built with
+	// Options.Relay naming another party (nil for the host itself and for
+	// worlds without a relay). RelayServer is the hosted mailbox service on
+	// the Options.Relay party.
+	Relay       *relay.Client
+	RelayServer *relay.Server
 }
 
 // Engine returns the coordination engine for object (panics if unbound:
@@ -86,6 +93,10 @@ type Options struct {
 	Termination   coord.Termination
 	TTP           string
 	RetryInterval time.Duration
+	// ResponseDeadline enables the §7 deadline under Majority termination:
+	// a proposer concludes a run with a strict majority of responses after
+	// this long instead of blocking on an unreachable member.
+	ResponseDeadline time.Duration
 	// Batching enables the reliable layer's throughput path: per-peer frame
 	// coalescing and cumulative acks (transport.WithBatching).
 	Batching bool
@@ -141,6 +152,17 @@ type Options struct {
 	// in every party — the measured baseline for the E20 multi-tenant
 	// runtime experiment.
 	LegacyDispatch bool
+	// Relay names the party hosting the relay mailbox service (store-and-
+	// forward for offline members). Every other party gets a relay client:
+	// its catch-up drains the mailbox, and traffic over
+	// Quotas.MaxPendingToPeer parks there instead of shedding. Prekeys are
+	// published to every party at world construction. "" disables the
+	// relay plane entirely.
+	Relay string
+	// RelayMaxMsgs / RelayMaxBytes cap each hosted mailbox (zero: the
+	// relay defaults). Oldest deposits are evicted with evidence.
+	RelayMaxMsgs  int
+	RelayMaxBytes int64
 }
 
 // DiskSchedule arms a party's faults.DiskFS at world construction (both
@@ -263,6 +285,21 @@ func NewWorld(opts Options, ids ...string) (*World, error) {
 		}
 		w.Parties[id] = p
 	}
+	if opts.Relay != "" {
+		if _, ok := w.Parties[opts.Relay]; !ok {
+			return nil, fmt.Errorf("lab: relay host %q is not a party", opts.Relay)
+		}
+		// Publish every member's sealing prekey once all endpoints exist,
+		// so any party can seal deposits to any other from the start.
+		ctx := context.Background()
+		for _, id := range ids {
+			if cl := w.Parties[id].Relay; cl != nil {
+				if err := cl.PublishPrekey(ctx, w.order); err != nil {
+					return nil, fmt.Errorf("lab: publishing prekey for %s: %w", id, err)
+				}
+			}
+		}
+	}
 	return w, nil
 }
 
@@ -329,27 +366,91 @@ func (w *World) buildParty(id string, fs store.FS, disk *faults.DiskFS) (*Party,
 	if snapEvery == 0 {
 		snapEvery = opts.Durability.SnapshotEvery
 	}
-	part, err := core.New(core.Config{
-		Ident:          w.idents[id],
-		Verifier:       v,
-		TSA:            w.TSA,
-		Conn:           &interceptedConn{Interceptor: ic, rel: rel},
-		Log:            p.Log,
-		Store:          p.Store,
-		Clock:          w.Clk,
-		Termination:    opts.Termination,
-		TTP:            opts.TTP,
-		RetryInterval:  opts.RetryInterval,
-		SnapshotEvery:  snapEvery,
-		Transfer:       opts.Transfer,
-		PageSize:       opts.PageSize,
-		Quotas:         opts.Quotas,
-		LegacyDispatch: opts.LegacyDispatch,
-	})
+	iconn := &interceptedConn{Interceptor: ic, rel: rel}
+	cfg := core.Config{
+		Ident:            w.idents[id],
+		Verifier:         v,
+		TSA:              w.TSA,
+		Conn:             iconn,
+		Log:              p.Log,
+		Store:            p.Store,
+		Clock:            w.Clk,
+		Termination:      opts.Termination,
+		TTP:              opts.TTP,
+		RetryInterval:    opts.RetryInterval,
+		ResponseDeadline: opts.ResponseDeadline,
+		SnapshotEvery:    snapEvery,
+		Transfer:         opts.Transfer,
+		PageSize:         opts.PageSize,
+		Quotas:           opts.Quotas,
+		LegacyDispatch:   opts.LegacyDispatch,
+	}
+	// Relay plane: members get sealing keys and a prekey directory before
+	// the runtime is built (the directory feeds Welcome construction, the
+	// drain hook feeds catch-up); the client itself is built after, so the
+	// closure late-binds it.
+	var relayKeys *relay.SealKeys
+	var relayDir *relay.Directory
+	var relayClient *relay.Client
+	relayMember := opts.Relay != "" && id != opts.Relay
+	if relayMember {
+		var err error
+		relayKeys, err = relay.NewSealKeys()
+		if err != nil {
+			return nil, err
+		}
+		relayDir = relay.NewDirectory(v)
+		cfg.Prekeys = relayDir
+		cfg.Drain = func(ctx context.Context) (int, error) {
+			if relayClient == nil {
+				return 0, nil
+			}
+			return relayClient.Drain(ctx)
+		}
+	}
+	part, err := core.New(cfg)
 	if err != nil {
 		return nil, err
 	}
 	p.Part = part
+	if relayMember {
+		relayClient, err = relay.NewClient(relay.ClientConfig{
+			Ident:  w.idents[id],
+			TSA:    w.TSA,
+			Conn:   iconn,
+			Relay:  opts.Relay,
+			Keys:   relayKeys,
+			Dir:    relayDir,
+			Inject: part.Inject,
+			Clock:  w.Clk,
+		})
+		if err != nil {
+			return nil, err
+		}
+		part.SetRelayHandler(relayClient.HandleEnvelope)
+		part.SetRelayDeposit(relayClient.Deposit)
+		p.Relay = relayClient
+	}
+	if opts.Relay == id {
+		dir := ""
+		if opts.StorageDir != "" {
+			dir = filepath.Join(opts.StorageDir, id+".relay")
+		}
+		srv, err := relay.NewServer(relay.ServerConfig{
+			Conn:            iconn,
+			Verifier:        v,
+			Dir:             dir,
+			Durability:      opts.Durability,
+			Log:             p.Log,
+			MaxMailboxMsgs:  opts.RelayMaxMsgs,
+			MaxMailboxBytes: opts.RelayMaxBytes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		part.SetRelayHandler(srv.HandleEnvelope)
+		p.RelayServer = srv
+	}
 	return p, nil
 }
 
@@ -363,6 +464,11 @@ type interceptedConn struct {
 func (c *interceptedConn) SetHandler(h transport.Handler) {
 	c.rel.SetHandler(h)
 }
+
+// PendingTo surfaces the reliable layer's per-peer backlog through the
+// interceptor, so the runtime's peer throttling and the relay spill path
+// (QuotaPolicy.MaxPendingToPeer) see it in lab worlds too.
+func (c *interceptedConn) PendingTo(to string) int { return c.rel.PendingTo(to) }
 
 func (c *interceptedConn) Close() error { return c.rel.Close() }
 
@@ -386,6 +492,9 @@ func (w *World) Close() {
 	w.mu.Unlock()
 	for _, p := range parties {
 		_ = p.Part.Close()
+		if p.RelayServer != nil {
+			_ = p.RelayServer.Close()
+		}
 		if p.Plane != nil {
 			_ = p.Plane.Close()
 		}
@@ -459,6 +568,9 @@ func (w *World) BindLazyAt(id, object string) error {
 func (w *World) Crash(id string) {
 	p := w.Party(id)
 	_ = p.Part.Close()
+	if p.RelayServer != nil {
+		_ = p.RelayServer.Close()
+	}
 	if p.Plane != nil {
 		_ = p.Plane.Close()
 	}
@@ -501,6 +613,25 @@ func (w *World) Restart(id string) (*Party, error) {
 				continue
 			}
 			return nil, fmt.Errorf("lab: restarting %s: %w", id, err)
+		}
+	}
+	if w.opts.Relay != "" {
+		// Re-exchange prekeys, best-effort: the restarted member learns its
+		// peers' sealing keys again (its directory died with the process).
+		// Its own fresh key set restarts at epoch 1, which peers holding the
+		// old incarnation's higher-or-equal epoch ignore — deposits sealed
+		// to the dead key are skipped at drain and catch-up covers them.
+		ctx := context.Background()
+		w.mu.Lock()
+		parties := make([]*Party, 0, len(w.Parties))
+		for _, q := range w.Parties {
+			parties = append(parties, q)
+		}
+		w.mu.Unlock()
+		for _, q := range parties {
+			if q.Relay != nil {
+				_ = q.Relay.PublishPrekey(ctx, w.order)
+			}
 		}
 	}
 	return p, nil

@@ -1,0 +1,108 @@
+package relay
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"b2b/internal/crypto"
+	"b2b/internal/wire"
+)
+
+// Errors of the prekey directory.
+var (
+	// ErrNoPrekey: no prekey is known for the recipient, so nothing can be
+	// sealed to it. The depositor sheds (with evidence) instead of parking.
+	ErrNoPrekey = errors.New("relay: no prekey known for recipient")
+)
+
+// Directory is one endpoint's view of every member's freshest sealing
+// prekey. Entries arrive as signed RelayPrekey publications — broadcast by
+// the member on connect/rotate and carried to joiners inside the Welcome —
+// and Learn admits one only when its signature verifies, the signer is the
+// member it claims a key for, and its epoch is not older than what the
+// directory already holds. The raw signed publication is retained so it
+// can be forwarded verbatim (Welcome, relay-assisted gossip) without
+// re-signing.
+type Directory struct {
+	vfr *crypto.Verifier
+
+	mu   sync.Mutex
+	keys map[string]dirEntry
+}
+
+type dirEntry struct {
+	epoch uint64
+	pub   []byte
+	raw   []byte // the signed publication, verbatim
+}
+
+// NewDirectory creates an empty directory verifying against v.
+func NewDirectory(v *crypto.Verifier) *Directory {
+	return &Directory{vfr: v, keys: make(map[string]dirEntry)}
+}
+
+// Learn admits one signed RelayPrekey publication (the marshalled
+// wire.Signed). It returns true when the directory advanced — a fresh
+// member or a newer epoch — and false (no error) for a stale or duplicate
+// epoch, so gossip loops terminate.
+func (d *Directory) Learn(raw []byte) (bool, error) {
+	s, err := wire.UnmarshalSigned(raw)
+	if err != nil {
+		return false, err
+	}
+	if s.Kind != wire.KindRelayPrekey {
+		return false, fmt.Errorf("relay: prekey publication has kind %s", s.Kind)
+	}
+	if err := s.Verify(d.vfr); err != nil {
+		return false, err
+	}
+	pk, err := wire.UnmarshalRelayPrekey(s.Body)
+	if err != nil {
+		return false, err
+	}
+	if pk.Member != s.Signer() {
+		return false, fmt.Errorf("relay: prekey for %s signed by %s", pk.Member, s.Signer())
+	}
+	if len(pk.Pub) != sealKeyLen {
+		return false, fmt.Errorf("relay: prekey for %s has %d-byte key, want %d", pk.Member, len(pk.Pub), sealKeyLen)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if have, ok := d.keys[pk.Member]; ok && have.epoch >= pk.Epoch {
+		return false, nil
+	}
+	d.keys[pk.Member] = dirEntry{epoch: pk.Epoch, pub: pk.Pub, raw: raw}
+	return true, nil
+}
+
+// Lookup returns the freshest known prekey for a member.
+func (d *Directory) Lookup(member string) (epoch uint64, pub []byte, ok bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e, ok := d.keys[member]
+	if !ok {
+		return 0, nil, false
+	}
+	return e.epoch, e.pub, true
+}
+
+// Epoch returns the freshest known epoch for a member (0 when unknown).
+func (d *Directory) Epoch(member string) uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.keys[member].epoch
+}
+
+// Snapshot returns every retained signed publication, for forwarding to a
+// joiner inside the Welcome. Order is unspecified; receivers Learn each
+// entry independently.
+func (d *Directory) Snapshot() [][]byte {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([][]byte, 0, len(d.keys))
+	for _, e := range d.keys {
+		out = append(out, e.raw)
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+// Package relay is the store-and-forward plane: a mailbox service that
+// durably parks end-to-end signed protocol traffic addressed to offline
+// members and drains it on reconnect.
+//
+// A relay is UNTRUSTED (any member or a dedicated node can host one):
+// deposited envelopes are already signed end-to-end, so the relay can
+// forge nothing and verifies nothing — deposits are re-verified at the
+// recipient like any other inbound protocol message. Each deposit is
+// additionally sealed to the recipient's per-epoch X25519 prekey, so a
+// compromised relay disk reveals nothing once the recipient rotates
+// epochs and discards the old private key. Mailboxes are capped (messages
+// and bytes) with FIFO eviction-with-evidence, so relay disk stays
+// bounded no matter how long a member sleeps. See docs/ARCHITECTURE.md,
+// "Relay plane", and docs/PROTOCOL.md §11.
+package relay
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Seal blob layout: ephemeral X25519 public key, AES-GCM nonce, ciphertext.
+const (
+	sealKeyLen   = 32
+	sealNonceLen = 12
+)
+
+// Errors of the sealing layer.
+var (
+	// ErrSealEpoch: the blob was sealed under an epoch whose private key
+	// has been discarded (older than the previous epoch) or not yet
+	// generated. Forward secrecy working as intended.
+	ErrSealEpoch = errors.New("relay: no sealing key for epoch")
+	errSealShort = errors.New("relay: sealed blob too short")
+)
+
+// sealKDF derives the AES key for one (ephemeral, recipient) pair. The
+// transcript binds both public keys so a blob cannot be re-targeted.
+func sealKDF(ephPub, recipientPub, shared []byte) []byte {
+	h := sha256.New()
+	h.Write([]byte("b2b-relay-seal-v1"))
+	h.Write(ephPub)
+	h.Write(recipientPub)
+	h.Write(shared)
+	return h.Sum(nil)
+}
+
+// Seal encrypts plain to the recipient's epoch prekey (an X25519 public
+// key): a fresh ephemeral key agrees with the prekey, the shared secret is
+// hashed into an AES-256-GCM key, and the blob carries the ephemeral
+// public key and nonce in the clear. Only the prekey's private half opens
+// it — the depositor itself cannot decrypt the blob after sealing.
+func Seal(recipientPub, plain []byte) ([]byte, error) {
+	pub, err := ecdh.X25519().NewPublicKey(recipientPub)
+	if err != nil {
+		return nil, fmt.Errorf("relay: recipient prekey: %w", err)
+	}
+	eph, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	shared, err := eph.ECDH(pub)
+	if err != nil {
+		return nil, err
+	}
+	aead, err := newSealAEAD(sealKDF(eph.PublicKey().Bytes(), recipientPub, shared))
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, sealNonceLen)
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, sealKeyLen+sealNonceLen+len(plain)+aead.Overhead())
+	out = append(out, eph.PublicKey().Bytes()...)
+	out = append(out, nonce...)
+	return aead.Seal(out, nonce, plain, nil), nil
+}
+
+func newSealAEAD(key []byte) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewGCM(block)
+}
+
+// open decrypts a Seal blob with the recipient's epoch private key.
+func open(priv *ecdh.PrivateKey, sealed []byte) ([]byte, error) {
+	if len(sealed) < sealKeyLen+sealNonceLen {
+		return nil, errSealShort
+	}
+	ephPub, err := ecdh.X25519().NewPublicKey(sealed[:sealKeyLen])
+	if err != nil {
+		return nil, fmt.Errorf("relay: ephemeral key: %w", err)
+	}
+	shared, err := priv.ECDH(ephPub)
+	if err != nil {
+		return nil, err
+	}
+	aead, err := newSealAEAD(sealKDF(sealed[:sealKeyLen], priv.PublicKey().Bytes(), shared))
+	if err != nil {
+		return nil, err
+	}
+	nonce := sealed[sealKeyLen : sealKeyLen+sealNonceLen]
+	return aead.Open(nil, nonce, sealed[sealKeyLen+sealNonceLen:], nil)
+}
+
+// SealKeys holds one member's per-epoch sealing keys: the current epoch
+// and the immediately previous one (deposits sealed just before a rotation
+// must still open), nothing older. Rotation discards the older key, which
+// is the forward-secrecy guarantee: a key compromised at epoch e opens
+// nothing sealed under epochs <= e-2, and after two further rotations the
+// member itself cannot open epoch-e blobs either.
+type SealKeys struct {
+	mu    sync.Mutex
+	epoch uint64
+	cur   *ecdh.PrivateKey
+	prev  *ecdh.PrivateKey // epoch-1 key; nil at the first epoch
+}
+
+// NewSealKeys generates a fresh key set at epoch 1.
+func NewSealKeys() (*SealKeys, error) {
+	cur, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	return &SealKeys{epoch: 1, cur: cur}, nil
+}
+
+// Epoch returns the current sealing epoch.
+func (k *SealKeys) Epoch() uint64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.epoch
+}
+
+// Public returns the current epoch and its public prekey — the pair a
+// RelayPrekey publication carries.
+func (k *SealKeys) Public() (uint64, []byte) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.epoch, k.cur.PublicKey().Bytes()
+}
+
+// Rotate advances to a fresh epoch: a new key becomes current, the old
+// current becomes previous, and the old previous is discarded for good.
+func (k *SealKeys) Rotate() (uint64, []byte, error) {
+	next, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return 0, nil, err
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.prev = k.cur
+	k.cur = next
+	k.epoch++
+	return k.epoch, k.cur.PublicKey().Bytes(), nil
+}
+
+// Open decrypts a sealed deposit made under the given epoch. Only the
+// current and previous epochs are openable; anything older fails with
+// ErrSealEpoch.
+func (k *SealKeys) Open(epoch uint64, sealed []byte) ([]byte, error) {
+	k.mu.Lock()
+	var priv *ecdh.PrivateKey
+	switch {
+	case epoch == k.epoch:
+		priv = k.cur
+	case epoch == k.epoch-1 && k.prev != nil:
+		priv = k.prev
+	}
+	k.mu.Unlock()
+	if priv == nil {
+		return nil, fmt.Errorf("%w: %d", ErrSealEpoch, epoch)
+	}
+	return open(priv, sealed)
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"b2b/internal/coord"
+	"b2b/internal/core"
 	"b2b/internal/faults"
 	"b2b/internal/lab"
 	"b2b/internal/store"
@@ -43,8 +44,22 @@ type Report struct {
 	Evictions     int
 	SkippedFaults int
 	SiblingRuns   int // valid runs on co-resident sibling objects
-	FinalSeq      uint64
+	// OfflineWindows counts fired FaultOffline windows; Drained is the total
+	// number of mailbox deposits delivered by reconnect drains (the windows'
+	// own drains plus the end-phase sweeps).
+	OfflineWindows int
+	Drained        int
+	FinalSeq       uint64
 }
+
+// relayHostID names the dedicated relay mailbox party of relay scenarios.
+// It is deliberately outside the PartyID namespace: the host is not a group
+// member and never sees plaintext.
+const relayHostID = "relayhub"
+
+// relayMailboxBytes caps each relay mailbox's bytes in relay scenarios; the
+// invariant-7 disk budget is derived from it.
+const relayMailboxBytes = 1 << 20
 
 // Run executes one scenario and checks the global invariants. Any returned
 // error carries the scenario seed, so a failing soak run is reproducible
@@ -81,7 +96,7 @@ func run(ctx context.Context, cfg Config, s Scenario) (*Report, error) {
 	if s.Majority {
 		term = coord.Majority
 	}
-	w, err := lab.NewWorld(lab.Options{
+	opts := lab.Options{
 		Seed:              s.Seed,
 		Termination:       term,
 		StorageDir:        cfg.Dir,
@@ -100,7 +115,21 @@ func run(ctx context.Context, cfg Config, s Scenario) (*Report, error) {
 			RequestTimeout: 250 * time.Millisecond,
 		},
 		DiskFaults: diskFaults,
-	}, ids...)
+	}
+	worldIDs := ids
+	if s.Relay {
+		// The offline band: a mailbox host outside the group, the §7
+		// response deadline so the majority keeps committing past the
+		// sleeper, and a per-peer pending quota so the sleeper's backlog
+		// spills to the relay instead of growing the senders' journals.
+		worldIDs = append(append([]string{}, ids...), relayHostID)
+		opts.Relay = relayHostID
+		opts.RelayMaxMsgs = s.RelayMaxMsgs
+		opts.RelayMaxBytes = relayMailboxBytes
+		opts.ResponseDeadline = 250 * time.Millisecond
+		opts.Quotas = core.QuotaPolicy{MaxPendingToPeer: 8}
+	}
+	w, err := lab.NewWorld(opts, worldIDs...)
 	if err != nil {
 		return nil, err
 	}
@@ -121,6 +150,7 @@ func run(ctx context.Context, cfg Config, s Scenario) (*Report, error) {
 		crashed:   make(map[string]bool),
 		evicted:   make(map[string]bool),
 		restarted: make(map[string]bool),
+		offline:   make(map[string]bool),
 		expected:  rt.initial,
 	}
 	defer ex.abort()
@@ -182,6 +212,7 @@ type executor struct {
 	crashed   map[string]bool
 	evicted   map[string]bool
 	restarted map[string]bool
+	offline   map[string]bool
 	asyncErr  error
 	heavy     bool
 	aborted   bool
@@ -394,7 +425,7 @@ func (ex *executor) drivePatchStep(ctx context.Context, i int, st Step) error {
 // burn the scenario budget on runs that can only time out.
 func (ex *executor) driveSiblingStep(ctx context.Context, i int) {
 	ex.mu.Lock()
-	busy := len(ex.crashed) > 0 || len(ex.evicted) > 0
+	busy := len(ex.crashed) > 0 || len(ex.evicted) > 0 || len(ex.offline) > 0
 	ex.mu.Unlock()
 	if busy {
 		ex.rep.SkippedSteps++
@@ -646,6 +677,57 @@ func (ex *executor) applyFault(ctx context.Context, f Fault) {
 
 	case FaultAdversary:
 		ex.attack(ctx, f)
+
+	case FaultOffline:
+		if !ex.tryHeavy() {
+			return
+		}
+		victim := PartyID(f.Party)
+		ex.logf("fault: offline %s for %s (traffic spills to the relay)", victim, f.Duration)
+		// Offline means cut from everyone, the relay host included: the
+		// mailbox fills from the majority side, not from the victim polling.
+		ex.w.Net.Partition(append(ex.others(victim), relayHostID), []string{victim})
+		ex.mu.Lock()
+		ex.offline[victim] = true
+		ex.rep.OfflineWindows++
+		ex.mu.Unlock()
+		ex.after(f.Duration, func() {
+			defer ex.doneHeavy()
+			// Reconnect with the would-be serving sponsor down: crash one
+			// other non-actor (when the group has one to spare) before
+			// healing, so the drain and catch-up below can only be served
+			// by the survivors.
+			sponsor := ""
+			ex.mu.Lock()
+			for i := ex.s.actorCount(); i < ex.s.Parties; i++ {
+				id := PartyID(i)
+				if id != victim && !ex.crashed[id] && !ex.evicted[id] {
+					sponsor = id
+					break
+				}
+			}
+			ex.mu.Unlock()
+			if sponsor != "" {
+				ex.crash(sponsor)
+			}
+			ex.w.Net.Heal()
+			dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if cl := ex.w.Party(victim).Relay; cl != nil {
+				if n, err := cl.Drain(dctx); err == nil {
+					ex.mu.Lock()
+					ex.rep.Drained += n
+					ex.mu.Unlock()
+				}
+			}
+			_, _ = ex.w.Party(victim).Xfer(scenarioObject).CatchUp(dctx)
+			ex.mu.Lock()
+			delete(ex.offline, victim)
+			ex.mu.Unlock()
+			if sponsor != "" {
+				ex.restart(sponsor)
+			}
+		})
 	}
 }
 
@@ -690,7 +772,7 @@ func (ex *executor) restart(id string) {
 func (ex *executor) attack(ctx context.Context, f Fault) {
 	attacker := PartyID(f.Party)
 	ex.mu.Lock()
-	down := ex.crashed[attacker] || ex.evicted[attacker]
+	down := ex.crashed[attacker] || ex.evicted[attacker] || ex.offline[attacker]
 	ex.mu.Unlock()
 	if down {
 		ex.rep.SkippedFaults++
@@ -875,6 +957,34 @@ func (ex *executor) endPhase(ctx context.Context) error {
 		}
 		if !sibDone {
 			return fmt.Errorf("invariant 1 (sibling %s convergence after quiesce+heal) violated: %w", sib, lastErr)
+		}
+	}
+
+	// Relay sweep: straggling retransmissions (backed-off senders, restart
+	// recovery) can deposit a few more frames after the offline window's own
+	// drain, so every member polls until the hosted mailboxes stay empty —
+	// the precondition of invariant 7.
+	if ex.s.Relay {
+		hub := ex.w.Party(relayHostID).RelayServer
+		for time.Now().Before(deadline) {
+			if msgs, _ := hub.TotalParked(); msgs == 0 {
+				break
+			}
+			for _, id := range ex.ids {
+				cl := ex.w.Party(id).Relay
+				if cl == nil || hub.Depth(id) == 0 {
+					continue
+				}
+				dctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+				n, err := cl.Drain(dctx)
+				cancel()
+				if err == nil {
+					ex.mu.Lock()
+					ex.rep.Drained += n
+					ex.mu.Unlock()
+				}
+			}
+			time.Sleep(50 * time.Millisecond)
 		}
 	}
 	return nil

@@ -6,7 +6,7 @@ import (
 	"fmt"
 )
 
-// checkInvariants verifies the six global invariants after the end phase
+// checkInvariants verifies the seven global invariants after the end phase
 // has healed and quiesced the world. They hold for EVERY generated
 // scenario — the checker knows nothing about which faults fired:
 //
@@ -24,6 +24,10 @@ import (
 //  6. Contention convergence: the many-writer workload made aggregate
 //     forward progress — dueling proposers ending converged on the genesis
 //     state would satisfy invariant 1 while the group livelocked.
+//  7. Relay bound: the mailbox host's storage stayed within the per-mailbox
+//     caps plus durability slack, and after convergence every member's
+//     mailbox drained empty — parked traffic neither accumulates without
+//     bound nor outlives the member it was parked for.
 func (ex *executor) checkInvariants() error {
 	var errs []error
 
@@ -127,6 +131,27 @@ func (ex *executor) checkInvariants() error {
 			errs = append(errs, fmt.Errorf(
 				"invariant 6 (contention progress): %d valid runs, final agreed seq=%d — the contested group made no forward progress",
 				ex.rep.ValidRuns, refTuple.Seq))
+		}
+	}
+
+	// Invariant 7: bounded relay storage, mailboxes empty after convergence.
+	if ex.s.Relay {
+		hub := ex.w.Party(relayHostID).RelayServer
+		for _, id := range ex.ids {
+			if depth := hub.Depth(id); depth != 0 {
+				errs = append(errs, fmt.Errorf(
+					"invariant 7 (relay): %s's mailbox still holds %d deposits after convergence", id, depth))
+			}
+		}
+		if msgs, bytes := hub.TotalParked(); ex.s.RelayMaxMsgs > 0 && msgs > len(ex.ids)*ex.s.RelayMaxMsgs {
+			errs = append(errs, fmt.Errorf(
+				"invariant 7 (relay): %d parked deposits (%d bytes) exceed the %d-mailbox cap of %d each",
+				msgs, bytes, len(ex.ids), ex.s.RelayMaxMsgs))
+		}
+		relayBound := int64(len(ex.ids))*relayMailboxBytes + ex.s.CompactAt + int64(ex.s.SegmentSize)
+		if use := hub.DiskUsage(); use > relayBound {
+			errs = append(errs, fmt.Errorf(
+				"invariant 7 (relay): host uses %d bytes on disk, budget %d", use, relayBound))
 		}
 	}
 

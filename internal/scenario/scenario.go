@@ -105,6 +105,17 @@ const (
 	FaultAdversary
 
 	numFaultKinds
+
+	// FaultOffline is the intermittent-WAN window: the victim is cut from
+	// everyone — including the relay host — for Duration while the majority
+	// keeps committing under the §7 response deadline and its traffic spills
+	// to the relay mailbox. At reconnect another non-actor member (its
+	// would-be serving sponsor) is crashed first, so convergence must come
+	// from the relay drain plus catch-up served by the survivors. It sits
+	// after numFaultKinds on purpose: the random draw never emits it
+	// (existing seeds keep their scenarios byte-identical); the fixed-seed
+	// offline matrix derives it through GenerateOffline.
+	FaultOffline
 )
 
 // String names the fault kind canonically.
@@ -124,6 +135,8 @@ func (k FaultKind) String() string {
 		return "stalekill"
 	case FaultAdversary:
 		return "adversary"
+	case FaultOffline:
+		return "offline"
 	}
 	return fmt.Sprintf("fault(%d)", uint8(k))
 }
@@ -211,6 +224,13 @@ type Scenario struct {
 	Workload Workload
 	Steps    []Step
 	Faults   []Fault
+	// Relay adds a dedicated relay mailbox host outside the group (the
+	// offline band): the world runs with majority termination, the §7
+	// response deadline and a per-peer pending quota, so traffic toward a
+	// sleeping member spills to the relay instead of pinning the sender.
+	Relay bool
+	// RelayMaxMsgs caps each relay mailbox (zero: the relay default).
+	RelayMaxMsgs int
 }
 
 // objectCount normalizes the Objects knob (zero means the legacy single
@@ -255,6 +275,48 @@ func GenerateContention(seed uint64) Scenario {
 	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
 	_ = rng.IntN(int(numWorkloads)) // discard: workload is pinned
 	return generate(rng, seed, Contention)
+}
+
+// GenerateOffline derives the intermittent-WAN offline-member scenario for a
+// seed: the same deterministic derivation as Generate, then — strictly after
+// the shared draw, so every existing seed keeps its Generate scenario
+// byte-identical — the band's shape is overlaid. The group runs majority
+// termination over at least four parties with a relay mailbox host, and one
+// FaultOffline window puts the last (always non-actor) party to sleep
+// through committed rounds; drawn heavy faults are dropped — they would
+// contend for the serialized heavy slot and could starve the window, and
+// the band gets its member-down coverage from the sponsor crash staged at
+// reconnect. The fixed-seed offline matrix and the -offline replay flag
+// drive scenarios through this.
+func GenerateOffline(seed uint64) Scenario {
+	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	s := generate(rng, seed, Workload(rng.IntN(int(numWorkloads))))
+	if s.Parties < 4 {
+		s.Parties = 4
+	}
+	s.Majority = true
+	s.Relay = true
+	s.RelayMaxMsgs = []int{16, 64, 256}[rng.IntN(3)]
+	victim := s.Parties - 1
+	kept := s.Faults[:0]
+	for _, f := range s.Faults {
+		if f.Kind != FaultLinkFlaky && f.Kind != FaultAdversary {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	step := 0
+	if len(s.Steps) > 1 {
+		step = rng.IntN(len(s.Steps) - 1)
+	}
+	s.Faults = append(kept, Fault{
+		Step:     step,
+		Kind:     FaultOffline,
+		Party:    victim,
+		Duration: time.Duration(600+rng.IntN(900)) * time.Millisecond,
+	})
+	sortFaults(s.Faults)
+	return s
 }
 
 // generate is the shared derivation body behind Generate and
@@ -441,9 +503,15 @@ func (s Scenario) Describe() string {
 	if s.Majority {
 		term = "majority"
 	}
-	fmt.Fprintf(&b, "scenario seed=%#016x workload=%s parties=%d term=%s w=%d page=%d obj=%d snap=%d compact=%d seg=%d retain=%d inline=%d chunk=%d objects=%d\n",
+	fmt.Fprintf(&b, "scenario seed=%#016x workload=%s parties=%d term=%s w=%d page=%d obj=%d snap=%d compact=%d seg=%d retain=%d inline=%d chunk=%d objects=%d",
 		s.Seed, s.Workload, s.Parties, term, s.Window, s.PageSize, s.ObjectSize,
 		s.SnapshotEvery, s.CompactAt, s.SegmentSize, s.RetainEntries, s.InlineStateCap, s.ChunkSize, s.objectCount())
+	if s.Relay {
+		// Appended only for relay scenarios so pre-relay seeds keep their
+		// descriptions byte-identical.
+		fmt.Fprintf(&b, " relay=1 mailbox=%d", s.RelayMaxMsgs)
+	}
+	b.WriteByte('\n')
 	for i, st := range s.Steps {
 		fmt.Fprintf(&b, "step %d a=%d b=%d\n", i, st.A, st.B)
 	}
@@ -490,8 +558,11 @@ func (s Scenario) Validate() error {
 		if f.Step < 0 || f.Step >= len(s.Steps) {
 			return fmt.Errorf("fault %d at step %d outside script", i, f.Step)
 		}
-		if f.Kind >= numFaultKinds {
+		if f.Kind >= numFaultKinds && f.Kind != FaultOffline {
 			return fmt.Errorf("fault %d has unknown kind %d", i, f.Kind)
+		}
+		if f.Kind == FaultOffline && (!s.Relay || !s.Majority) {
+			return fmt.Errorf("fault %d offline window needs a relay host and majority termination", i)
 		}
 		switch f.Kind {
 		case FaultLinkFlaky:

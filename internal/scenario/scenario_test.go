@@ -12,6 +12,7 @@ import (
 var (
 	runSeed       = flag.Uint64("run-seed", 0, "replay one generated scenario by seed (TestRunSeed)")
 	runContention = flag.Bool("contention", false, "replay the seed through GenerateContention instead of Generate")
+	runOffline    = flag.Bool("offline", false, "replay the seed through GenerateOffline instead of Generate")
 )
 
 // TestGenerateDeterministic: the same seed yields the byte-identical
@@ -36,6 +37,27 @@ func TestGenerateDeterministic(t *testing.T) {
 		}
 		if err := a.Validate(); err != nil {
 			t.Fatalf("seed %#x: contention scenario invalid: %v", seed, err)
+		}
+	}
+	for _, seed := range []uint64{0, 1, 42, 0xdeadbeef} {
+		a, b := GenerateOffline(seed), GenerateOffline(seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %#x: two offline generations differ", seed)
+		}
+		if !a.Relay || !a.Majority {
+			t.Fatalf("seed %#x: offline scenario lacks relay/majority: %+v", seed, a)
+		}
+		offline := 0
+		for _, f := range a.Faults {
+			if f.Kind == FaultOffline {
+				offline++
+			}
+		}
+		if offline != 1 {
+			t.Fatalf("seed %#x: offline scenario has %d offline windows, want 1", seed, offline)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("seed %#x: offline scenario invalid: %v\n%s", seed, err, a.Describe())
 		}
 	}
 	var m1, m2 strings.Builder
@@ -117,6 +139,40 @@ func TestContentionMatrix(t *testing.T) {
 	}
 }
 
+// TestOfflineMatrix is the fixed-seed intermittent-WAN matrix: in every
+// scenario one member sleeps through committed rounds behind a full cut
+// (relay host included) while its traffic spills to the sealed relay
+// mailbox, then reconnects — with another member crashed at that exact
+// moment — and must converge through relay drain + catch-up. All global
+// invariants apply, including invariant 7 (bounded relay storage, mailboxes
+// empty after convergence). A failing seed replays with:
+//
+//	go test ./internal/scenario -run TestRunSeed -run-seed <seed> -offline
+func TestOfflineMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("offline matrix is not a -short test")
+	}
+	for i := uint64(0); i < 20; i++ {
+		s := GenerateOffline(0x0ff11e5eed + i)
+		t.Run(s.Workload.String()+"/"+seedName(s.Seed), func(t *testing.T) {
+			t.Parallel()
+			rep, err := Run(context.Background(), Config{Dir: t.TempDir(), Timeout: 120 * time.Second}, s)
+			if err != nil {
+				t.Fatalf("%v\nreplay: go test ./internal/scenario -run TestRunSeed -run-seed %d -offline\n%s", err, s.Seed, s.Describe())
+			}
+			t.Logf("valid=%d invalid=%d skippedSteps=%d offlineWindows=%d drained=%d crashes=%d restarts=%d finalSeq=%d",
+				rep.ValidRuns, rep.InvalidRuns, rep.SkippedSteps, rep.OfflineWindows,
+				rep.Drained, rep.Crashes, rep.Restarts, rep.FinalSeq)
+			if rep.ValidRuns == 0 {
+				t.Fatal("scenario made no progress at all")
+			}
+			if rep.OfflineWindows == 0 {
+				t.Fatal("the offline window never fired")
+			}
+		})
+	}
+}
+
 func seedName(seed uint64) string {
 	s := Scenario{Seed: seed}
 	d := s.Describe()
@@ -135,6 +191,9 @@ func TestRunSeed(t *testing.T) {
 	s := Generate(*runSeed)
 	if *runContention {
 		s = GenerateContention(*runSeed)
+	}
+	if *runOffline {
+		s = GenerateOffline(*runSeed)
 	}
 	t.Logf("replaying scenario:\n%s", s.Describe())
 	rep, err := Run(context.Background(), Config{Dir: t.TempDir(), Timeout: 3 * time.Minute, Logf: t.Logf}, s)

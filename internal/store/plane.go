@@ -46,6 +46,12 @@ const (
 	// RecNrlogAnchor is a signed truncation anchor carrying the evidence
 	// chain hash at a compaction cut.
 	RecNrlogAnchor RecordKind = 0x07
+	// RecRelayDeposit is one parked relay-mailbox entry (internal/relay's
+	// server); RecRelayDrop is its cumulative tombstone — every entry of a
+	// mailbox with sequence <= the recorded bound is acknowledged or
+	// evicted. Only relay-dedicated planes carry these kinds.
+	RecRelayDeposit RecordKind = 0x08
+	RecRelayDrop    RecordKind = 0x09
 )
 
 // Policy is the durability plane's retention and group-commit policy. The

@@ -1,0 +1,126 @@
+package transport
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// frameTimes records the arrival instant of every raw frame a peer sees.
+type frameTimes struct {
+	mu sync.Mutex
+	ts []time.Time
+}
+
+func (f *frameTimes) handler(string, []byte) {
+	f.mu.Lock()
+	f.ts = append(f.ts, time.Now())
+	f.mu.Unlock()
+}
+
+func (f *frameTimes) snapshot() []time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]time.Time, len(f.ts))
+	copy(out, f.ts)
+	return out
+}
+
+// TestReliableBackoffDecaysForDeadPeer pins the satellite requirement: a
+// peer that never acknowledges must see the retransmission rate decay from
+// the retry floor toward the cap, instead of being hammered at a fixed
+// interval forever.
+func TestReliableBackoffDecaysForDeadPeer(t *testing.T) {
+	nw := NewNetwork(1)
+	defer nw.Close()
+
+	const (
+		floor = 2 * time.Millisecond
+		cap   = 50 * time.Millisecond
+		run   = 500 * time.Millisecond
+	)
+	ra, err := NewReliable(nw.Endpoint("a"), WithRetryInterval(floor), WithRetryBackoff(cap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ra.Close()
+
+	// b receives a's frames but is "dead" at the reliable layer: it never
+	// sends an ack, so from a's perspective the message stays outstanding.
+	var seen frameTimes
+	b := nw.Endpoint("b")
+	b.SetHandler(seen.handler)
+
+	if err := ra.Send(context.Background(), "b", []byte("into the void")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(run)
+
+	ts := seen.snapshot()
+	if len(ts) < 4 {
+		t.Fatalf("expected several retransmissions, saw %d frames", len(ts))
+	}
+
+	// A fixed-interval retransmitter would emit ~run/floor = 250 frames.
+	// Geometric backoff to the cap keeps it around 6 + run/cap ≈ 16; allow
+	// generous slack for jitter and scheduler noise.
+	if max := int(run / floor / 4); len(ts) > max {
+		t.Fatalf("retransmit rate did not decay: %d frames in %v (fixed-rate would be ~%d)", len(ts), run, int(run/floor))
+	}
+
+	// The inter-arrival gaps must grow: the final gap (at the cap) has to
+	// dwarf the first one (at the floor).
+	first := ts[1].Sub(ts[0])
+	last := ts[len(ts)-1].Sub(ts[len(ts)-2])
+	if last <= first {
+		t.Fatalf("gaps did not grow: first %v, last %v", first, last)
+	}
+	if last < cap/2 {
+		t.Fatalf("final retransmit gap %v never approached the cap %v", last, cap)
+	}
+}
+
+// TestReliableBackoffResetsOnContact pins the heal path: once a previously
+// silent peer emits any frame, retransmission to it returns to the floor so
+// the backlog drains promptly instead of waiting out the cap.
+func TestReliableBackoffResetsOnContact(t *testing.T) {
+	nw := NewNetwork(1)
+	defer nw.Close()
+
+	ra, err := NewReliable(nw.Endpoint("a"), WithRetryInterval(2*time.Millisecond), WithRetryBackoff(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ra.Close()
+
+	// Phase 1: b is deaf; let a back off hard (cap one minute, so after the
+	// first few sweeps the next retransmission is effectively never).
+	bRaw := nw.Endpoint("b")
+	var mute frameTimes
+	bRaw.SetHandler(mute.handler)
+	if err := ra.Send(context.Background(), "b", []byte("parked")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(60 * time.Millisecond)
+
+	// Phase 2: b comes alive as a real reliable endpoint sharing the same
+	// address (the memory network rebinds the handler) and sends a frame of
+	// its own; that contact must reset a's backoff so the pending message
+	// is retransmitted and delivered promptly.
+	rb, err := NewReliable(bRaw, WithRetryInterval(2*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rb.Close()
+	var got collector
+	rb.SetHandler(got.handler)
+	if err := rb.Send(context.Background(), "a", []byte("hello, I'm back")); err != nil {
+		t.Fatal(err)
+	}
+
+	got.waitFor(t, 1, 2*time.Second)
+	if msgs := got.snapshot(); msgs[0] != "parked" {
+		t.Fatalf("expected parked message first, got %q", msgs)
+	}
+}

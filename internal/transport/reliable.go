@@ -3,6 +3,7 @@ package transport
 import (
 	"context"
 	"fmt"
+	"math/rand/v2"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -140,9 +141,23 @@ func (j *MemJournal) Load() ([]JournalRecord, []string, error) {
 // ReliableOption configures a Reliable endpoint.
 type ReliableOption func(*Reliable)
 
-// WithRetryInterval sets the retransmission period (default 50ms).
+// WithRetryInterval sets the retransmission floor (default 50ms): the
+// interval of the first retransmission to a peer, and the sweep
+// granularity of the retransmit loop. Subsequent retransmissions to a
+// silent peer back off exponentially from this floor (see
+// WithRetryBackoff).
 func WithRetryInterval(d time.Duration) ReliableOption {
 	return func(r *Reliable) { r.retry = d }
+}
+
+// WithRetryBackoff caps the per-peer exponential retransmission backoff
+// (default 1s, never below the retry floor). Each consecutive unacked
+// sweep doubles a peer's retransmit interval from the floor up to this
+// cap, with jitter, so a long-offline peer costs a trickle instead of a
+// full-rate retransmit storm; any frame from the peer — ack or data —
+// resets it to the floor, so a reconnecting peer is served promptly.
+func WithRetryBackoff(cap time.Duration) ReliableOption {
+	return func(r *Reliable) { r.retryCap = cap }
 }
 
 // WithJournal attaches a persistence journal; on construction the outbox and
@@ -177,9 +192,10 @@ func WithBatching(window time.Duration, maxBytes int) ReliableOption {
 // "eventual, once-only delivery"). Ordering is NOT guaranteed — the protocol
 // does not require it.
 type Reliable struct {
-	ep      Endpoint
-	retry   time.Duration
-	journal Journal
+	ep       Endpoint
+	retry    time.Duration
+	retryCap time.Duration
+	journal  Journal
 
 	batching    bool
 	batchWindow time.Duration
@@ -187,10 +203,14 @@ type Reliable struct {
 
 	mu      sync.Mutex
 	outbox  map[string]JournalRecord
+	sentAt  map[string]time.Time // last wire transmission per outbox record
 	seen    map[string]struct{}
 	handler Handler
 	acked   map[string]chan struct{} // per-message ack notification
 	closed  bool
+	// backoff tracks per-peer retransmission pacing: consecutive unacked
+	// sweeps and the next instant the peer's outbox is due on the wire.
+	backoff map[string]*peerBackoff
 
 	bmu      sync.Mutex
 	batchers map[string]*peerBatch
@@ -203,6 +223,12 @@ type Reliable struct {
 	stop chan struct{}
 	wg   sync.WaitGroup
 	ctr  atomic.Uint64
+}
+
+// peerBackoff is one peer's retransmission pacing state.
+type peerBackoff struct {
+	attempts int       // consecutive sweeps without a frame from the peer
+	next     time.Time // next retransmission due
 }
 
 // peerBatch accumulates frames and pending acks bound for one peer until the
@@ -219,15 +245,21 @@ func NewReliable(ep Endpoint, opts ...ReliableOption) (*Reliable, error) {
 	r := &Reliable{
 		ep:        ep,
 		retry:     50 * time.Millisecond,
+		retryCap:  time.Second,
 		outbox:    make(map[string]JournalRecord),
+		sentAt:    make(map[string]time.Time),
 		seen:      make(map[string]struct{}),
 		acked:     make(map[string]chan struct{}),
 		batchers:  make(map[string]*peerBatch),
+		backoff:   make(map[string]*peerBackoff),
 		ackNotify: make(chan struct{}, 1),
 		stop:      make(chan struct{}),
 	}
 	for _, o := range opts {
 		o(r)
+	}
+	if r.retryCap < r.retry {
+		r.retryCap = r.retry // WithRetryInterval stays the floor
 	}
 	if r.journal != nil {
 		out, seen, err := r.journal.Load()
@@ -276,6 +308,7 @@ func (r *Reliable) Send(ctx context.Context, to string, payload []byte) error {
 		return ErrClosed
 	}
 	r.outbox[msgID] = rec
+	r.sentAt[msgID] = time.Now()
 	r.mu.Unlock()
 
 	if r.journal != nil {
@@ -304,9 +337,11 @@ func (r *Reliable) SendBatch(ctx context.Context, to string, payloads [][]byte) 
 		r.mu.Unlock()
 		return ErrClosed
 	}
+	now := time.Now()
 	for i, p := range payloads {
 		recs[i] = JournalRecord{MsgID: r.nextMsgID(), To: to, Payload: p}
 		r.outbox[recs[i].MsgID] = recs[i]
+		r.sentAt[recs[i].MsgID] = now
 	}
 	r.mu.Unlock()
 
@@ -344,6 +379,7 @@ func (r *Reliable) SendAndWait(ctx context.Context, to string, payload []byte) e
 		return ErrClosed
 	}
 	r.outbox[msgID] = JournalRecord{MsgID: msgID, To: to, Payload: payload}
+	r.sentAt[msgID] = time.Now()
 	r.acked[msgID] = ch
 	r.mu.Unlock()
 
@@ -541,6 +577,11 @@ func (r *Reliable) Close() error {
 	return r.ep.Close()
 }
 
+// retransmitLoop sweeps the outbox at the retry floor, but each peer is
+// only put back on the wire when its backoff interval has elapsed: the
+// first retransmission fires one floor interval after Send, then a silent
+// peer's interval doubles (with jitter) up to the cap. A peer that was
+// merely slow resets to the floor the moment any of its frames arrives.
 func (r *Reliable) retransmitLoop() {
 	defer r.wg.Done()
 	ticker := time.NewTicker(r.retry)
@@ -550,10 +591,31 @@ func (r *Reliable) retransmitLoop() {
 		case <-r.stop:
 			return
 		case <-ticker.C:
+			now := time.Now()
 			r.mu.Lock()
 			byPeer := make(map[string][][]byte)
 			for _, rec := range r.outbox {
+				if pb := r.backoff[rec.To]; pb != nil && now.Before(pb.next) {
+					continue // peer not due yet
+				}
+				// A frame younger than the floor is not due either: its
+				// first copy (or its ack) may still be in flight, and
+				// resending it on the next sweep tick would double the
+				// wire cost of every large frame sent to a healthy peer.
+				if now.Sub(r.sentAt[rec.MsgID]) < r.retry {
+					continue
+				}
+				r.sentAt[rec.MsgID] = now
 				byPeer[rec.To] = append(byPeer[rec.To], encodeRel(relData, rec.MsgID, rec.Payload))
+			}
+			for to := range byPeer {
+				pb := r.backoff[to]
+				if pb == nil {
+					pb = &peerBackoff{}
+					r.backoff[to] = pb
+				}
+				pb.attempts++
+				pb.next = now.Add(r.backoffInterval(pb.attempts))
 			}
 			r.mu.Unlock()
 			for to, frames := range byPeer {
@@ -569,11 +631,39 @@ func (r *Reliable) retransmitLoop() {
 	}
 }
 
+// backoffInterval computes the wait after the n-th consecutive unanswered
+// sweep: floor·2^(n-1), capped, plus up to 25% jitter so peers retrying
+// the same dead endpoint don't synchronize into bursts.
+func (r *Reliable) backoffInterval(attempts int) time.Duration {
+	d := r.retry
+	for i := 1; i < attempts && d < r.retryCap; i++ {
+		d *= 2
+	}
+	if d > r.retryCap {
+		d = r.retryCap
+	}
+	if d > 4 {
+		d += time.Duration(rand.Int64N(int64(d) / 4))
+	}
+	return d
+}
+
+// resetBackoff returns a peer to floor-rate retransmission: any frame from
+// it proves the link is live again.
+func (r *Reliable) resetBackoff(from string) {
+	r.mu.Lock()
+	if pb := r.backoff[from]; pb != nil && pb.attempts > 0 {
+		delete(r.backoff, from)
+	}
+	r.mu.Unlock()
+}
+
 func (r *Reliable) onRaw(from string, raw []byte) {
 	kind, msgID, body, err := decodeRel(raw)
 	if err != nil {
 		return // garbage at this layer is dropped; signed layers above detect tampering
 	}
+	r.resetBackoff(from) // the peer is reachable again: retransmit at the floor
 	switch kind {
 	case relAck:
 		r.handleAcks([]string{msgID})
@@ -687,10 +777,13 @@ func (r *Reliable) handleAcks(msgIDs []string) {
 	r.mu.Lock()
 	acked := msgIDs[:0:0]
 	for _, id := range msgIDs {
-		if _, ok := r.outbox[id]; !ok {
+		rec, ok := r.outbox[id]
+		if !ok {
 			continue
 		}
+		delete(r.backoff, rec.To) // progress: drop the peer back to the floor
 		delete(r.outbox, id)
+		delete(r.sentAt, id)
 		acked = append(acked, id)
 		if ch, ok := r.acked[id]; ok {
 			close(ch)

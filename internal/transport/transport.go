@@ -62,12 +62,17 @@ type Faults struct {
 }
 
 // Stats counts traffic through a Network, for the message-complexity
-// experiment (E8) and failure-injection reporting.
+// experiment (E8) and failure-injection reporting. The byte counters sum
+// the payloads of the corresponding messages (duplicated deliveries count
+// each copy), which is what the relay drain-amplification bar (E22) is
+// measured against.
 type Stats struct {
-	Sent      uint64
-	Delivered uint64
-	Dropped   uint64
-	Duplicate uint64
+	Sent           uint64
+	Delivered      uint64
+	Dropped        uint64
+	Duplicate      uint64
+	SentBytes      uint64
+	DeliveredBytes uint64
 }
 
 // Network is an in-memory message network connecting MemEndpoints. It is
@@ -203,6 +208,7 @@ func (n *Network) route(from, to string, payload []byte) error {
 		f = n.defFlt
 	}
 	n.stats.Sent++
+	n.stats.SentBytes += uint64(len(payload))
 
 	if f.Partitioned || (f.DropProb > 0 && n.rng.Float64() < f.DropProb) {
 		n.stats.Dropped++
@@ -219,6 +225,7 @@ func (n *Network) route(from, to string, payload []byte) error {
 		delay += time.Duration(n.rng.Int64N(int64(f.MaxDelay - f.MinDelay)))
 	}
 	n.stats.Delivered += uint64(copies)
+	n.stats.DeliveredBytes += uint64(copies) * uint64(len(payload))
 	if delay > 0 {
 		// Registered while the lock is held, so Close (which sets closed
 		// under the same lock before waiting) never races Add against Wait.

@@ -69,6 +69,17 @@ func FuzzUnmarshal(f *testing.F) {
 		Hashes: [][32]byte{h32}}
 	gDelta := wire.GossipDelta{Object: "o", Pred: pred,
 		Commits: [][]byte{commit.Marshal()}}
+	prekey := wire.RelayPrekey{Member: "b", Epoch: 3,
+		Pub: bytes.Repeat([]byte{9}, 32)}
+	rDeposit := wire.RelayDeposit{Recipient: "b", Epoch: 3,
+		Sealed: []byte("ephpub||nonce||ciphertext")}
+	rPoll := wire.RelayPoll{Recipient: "b", AckThrough: 7, Max: 16}
+	rBatch := wire.RelayBatch{Recipient: "b", Entries: []wire.RelayEntry{
+		{Seq: 8, Epoch: 3, Sealed: []byte("sealed-1")},
+		{Seq: 9, Epoch: 3, Sealed: []byte("sealed-2")},
+	}, Remaining: 5}
+	welcomePrekeys := welcome
+	welcomePrekeys.Prekeys = [][]byte{wire.Sign(wire.KindRelayPrekey, prekey.Marshal(), ident, nil).Marshal()}
 
 	seeds := [][]byte{
 		signed.Marshal(),
@@ -101,10 +112,17 @@ func FuzzUnmarshal(f *testing.F) {
 		stDone.Marshal(),
 		gDigest.Marshal(),
 		gDelta.Marshal(),
+		rDeposit.Marshal(),
+		rPoll.Marshal(),
+		rBatch.Marshal(),
+		prekey.Marshal(),
 	}
 	for i, s := range seeds {
 		f.Add(uint8(i), s)
 	}
+	// A Welcome carrying signed prekey publications exercises the prekey
+	// list bounds of the Welcome decoder itself.
+	f.Add(uint8(12), welcomePrekeys.Marshal())
 
 	roundtrip := func(t *testing.T, in []byte, err error, remarshal func() []byte) {
 		if err != nil {
@@ -116,7 +134,7 @@ func FuzzUnmarshal(f *testing.F) {
 	}
 
 	f.Fuzz(func(t *testing.T, which uint8, data []byte) {
-		switch which % 26 {
+		switch which % 30 {
 		case 0:
 			v, err := wire.UnmarshalSigned(data)
 			roundtrip(t, data, err, v.Marshal)
@@ -203,6 +221,18 @@ func FuzzUnmarshal(f *testing.F) {
 			roundtrip(t, data, err, v.Marshal)
 		case 25:
 			v, err := wire.UnmarshalGossipDelta(data)
+			roundtrip(t, data, err, v.Marshal)
+		case 26:
+			v, err := wire.UnmarshalRelayDeposit(data)
+			roundtrip(t, data, err, v.Marshal)
+		case 27:
+			v, err := wire.UnmarshalRelayPoll(data)
+			roundtrip(t, data, err, v.Marshal)
+		case 28:
+			v, err := wire.UnmarshalRelayBatch(data)
+			roundtrip(t, data, err, v.Marshal)
+		case 29:
+			v, err := wire.UnmarshalRelayPrekey(data)
 			roundtrip(t, data, err, v.Marshal)
 		}
 	})

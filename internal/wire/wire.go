@@ -44,6 +44,10 @@ const (
 	KindStateDone
 	KindGossipDigest
 	KindGossipDelta
+	KindRelayDeposit
+	KindRelayPoll
+	KindRelayBatch
+	KindRelayPrekey
 )
 
 var kindNames = map[Kind]string{
@@ -71,6 +75,10 @@ var kindNames = map[Kind]string{
 	KindStateDone:    "state-done",
 	KindGossipDigest: "gossip-digest",
 	KindGossipDelta:  "gossip-delta",
+	KindRelayDeposit: "relay-deposit",
+	KindRelayPoll:    "relay-poll",
+	KindRelayBatch:   "relay-batch",
+	KindRelayPrekey:  "relay-prekey",
 }
 
 // String names the kind for logs and evidence records.
@@ -736,8 +744,21 @@ type Welcome struct {
 	AgreedState   []byte
 	StateDeferred bool
 	MemberCerts   []crypto.Certificate
-	Commit        GroupCommit
+	// Prekeys carries the members' signed relay-prekey publications
+	// (marshalled Signed envelopes, kind KindRelayPrekey) so the joiner can
+	// immediately seal relay deposits to every member. Each entry is
+	// individually signed by the member it names; the joiner verifies them
+	// one by one when learning them into its directory, so a malicious
+	// sponsor cannot plant keys for other members.
+	Prekeys [][]byte
+	Commit  GroupCommit
 }
+
+// Welcome prekey bounds, checked before allocation on decode.
+const (
+	MaxWelcomePrekeys    = 4096
+	MaxPrekeyPublication = 1024
+)
 
 // Marshal returns the canonical (signature input) bytes.
 func (w Welcome) Marshal() []byte {
@@ -754,6 +775,10 @@ func (w Welcome) Marshal() []byte {
 	e.List(len(w.MemberCerts))
 	for _, c := range w.MemberCerts {
 		c.Encode(e)
+	}
+	e.List(len(w.Prekeys))
+	for _, pk := range w.Prekeys {
+		e.Bytes(pk)
 	}
 	e.Bytes(w.Commit.MarshalConn())
 	return e.Out()
@@ -780,6 +805,22 @@ func UnmarshalWelcome(buf []byte) (Welcome, error) {
 			if d.Err() != nil {
 				break
 			}
+		}
+	}
+	np := d.List()
+	if d.Err() == nil {
+		if np > MaxWelcomePrekeys {
+			return Welcome{}, fmt.Errorf("wire: welcome carries %d prekeys (cap %d)", np, MaxWelcomePrekeys)
+		}
+		for i := 0; i < np; i++ {
+			pk := d.Bytes()
+			if d.Err() != nil {
+				break
+			}
+			if len(pk) > MaxPrekeyPublication {
+				return Welcome{}, fmt.Errorf("wire: welcome prekey %d is %d bytes (cap %d)", i, len(pk), MaxPrekeyPublication)
+			}
+			w.Prekeys = append(w.Prekeys, pk)
 		}
 	}
 	commitRaw := d.Bytes()

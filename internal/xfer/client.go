@@ -3,6 +3,7 @@ package xfer
 import (
 	"context"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"time"
@@ -291,7 +292,7 @@ func (m *Manager) Fetch(ctx context.Context, peer string, have, want tuple.State
 	if !have.Zero() {
 		baseT, bp := m.cfg.Engine.AgreedPaged()
 		if baseT != have {
-			return nil, fmt.Errorf("xfer: have tuple is not the current agreed tuple")
+			return nil, ErrBaseMoved
 		}
 		basePaged = bp
 	}
@@ -541,6 +542,14 @@ func (m *Manager) FetchAny(ctx context.Context, peers []string, have, want tuple
 // reachable peer confirmed this party is current (unreachable peers cannot
 // contradict that — they serve the same agreed chain).
 func (m *Manager) CatchUp(ctx context.Context) (bool, error) {
+	if m.cfg.Drain != nil {
+		// Third catch-up source: drain the relay mailbox first. Whatever was
+		// parked for us lands through normal dispatch, so the peer queries
+		// below see the post-drain state and fetch only the remainder. A
+		// drain error is not fatal — the relay may be down while peers are
+		// fine, and they serve the same agreed chain.
+		_, _ = m.cfg.Drain(ctx)
+	}
 	en := m.cfg.Engine
 	haveT := en.AgreedTuple()
 	group, members := en.Group()
@@ -555,6 +564,14 @@ func (m *Manager) CatchUp(ctx context.Context) (bool, error) {
 		res, err := m.Fetch(ctx, peer, haveT, tuple.State{})
 		if ctx.Err() != nil {
 			return false, ctx.Err()
+		}
+		if errors.Is(err, ErrBaseMoved) {
+			// Concurrently applied traffic (a drained mailbox still landing,
+			// a live commit) advanced the agreed tuple under us: refresh the
+			// base and retry the same peer. Bounded by ctx.
+			haveT = en.AgreedTuple()
+			i++
+			continue
 		}
 		if err != nil {
 			lastErr = err

@@ -49,6 +49,11 @@ var (
 	ErrBadPayload = errors.New("xfer: transfer payload failed verification")
 	ErrDiverged   = errors.New("xfer: peer's group membership diverged; rejoin required")
 	ErrClosed     = errors.New("xfer: manager closed")
+	// ErrBaseMoved reports that the engine's agreed tuple advanced between
+	// the caller snapshotting `have` and the fetch capturing its fold base —
+	// live traffic (a relay drain landing, a concurrent commit) got there
+	// first. Retry with a fresh snapshot; CatchUp does so itself.
+	ErrBaseMoved = errors.New("xfer: have tuple is no longer the current agreed tuple")
 )
 
 // Policy tunes the transfer plane. The zero value selects the defaults noted
@@ -133,6 +138,11 @@ type Config struct {
 	Policy   Policy
 	// Gate shares serving-session slots with the owning runtime (optional).
 	Gate SessionGate
+	// Drain, when set, empties this member's relay mailbox (the relay
+	// client's Drain) before a CatchUp queries peers: traffic parked while
+	// this member was offline lands through normal dispatch first, so
+	// catch-up transfers only what the mailbox did not already cover.
+	Drain func(ctx context.Context) (int, error)
 }
 
 // streamSender is the transport's backpressured bulk path

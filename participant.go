@@ -16,6 +16,7 @@ import (
 	"b2b/internal/metrics"
 	"b2b/internal/nrlog"
 	"b2b/internal/pagestate"
+	"b2b/internal/relay"
 	"b2b/internal/store"
 	"b2b/internal/transport"
 	"b2b/internal/wire"
@@ -40,6 +41,9 @@ var (
 	// caps — admission control refused a coordination run, or inbound traffic
 	// was shed. Inspect with errors.Is.
 	ErrQuotaExceeded = core.ErrQuotaExceeded
+	// ErrNoRelay: a relay operation was invoked on a participant built
+	// without WithRelay.
+	ErrNoRelay = relay.ErrNoRelay
 )
 
 // Mode selects the communication mode of a Controller (paper §5).
@@ -112,20 +116,24 @@ func (td *TrustDomain) Issue(id string) (*crypto.Identity, error) {
 type Option func(*participantOpts)
 
 type participantOpts struct {
-	clk             clock.Clock
-	mode            Mode
-	termination     coord.Termination
-	ttp             string
-	storageDir      string
-	durability      DurabilityPolicy
-	legacyStorage   bool
-	transfer        TransferPolicy
-	paging          PagingPolicy
-	retryInterval   time.Duration
-	responseTimeout time.Duration
-	opTimeout       time.Duration
-	peerCerts       []crypto.Certificate
-	quotas          core.QuotaPolicy
+	clk              clock.Clock
+	mode             Mode
+	termination      coord.Termination
+	ttp              string
+	storageDir       string
+	durability       DurabilityPolicy
+	legacyStorage    bool
+	transfer         TransferPolicy
+	paging           PagingPolicy
+	retryInterval    time.Duration
+	responseTimeout  time.Duration
+	responseDeadline time.Duration
+	opTimeout        time.Duration
+	peerCerts        []crypto.Certificate
+	quotas           core.QuotaPolicy
+	relayID          string
+	relayHost        bool
+	relayHostDir     string
 }
 
 // WithClock substitutes the time source (tests use a simulated clock).
@@ -149,6 +157,16 @@ func WithMajorityTermination() Option {
 // participant honours (§7 deadline extension).
 func WithTTP(name string) Option {
 	return func(o *participantOpts) { o.ttp = name }
+}
+
+// WithResponseDeadline enables the §7 response deadline under majority
+// termination: a proposer that has waited this long concludes a run with
+// the responses at hand, provided they form a strict majority of the group
+// — an offline member no longer blocks coordination (its missed traffic
+// parks at the relay when one is configured, and catch-up covers the rest).
+// Zero (the default) keeps the paper's wait-for-all behaviour.
+func WithResponseDeadline(d time.Duration) Option {
+	return func(o *participantOpts) { o.responseDeadline = d }
 }
 
 // WithFileStorage persists the non-repudiation log and checkpoint store
@@ -245,6 +263,28 @@ func WithPeerCertificates(certs ...crypto.Certificate) Option {
 	return func(o *participantOpts) { o.peerCerts = append(o.peerCerts, certs...) }
 }
 
+// WithRelay names the relay host (another participant, built with
+// WithRelayHost) this participant uses for store-and-forward delivery:
+// outbound traffic beyond QuotaPolicy.MaxPendingToPeer is sealed to the
+// recipient's prekey and parked in its mailbox instead of shed, and this
+// participant's own mailbox is drained during every catch-up (and on
+// RelayDrain). The relay never sees plaintext — deposits are end-to-end
+// signed by the protocol layer and sealed to a per-epoch X25519 prekey
+// (see docs/PROTOCOL.md §11). Call RelayPublishPrekey once peers are
+// reachable so they can seal deposits to this participant.
+func WithRelay(relayID string) Option {
+	return func(o *participantOpts) { o.relayID = relayID }
+}
+
+// WithRelayHost makes this participant host the relay mailbox service for
+// its trust domain. dir "" keeps mailboxes in memory; otherwise they are
+// durable under dir (a dedicated segment WAL — deposits survive a relay
+// restart). Mailboxes are bounded (relay defaults), evicting oldest-first
+// with evidence. The host stores only sealed blobs it cannot read.
+func WithRelayHost(dir string) Option {
+	return func(o *participantOpts) { o.relayHost, o.relayHostDir = true, dir }
+}
+
 // Participant is one organisation's middleware runtime (the deployment of
 // B2BObjects middleware inside an organisation, Fig 1).
 type Participant struct {
@@ -257,6 +297,8 @@ type Participant struct {
 	plane  *store.Plane     // nil unless plane-backed file storage
 	segLog *nrlog.Segmented // nil unless plane-backed file storage
 	reg    *metrics.Registry
+	relay  *relay.Client // nil unless WithRelay
+	relSrv *relay.Server // nil unless WithRelayHost
 }
 
 // NewParticipant assembles a participant from an identity issued by the
@@ -318,23 +360,46 @@ func NewParticipant(ident *crypto.Identity, td *TrustDomain, conn core.Conn, opt
 		log, st = nrlog.NewMemory(o.clk), store.NewMemory()
 	}
 
-	part, err := core.New(core.Config{
-		Ident:           ident,
-		Verifier:        vfr,
-		TSA:             td.TSA,
-		Conn:            conn,
-		Log:             log,
-		Store:           st,
-		Clock:           o.clk,
-		Termination:     o.termination,
-		TTP:             o.ttp,
-		RetryInterval:   o.retryInterval,
-		ResponseTimeout: o.responseTimeout,
-		SnapshotEvery:   o.durability.SnapshotEvery,
-		Transfer:        o.transfer,
-		PageSize:        o.paging.PageSize,
-		Quotas:          o.quotas,
-	})
+	cfg := core.Config{
+		Ident:            ident,
+		Verifier:         vfr,
+		TSA:              td.TSA,
+		Conn:             conn,
+		Log:              log,
+		Store:            st,
+		Clock:            o.clk,
+		Termination:      o.termination,
+		TTP:              o.ttp,
+		RetryInterval:    o.retryInterval,
+		ResponseTimeout:  o.responseTimeout,
+		ResponseDeadline: o.responseDeadline,
+		SnapshotEvery:    o.durability.SnapshotEvery,
+		Transfer:         o.transfer,
+		PageSize:         o.paging.PageSize,
+		Quotas:           o.quotas,
+	}
+	// Relay plane: sealing keys and the prekey directory exist before the
+	// runtime (the directory feeds Welcome construction, the drain hook
+	// feeds catch-up); the client is built after and late-bound here.
+	var relayKeys *relay.SealKeys
+	var relayDir *relay.Directory
+	var relayClient *relay.Client
+	if o.relayID != "" {
+		keys, err := relay.NewSealKeys()
+		if err != nil {
+			return nil, err
+		}
+		relayKeys = keys
+		relayDir = relay.NewDirectory(vfr)
+		cfg.Prekeys = relayDir
+		cfg.Drain = func(ctx context.Context) (int, error) {
+			if relayClient == nil {
+				return 0, nil
+			}
+			return relayClient.Drain(ctx)
+		}
+	}
+	part, err := core.New(cfg)
 	if err != nil {
 		if plane != nil {
 			_ = plane.Close()
@@ -351,6 +416,55 @@ func NewParticipant(ident *crypto.Identity, td *TrustDomain, conn core.Conn, opt
 		plane:  plane,
 		segLog: segLog,
 		reg:    metrics.NewRegistry(),
+	}
+	if o.relayID != "" {
+		relayClient, err = relay.NewClient(relay.ClientConfig{
+			Ident:   ident,
+			TSA:     td.TSA,
+			Conn:    conn,
+			Relay:   o.relayID,
+			Keys:    relayKeys,
+			Dir:     relayDir,
+			Inject:  part.Inject,
+			Clock:   o.clk,
+			Metrics: p.reg,
+		})
+		if err != nil {
+			_ = p.Close()
+			return nil, err
+		}
+		part.SetRelayDeposit(relayClient.Deposit)
+		p.relay = relayClient
+	}
+	if o.relayHost {
+		srv, err := relay.NewServer(relay.ServerConfig{
+			Conn:       conn,
+			Verifier:   vfr,
+			Dir:        o.relayHostDir,
+			Durability: o.durability,
+			Log:        log,
+			Metrics:    p.reg,
+		})
+		if err != nil {
+			_ = p.Close()
+			return nil, err
+		}
+		p.relSrv = srv
+	}
+	if p.relay != nil || p.relSrv != nil {
+		cl, srv := p.relay, p.relSrv
+		part.SetRelayHandler(func(from string, env wire.Envelope) {
+			switch env.Kind {
+			case wire.KindRelayDeposit, wire.KindRelayPoll:
+				if srv != nil {
+					srv.HandleEnvelope(from, env)
+				}
+			default:
+				if cl != nil {
+					cl.HandleEnvelope(from, env)
+				}
+			}
+		})
 	}
 	p.registerMetrics()
 	return p, nil
@@ -478,9 +592,67 @@ func (p *Participant) DumpMetrics(w io.Writer) error {
 	return p.reg.Dump(w)
 }
 
+// RelayDrain empties this participant's relay mailbox now: everything
+// parked for it while it was unreachable is unsealed and re-injected into
+// normal inbound dispatch (signature verification included — the relay is
+// not trusted). Catch-up calls it automatically; call it directly after a
+// reconnect that needs no state transfer. Returns the number of envelopes
+// delivered, or ErrNoRelay without WithRelay.
+func (p *Participant) RelayDrain(ctx context.Context) (int, error) {
+	if p.relay == nil {
+		return 0, ErrNoRelay
+	}
+	return p.relay.Drain(ctx)
+}
+
+// RelayPublishPrekey signs and announces this participant's current sealing
+// prekey to the given peers and the relay host. Peers can only park traffic
+// for this participant once they hold a prekey; sponsors also forward the
+// directory to joiners inside Welcomes.
+func (p *Participant) RelayPublishPrekey(ctx context.Context, peers ...string) error {
+	if p.relay == nil {
+		return ErrNoRelay
+	}
+	return p.relay.PublishPrekey(ctx, peers)
+}
+
+// RelayRotatePrekey advances the sealing epoch and announces the new
+// prekey. Deposits sealed under epochs older than the retained previous one
+// become unreadable to everyone including this participant — forward
+// secrecy for the relay hop.
+func (p *Participant) RelayRotatePrekey(ctx context.Context, peers ...string) error {
+	if p.relay == nil {
+		return ErrNoRelay
+	}
+	return p.relay.Rotate(ctx, peers)
+}
+
+// RelayParked reports the hosted relay's total parked messages and sealed
+// bytes across all mailboxes (zeros without WithRelayHost).
+func (p *Participant) RelayParked() (msgs int, bytes int64) {
+	if p.relSrv == nil {
+		return 0, 0
+	}
+	return p.relSrv.TotalParked()
+}
+
+// RelayStorageUsage reports the hosted relay's on-disk size in bytes (zero
+// without WithRelayHost, or with in-memory mailboxes).
+func (p *Participant) RelayStorageUsage() int64 {
+	if p.relSrv == nil {
+		return 0
+	}
+	return p.relSrv.DiskUsage()
+}
+
 // Close shuts the participant down.
 func (p *Participant) Close() error {
 	err := p.part.Close()
+	if p.relSrv != nil {
+		if cerr := p.relSrv.Close(); err == nil {
+			err = cerr
+		}
+	}
 	if p.plane != nil {
 		if cerr := p.plane.Close(); err == nil {
 			err = cerr
